@@ -1,0 +1,71 @@
+"""Quickstart: define a protocol, prove it well-specified, and run it.
+
+This example follows the paper's running example (Example 1): the majority
+protocol of Angluin et al.  We
+
+1. build the protocol from scratch with the public API,
+2. prove that it belongs to WS³ — and is therefore well-specified for every
+   one of its infinitely many inputs — with the constraint-based verifier,
+3. check that it computes the documented predicate ``#B >= #A``,
+4. simulate a few populations and compare with the predicate.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import PopulationProtocol, Simulator, Transition
+from repro.presburger.predicates import ThresholdPredicate
+from repro.verification.correctness import check_correctness
+from repro.verification.ws3 import verify_ws3
+
+
+def build_majority() -> PopulationProtocol:
+    """The majority protocol, written out explicitly."""
+    return PopulationProtocol(
+        states=["A", "B", "a", "b"],
+        transitions=[
+            Transition.make(("A", "B"), ("a", "b"), name="cancel"),
+            Transition.make(("A", "b"), ("A", "a"), name="convert-to-a"),
+            Transition.make(("B", "a"), ("B", "b"), name="convert-to-b"),
+            Transition.make(("b", "a"), ("b", "b"), name="tie-break"),
+        ],
+        input_alphabet=["A", "B"],
+        input_map={"A": "A", "B": "B"},
+        output_map={"A": 0, "a": 0, "B": 1, "b": 1},
+        name="majority (quickstart)",
+    )
+
+
+def main() -> None:
+    protocol = build_majority()
+    print(protocol.describe())
+    print()
+
+    # --- 1. Prove well-specification for ALL inputs (WS3 membership).
+    result = verify_ws3(protocol)
+    print(result.summary())
+    print()
+
+    # --- 2. Check the protocol computes "#B >= #A" (equivalently #A - #B < 1).
+    predicate = ThresholdPredicate({"A": 1, "B": -1}, 1)
+    correctness = check_correctness(protocol, predicate)
+    verdict = "computes" if correctness.holds else "does NOT compute"
+    print(f"The protocol {verdict} the predicate {predicate.describe()}.")
+    print()
+
+    # --- 3. Simulate a few populations.
+    simulator = Simulator(protocol, seed=42)
+    for population in [{"A": 4, "B": 7}, {"A": 7, "B": 4}, {"A": 5, "B": 5}]:
+        run = simulator.run(input_population=population)
+        expected = int(predicate.evaluate(population))
+        print(
+            f"population {population}: consensus output {run.output} after {run.steps} interactions "
+            f"(predicate says {expected})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in environments without the ``wheel`` package (the
+legacy ``setup.py develop`` code path used by ``pip install -e .`` with
+``use-pep517 = false``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,155 @@
+"""Command-line front end (the Peregrine-style "repro-verify" tool).
+
+Examples
+--------
+Verify a library protocol::
+
+    repro-verify family majority
+    repro-verify family flock-of-birds --parameter 10
+
+Verify a protocol stored as JSON::
+
+    repro-verify file my_protocol.json --simulate "A=3,B=5"
+
+List the available families::
+
+    repro-verify list
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.io.serialization import protocol_from_json
+from repro.protocols.library import PROTOCOL_FAMILIES
+from repro.protocols.simulation import Simulator
+from repro.verification.correctness import check_correctness
+from repro.verification.ws3 import verify_ws3
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-verify",
+        description="Decide WS3 membership (well-specification) of population protocols.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list the built-in protocol families")
+
+    family_parser = subparsers.add_parser("family", help="verify a built-in protocol family")
+    family_parser.add_argument("name", choices=sorted(PROTOCOL_FAMILIES), help="family name")
+    family_parser.add_argument(
+        "--parameter", type=int, default=None, help="primary size parameter (where applicable)"
+    )
+    _add_common_options(family_parser)
+
+    file_parser = subparsers.add_parser("file", help="verify a protocol stored as JSON")
+    file_parser.add_argument("path", help="path to the protocol JSON file")
+    _add_common_options(file_parser)
+
+    return parser
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--strategy",
+        default="auto",
+        choices=["auto", "hint", "single", "scc", "smt"],
+        help="partition-search strategy for LayeredTermination",
+    )
+    parser.add_argument(
+        "--theory",
+        default="auto",
+        choices=["auto", "scipy", "exact"],
+        help="constraint-solver backend",
+    )
+    parser.add_argument(
+        "--check-correctness",
+        action="store_true",
+        help="also check the protocol against its documented predicate (if any)",
+    )
+    parser.add_argument(
+        "--simulate",
+        metavar="INPUT",
+        default=None,
+        help='simulate one run on an input such as "A=3,B=5"',
+    )
+    parser.add_argument("--json", action="store_true", help="print the verdict as JSON")
+
+
+def _parse_input(text: str) -> dict:
+    population = {}
+    for part in text.split(","):
+        symbol, _, count = part.partition("=")
+        population[symbol.strip()] = int(count)
+    return population
+
+
+def _load_protocol(args):
+    if args.command == "family":
+        factory = PROTOCOL_FAMILIES[args.name]
+        return factory(args.parameter) if args.parameter is not None else factory()
+    with open(args.path, encoding="utf-8") as handle:
+        return protocol_from_json(handle.read())
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``repro-verify`` command."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in sorted(PROTOCOL_FAMILIES):
+            print(name)
+        return 0
+
+    protocol = _load_protocol(args)
+    result = verify_ws3(protocol, strategy=args.strategy, theory=args.theory)
+
+    correctness = None
+    if args.check_correctness:
+        predicate = protocol.metadata.get("predicate")
+        if predicate is None:
+            print("no documented predicate attached to this protocol; skipping correctness check")
+        else:
+            correctness = check_correctness(protocol, predicate, theory=args.theory)
+
+    if args.json:
+        payload = {
+            "protocol": protocol.name,
+            "states": protocol.num_states,
+            "transitions": protocol.num_transitions,
+            "is_ws3": result.is_ws3,
+            "layered_termination": result.layered_termination.holds,
+            "strong_consensus": (
+                result.strong_consensus.holds if result.strong_consensus is not None else None
+            ),
+            "time_seconds": result.statistics["time"],
+        }
+        if correctness is not None:
+            payload["computes_documented_predicate"] = correctness.holds
+        print(json.dumps(payload, indent=2))
+    else:
+        print(result.summary())
+        if correctness is not None:
+            predicate = protocol.metadata["predicate"]
+            verdict = "computes" if correctness.holds else "DOES NOT compute"
+            print(f"  correctness: {verdict} the predicate {predicate.describe()}")
+            if correctness.counterexample is not None:
+                print(f"    {correctness.counterexample.describe()}")
+
+    if args.simulate:
+        simulator = Simulator(protocol, seed=0)
+        run = simulator.run(input_population=_parse_input(args.simulate))
+        print(
+            f"  simulation of {args.simulate}: output={run.output} after {run.steps} interactions "
+            f"(converged={run.converged})"
+        )
+
+    return 0 if result.is_ws3 else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Basic data types shared by the whole library."""
+
+from repro.datatypes.multiset import Multiset
+
+__all__ = ["Multiset"]

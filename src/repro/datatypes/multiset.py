@@ -1,0 +1,264 @@
+"""Immutable multisets over arbitrary hashable elements.
+
+Multisets are the basic data structure of population protocols (Section 2 of
+the paper): populations, configurations, and the ``pre`` and ``post`` of
+transitions are all multisets.  The class below implements exactly the
+operations used throughout the paper:
+
+* addition ``M + M'`` and (partial) subtraction ``M - M'``,
+* *monus* (saturating difference) ``M.monus(M')``, written ``M ∸ M'`` in the
+  paper,
+* componentwise comparison ``M <= M'``,
+* support, size, and restriction.
+
+Instances are immutable and hashable, so they can be used as nodes of
+reachability graphs and as dictionary keys.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from typing import TypeVar
+
+E = TypeVar("E", bound=Hashable)
+
+
+class Multiset(Mapping[E, int]):
+    """A finite multiset: a mapping from elements to positive multiplicities.
+
+    The representation stores only elements with multiplicity at least one;
+    ``multiset[x]`` returns ``0`` for absent elements, mirroring the paper's
+    convention that a multiset over ``E`` is a mapping ``E -> N``.
+
+    Examples
+    --------
+    >>> m = Multiset({"a": 2, "b": 1})
+    >>> m["a"], m["c"]
+    (2, 0)
+    >>> (m + Multiset({"c": 1})).size()
+    4
+    >>> m.monus(Multiset({"a": 5})) == Multiset({"b": 1})
+    True
+    """
+
+    __slots__ = ("_counts", "_hash")
+
+    def __init__(self, elements: Mapping[E, int] | Iterable[E] | None = None):
+        counts: dict[E, int] = {}
+        if elements is None:
+            pass
+        elif isinstance(elements, Mapping):
+            for element, count in elements.items():
+                if not isinstance(count, int):
+                    raise TypeError(f"multiplicity of {element!r} must be an int, got {count!r}")
+                if count < 0:
+                    raise ValueError(f"multiplicity of {element!r} must be non-negative, got {count}")
+                if count > 0:
+                    counts[element] = count
+        else:
+            for element in elements:
+                counts[element] = counts.get(element, 0) + 1
+        self._counts = counts
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "Multiset[E]":
+        """Return the empty multiset (written ``0`` in the paper)."""
+        return cls()
+
+    @classmethod
+    def singleton(cls, element: E, count: int = 1) -> "Multiset[E]":
+        """Return the multiset containing ``element`` with the given multiplicity."""
+        return cls({element: count})
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[E, int]]) -> "Multiset[E]":
+        """Build a multiset from ``(element, multiplicity)`` pairs, summing duplicates."""
+        counts: dict[E, int] = {}
+        for element, count in pairs:
+            counts[element] = counts.get(element, 0) + count
+        return cls(counts)
+
+    # ------------------------------------------------------------------
+    # Mapping protocol
+    # ------------------------------------------------------------------
+
+    def __getitem__(self, element: E) -> int:
+        return self._counts.get(element, 0)
+
+    def __iter__(self) -> Iterator[E]:
+        return iter(self._counts)
+
+    def __len__(self) -> int:
+        """Number of *distinct* elements (the size of the support)."""
+        return len(self._counts)
+
+    def __contains__(self, element: object) -> bool:
+        return element in self._counts
+
+    # ------------------------------------------------------------------
+    # Multiset-specific queries
+    # ------------------------------------------------------------------
+
+    def size(self) -> int:
+        """Total number of occurrences, written ``|M|`` in the paper."""
+        return sum(self._counts.values())
+
+    def support(self) -> frozenset[E]:
+        """The set of elements with positive multiplicity, written ``[[M]]``."""
+        return frozenset(self._counts)
+
+    def count(self, element: E) -> int:
+        """Multiplicity of ``element`` (0 if absent)."""
+        return self._counts.get(element, 0)
+
+    def total(self, elements: Iterable[E]) -> int:
+        """Sum of multiplicities over a set of elements, written ``M(P)``."""
+        return sum(self._counts.get(element, 0) for element in elements)
+
+    def elements(self) -> Iterator[E]:
+        """Iterate over occurrences (each element repeated by its multiplicity)."""
+        for element, count in self._counts.items():
+            for _ in range(count):
+                yield element
+
+    def items_sorted(self) -> list[tuple[E, int]]:
+        """Items sorted by ``repr`` of the element, for deterministic output."""
+        return sorted(self._counts.items(), key=lambda item: repr(item[0]))
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def __add__(self, other: "Multiset[E]") -> "Multiset[E]":
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        counts = dict(self._counts)
+        for element, count in other._counts.items():
+            counts[element] = counts.get(element, 0) + count
+        return Multiset(counts)
+
+    def __sub__(self, other: "Multiset[E]") -> "Multiset[E]":
+        """Exact difference; raises ``ValueError`` if ``other`` is not included in ``self``."""
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        counts = dict(self._counts)
+        for element, count in other._counts.items():
+            remaining = counts.get(element, 0) - count
+            if remaining < 0:
+                raise ValueError(
+                    f"cannot subtract {count} occurrence(s) of {element!r} from {counts.get(element, 0)}"
+                )
+            if remaining == 0:
+                counts.pop(element, None)
+            else:
+                counts[element] = remaining
+        return Multiset(counts)
+
+    def monus(self, other: "Multiset[E]") -> "Multiset[E]":
+        """Saturating difference ``max(M(e) - M'(e), 0)``, written ``M ∸ M'``."""
+        counts = {}
+        for element, count in self._counts.items():
+            remaining = count - other[element]
+            if remaining > 0:
+                counts[element] = remaining
+        return Multiset(counts)
+
+    def scale(self, factor: int) -> "Multiset[E]":
+        """Multiply every multiplicity by a non-negative integer factor."""
+        if factor < 0:
+            raise ValueError("scaling factor must be non-negative")
+        if factor == 0:
+            return Multiset()
+        return Multiset({element: count * factor for element, count in self._counts.items()})
+
+    def union(self, other: "Multiset[E]") -> "Multiset[E]":
+        """Componentwise maximum."""
+        counts = dict(self._counts)
+        for element, count in other._counts.items():
+            counts[element] = max(counts.get(element, 0), count)
+        return Multiset(counts)
+
+    def intersection(self, other: "Multiset[E]") -> "Multiset[E]":
+        """Componentwise minimum."""
+        counts = {}
+        for element, count in self._counts.items():
+            shared = min(count, other[element])
+            if shared > 0:
+                counts[element] = shared
+        return Multiset(counts)
+
+    def restrict(self, elements: Iterable[E]) -> "Multiset[E]":
+        """Keep only occurrences of the given elements."""
+        allowed = set(elements)
+        return Multiset({element: count for element, count in self._counts.items() if element in allowed})
+
+    # ------------------------------------------------------------------
+    # Comparison
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __le__(self, other: "Multiset[E]") -> bool:
+        """Componentwise inclusion ``M <= M'``."""
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        return all(count <= other[element] for element, count in self._counts.items())
+
+    def __lt__(self, other: "Multiset[E]") -> bool:
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        return self <= other and self != other
+
+    def __ge__(self, other: "Multiset[E]") -> bool:
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        return other <= self
+
+    def __gt__(self, other: "Multiset[E]") -> bool:
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        return other < self
+
+    def is_empty(self) -> bool:
+        """True if the multiset has no occurrences."""
+        return not self._counts
+
+    def disjoint(self, other: "Multiset[E]") -> bool:
+        """True if the supports are disjoint."""
+        return all(element not in other for element in self._counts)
+
+    # ------------------------------------------------------------------
+    # Hashing and printing
+    # ------------------------------------------------------------------
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._counts.items()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        if not self._counts:
+            return "Multiset()"
+        inner = ", ".join(f"{element!r}: {count}" for element, count in self.items_sorted())
+        return f"Multiset({{{inner}}})"
+
+    def pretty(self) -> str:
+        """Human-friendly rendering, e.g. ``{A, A, b}``."""
+        if not self._counts:
+            return "{}"
+        parts = []
+        for element, count in self.items_sorted():
+            label = element if isinstance(element, str) else repr(element)
+            if count == 1:
+                parts.append(f"{label}")
+            else:
+                parts.append(f"{count}*{label}")
+        return "{" + ", ".join(parts) + "}"

@@ -1,0 +1,15 @@
+"""Input/output helpers: JSON serialisation of protocols and results."""
+
+from repro.io.serialization import (
+    protocol_from_dict,
+    protocol_from_json,
+    protocol_to_dict,
+    protocol_to_json,
+)
+
+__all__ = [
+    "protocol_to_dict",
+    "protocol_from_dict",
+    "protocol_to_json",
+    "protocol_from_json",
+]

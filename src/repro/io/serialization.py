@@ -1,0 +1,113 @@
+"""JSON serialisation of population protocols.
+
+The format is deliberately simple and close to the input format of the
+authors' Peregrine tool: a JSON object with the states, the non-silent
+transitions, the input alphabet, the input mapping and the output mapping.
+States may be arbitrary JSON-representable values; tuples (used by the
+threshold protocol and by product constructions) are encoded as JSON arrays
+and decoded back to tuples.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.protocols.protocol import OrderedPartition, PopulationProtocol, Transition
+
+
+def _encode_state(state: Any) -> Any:
+    if isinstance(state, tuple):
+        return {"__tuple__": [_encode_state(part) for part in state]}
+    return state
+
+
+def _decode_state(state: Any) -> Any:
+    if isinstance(state, dict) and "__tuple__" in state:
+        return tuple(_decode_state(part) for part in state["__tuple__"])
+    return state
+
+
+def _encode_multiset(multiset) -> list:
+    return [_encode_state(element) for element in multiset.elements()]
+
+
+def protocol_to_dict(protocol: PopulationProtocol) -> dict:
+    """Serialise a protocol to a plain dictionary."""
+    data = {
+        "name": protocol.name,
+        "states": [_encode_state(state) for state in sorted(protocol.states, key=repr)],
+        "transitions": [
+            {
+                "name": transition.name,
+                "pre": _encode_multiset(transition.pre),
+                "post": _encode_multiset(transition.post),
+            }
+            for transition in protocol.transitions
+        ],
+        "input_alphabet": [_encode_state(symbol) for symbol in protocol.input_alphabet],
+        "input_map": [
+            {"symbol": _encode_state(symbol), "state": _encode_state(state)}
+            for symbol, state in protocol.input_map.items()
+        ],
+        "output_map": [
+            {"state": _encode_state(state), "output": output}
+            for state, output in sorted(protocol.output_map.items(), key=lambda item: repr(item[0]))
+        ],
+    }
+    if protocol.partition_hint is not None:
+        data["partition_hint"] = [
+            [
+                {"pre": _encode_multiset(t.pre), "post": _encode_multiset(t.post)}
+                for t in sorted(layer, key=repr)
+            ]
+            for layer in protocol.partition_hint.layers
+        ]
+    return data
+
+
+def protocol_from_dict(data: dict) -> PopulationProtocol:
+    """Reconstruct a protocol from :func:`protocol_to_dict` output."""
+    transitions = [
+        Transition.make(
+            [_decode_state(state) for state in entry["pre"]],
+            [_decode_state(state) for state in entry["post"]],
+            name=entry.get("name"),
+        )
+        for entry in data["transitions"]
+    ]
+    partition_hint = None
+    if "partition_hint" in data:
+        layers = []
+        for layer in data["partition_hint"]:
+            layers.append(
+                [
+                    Transition.make(
+                        [_decode_state(state) for state in entry["pre"]],
+                        [_decode_state(state) for state in entry["post"]],
+                    )
+                    for entry in layer
+                ]
+            )
+        partition_hint = OrderedPartition.of(*layers)
+    return PopulationProtocol(
+        states=[_decode_state(state) for state in data["states"]],
+        transitions=transitions,
+        input_alphabet=[_decode_state(symbol) for symbol in data["input_alphabet"]],
+        input_map={
+            _decode_state(entry["symbol"]): _decode_state(entry["state"]) for entry in data["input_map"]
+        },
+        output_map={_decode_state(entry["state"]): entry["output"] for entry in data["output_map"]},
+        name=data.get("name", "protocol"),
+        partition_hint=partition_hint,
+    )
+
+
+def protocol_to_json(protocol: PopulationProtocol, indent: int = 2) -> str:
+    """Serialise a protocol to a JSON string."""
+    return json.dumps(protocol_to_dict(protocol), indent=indent, sort_keys=True)
+
+
+def protocol_from_json(text: str) -> PopulationProtocol:
+    """Parse a protocol from a JSON string."""
+    return protocol_from_dict(json.loads(text))

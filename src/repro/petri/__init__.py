@@ -1,0 +1,34 @@
+"""A Petri-net substrate.
+
+Population protocols are essentially conservative Petri nets, and all the
+machinery the paper builds on — flow (state) equations, traps and siphons,
+the EXPSPACE-hardness of the general well-specification problem
+(Proposition 3) — comes from Petri-net theory.  This subpackage provides a
+small but complete Petri-net library:
+
+* nets, markings and the firing rule (:mod:`repro.petri.net`),
+* reachability-graph exploration for bounded instances
+  (:mod:`repro.petri.reachability`),
+* structural analysis: incidence matrices, place invariants, traps and
+  siphons (:mod:`repro.petri.analysis`, :mod:`repro.petri.traps_siphons`),
+* the normal form used in the proof of Proposition 3 and net reversal
+  (:mod:`repro.petri.normal_form`),
+* conversions between population protocols and Petri nets, including the
+  reduction from the Petri-net reachability problem to WS² membership
+  (:mod:`repro.petri.protocol_conversion`).
+"""
+
+from repro.petri.net import Marking, PetriNet, PetriNetError, PetriTransition
+from repro.petri.protocol_conversion import (
+    petri_net_from_protocol,
+    protocol_from_reachability_instance,
+)
+
+__all__ = [
+    "PetriNet",
+    "PetriTransition",
+    "Marking",
+    "PetriNetError",
+    "petri_net_from_protocol",
+    "protocol_from_reachability_instance",
+]

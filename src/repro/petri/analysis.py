@@ -1,0 +1,136 @@
+"""Structural analysis of Petri nets: incidence matrices, invariants, state equation.
+
+These are the classical linear-algebraic over-approximations of reachability
+that the paper lifts to population protocols (flow equations, Section 4.1):
+
+* the *state equation* ``M' = M + C·x`` is a necessary condition for
+  reachability, where ``C`` is the incidence matrix;
+* *place invariants* (rational left kernels of ``C``) yield quantities
+  conserved by every firing — for protocol nets the all-ones vector is always
+  an invariant because interactions preserve the number of agents.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.petri.net import Marking, PetriNet, PetriTransition
+
+
+def incidence_matrix(net: PetriNet) -> tuple[list, list[str], list[list[int]]]:
+    """The incidence matrix ``C[place][transition] = post - pre``.
+
+    Returns ``(places, transition_names, matrix)`` with deterministic
+    orderings (places sorted by ``repr``).
+    """
+    places = sorted(net.places, key=repr)
+    names = [transition.name for transition in net.transitions]
+    matrix = []
+    for place in places:
+        row = [transition.post[place] - transition.pre[place] for transition in net.transitions]
+        matrix.append(row)
+    return places, names, matrix
+
+
+def state_equation_holds(
+    net: PetriNet, source: Marking, target: Marking, firing_counts: dict[str, int]
+) -> bool:
+    """Check the state equation ``target = source + C·x`` for a firing-count vector."""
+    counts = {transition.name: 0 for transition in net.transitions}
+    counts.update(firing_counts)
+    for place in net.places:
+        total = source[place]
+        for transition in net.transitions:
+            total += counts[transition.name] * (transition.post[place] - transition.pre[place])
+        if total != target[place]:
+            return False
+    return True
+
+
+def _rational_left_kernel(matrix: list[list[int]]) -> list[list[Fraction]]:
+    """A basis of the left kernel ``{y : y^T M = 0}`` over the rationals."""
+    if not matrix:
+        return []
+    num_rows = len(matrix)
+    num_columns = len(matrix[0]) if matrix[0] else 0
+    # Solve M^T y = 0: build the transpose and run Gauss-Jordan elimination.
+    transposed = [
+        [Fraction(matrix[row][column]) for row in range(num_rows)] for column in range(num_columns)
+    ]
+    pivots: list[tuple[int, int]] = []
+    current_row = 0
+    for column in range(num_rows):
+        pivot_row = None
+        for row in range(current_row, len(transposed)):
+            if transposed[row][column] != 0:
+                pivot_row = row
+                break
+        if pivot_row is None:
+            continue
+        transposed[current_row], transposed[pivot_row] = transposed[pivot_row], transposed[current_row]
+        pivot_value = transposed[current_row][column]
+        transposed[current_row] = [value / pivot_value for value in transposed[current_row]]
+        for row in range(len(transposed)):
+            if row != current_row and transposed[row][column] != 0:
+                factor = transposed[row][column]
+                transposed[row] = [
+                    value - factor * pivot for value, pivot in zip(transposed[row], transposed[current_row])
+                ]
+        pivots.append((current_row, column))
+        current_row += 1
+
+    pivot_columns = {column for _, column in pivots}
+    free_columns = [column for column in range(num_rows) if column not in pivot_columns]
+    basis = []
+    for free in free_columns:
+        vector = [Fraction(0)] * num_rows
+        vector[free] = Fraction(1)
+        for row, column in pivots:
+            vector[column] = -transposed[row][free]
+        basis.append(vector)
+    return basis
+
+
+def place_invariants(net: PetriNet) -> list[dict]:
+    """A basis of rational place invariants (vectors ``y`` with ``y^T C = 0``).
+
+    Every invariant ``y`` satisfies ``y·M = y·M0`` for every marking ``M``
+    reachable from ``M0``.
+    """
+    places, _, matrix = incidence_matrix(net)
+    basis = _rational_left_kernel(matrix)
+    return [
+        {place: value for place, value in zip(places, vector) if value != 0}
+        for vector in basis
+    ]
+
+
+def invariant_value(invariant: dict, marking: Marking) -> Fraction:
+    """Evaluate an invariant (weight vector) on a marking."""
+    return sum((Fraction(weight) * marking[place] for place, weight in invariant.items()), Fraction(0))
+
+
+def agent_count_invariant(net: PetriNet) -> dict | None:
+    """The all-ones invariant, if the net is conservative (protocol-like)."""
+    if not net.is_conservative:
+        return None
+    return {place: Fraction(1) for place in net.places}
+
+
+def transition_is_dead(net: PetriNet, transition: PetriTransition, marking: Marking) -> bool:
+    """Trivial structural check: a transition is dead if some input place can never be marked.
+
+    This is only the weakest static check (used in examples); exact deadness
+    requires reachability analysis.
+    """
+    if transition.enabled_at(marking):
+        return False
+    producers = {
+        place
+        for candidate in net.transitions
+        for place in candidate.post.support()
+    }
+    for place, needed in transition.pre.items():
+        if marking[place] < needed and place not in producers:
+            return True
+    return False

@@ -1,0 +1,149 @@
+"""Petri nets, markings and the firing rule (Appendix A of the paper).
+
+A Petri net ``N = (P, T, F)`` consists of places, transitions and a flow
+function assigning a multiplicity to every (place, transition) and
+(transition, place) pair.  A marking assigns a number of tokens to every
+place.  Unlike population-protocol transitions, Petri-net transitions may
+create or destroy tokens.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.datatypes.multiset import Multiset
+
+Marking = Multiset
+
+
+class PetriNetError(ValueError):
+    """Raised when a net definition or operation is invalid."""
+
+
+@dataclass(frozen=True)
+class PetriTransition:
+    """A Petri-net transition with ``pre`` (consumed) and ``post`` (produced) multisets."""
+
+    name: str
+    pre: Multiset
+    post: Multiset
+
+    @classmethod
+    def make(cls, name: str, pre: Mapping | Iterable, post: Mapping | Iterable) -> "PetriTransition":
+        pre_ms = pre if isinstance(pre, Multiset) else Multiset(pre if isinstance(pre, Mapping) else list(pre))
+        post_ms = post if isinstance(post, Multiset) else Multiset(post if isinstance(post, Mapping) else list(post))
+        return cls(name, pre_ms, post_ms)
+
+    def enabled_at(self, marking: Marking) -> bool:
+        return self.pre <= marking
+
+    def fire(self, marking: Marking) -> Marking:
+        if not self.enabled_at(marking):
+            raise PetriNetError(f"transition {self.name} is not enabled at {marking.pretty()}")
+        return marking - self.pre + self.post
+
+    def delta(self) -> dict:
+        """Token change per place."""
+        effect: dict = {}
+        for place in set(self.pre.support()) | set(self.post.support()):
+            change = self.post[place] - self.pre[place]
+            if change != 0:
+                effect[place] = change
+        return effect
+
+    @property
+    def is_conservative(self) -> bool:
+        """True if the transition preserves the total number of tokens."""
+        return self.pre.size() == self.post.size()
+
+    def __repr__(self) -> str:
+        return f"<{self.name}: {self.pre.pretty()} -> {self.post.pretty()}>"
+
+
+@dataclass
+class PetriNet:
+    """A Petri net with named places and transitions."""
+
+    places: frozenset
+    transitions: tuple[PetriTransition, ...]
+    name: str = "net"
+
+    def __init__(self, places: Iterable, transitions: Iterable[PetriTransition], name: str = "net"):
+        self.places = frozenset(places)
+        self.transitions = tuple(transitions)
+        self.name = name
+        self._validate()
+
+    def _validate(self) -> None:
+        names = set()
+        for transition in self.transitions:
+            if transition.name in names:
+                raise PetriNetError(f"duplicate transition name {transition.name!r}")
+            names.add(transition.name)
+            unknown = (set(transition.pre.support()) | set(transition.post.support())) - self.places
+            if unknown:
+                raise PetriNetError(f"transition {transition.name} uses unknown places {unknown}")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_places(self) -> int:
+        return len(self.places)
+
+    @property
+    def num_transitions(self) -> int:
+        return len(self.transitions)
+
+    def transition(self, name: str) -> PetriTransition:
+        for transition in self.transitions:
+            if transition.name == name:
+                return transition
+        raise KeyError(name)
+
+    def enabled_transitions(self, marking: Marking) -> list[PetriTransition]:
+        return [t for t in self.transitions if t.enabled_at(marking)]
+
+    def fire(self, marking: Marking, transition: PetriTransition | str) -> Marking:
+        if isinstance(transition, str):
+            transition = self.transition(transition)
+        return transition.fire(marking)
+
+    def fire_sequence(self, marking: Marking, names: Iterable[str | PetriTransition]) -> Marking:
+        current = marking
+        for transition in names:
+            current = self.fire(current, transition)
+        return current
+
+    def is_marking(self, marking: Marking) -> bool:
+        return set(marking.support()) <= self.places
+
+    @property
+    def is_conservative(self) -> bool:
+        """True if every transition preserves the token count (population-protocol-like)."""
+        return all(t.is_conservative for t in self.transitions)
+
+    def in_normal_form(self) -> bool:
+        """Normal form of Appendix A: arc weights 1 and pre/post sizes in {1, 2}."""
+        for transition in self.transitions:
+            if any(count > 1 for count in transition.pre.values()):
+                return False
+            if any(count > 1 for count in transition.post.values()):
+                return False
+            if not (1 <= transition.pre.size() <= 2 and 1 <= transition.post.size() <= 2):
+                return False
+        return True
+
+    def reversed(self) -> "PetriNet":
+        """The net with all arcs reversed (used in the Proposition 3 reduction)."""
+        reversed_transitions = [
+            PetriTransition(transition.name, transition.post, transition.pre)
+            for transition in self.transitions
+        ]
+        return PetriNet(self.places, reversed_transitions, name=f"{self.name}(reversed)")
+
+    def describe(self) -> str:
+        lines = [f"Petri net {self.name}: {self.num_places} places, {self.num_transitions} transitions"]
+        for transition in self.transitions:
+            lines.append(f"  {transition.name}: {transition.pre.pretty()} -> {transition.post.pretty()}")
+        return "\n".join(lines)

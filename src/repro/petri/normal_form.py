@@ -1,0 +1,120 @@
+"""Normal form for Petri nets (Appendix A, proof of Proposition 3).
+
+A net is in *normal form* if all arc weights are 1 and every transition has
+between one and two input places and between one and two output places.  The
+proof of Proposition 3 converts an arbitrary net into normal form by
+replacing every "wide" transition with a widget that first acquires a global
+lock, then consumes the input tokens one by one, then produces the output
+tokens one by one, and finally releases the lock — so no two widgets ever
+run concurrently and the reachable markings (projected to the original
+places, with the lock held) are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datatypes.multiset import Multiset
+from repro.petri.net import Marking, PetriNet, PetriTransition
+
+LOCK_PLACE = "__lock__"
+
+
+@dataclass
+class NormalFormResult:
+    """A normal-form net together with the bookkeeping of the construction."""
+
+    net: PetriNet
+    lock_place: str
+    auxiliary_places: frozenset
+    original_places: frozenset
+
+    def lift_marking(self, marking: Marking) -> Marking:
+        """Translate a marking of the original net (adds one token on the lock)."""
+        return marking + Multiset({self.lock_place: 1})
+
+    def project_marking(self, marking: Marking) -> Marking:
+        """Project a marking of the normal-form net back to the original places."""
+        return marking.restrict(self.original_places)
+
+    def is_clean(self, marking: Marking) -> bool:
+        """True if no widget is mid-execution (all auxiliary places empty, lock held)."""
+        return (
+            marking[self.lock_place] == 1
+            and all(marking[place] == 0 for place in self.auxiliary_places)
+        )
+
+
+def _is_simple(transition: PetriTransition) -> bool:
+    return (
+        all(count == 1 for count in transition.pre.values())
+        and all(count == 1 for count in transition.post.values())
+        and 1 <= transition.pre.size() <= 2
+        and 1 <= transition.post.size() <= 2
+    )
+
+
+def to_normal_form(net: PetriNet) -> NormalFormResult:
+    """Convert a net to normal form with the lock-widget construction.
+
+    Every transition (even already-simple ones) is made to synchronise on the
+    global lock place, so that reachability questions between "clean"
+    markings (lock held, no widget running) are preserved exactly.
+    """
+    places = set(net.places) | {LOCK_PLACE}
+    auxiliary: set = set()
+    transitions: list[PetriTransition] = []
+
+    for transition in net.transitions:
+        pre_tokens = list(transition.pre.elements())
+        post_tokens = list(transition.post.elements())
+        if _is_simple(transition) and len(pre_tokens) <= 2 and len(post_tokens) <= 2:
+            # Simple transitions are kept as they are (they already satisfy
+            # the normal form); they do not need the lock.
+            transitions.append(transition)
+            continue
+
+        # Chain of intermediate places: grab lock, consume inputs one by one,
+        # produce outputs one by one, release lock.
+        chain_states = []
+        total_steps = len(pre_tokens) + len(post_tokens)
+        for step in range(1, total_steps):
+            chain_place = f"__{transition.name}_step{step}__"
+            auxiliary.add(chain_place)
+            places.add(chain_place)
+            chain_states.append(chain_place)
+
+        previous = LOCK_PLACE
+        step_index = 0
+        for index, token in enumerate(pre_tokens):
+            is_last_step = step_index == total_steps - 1
+            target = LOCK_PLACE if is_last_step else chain_states[step_index]
+            transitions.append(
+                PetriTransition.make(
+                    f"{transition.name}_take{index}",
+                    {previous: 1, token: 1},
+                    {target: 1},
+                )
+            )
+            previous = target
+            step_index += 1
+        for index, token in enumerate(post_tokens):
+            is_last_step = step_index == total_steps - 1
+            target = LOCK_PLACE if is_last_step else chain_states[step_index]
+            transitions.append(
+                PetriTransition.make(
+                    f"{transition.name}_put{index}",
+                    {previous: 1},
+                    {target: 1, token: 1},
+                )
+            )
+            previous = target
+            step_index += 1
+
+    normal_net = PetriNet(places, transitions, name=f"{net.name}(normal form)")
+    return NormalFormResult(
+        net=normal_net,
+        lock_place=LOCK_PLACE,
+        auxiliary_places=frozenset(auxiliary),
+        original_places=frozenset(net.places),
+    )

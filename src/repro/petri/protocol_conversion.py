@@ -1,0 +1,170 @@
+"""Conversions between population protocols and Petri nets.
+
+Two directions are provided:
+
+* :func:`petri_net_from_protocol` — the straightforward embedding: every
+  protocol transition becomes a conservative net transition, every state a
+  place, every configuration a marking.  This makes the Petri-net analysis
+  toolbox (invariants, traps, siphons, reachability graphs) available for
+  protocols.
+
+* :func:`protocol_from_reachability_instance` — the reduction behind
+  Proposition 3: from a Petri-net single-place-zero-reachability instance it
+  builds a population protocol that is in WS² iff the instance is negative.
+  Together with Hack's reduction from reachability this shows that deciding
+  membership in WS² is as hard as Petri-net reachability, which is the
+  paper's motivation for introducing the cheaper class WS³.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datatypes.multiset import Multiset
+from repro.petri.net import Marking, PetriNet, PetriNetError, PetriTransition
+from repro.petri.normal_form import NormalFormResult, to_normal_form
+from repro.protocols.protocol import PopulationProtocol, Transition
+
+FRESH = "Fresh"
+USED = "Used"
+COLLECT = "Collect"
+
+
+def petri_net_from_protocol(protocol: PopulationProtocol) -> PetriNet:
+    """The conservative Petri net underlying a population protocol."""
+    transitions = []
+    for index, transition in enumerate(protocol.transitions):
+        name = transition.name or f"t{index}"
+        transitions.append(PetriTransition(name, transition.pre, transition.post))
+    return PetriNet(protocol.states, transitions, name=f"net({protocol.name})")
+
+
+def marking_from_configuration(configuration: Multiset) -> Marking:
+    """Configurations are markings already; provided for symmetry/readability."""
+    return configuration
+
+
+@dataclass
+class ReductionResult:
+    """Outcome of the Proposition 3 reduction."""
+
+    protocol: PopulationProtocol
+    normal_form: NormalFormResult
+    reversed_net: PetriNet
+    target_place: object
+    source_place: object = "__p0__"
+
+    def initial_configuration_for(self, marking: Marking, fresh_agents: int) -> Multiset:
+        """The protocol configuration encoding a marking of the reversed net."""
+        counts = {place: count for place, count in marking.items()}
+        if fresh_agents > 0:
+            counts[FRESH] = fresh_agents
+        return Multiset(counts)
+
+
+def protocol_from_reachability_instance(
+    net: PetriNet,
+    initial_marking: Marking,
+    target_place,
+) -> ReductionResult:
+    """Proposition 3: reduce single-place-zero-reachability to WS² membership.
+
+    Given a net ``N0``, an initial marking ``M0`` and a place ``p̂``, the
+    construction (following Appendix A):
+
+    1. normalises the net (lock widgets), obtaining ``N1``;
+    2. adds a fresh place ``p0`` and a widget for a transition consuming
+       ``p0`` and producing ``M0`` plus the lock, obtaining ``N2``;
+    3. reverses all arcs, obtaining ``N3``;
+    4. turns ``N3`` into a population protocol with auxiliary states
+       ``Fresh``, ``Used`` and ``Collect`` whose fair executions fail to
+       reach a consensus exactly when some marking ``M`` with
+       ``M(p̂) = M(p0) = M(P_aux) = 0`` can reach ``p0`` in ``N3``.
+
+    The resulting protocol is in WS² (and, being silent, a candidate for
+    WS³) iff the original zero-reachability instance is negative.
+    """
+    if target_place not in net.places:
+        raise PetriNetError(f"unknown target place {target_place!r}")
+    if not net.is_marking(initial_marking):
+        raise PetriNetError("the initial marking uses unknown places")
+
+    # Step 1: normal form.
+    normal = to_normal_form(net)
+
+    # Step 2: add p0 and a widget producing M0 + lock from p0.
+    source_place = "__p0__"
+    places = set(normal.net.places) | {source_place}
+    transitions = list(normal.net.transitions)
+    bootstrap = PetriTransition.make(
+        "bootstrap",
+        {source_place: 1},
+        initial_marking + Multiset({normal.lock_place: 1}),
+    )
+    with_source = PetriNet(places, transitions + [bootstrap], name=f"{net.name}(+p0)")
+    normalised_again = to_normal_form(with_source)
+
+    # Step 3: reverse the net.
+    reversed_net = normalised_again.net.reversed()
+
+    # Step 4: build the population protocol.
+    auxiliary_places = set(normal.auxiliary_places) | set(normalised_again.auxiliary_places) | {
+        normalised_again.lock_place
+    }
+    auxiliary_places.discard(source_place)
+    states = set(reversed_net.places) | {FRESH, USED, COLLECT}
+
+    protocol_transitions: list[Transition] = []
+    for transition in reversed_net.transitions:
+        pre_tokens = list(transition.pre.elements())
+        post_tokens = list(transition.post.elements())
+        if len(pre_tokens) == 2 and len(post_tokens) == 2:
+            pre, post = pre_tokens, post_tokens
+        elif len(pre_tokens) == 1 and len(post_tokens) == 2:
+            pre, post = pre_tokens + [FRESH], post_tokens
+        elif len(pre_tokens) == 2 and len(post_tokens) == 1:
+            pre, post = pre_tokens, post_tokens + [USED]
+        elif len(pre_tokens) == 1 and len(post_tokens) == 1:
+            pre, post = pre_tokens + [FRESH], post_tokens + [USED]
+        else:  # pragma: no cover - excluded by the normal form
+            raise PetriNetError(f"transition {transition.name} is not in normal form")
+        protocol_transitions.append(Transition.make(pre, post, name=f"sim_{transition.name}"))
+
+    # The Collect transitions: any token anywhere (except a single token on
+    # p0) can start collecting, and Collect absorbs everything.
+    for place in reversed_net.places:
+        if place == source_place:
+            continue
+        for other in states:
+            protocol_transitions.append(
+                Transition.make((place, other), (COLLECT, COLLECT), name=f"collect_{place}_{other}")
+            )
+    protocol_transitions.append(
+        Transition.make((source_place, source_place), (COLLECT, COLLECT), name="collect_two_p0")
+    )
+    for state in states:
+        protocol_transitions.append(
+            Transition.make((state, COLLECT), (COLLECT, COLLECT), name=f"absorb_{state}")
+        )
+
+    input_states = states - ({target_place, source_place} | auxiliary_places)
+    protocol = PopulationProtocol(
+        states=states,
+        transitions=protocol_transitions,
+        input_alphabet=sorted(input_states, key=repr),
+        input_map={state: state for state in input_states},
+        output_map={state: 1 if state == source_place else 0 for state in states},
+        name=f"ws2-hardness({net.name})",
+        metadata={
+            "construction": "Proposition 3 reduction",
+            "target_place": target_place,
+            "source_place": source_place,
+        },
+    )
+    return ReductionResult(
+        protocol=protocol,
+        normal_form=normal,
+        reversed_net=reversed_net,
+        target_place=target_place,
+        source_place=source_place,
+    )

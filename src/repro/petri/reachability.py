@@ -1,0 +1,81 @@
+"""Reachability analysis for Petri nets (explicit exploration).
+
+General Petri-net reachability is famously hard (EXPSPACE-hard, decidable
+with non-primitive-recursive complexity); this module only implements what
+the library needs: explicit breadth-first exploration with a budget, which
+is exact for bounded nets and used to validate the Proposition 3 reduction
+on small instances.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.petri.net import Marking, PetriNet
+
+
+@dataclass
+class PetriReachabilityGraph:
+    """Explored portion of the reachability graph of a net."""
+
+    root: Marking
+    edges: dict[Marking, dict[str, Marking]]
+    complete: bool
+
+    @property
+    def markings(self) -> frozenset[Marking]:
+        return frozenset(self.edges)
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def deadlocks(self) -> frozenset[Marking]:
+        """Markings that enable no transition."""
+        return frozenset(marking for marking, successors in self.edges.items() if not successors)
+
+
+def explore(net: PetriNet, initial: Marking, max_markings: int = 100_000) -> PetriReachabilityGraph:
+    """Breadth-first exploration of the markings reachable from ``initial``."""
+    edges: dict[Marking, dict[str, Marking]] = {}
+    queue: deque[Marking] = deque([initial])
+    seen: set[Marking] = {initial}
+    complete = True
+    while queue:
+        marking = queue.popleft()
+        successors: dict[str, Marking] = {}
+        for transition in net.enabled_transitions(marking):
+            successor = transition.fire(marking)
+            successors[transition.name] = successor
+            if successor not in seen:
+                if len(seen) >= max_markings:
+                    complete = False
+                    continue
+                seen.add(successor)
+                queue.append(successor)
+        edges[marking] = successors
+    return PetriReachabilityGraph(root=initial, edges=edges, complete=complete)
+
+
+def is_reachable(
+    net: PetriNet, source: Marking, target: Marking, max_markings: int = 100_000
+) -> bool | None:
+    """Decide reachability by explicit search.
+
+    Returns ``True``/``False`` when the search is conclusive and ``None``
+    when the exploration budget was exhausted before finding the target.
+    """
+    graph = explore(net, source, max_markings=max_markings)
+    if target in graph.markings:
+        return True
+    return False if graph.complete else None
+
+
+def coverable(
+    net: PetriNet, source: Marking, target: Marking, max_markings: int = 100_000
+) -> bool | None:
+    """Is some marking ``>= target`` reachable from ``source``? (explicit check)."""
+    graph = explore(net, source, max_markings=max_markings)
+    if any(target <= marking for marking in graph.markings):
+        return True
+    return False if graph.complete else None

@@ -1,0 +1,91 @@
+"""Traps and siphons of Petri nets.
+
+The population-protocol notions of Definition 10 are the classical Petri-net
+ones; this module provides them for general nets (the protocol-specific
+versions live in :mod:`repro.verification.traps_siphons`).  A *trap* is a
+set of places that, once marked, stays marked; a *siphon* is a set of places
+that, once empty, stays empty.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.petri.net import PetriNet
+
+
+def preset(net: PetriNet, places: Iterable) -> frozenset[str]:
+    """``•P``: names of transitions producing into some place of ``P``."""
+    place_set = set(places)
+    return frozenset(t.name for t in net.transitions if set(t.post.support()) & place_set)
+
+
+def postset(net: PetriNet, places: Iterable) -> frozenset[str]:
+    """``P•``: names of transitions consuming from some place of ``P``."""
+    place_set = set(places)
+    return frozenset(t.name for t in net.transitions if set(t.pre.support()) & place_set)
+
+
+def is_trap(net: PetriNet, places: Iterable) -> bool:
+    """``P• ⊆ •P``: every consumer of ``P`` also produces into ``P``."""
+    place_set = set(places)
+    for transition in net.transitions:
+        consumes = bool(set(transition.pre.support()) & place_set)
+        produces = bool(set(transition.post.support()) & place_set)
+        if consumes and not produces:
+            return False
+    return True
+
+
+def is_siphon(net: PetriNet, places: Iterable) -> bool:
+    """``•P ⊆ P•``: every producer into ``P`` also consumes from ``P``."""
+    place_set = set(places)
+    for transition in net.transitions:
+        produces = bool(set(transition.post.support()) & place_set)
+        consumes = bool(set(transition.pre.support()) & place_set)
+        if produces and not consumes:
+            return False
+    return True
+
+
+def maximal_trap_inside(net: PetriNet, candidate_places: Iterable) -> frozenset:
+    """The unique maximal trap contained in ``candidate_places`` (greedy fixed point)."""
+    current = set(candidate_places)
+    changed = True
+    while changed and current:
+        changed = False
+        for transition in net.transitions:
+            if not set(transition.post.support()) & current:
+                offending = set(transition.pre.support()) & current
+                if offending:
+                    current -= offending
+                    changed = True
+    return frozenset(current)
+
+
+def maximal_siphon_inside(net: PetriNet, candidate_places: Iterable) -> frozenset:
+    """The unique maximal siphon contained in ``candidate_places`` (greedy fixed point)."""
+    current = set(candidate_places)
+    changed = True
+    while changed and current:
+        changed = False
+        for transition in net.transitions:
+            if not set(transition.pre.support()) & current:
+                offending = set(transition.post.support()) & current
+                if offending:
+                    current -= offending
+                    changed = True
+    return frozenset(current)
+
+
+def siphon_trap_property_violations(net: PetriNet, initial_marking) -> list[frozenset]:
+    """Siphons that are unmarked initially (candidates for permanent starvation).
+
+    Classical deadlock analysis: a siphon that is (or becomes) empty stays
+    empty, so an initially unmarked siphon pinpoints places that can never be
+    marked.  Returns the maximal initially-unmarked siphon (as a singleton
+    list, or an empty list if there is none).
+    """
+    unmarked = {place for place in net.places if initial_marking[place] == 0}
+    siphon = maximal_siphon_inside(net, unmarked)
+    return [siphon] if siphon else []

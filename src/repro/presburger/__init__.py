@@ -1,0 +1,25 @@
+"""Presburger predicates and their compilation to WS³ protocols (Section 5)."""
+
+from repro.presburger.compiler import compile_predicate
+from repro.presburger.predicates import (
+    AndPredicate,
+    FalsePredicate,
+    NotPredicate,
+    OrPredicate,
+    Predicate,
+    RemainderPredicate,
+    ThresholdPredicate,
+    TruePredicate,
+)
+
+__all__ = [
+    "Predicate",
+    "ThresholdPredicate",
+    "RemainderPredicate",
+    "NotPredicate",
+    "AndPredicate",
+    "OrPredicate",
+    "TruePredicate",
+    "FalsePredicate",
+    "compile_predicate",
+]

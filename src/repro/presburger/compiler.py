@@ -1,0 +1,78 @@
+"""Compilation of Presburger predicates into WS³ protocols (Section 5).
+
+The paper's expressiveness result is constructive: threshold and remainder
+predicates have dedicated WS³ protocols, negation flips the output mapping,
+and conjunction is an asynchronous product.  This module implements the
+construction, yielding for every boolean combination of threshold/remainder
+predicates a protocol that (a) belongs to WS³ and (b) computes the
+predicate — both facts are checked in the test suite using the verification
+engine itself.
+"""
+
+from __future__ import annotations
+
+from repro.presburger.predicates import (
+    AndPredicate,
+    FalsePredicate,
+    NotPredicate,
+    OrPredicate,
+    Predicate,
+    RemainderPredicate,
+    ThresholdPredicate,
+    TruePredicate,
+)
+from repro.protocols.library.combinators import (
+    conjunction_protocol,
+    disjunction_protocol,
+    negation_protocol,
+)
+from repro.protocols.library.remainder import remainder_protocol
+from repro.protocols.library.threshold import threshold_protocol
+from repro.protocols.protocol import PopulationProtocol
+
+
+def compile_predicate(predicate: Predicate, name: str | None = None) -> PopulationProtocol:
+    """Compile a Presburger predicate into a population protocol in WS³.
+
+    All leaves are first extended to the full variable set of the predicate
+    (with zero coefficients) so that the product construction can be applied;
+    the compiled protocol's input alphabet is the sorted list of variables.
+    """
+    variables = tuple(sorted(predicate.variables(), key=repr))
+    if not variables:
+        raise ValueError("cannot compile a predicate without variables")
+    protocol = _compile(predicate, variables)
+    if name is not None:
+        protocol.name = name
+    protocol.metadata.setdefault("predicate", predicate)
+    protocol.metadata["compiled_from"] = predicate.describe()
+    return protocol
+
+
+def _extend(coefficients: dict, variables: tuple) -> dict:
+    return {symbol: coefficients.get(symbol, 0) for symbol in variables}
+
+
+def _compile(predicate: Predicate, variables: tuple) -> PopulationProtocol:
+    if isinstance(predicate, ThresholdPredicate):
+        return threshold_protocol(_extend(predicate.coefficients, variables), predicate.c)
+    if isinstance(predicate, RemainderPredicate):
+        return remainder_protocol(_extend(predicate.coefficients, variables), predicate.m, predicate.c)
+    if isinstance(predicate, NotPredicate):
+        return negation_protocol(_compile(predicate.operand, variables))
+    if isinstance(predicate, AndPredicate):
+        return conjunction_protocol(
+            _compile(predicate.left, variables), _compile(predicate.right, variables)
+        )
+    if isinstance(predicate, OrPredicate):
+        return disjunction_protocol(
+            _compile(predicate.left, variables), _compile(predicate.right, variables)
+        )
+    if isinstance(predicate, (TruePredicate, FalsePredicate)):
+        # A one-variable threshold that is constantly true (x1 >= 0 always
+        # holds), negated for the constant false predicate.
+        always = threshold_protocol({symbol: 0 for symbol in variables}, 1)
+        if isinstance(predicate, TruePredicate):
+            return always
+        return negation_protocol(always)
+    raise TypeError(f"cannot compile predicate of type {type(predicate).__name__}")

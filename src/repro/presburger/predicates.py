@@ -1,0 +1,296 @@
+"""Quantifier-free Presburger predicates over input populations.
+
+Angluin et al. proved that population protocols compute exactly the
+Presburger-definable predicates, and that these are the boolean combinations
+of *threshold* predicates ``sum_i a_i x_i < c`` and *remainder* predicates
+``sum_i a_i x_i ≡ c (mod m)`` (Section 5 of the paper).  This module models
+exactly that fragment:
+
+* :class:`ThresholdPredicate` and :class:`RemainderPredicate` are the atoms;
+* :class:`NotPredicate`, :class:`AndPredicate`, :class:`OrPredicate` close
+  them under boolean operations (also available as ``~``, ``&``, ``|``);
+* every predicate can *evaluate* itself on a concrete input population and
+  can *describe itself symbolically* as a :class:`repro.smtlite` formula over
+  per-symbol count variables — the latter is what the correctness checker of
+  Section 6 consumes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Mapping
+
+from repro.datatypes.multiset import Multiset
+from repro.smtlite.formula import FALSE, TRUE, Formula, conjunction, disjunction
+from repro.smtlite.terms import LinearExpr
+
+_fresh_counter = itertools.count()
+
+
+def _counts(input_population) -> Mapping:
+    if isinstance(input_population, Multiset):
+        return input_population
+    return dict(input_population)
+
+
+def _count_of(counts: Mapping, symbol) -> int:
+    if isinstance(counts, Multiset):
+        return counts[symbol]
+    return counts.get(symbol, 0)
+
+
+class Predicate:
+    """Base class of Presburger predicates."""
+
+    def variables(self) -> frozenset:
+        """The input symbols mentioned by the predicate."""
+        raise NotImplementedError
+
+    def evaluate(self, input_population) -> bool:
+        """Evaluate the predicate on a population over the input alphabet."""
+        raise NotImplementedError
+
+    def formula(self, input_vars: Mapping) -> Formula:
+        """A constraint over the symbol-count variables expressing the predicate."""
+        raise NotImplementedError
+
+    def negation_formula(self, input_vars: Mapping) -> Formula:
+        """A constraint expressing the negation of the predicate."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    # -- boolean algebra -------------------------------------------------
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return AndPredicate(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return OrPredicate(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return NotPredicate(self)
+
+    def negate(self) -> "Predicate":
+        return NotPredicate(self)
+
+    def __repr__(self) -> str:
+        return f"{self.__class__.__name__}({self.describe()})"
+
+
+def _linear_combination(coefficients: Mapping, input_vars: Mapping) -> LinearExpr:
+    terms = []
+    for symbol, coefficient in coefficients.items():
+        if coefficient == 0:
+            continue
+        variable = input_vars[symbol]
+        if isinstance(variable, str):
+            variable = LinearExpr.variable(variable)
+        terms.append(coefficient * variable)
+    return LinearExpr.sum_of(terms) if terms else LinearExpr.constant_expr(0)
+
+
+class ThresholdPredicate(Predicate):
+    """The predicate ``sum_i a_i * x_i < c``."""
+
+    def __init__(self, coefficients: Mapping, c: int):
+        self.coefficients = {symbol: int(value) for symbol, value in coefficients.items()}
+        if not self.coefficients:
+            raise ValueError("a threshold predicate needs at least one variable")
+        self.c = int(c)
+
+    def variables(self) -> frozenset:
+        return frozenset(self.coefficients)
+
+    def evaluate(self, input_population) -> bool:
+        counts = _counts(input_population)
+        total = sum(value * _count_of(counts, symbol) for symbol, value in self.coefficients.items())
+        return total < self.c
+
+    def formula(self, input_vars: Mapping) -> Formula:
+        return _linear_combination(self.coefficients, input_vars) <= self.c - 1
+
+    def negation_formula(self, input_vars: Mapping) -> Formula:
+        return _linear_combination(self.coefficients, input_vars) >= self.c
+
+    def describe(self) -> str:
+        terms = " + ".join(f"{value}*{symbol}" for symbol, value in sorted(self.coefficients.items()))
+        return f"{terms} < {self.c}"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ThresholdPredicate)
+            and self.coefficients == other.coefficients
+            and self.c == other.c
+        )
+
+    def __hash__(self) -> int:
+        return hash(("thr", frozenset(self.coefficients.items()), self.c))
+
+
+class RemainderPredicate(Predicate):
+    """The predicate ``sum_i a_i * x_i ≡ c (mod m)``."""
+
+    def __init__(self, coefficients: Mapping, m: int, c: int):
+        if m < 2:
+            raise ValueError("the modulus must be at least 2")
+        self.coefficients = {symbol: int(value) for symbol, value in coefficients.items()}
+        if not self.coefficients:
+            raise ValueError("a remainder predicate needs at least one variable")
+        self.m = int(m)
+        self.c = int(c) % self.m
+
+    def variables(self) -> frozenset:
+        return frozenset(self.coefficients)
+
+    def evaluate(self, input_population) -> bool:
+        counts = _counts(input_population)
+        total = sum(value * _count_of(counts, symbol) for symbol, value in self.coefficients.items())
+        return total % self.m == self.c
+
+    def _normalised_sum(self, input_vars: Mapping) -> LinearExpr:
+        # Reduce the coefficients modulo m so the sum is non-negative for
+        # non-negative inputs; this keeps the existential multiplier natural.
+        reduced = {symbol: value % self.m for symbol, value in self.coefficients.items()}
+        return _linear_combination(reduced, input_vars)
+
+    def formula(self, input_vars: Mapping) -> Formula:
+        quotient = LinearExpr.variable(f"_rem_q{next(_fresh_counter)}")
+        return self._normalised_sum(input_vars).eq(self.m * quotient + self.c)
+
+    def negation_formula(self, input_vars: Mapping) -> Formula:
+        index = next(_fresh_counter)
+        quotient = LinearExpr.variable(f"_rem_q{index}")
+        residue = LinearExpr.variable(f"_rem_r{index}")
+        not_target = disjunction([residue <= self.c - 1, residue >= self.c + 1])
+        return conjunction(
+            [
+                self._normalised_sum(input_vars).eq(self.m * quotient + residue),
+                residue <= self.m - 1,
+                not_target,
+            ]
+        )
+
+    def describe(self) -> str:
+        terms = " + ".join(f"{value}*{symbol}" for symbol, value in sorted(self.coefficients.items()))
+        return f"{terms} = {self.c} (mod {self.m})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, RemainderPredicate)
+            and self.coefficients == other.coefficients
+            and self.m == other.m
+            and self.c == other.c
+        )
+
+    def __hash__(self) -> int:
+        return hash(("rem", frozenset(self.coefficients.items()), self.m, self.c))
+
+
+class NotPredicate(Predicate):
+    def __init__(self, operand: Predicate):
+        self.operand = operand
+
+    def variables(self) -> frozenset:
+        return self.operand.variables()
+
+    def evaluate(self, input_population) -> bool:
+        return not self.operand.evaluate(input_population)
+
+    def formula(self, input_vars: Mapping) -> Formula:
+        return self.operand.negation_formula(input_vars)
+
+    def negation_formula(self, input_vars: Mapping) -> Formula:
+        return self.operand.formula(input_vars)
+
+    def describe(self) -> str:
+        return f"not ({self.operand.describe()})"
+
+
+class _BinaryPredicate(Predicate):
+    _word = "?"
+
+    def __init__(self, left: Predicate, right: Predicate):
+        self.left = left
+        self.right = right
+
+    def variables(self) -> frozenset:
+        return self.left.variables() | self.right.variables()
+
+    def describe(self) -> str:
+        return f"({self.left.describe()}) {self._word} ({self.right.describe()})"
+
+
+class AndPredicate(_BinaryPredicate):
+    _word = "and"
+
+    def evaluate(self, input_population) -> bool:
+        return self.left.evaluate(input_population) and self.right.evaluate(input_population)
+
+    def formula(self, input_vars: Mapping) -> Formula:
+        return conjunction([self.left.formula(input_vars), self.right.formula(input_vars)])
+
+    def negation_formula(self, input_vars: Mapping) -> Formula:
+        return disjunction(
+            [self.left.negation_formula(input_vars), self.right.negation_formula(input_vars)]
+        )
+
+
+class OrPredicate(_BinaryPredicate):
+    _word = "or"
+
+    def evaluate(self, input_population) -> bool:
+        return self.left.evaluate(input_population) or self.right.evaluate(input_population)
+
+    def formula(self, input_vars: Mapping) -> Formula:
+        return disjunction([self.left.formula(input_vars), self.right.formula(input_vars)])
+
+    def negation_formula(self, input_vars: Mapping) -> Formula:
+        return conjunction(
+            [self.left.negation_formula(input_vars), self.right.negation_formula(input_vars)]
+        )
+
+
+class TruePredicate(Predicate):
+    """The constant true predicate (over a given set of variables)."""
+
+    def __init__(self, variables=()):
+        self._variables = frozenset(variables)
+
+    def variables(self) -> frozenset:
+        return self._variables
+
+    def evaluate(self, input_population) -> bool:
+        return True
+
+    def formula(self, input_vars: Mapping) -> Formula:
+        return TRUE
+
+    def negation_formula(self, input_vars: Mapping) -> Formula:
+        return FALSE
+
+    def describe(self) -> str:
+        return "true"
+
+
+class FalsePredicate(Predicate):
+    """The constant false predicate (over a given set of variables)."""
+
+    def __init__(self, variables=()):
+        self._variables = frozenset(variables)
+
+    def variables(self) -> frozenset:
+        return self._variables
+
+    def evaluate(self, input_population) -> bool:
+        return False
+
+    def formula(self, input_vars: Mapping) -> Formula:
+        return FALSE
+
+    def negation_formula(self, input_vars: Mapping) -> Formula:
+        return TRUE
+
+    def describe(self) -> str:
+        return "false"

@@ -1,0 +1,39 @@
+"""Population protocols: syntax, semantics, simulation, and a protocol library."""
+
+from repro.protocols.protocol import (
+    Configuration,
+    OrderedPartition,
+    PopulationProtocol,
+    Transition,
+)
+from repro.protocols.semantics import (
+    enabled_transitions,
+    fire,
+    fire_sequence,
+    is_consensus,
+    is_terminal,
+    output_of,
+    reachability_graph,
+    reachable_configurations,
+    successors,
+)
+from repro.protocols.simulation import SimulationResult, Simulator, simulate
+
+__all__ = [
+    "Configuration",
+    "OrderedPartition",
+    "PopulationProtocol",
+    "Transition",
+    "enabled_transitions",
+    "fire",
+    "fire_sequence",
+    "is_consensus",
+    "is_terminal",
+    "output_of",
+    "reachability_graph",
+    "reachable_configurations",
+    "successors",
+    "SimulationResult",
+    "Simulator",
+    "simulate",
+]

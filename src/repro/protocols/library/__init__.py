@@ -1,0 +1,54 @@
+"""A library of population protocols from the literature.
+
+These are the protocol families used in the paper's experimental evaluation
+(Table 1) plus the combinators of Section 5 and a few deliberately broken
+protocols used for negative testing and diagnosis examples.
+"""
+
+from repro.protocols.library.broadcast import broadcast_protocol
+from repro.protocols.library.combinators import (
+    conjunction_protocol,
+    disjunction_protocol,
+    negation_protocol,
+)
+from repro.protocols.library.faulty import (
+    coin_flip_protocol,
+    exclusive_majority_protocol,
+    oscillating_majority_protocol,
+)
+from repro.protocols.library.flock_of_birds import (
+    flock_of_birds_protocol,
+    flock_of_birds_threshold_n_protocol,
+)
+from repro.protocols.library.majority import majority_protocol
+from repro.protocols.library.remainder import remainder_protocol
+from repro.protocols.library.threshold import threshold_protocol, threshold_table_protocol
+
+#: Registry of the parametrised protocol families of Table 1, keyed by the
+#: name used in the paper.  Each entry maps a primary-parameter value to a
+#: freshly built protocol.
+PROTOCOL_FAMILIES = {
+    "majority": lambda _=None: majority_protocol(),
+    "broadcast": lambda _=None: broadcast_protocol(),
+    "threshold": threshold_table_protocol,
+    "remainder": lambda m: remainder_protocol([value for value in range(m)], m, 1),
+    "flock-of-birds": flock_of_birds_protocol,
+    "flock-of-birds-threshold-n": flock_of_birds_threshold_n_protocol,
+}
+
+__all__ = [
+    "majority_protocol",
+    "broadcast_protocol",
+    "flock_of_birds_protocol",
+    "flock_of_birds_threshold_n_protocol",
+    "threshold_protocol",
+    "threshold_table_protocol",
+    "remainder_protocol",
+    "negation_protocol",
+    "conjunction_protocol",
+    "disjunction_protocol",
+    "coin_flip_protocol",
+    "oscillating_majority_protocol",
+    "exclusive_majority_protocol",
+    "PROTOCOL_FAMILIES",
+]

@@ -1,0 +1,26 @@
+"""The broadcast protocol of Clément et al. [8].
+
+A single transition ``(1, 0) -> (1, 1)`` spreads an alarm: the protocol
+computes whether at least one agent started in state ``1``.
+"""
+
+from __future__ import annotations
+
+from repro.presburger.predicates import ThresholdPredicate
+from repro.protocols.protocol import PopulationProtocol, Transition
+
+
+def broadcast_protocol() -> PopulationProtocol:
+    """Build the 2-state broadcast protocol (predicate ``#one >= 1``)."""
+    spread = Transition.make((1, 0), (1, 1), name="spread")
+    # "#one >= 1" written as a threshold predicate: -#one < 0.
+    predicate = ThresholdPredicate({"one": -1, "zero": 0}, 0)
+    return PopulationProtocol(
+        states=[0, 1],
+        transitions=[spread],
+        input_alphabet=["zero", "one"],
+        input_map={"zero": 0, "one": 1},
+        output_map={0: 0, 1: 1},
+        name="broadcast",
+        metadata={"predicate": predicate, "source": "Clément et al. [8]"},
+    )

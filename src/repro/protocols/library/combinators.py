@@ -1,0 +1,171 @@
+"""Protocol combinators: negation, conjunction and disjunction (Section 5).
+
+The paper proves that WS³ is closed under negation (flip the output mapping)
+and conjunction (an asynchronous product where each factor steps
+independently, Definition 27 / Appendix C.3).  Together with the threshold
+and remainder protocols this shows WS³ computes every Presburger predicate.
+
+The product construction also lifts the factors' LayeredTermination
+partitions (Proposition 33), so compiled protocols keep fast-to-check
+certificates.
+
+Implementation note: transitions are stored as (pre, post) *multisets*, so
+the lift fixes an arbitrary but consistent pairing between the two agents of
+a factor transition.  A different pairing only swaps the passive components
+of the two interacting agents, which leaves both projections (and therefore
+all the properties proved in Appendix C.3 — WS³ membership and the computed
+predicate) unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.protocol import (
+    OrderedPartition,
+    PopulationProtocol,
+    ProtocolError,
+    Transition,
+)
+
+
+def negation_protocol(protocol: PopulationProtocol, name: str | None = None) -> PopulationProtocol:
+    """The protocol computing the negated predicate (outputs flipped)."""
+    negated = protocol.with_negated_output(name=name)
+    predicate = protocol.metadata.get("predicate")
+    if predicate is not None:
+        negated.metadata = {**protocol.metadata, "predicate": ~predicate}
+    return negated
+
+
+def _lift_first(transition: Transition, context: tuple) -> Transition:
+    """Lift a transition of the first factor over a pair of second-factor states."""
+    (p, p_prime), (q, q_prime) = _ordered_pairs(transition)
+    r, r_prime = context
+    return Transition.make(((p, r), (p_prime, r_prime)), ((q, r), (q_prime, r_prime)))
+
+
+def _lift_second(transition: Transition, context: tuple) -> Transition:
+    """Lift a transition of the second factor over a pair of first-factor states."""
+    (p, p_prime), (q, q_prime) = _ordered_pairs(transition)
+    r, r_prime = context
+    return Transition.make(((r, p), (r_prime, p_prime)), ((r, q), (r_prime, q_prime)))
+
+
+def _ordered_pairs(transition: Transition) -> tuple[tuple, tuple]:
+    """Fix an (arbitrary but consistent) ordering of the pre and post pairs."""
+    pre = list(transition.pre.elements())
+    post = list(transition.post.elements())
+    return (pre[0], pre[1]), (post[0], post[1])
+
+
+def conjunction_protocol(
+    first: PopulationProtocol,
+    second: PopulationProtocol,
+    name: str | None = None,
+    combine_outputs=lambda a, b: a and b,
+    combinator_name: str = "and",
+) -> PopulationProtocol:
+    """The asynchronous product of two protocols (Definition 27).
+
+    Both protocols must share the same input alphabet.  The product's output
+    of a pair state is ``combine_outputs`` of the factors' outputs, which
+    defaults to conjunction.
+    """
+    if set(first.input_alphabet) != set(second.input_alphabet):
+        raise ProtocolError(
+            "the conjunction construction requires identical input alphabets; "
+            "extend the predicates with zero coefficients first"
+        )
+
+    states = [(p, q) for p in first.states for q in second.states]
+    transitions: list[Transition] = []
+    second_states = sorted(second.states, key=repr)
+    first_states = sorted(first.states, key=repr)
+    for transition in first.transitions:
+        for r in second_states:
+            for r_prime in second_states:
+                transitions.append(_lift_first(transition, (r, r_prime)))
+    for transition in second.transitions:
+        for r in first_states:
+            for r_prime in first_states:
+                transitions.append(_lift_second(transition, (r, r_prime)))
+
+    input_map = {
+        symbol: (first.input_map[symbol], second.input_map[symbol]) for symbol in first.input_alphabet
+    }
+    output_map = {
+        (p, q): int(combine_outputs(bool(first.output_map[p]), bool(second.output_map[q])))
+        for (p, q) in states
+    }
+
+    product = PopulationProtocol(
+        states=states,
+        transitions=transitions,
+        input_alphabet=first.input_alphabet,
+        input_map=input_map,
+        output_map=output_map,
+        name=name or f"{combinator_name}({first.name}, {second.name})",
+        metadata={"construction": combinator_name, "factors": (first.name, second.name)},
+    )
+
+    first_predicate = first.metadata.get("predicate")
+    second_predicate = second.metadata.get("predicate")
+    if first_predicate is not None and second_predicate is not None:
+        if combinator_name == "and":
+            product.metadata["predicate"] = first_predicate & second_predicate
+        elif combinator_name == "or":
+            product.metadata["predicate"] = first_predicate | second_predicate
+
+    hint = _lift_partitions(first, second, product)
+    if hint is not None and hint.covers(product.transitions):
+        product.partition_hint = hint
+    return product
+
+
+def disjunction_protocol(
+    first: PopulationProtocol, second: PopulationProtocol, name: str | None = None
+) -> PopulationProtocol:
+    """The asynchronous product computing the disjunction of the factors."""
+    return conjunction_protocol(
+        first,
+        second,
+        name=name,
+        combine_outputs=lambda a, b: a or b,
+        combinator_name="or",
+    )
+
+
+def _lift_partitions(
+    first: PopulationProtocol, second: PopulationProtocol, product: PopulationProtocol
+) -> OrderedPartition | None:
+    """Lift the factors' partition hints to the product (Proposition 33)."""
+    if first.partition_hint is None or second.partition_hint is None:
+        return None
+    first_layers = list(first.partition_hint.layers)
+    second_layers = list(second.partition_hint.layers)
+    depth = max(len(first_layers), len(second_layers))
+    second_states = sorted(second.states, key=repr)
+    first_states = sorted(first.states, key=repr)
+    product_transitions = set(product.transitions)
+
+    layers = []
+    for index in range(depth):
+        layer: set[Transition] = set()
+        if index < len(first_layers):
+            for transition in first_layers[index]:
+                for r in second_states:
+                    for r_prime in second_states:
+                        lifted = _lift_first(transition, (r, r_prime))
+                        if lifted in product_transitions:
+                            layer.add(lifted)
+        if index < len(second_layers):
+            for transition in second_layers[index]:
+                for r in first_states:
+                    for r_prime in first_states:
+                        lifted = _lift_second(transition, (r, r_prime))
+                        if lifted in product_transitions:
+                            layer.add(lifted)
+        if layer:
+            layers.append(frozenset(layer))
+    if not layers:
+        return None
+    return OrderedPartition(tuple(layers))

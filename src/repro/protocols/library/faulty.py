@@ -1,0 +1,96 @@
+"""Deliberately flawed protocols, used for negative tests and diagnosis demos.
+
+Each protocol here violates exactly one of the properties the verifier
+checks, which makes them useful both as regression tests ("the verifier must
+reject this") and as worked examples for the diagnosis discussion in the
+paper's conclusion.
+"""
+
+from __future__ import annotations
+
+from repro.presburger.predicates import ThresholdPredicate
+from repro.protocols.protocol import PopulationProtocol, Transition
+
+
+def coin_flip_protocol() -> PopulationProtocol:
+    """Not well-specified: a population of ``x`` agents can converge to either value.
+
+    Violates StrongConsensus (and plain Consensus): from two agents in ``x``
+    both an all-``yes`` and an all-``no`` terminal configuration are
+    reachable.
+    """
+    return PopulationProtocol(
+        states=["x", "yes", "no"],
+        transitions=[
+            Transition.make(("x", "x"), ("yes", "yes"), name="guess_yes"),
+            Transition.make(("x", "x"), ("no", "no"), name="guess_no"),
+            Transition.make(("yes", "no"), ("yes", "yes"), name="spread_yes"),
+        ],
+        input_alphabet=["x"],
+        input_map={"x": "x"},
+        output_map={"x": 0, "yes": 1, "no": 0},
+        name="coin-flip",
+        metadata={"flaw": "not well-specified: the outcome depends on the scheduler"},
+    )
+
+
+def oscillating_majority_protocol() -> PopulationProtocol:
+    """Well-specified but not silent (Example 2 of the paper).
+
+    The majority protocol is extended with a state ``b'`` of output 1 and the
+    transitions ``(b, b) -> (b', b')`` and ``(b', b') -> (b, b)``: two agents
+    can oscillate between ``b`` and ``b'`` forever, so the protocol is not
+    silent and therefore outside WS² and WS³ (LayeredTermination fails), even
+    though every fair execution still stabilises to the correct consensus.
+    """
+    return PopulationProtocol(
+        states=["A", "B", "a", "b", "b'"],
+        transitions=[
+            Transition.make(("A", "B"), ("a", "b"), name="tAB"),
+            Transition.make(("A", "b"), ("A", "a"), name="tAb"),
+            Transition.make(("A", "b'"), ("A", "a"), name="tAb2"),
+            Transition.make(("B", "a"), ("B", "b"), name="tBa"),
+            Transition.make(("b", "a"), ("b", "b"), name="tba"),
+            Transition.make(("b'", "a"), ("b'", "b"), name="tb2a"),
+            Transition.make(("b", "b"), ("b'", "b'"), name="up"),
+            Transition.make(("b'", "b'"), ("b", "b"), name="down"),
+        ],
+        input_alphabet=["A", "B"],
+        input_map={"A": "A", "B": "B"},
+        output_map={"A": 0, "a": 0, "B": 1, "b": 1, "b'": 1},
+        name="oscillating-majority",
+        metadata={
+            "predicate": ThresholdPredicate({"A": 1, "B": -1}, 1),
+            "flaw": "well-specified but not silent (Example 2)",
+        },
+    )
+
+
+def exclusive_majority_protocol() -> PopulationProtocol:
+    """In WS³ but computes the *strict* majority predicate ``#B > #A``.
+
+    Obtained from the majority protocol by making ties go to ``A`` (the tie
+    breaker converts passive ``b`` agents to ``a``).  Used to exercise the
+    correctness checker: the protocol is well-specified but does not compute
+    the non-strict predicate ``#B >= #A``.
+    """
+    t_ab = Transition.make(("A", "B"), ("a", "b"), name="tAB")
+    t_a_small_b = Transition.make(("A", "b"), ("A", "a"), name="tAb")
+    t_b_small_a = Transition.make(("B", "a"), ("B", "b"), name="tBa")
+    t_small_ab = Transition.make(("a", "b"), ("a", "a"), name="tab")
+    from repro.protocols.protocol import OrderedPartition
+
+    return PopulationProtocol(
+        states=["A", "B", "a", "b"],
+        transitions=[t_ab, t_a_small_b, t_b_small_a, t_small_ab],
+        input_alphabet=["A", "B"],
+        input_map={"A": "A", "B": "B"},
+        output_map={"A": 0, "a": 0, "B": 1, "b": 1},
+        name="strict-majority",
+        partition_hint=OrderedPartition.of([t_ab, t_b_small_a], [t_a_small_b, t_small_ab]),
+        metadata={
+            # #B > #A is equivalent to #A - #B < 0.
+            "predicate": ThresholdPredicate({"A": 1, "B": -1}, 0),
+            "note": "computes #B > #A, i.e. ties go to A",
+        },
+    )

@@ -1,0 +1,92 @@
+"""Two "flock of birds" protocols computing the predicate ``#sick >= c``.
+
+Both families are used in the paper's evaluation (Table 1):
+
+* :func:`flock_of_birds_protocol` — the value-accumulation variant in the
+  style of Chatzigiannakis et al. [6]: agents add up their values; once an
+  agent reaches the threshold ``c`` it converts everybody to the accepting
+  state.  ``|Q| = c + 1`` and ``|T| = c(c+1)/2`` non-silent transitions.
+* :func:`flock_of_birds_threshold_n_protocol` — the "threshold-n" variant of
+  Clément et al. [8]: two agents at the same level push one of them a level
+  up, so level ``c`` is reachable iff at least ``c`` agents are sick.
+  ``|Q| = c + 1`` and ``|T| = 2c - 1``.
+"""
+
+from __future__ import annotations
+
+from repro.presburger.predicates import ThresholdPredicate
+from repro.protocols.protocol import PopulationProtocol, Transition
+
+
+def _sick_at_least(c: int) -> ThresholdPredicate:
+    """The predicate ``#sick >= c`` as a threshold predicate ``-#sick < -(c-1)``."""
+    return ThresholdPredicate({"sick": -1, "healthy": 0}, -(c - 1))
+
+
+def flock_of_birds_protocol(c: int) -> PopulationProtocol:
+    """Value-accumulation flock-of-birds protocol for the predicate ``#sick >= c``.
+
+    States are the values ``0 .. c``.  Sick birds start with value 1, healthy
+    birds with value 0.  Two positive values merge into one agent (the other
+    drops to 0); when the sum reaches ``c`` both agents move to the accepting
+    state ``c``, which then converts everyone else.
+    """
+    if c < 2:
+        raise ValueError("the flock-of-birds threshold c must be at least 2")
+    transitions = []
+    for i in range(1, c + 1):
+        for j in range(i, c + 1):
+            if i + j < c:
+                post = (i + j, 0)
+            else:
+                post = (c, c)
+            transitions.append(Transition.make((i, j), post, name=f"merge_{i}_{j}"))
+    transitions.append(Transition.make((c, 0), (c, c), name="convert_0"))
+
+    return PopulationProtocol(
+        states=range(c + 1),
+        transitions=transitions,
+        input_alphabet=["sick", "healthy"],
+        input_map={"sick": 1, "healthy": 0},
+        output_map={state: 1 if state == c else 0 for state in range(c + 1)},
+        name=f"flock-of-birds[c={c}]",
+        metadata={
+            "predicate": _sick_at_least(c),
+            "source": "Chatzigiannakis et al. [6]",
+            "parameter": c,
+        },
+    )
+
+
+def flock_of_birds_threshold_n_protocol(c: int) -> PopulationProtocol:
+    """The "threshold-n" flock-of-birds protocol of [8] for ``#sick >= c``.
+
+    Two agents at the same level ``k`` promote one of them to ``k + 1``;
+    because promoting to level ``k + 1`` requires two agents at level ``k``
+    (one of which stays behind), level ``c`` is reached iff at least ``c``
+    agents started at level 1.  Once level ``c`` is reached its owner
+    converts every other agent.
+    """
+    if c < 2:
+        raise ValueError("the flock-of-birds threshold c must be at least 2")
+    transitions = []
+    for level in range(1, c):
+        transitions.append(
+            Transition.make((level, level), (level + 1, level), name=f"promote_{level}")
+        )
+    for level in range(c):
+        transitions.append(Transition.make((c, level), (c, c), name=f"convert_{level}"))
+
+    return PopulationProtocol(
+        states=range(c + 1),
+        transitions=transitions,
+        input_alphabet=["sick", "healthy"],
+        input_map={"sick": 1, "healthy": 0},
+        output_map={state: 1 if state == c else 0 for state in range(c + 1)},
+        name=f"flock-of-birds-threshold-n[c={c}]",
+        metadata={
+            "predicate": _sick_at_least(c),
+            "source": "Clément et al. [8] (threshold-n)",
+            "parameter": c,
+        },
+    )

@@ -1,0 +1,38 @@
+"""The majority protocol of Angluin et al. [3] (Example 1 of the paper).
+
+Agents start in state ``A`` or ``B``; the protocol decides whether at least
+as many agents started in ``B`` as in ``A`` (ties go to ``B``).  States
+``a``/``b`` are "passive" followers holding only an opinion.
+"""
+
+from __future__ import annotations
+
+from repro.presburger.predicates import ThresholdPredicate
+from repro.protocols.protocol import OrderedPartition, PopulationProtocol, Transition
+
+
+def majority_protocol() -> PopulationProtocol:
+    """Build the 4-state majority protocol (predicate ``#B >= #A``).
+
+    The partition hint is the two-layer ordered partition from Example 5 of
+    the paper: active-vs-active and active-vs-passive interactions first,
+    passive clean-up second.
+    """
+    t_ab = Transition.make(("A", "B"), ("a", "b"), name="tAB")
+    t_a_small_b = Transition.make(("A", "b"), ("A", "a"), name="tAb")
+    t_b_small_a = Transition.make(("B", "a"), ("B", "b"), name="tBa")
+    t_small_ba = Transition.make(("b", "a"), ("b", "b"), name="tba")
+
+    # Predicate "#B >= #A", i.e. #A - #B < 1.
+    predicate = ThresholdPredicate({"A": 1, "B": -1}, 1)
+
+    return PopulationProtocol(
+        states=["A", "B", "a", "b"],
+        transitions=[t_ab, t_a_small_b, t_b_small_a, t_small_ba],
+        input_alphabet=["A", "B"],
+        input_map={"A": "A", "B": "B"},
+        output_map={"A": 0, "a": 0, "B": 1, "b": 1},
+        name="majority",
+        partition_hint=OrderedPartition.of([t_ab, t_a_small_b], [t_b_small_a, t_small_ba]),
+        metadata={"predicate": predicate, "source": "Angluin et al. [3]; Example 1"},
+    )

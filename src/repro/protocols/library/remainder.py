@@ -1,0 +1,107 @@
+"""The remainder protocol of Angluin et al. [1] (Section 5 of the paper).
+
+The protocol computes the predicate ``sum_i a_i * x_i ≡ c (mod m)``.  Agents
+either carry a numerical value in ``[0, m)`` or a pure opinion
+(``"true"``/``"false"``).  Two numerical agents merge their values modulo
+``m`` (one of them becomes an opinion holder); a numerical agent overwrites
+the opinion of any opinion holder it meets.  The ordered partition from the
+proof of Proposition 26 is attached as the partition hint.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.presburger.predicates import RemainderPredicate
+from repro.protocols.protocol import OrderedPartition, PopulationProtocol, Transition
+
+TRUE_STATE = "true"
+FALSE_STATE = "false"
+
+
+def remainder_protocol(
+    coefficients: Sequence[int] | Mapping[str, int],
+    m: int,
+    c: int,
+) -> PopulationProtocol:
+    """Build the remainder protocol for ``sum_i a_i * x_i ≡ c (mod m)``.
+
+    Parameters
+    ----------
+    coefficients:
+        Either a sequence of integers (symbols are named ``x1, x2, ...``) or
+        a mapping from symbol names to coefficients.
+    m:
+        The modulus (at least 2).
+    c:
+        The target residue; reduced modulo ``m``.
+    """
+    if m < 2:
+        raise ValueError("the modulus m must be at least 2")
+    if isinstance(coefficients, Mapping):
+        symbol_coefficients = dict(coefficients)
+    else:
+        symbol_coefficients = {f"x{i + 1}": value for i, value in enumerate(coefficients)}
+    if not symbol_coefficients:
+        raise ValueError("the remainder predicate needs at least one variable")
+    c = c % m
+
+    def opinion_state(value: int) -> str:
+        return TRUE_STATE if value == c else FALSE_STATE
+
+    states = list(range(m)) + [TRUE_STATE, FALSE_STATE]
+    transitions: list[Transition] = []
+    for n in range(m):
+        for n_prime in range(n, m):
+            merged = (n + n_prime) % m
+            transitions.append(
+                Transition.make((n, n_prime), (merged, opinion_state(merged)), name=f"merge_{n}_{n_prime}")
+            )
+        for opinion in (TRUE_STATE, FALSE_STATE):
+            transitions.append(
+                Transition.make((n, opinion), (n, opinion_state(n)), name=f"convince_{n}_{opinion}")
+            )
+
+    protocol = PopulationProtocol(
+        states=states,
+        transitions=transitions,
+        input_alphabet=list(symbol_coefficients),
+        input_map={symbol: value % m for symbol, value in symbol_coefficients.items()},
+        output_map={
+            **{value: 1 if value == c else 0 for value in range(m)},
+            TRUE_STATE: 1,
+            FALSE_STATE: 0,
+        },
+        name=f"remainder[m={m}, c={c}]",
+        metadata={
+            "predicate": RemainderPredicate(symbol_coefficients, m, c),
+            "source": "Angluin et al. [1]; Section 5",
+            "m": m,
+            "c": c,
+        },
+    )
+    hint = _proposition_26_partition(protocol)
+    if hint is not None and hint.covers(protocol.transitions):
+        protocol.partition_hint = hint
+    return protocol
+
+
+def _proposition_26_partition(protocol: PopulationProtocol) -> OrderedPartition | None:
+    """The two-layer partition from the proof of Proposition 26.
+
+    Layer 1: interactions between two numerical agents and between a
+    numerical agent and a ``false`` opinion holder.  Layer 2: interactions
+    between a numerical agent and a ``true`` opinion holder.
+    """
+    first_layer = []
+    second_layer = []
+    for transition in protocol.transitions:
+        if TRUE_STATE in transition.pre.support():
+            second_layer.append(transition)
+        else:
+            first_layer.append(transition)
+    if not second_layer:
+        return OrderedPartition.of(first_layer) if first_layer else OrderedPartition(())
+    if not first_layer:
+        return OrderedPartition.of(second_layer)
+    return OrderedPartition.of(first_layer, second_layer)

@@ -1,0 +1,145 @@
+"""The threshold protocol of Angluin et al. [1] (Section 5 of the paper).
+
+The protocol computes the predicate ``sum_i a_i * x_i < c``.  Every agent
+carries a triple ``(leader?, value, opinion)``; when a leader meets another
+agent it absorbs as much of the other agent's value as fits into
+``[-vmax, vmax]``, demotes it to a non-leader, and overwrites its opinion.
+The paper proves the protocol belongs to WS³ (Propositions 17 and 18); the
+ordered partition from the proof of Proposition 18 is attached as the
+partition hint.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.presburger.predicates import ThresholdPredicate
+from repro.protocols.protocol import OrderedPartition, PopulationProtocol, Transition
+
+State = tuple[int, int, int]  # (leader flag, value, opinion)
+
+
+def _clamp(value: int, vmax: int) -> int:
+    return max(-vmax, min(vmax, value))
+
+
+def threshold_protocol(
+    coefficients: Sequence[int] | Mapping[str, int],
+    c: int,
+    vmax: int | None = None,
+) -> PopulationProtocol:
+    """Build the threshold protocol for ``sum_i a_i * x_i < c``.
+
+    Parameters
+    ----------
+    coefficients:
+        Either a sequence of integers (input symbols are then named
+        ``x1, x2, ...``) or a mapping from symbol names to coefficients.
+    c:
+        The threshold constant.
+    vmax:
+        The value cap.  Defaults to ``max(|a_1|, ..., |a_k|, |c| + 1)`` as in
+        the paper; a larger value may be supplied (this only grows the state
+        space and is used by the Table 1 benchmarks, which fix the set of
+        coefficients to all values of ``[-vmax, vmax]``).
+    """
+    if isinstance(coefficients, Mapping):
+        symbol_coefficients = dict(coefficients)
+    else:
+        symbol_coefficients = {f"x{i + 1}": value for i, value in enumerate(coefficients)}
+    if not symbol_coefficients:
+        raise ValueError("the threshold predicate needs at least one variable")
+    minimum_vmax = max([abs(value) for value in symbol_coefficients.values()] + [abs(c) + 1])
+    if vmax is None:
+        vmax = minimum_vmax
+    if vmax < minimum_vmax:
+        raise ValueError(f"vmax must be at least {minimum_vmax}")
+
+    values = range(-vmax, vmax + 1)
+    states: list[State] = [
+        (leader, value, opinion) for leader in (0, 1) for value in values for opinion in (0, 1)
+    ]
+
+    def output_bit(value: int) -> int:
+        return 1 if value < c else 0
+
+    transitions: list[Transition] = []
+    for n in values:
+        for n_prime in values:
+            merged = _clamp(n + n_prime, vmax)
+            remainder = (n + n_prime) - merged
+            opinion = output_bit(merged)
+            for other_leader in (0, 1):
+                for o in (0, 1):
+                    for o_prime in (0, 1):
+                        pre = ((1, n, o), (other_leader, n_prime, o_prime))
+                        post = ((1, merged, opinion), (0, remainder, opinion))
+                        transitions.append(Transition.make(pre, post))
+
+    protocol = PopulationProtocol(
+        states=states,
+        transitions=transitions,
+        input_alphabet=list(symbol_coefficients),
+        input_map={
+            symbol: (1, value, output_bit(value)) for symbol, value in symbol_coefficients.items()
+        },
+        output_map={state: state[2] for state in states},
+        name=f"threshold[c={c}, vmax={vmax}]",
+        metadata={
+            "predicate": ThresholdPredicate(symbol_coefficients, c),
+            "source": "Angluin et al. [1]; Section 5",
+            "vmax": vmax,
+            "c": c,
+        },
+    )
+    hint = _proposition_18_partition(protocol, c, vmax)
+    if hint is not None and hint.covers(protocol.transitions):
+        protocol.partition_hint = hint
+    return protocol
+
+
+def _proposition_18_partition(
+    protocol: PopulationProtocol, c: int, vmax: int
+) -> OrderedPartition | None:
+    """The two-layer ordered partition from the proof of Proposition 18.
+
+    For ``c > 0`` the second layer contains the interactions between a leader
+    with opinion 0 and value ``>= c`` and the passive state ``(0, 0, 1)``;
+    for ``c <= 0`` the roles of the opinions are swapped.
+    """
+    if c > 0:
+        late_leaders = {(1, value, 0) for value in range(c, vmax + 1)}
+        late_passive = (0, 0, 1)
+    else:
+        late_leaders = {(1, value, 1) for value in range(-vmax, c)}
+        late_passive = (0, 0, 0)
+
+    second_layer = []
+    first_layer = []
+    for transition in protocol.transitions:
+        support = transition.pre.support()
+        is_late = any(q in late_leaders for q in support) and late_passive in support
+        # The pre must consist of exactly one late leader and the passive state.
+        if is_late and transition.pre[late_passive] >= 1:
+            leaders_in_pre = [q for q in support if q in late_leaders]
+            if leaders_in_pre and transition.pre.size() == 2:
+                second_layer.append(transition)
+                continue
+        first_layer.append(transition)
+    if not second_layer:
+        return OrderedPartition.of(first_layer) if first_layer else OrderedPartition(())
+    if not first_layer:
+        return OrderedPartition.of(second_layer)
+    return OrderedPartition.of(first_layer, second_layer)
+
+
+def threshold_table_protocol(vmax: int, c: int = 1) -> PopulationProtocol:
+    """The Table 1 variant: all coefficient values of ``[-vmax, vmax]`` are present.
+
+    Following Section 6 of the paper, the secondary parameter ``c`` is fixed
+    to 1 and one input variable per possible coefficient value is assumed, so
+    that every state of the protocol can be initial (the worst case for the
+    verifier).
+    """
+    coefficients = {f"a{value}": value for value in range(-vmax, vmax + 1)}
+    return threshold_protocol(coefficients, c, vmax=vmax)

@@ -1,0 +1,369 @@
+"""Syntax of population protocols (Section 2 of the paper).
+
+A population protocol is a tuple ``P = (Q, T, Sigma, I, O)`` where ``Q`` is a
+finite set of states, ``T`` a set of pairwise transitions, ``Sigma`` an input
+alphabet, ``I`` an input mapping and ``O`` a boolean output mapping.
+
+Representation choices
+----------------------
+* States and input symbols are arbitrary hashable Python values (strings,
+  integers, tuples, ...).
+* Only *non-silent* transitions are stored explicitly.  The paper requires
+  every pair of states to have at least one transition; pairs without an
+  explicit transition implicitly carry the silent transition
+  ``(p, q) -> (p, q)``.  This matches the convention used in the paper's
+  experimental section, where ``|T|`` counts non-silent transitions.
+* Configurations are :class:`~repro.datatypes.multiset.Multiset` instances
+  over states.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.datatypes.multiset import Multiset
+
+State = Hashable
+Symbol = Hashable
+Configuration = Multiset
+
+
+class ProtocolError(ValueError):
+    """Raised when a protocol definition is inconsistent."""
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A pairwise transition ``(p, q) -> (p', q')``.
+
+    ``pre`` and ``post`` are multisets of size exactly two.  A transition is
+    *silent* if ``pre == post``; silent transitions can never change a
+    configuration.
+    """
+
+    pre: Multiset
+    post: Multiset
+    name: str | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.pre.size() != 2 or self.post.size() != 2:
+            raise ProtocolError(
+                f"transitions are pairwise: pre and post must have size 2, got "
+                f"{self.pre.pretty()} -> {self.post.pretty()}"
+            )
+
+    @classmethod
+    def make(
+        cls,
+        pre: Sequence[State] | Multiset,
+        post: Sequence[State] | Multiset,
+        name: str | None = None,
+    ) -> "Transition":
+        """Build a transition from two-element sequences or multisets."""
+        pre_ms = pre if isinstance(pre, Multiset) else Multiset(list(pre))
+        post_ms = post if isinstance(post, Multiset) else Multiset(list(post))
+        return cls(pre_ms, post_ms, name)
+
+    @property
+    def is_silent(self) -> bool:
+        """True if the transition cannot change any configuration."""
+        return self.pre == self.post
+
+    def states(self) -> frozenset[State]:
+        """All states mentioned by the transition."""
+        return self.pre.support() | self.post.support()
+
+    def delta(self) -> dict[State, int]:
+        """Effect of the transition on each state: ``post(q) - pre(q)``."""
+        effect: dict[State, int] = {}
+        for state in self.states():
+            change = self.post[state] - self.pre[state]
+            if change != 0:
+                effect[state] = change
+        return effect
+
+    def enabled_at(self, configuration: Configuration) -> bool:
+        """True if ``configuration >= pre``."""
+        return self.pre <= configuration
+
+    def fire(self, configuration: Configuration) -> Configuration:
+        """Occurrence of the transition: ``C - pre + post``.
+
+        Raises :class:`ProtocolError` if the transition is not enabled.
+        """
+        if not self.enabled_at(configuration):
+            raise ProtocolError(f"transition {self} is not enabled at {configuration.pretty()}")
+        return configuration - self.pre + self.post
+
+    def __repr__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        return f"<{label}{self.pre.pretty()} -> {self.post.pretty()}>"
+
+
+@dataclass(frozen=True)
+class OrderedPartition:
+    """An ordered partition ``(T_1, ..., T_n)`` of a set of transitions.
+
+    Used as a certificate for LayeredTermination (Definition 4).
+    """
+
+    layers: tuple[frozenset[Transition], ...]
+
+    @classmethod
+    def of(cls, *layers: Iterable[Transition]) -> "OrderedPartition":
+        return cls(tuple(frozenset(layer) for layer in layers))
+
+    def __post_init__(self) -> None:
+        seen: set[Transition] = set()
+        for index, layer in enumerate(self.layers):
+            if not layer:
+                raise ProtocolError(f"layer {index + 1} of an ordered partition must be non-empty")
+            overlap = seen & layer
+            if overlap:
+                raise ProtocolError(f"ordered partition layers must be disjoint; {overlap} repeated")
+            seen |= layer
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def transitions(self) -> frozenset[Transition]:
+        """Union of all layers."""
+        result: set[Transition] = set()
+        for layer in self.layers:
+            result |= layer
+        return frozenset(result)
+
+    def covers(self, transitions: Iterable[Transition]) -> bool:
+        """True if the partition covers exactly the given non-silent transitions."""
+        return self.transitions() == frozenset(transitions)
+
+    def layer_of(self, transition: Transition) -> int:
+        """1-based index of the layer containing ``transition``."""
+        for index, layer in enumerate(self.layers, start=1):
+            if transition in layer:
+                return index
+        raise KeyError(transition)
+
+
+class PopulationProtocol:
+    """A population protocol ``P = (Q, T, Sigma, I, O)``.
+
+    Parameters
+    ----------
+    states:
+        Finite iterable of states.
+    transitions:
+        Iterable of transitions; silent transitions are accepted but dropped
+        (they are implicit for every pair of states).
+    input_alphabet:
+        Finite iterable of input symbols.
+    input_map:
+        Mapping from each input symbol to a state.
+    output_map:
+        Mapping from each state to a boolean (or 0/1) output.
+    name:
+        Optional human-readable name.
+    partition_hint:
+        Optional :class:`OrderedPartition` certificate for LayeredTermination
+        (for example the partitions given in the paper's proofs).
+    metadata:
+        Free-form dictionary (e.g. the predicate the protocol is meant to
+        compute, construction parameters, ...).
+    """
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        transitions: Iterable[Transition],
+        input_alphabet: Iterable[Symbol],
+        input_map: Mapping[Symbol, State],
+        output_map: Mapping[State, bool | int],
+        name: str = "protocol",
+        partition_hint: OrderedPartition | None = None,
+        metadata: Mapping[str, Any] | None = None,
+    ):
+        self.states: frozenset[State] = frozenset(states)
+        if not self.states:
+            raise ProtocolError("a protocol needs a non-empty set of states")
+
+        non_silent = []
+        seen: set[tuple[Multiset, Multiset]] = set()
+        for transition in transitions:
+            if transition.is_silent:
+                continue
+            key = (transition.pre, transition.post)
+            if key in seen:
+                continue
+            seen.add(key)
+            non_silent.append(transition)
+        self.transitions: tuple[Transition, ...] = tuple(non_silent)
+
+        self.input_alphabet: tuple[Symbol, ...] = tuple(dict.fromkeys(input_alphabet))
+        if not self.input_alphabet:
+            raise ProtocolError("the input alphabet must be non-empty")
+        self.input_map: dict[Symbol, State] = dict(input_map)
+        for state, value in output_map.items():
+            if value not in (0, 1, True, False):
+                raise ProtocolError(f"output of state {state!r} must be a boolean (0/1), got {value!r}")
+        self.output_map: dict[State, int] = {state: int(value) for state, value in output_map.items()}
+        self.name = name
+        self.partition_hint = partition_hint
+        self.metadata: dict[str, Any] = dict(metadata or {})
+
+        self._validate()
+        self._transitions_by_state: dict[State, tuple[Transition, ...]] | None = None
+
+    # ------------------------------------------------------------------
+    # Validation and derived data
+    # ------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        for transition in self.transitions:
+            unknown = transition.states() - self.states
+            if unknown:
+                raise ProtocolError(f"transition {transition} uses unknown states {set(unknown)}")
+        missing_inputs = set(self.input_alphabet) - set(self.input_map)
+        if missing_inputs:
+            raise ProtocolError(f"input symbols without a mapped state: {missing_inputs}")
+        for symbol, state in self.input_map.items():
+            if state not in self.states:
+                raise ProtocolError(f"input symbol {symbol!r} maps to unknown state {state!r}")
+        missing_outputs = self.states - set(self.output_map)
+        if missing_outputs:
+            raise ProtocolError(f"states without an output value: {missing_outputs}")
+        for state, value in self.output_map.items():
+            if value not in (0, 1):
+                raise ProtocolError(f"output of state {state!r} must be 0 or 1, got {value!r}")
+        if self.partition_hint is not None and not self.partition_hint.covers(self.transitions):
+            raise ProtocolError("the partition hint must cover exactly the non-silent transitions")
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def num_transitions(self) -> int:
+        """Number of non-silent transitions (the ``|T|`` column of Table 1)."""
+        return len(self.transitions)
+
+    def initial_states(self) -> frozenset[State]:
+        """The states in the image of the input mapping, ``I(Sigma)``."""
+        return frozenset(self.input_map[symbol] for symbol in self.input_alphabet)
+
+    def true_states(self) -> frozenset[State]:
+        """States with output 1."""
+        return frozenset(state for state, value in self.output_map.items() if value == 1)
+
+    def false_states(self) -> frozenset[State]:
+        """States with output 0."""
+        return frozenset(state for state, value in self.output_map.items() if value == 0)
+
+    def output(self, state: State) -> int:
+        """Output of a single state."""
+        return self.output_map[state]
+
+    def transitions_touching(self, state: State) -> tuple[Transition, ...]:
+        """Non-silent transitions whose ``pre`` contains the given state."""
+        if self._transitions_by_state is None:
+            by_state: dict[State, list[Transition]] = {q: [] for q in self.states}
+            for transition in self.transitions:
+                for q in transition.pre.support():
+                    by_state[q].append(transition)
+            self._transitions_by_state = {q: tuple(ts) for q, ts in by_state.items()}
+        return self._transitions_by_state.get(state, ())
+
+    # ------------------------------------------------------------------
+    # Inputs and configurations
+    # ------------------------------------------------------------------
+
+    def initial_configuration(self, input_population: Mapping[Symbol, int] | Multiset) -> Configuration:
+        """Map an input ``X`` in ``Pop(Sigma)`` to the configuration ``I(X)``."""
+        if not isinstance(input_population, Multiset):
+            input_population = Multiset(dict(input_population))
+        unknown = input_population.support() - set(self.input_alphabet)
+        if unknown:
+            raise ProtocolError(f"unknown input symbols {set(unknown)}")
+        if input_population.size() < 2:
+            raise ProtocolError("populations must contain at least two agents")
+        counts: dict[State, int] = {}
+        for symbol, count in input_population.items():
+            state = self.input_map[symbol]
+            counts[state] = counts.get(state, 0) + count
+        return Multiset(counts)
+
+    def is_initial(self, configuration: Configuration) -> bool:
+        """True if the configuration is ``I(X)`` for some input ``X``."""
+        return (
+            configuration.size() >= 2
+            and configuration.support() <= self.initial_states()
+        )
+
+    def is_configuration(self, configuration: Configuration) -> bool:
+        """True if the multiset is a population over the protocol's states."""
+        return configuration.size() >= 2 and configuration.support() <= self.states
+
+    # ------------------------------------------------------------------
+    # Induced protocols (P[S], Section 3)
+    # ------------------------------------------------------------------
+
+    def induced(self, transitions: Iterable[Transition], name: str | None = None) -> "PopulationProtocol":
+        """The protocol ``P[S]`` induced by a subset of transitions.
+
+        Following the paper, silent transitions for all pairs of states are
+        implicitly present, so the induced protocol simply restricts the set
+        of explicit (non-silent) transitions.
+        """
+        subset = [t for t in transitions if t in set(self.transitions) or not t.is_silent]
+        return PopulationProtocol(
+            states=self.states,
+            transitions=subset,
+            input_alphabet=self.input_alphabet,
+            input_map=self.input_map,
+            output_map=self.output_map,
+            name=name or f"{self.name}[induced]",
+            metadata=self.metadata,
+        )
+
+    def with_negated_output(self, name: str | None = None) -> "PopulationProtocol":
+        """The protocol computing the negated predicate (Section 5)."""
+        negated = {state: 1 - value for state, value in self.output_map.items()}
+        return PopulationProtocol(
+            states=self.states,
+            transitions=self.transitions,
+            input_alphabet=self.input_alphabet,
+            input_map=self.input_map,
+            output_map=negated,
+            name=name or f"not({self.name})",
+            partition_hint=self.partition_hint,
+            metadata=self.metadata,
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"PopulationProtocol(name={self.name!r}, |Q|={self.num_states}, "
+            f"|T|={self.num_transitions}, |Sigma|={len(self.input_alphabet)})"
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable description of the protocol."""
+        lines = [
+            f"Protocol {self.name}",
+            f"  states ({self.num_states}): {sorted(map(repr, self.states))}",
+            f"  input alphabet: {list(self.input_alphabet)}",
+            f"  input map: " + ", ".join(f"{s!r} -> {self.input_map[s]!r}" for s in self.input_alphabet),
+            f"  output map: "
+            + ", ".join(f"{q!r} -> {self.output_map[q]}" for q in sorted(self.states, key=repr)),
+            f"  non-silent transitions ({self.num_transitions}):",
+        ]
+        for transition in self.transitions:
+            lines.append(f"    {transition.pre.pretty()} -> {transition.post.pretty()}")
+        return "\n".join(lines)

@@ -1,0 +1,297 @@
+"""Operational semantics of population protocols (Section 2 of the paper).
+
+This module implements the step relation ``C -> C'``, reachability over the
+(finite, for a fixed population size) configuration graph, and the notions of
+terminal and consensus configurations.  It is the foundation both for the
+simulator and for the explicit-state baseline verifier
+(:mod:`repro.verification.explicit`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.datatypes.multiset import Multiset
+from repro.protocols.protocol import Configuration, PopulationProtocol, ProtocolError, Transition
+
+
+class ExplorationLimitError(RuntimeError):
+    """Raised when a reachability exploration exceeds its configuration budget."""
+
+
+def enabled_transitions(
+    protocol: PopulationProtocol, configuration: Configuration
+) -> list[Transition]:
+    """Non-silent transitions enabled at ``configuration``.
+
+    Silent transitions are always implicitly enabled (every configuration has
+    at least two agents) and are never returned.
+    """
+    candidates: set[Transition] = set()
+    for state in configuration.support():
+        candidates.update(protocol.transitions_touching(state))
+    return [t for t in candidates if t.enabled_at(configuration)]
+
+
+def fire(configuration: Configuration, transition: Transition) -> Configuration:
+    """Single step ``C --t--> C'``."""
+    return transition.fire(configuration)
+
+
+def fire_sequence(
+    configuration: Configuration, transitions: Sequence[Transition]
+) -> Configuration:
+    """Fire a sequence of transitions, returning the final configuration."""
+    current = configuration
+    for transition in transitions:
+        current = transition.fire(current)
+    return current
+
+
+def successors(
+    protocol: PopulationProtocol, configuration: Configuration
+) -> dict[Configuration, list[Transition]]:
+    """Distinct successor configurations, each with the transitions producing it."""
+    result: dict[Configuration, list[Transition]] = {}
+    for transition in enabled_transitions(protocol, configuration):
+        successor = transition.fire(configuration)
+        result.setdefault(successor, []).append(transition)
+    return result
+
+
+def is_terminal(protocol: PopulationProtocol, configuration: Configuration) -> bool:
+    """True if every transition enabled at the configuration is silent."""
+    return not enabled_transitions(protocol, configuration)
+
+
+def is_consensus(protocol: PopulationProtocol, configuration: Configuration) -> bool:
+    """True if all populated states agree on the output."""
+    outputs = {protocol.output_map[state] for state in configuration.support()}
+    return len(outputs) == 1
+
+
+def output_of(protocol: PopulationProtocol, configuration: Configuration) -> int | None:
+    """The common output of a consensus configuration, or ``None`` otherwise."""
+    outputs = {protocol.output_map[state] for state in configuration.support()}
+    if len(outputs) == 1:
+        return next(iter(outputs))
+    return None
+
+
+@dataclass
+class ReachabilityGraph:
+    """The configuration graph reachable from an initial configuration.
+
+    Attributes
+    ----------
+    root:
+        The initial configuration of the exploration.
+    edges:
+        Adjacency mapping: for every explored configuration, the set of
+        successor configurations reachable in one non-silent step.
+    complete:
+        ``False`` when the exploration was truncated by ``max_configurations``.
+    """
+
+    root: Configuration
+    edges: dict[Configuration, frozenset[Configuration]]
+    complete: bool = True
+
+    @property
+    def configurations(self) -> frozenset[Configuration]:
+        return frozenset(self.edges)
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def terminal_configurations(self) -> frozenset[Configuration]:
+        """Configurations with no outgoing non-silent step."""
+        return frozenset(c for c, succ in self.edges.items() if not succ)
+
+    def bottom_sccs(self) -> list[frozenset[Configuration]]:
+        """Bottom strongly connected components of the graph.
+
+        Under the paper's (global) fairness condition, every fair execution
+        eventually enters a bottom SCC and visits all of its configurations
+        infinitely often, so the bottom SCCs characterise the possible
+        long-run behaviours for a fixed input.
+        """
+        sccs = strongly_connected_components(self.edges)
+        component_of: dict[Configuration, int] = {}
+        for index, component in enumerate(sccs):
+            for configuration in component:
+                component_of[configuration] = index
+        bottom: list[frozenset[Configuration]] = []
+        for index, component in enumerate(sccs):
+            is_bottom = True
+            for configuration in component:
+                for successor in self.edges[configuration]:
+                    if component_of[successor] != index:
+                        is_bottom = False
+                        break
+                if not is_bottom:
+                    break
+            if is_bottom:
+                bottom.append(frozenset(component))
+        return bottom
+
+
+def strongly_connected_components(
+    edges: dict[Configuration, frozenset[Configuration]]
+) -> list[list[Configuration]]:
+    """Iterative Tarjan SCC algorithm over an adjacency mapping."""
+    index_counter = 0
+    indices: dict[Configuration, int] = {}
+    lowlinks: dict[Configuration, int] = {}
+    on_stack: set[Configuration] = set()
+    stack: list[Configuration] = []
+    result: list[list[Configuration]] = []
+
+    for start in edges:
+        if start in indices:
+            continue
+        work: list[tuple[Configuration, Iterator[Configuration]]] = [(start, iter(edges[start]))]
+        indices[start] = lowlinks[start] = index_counter
+        index_counter += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, neighbours = work[-1]
+            advanced = False
+            for neighbour in neighbours:
+                if neighbour not in indices:
+                    indices[neighbour] = lowlinks[neighbour] = index_counter
+                    index_counter += 1
+                    stack.append(neighbour)
+                    on_stack.add(neighbour)
+                    work.append((neighbour, iter(edges[neighbour])))
+                    advanced = True
+                    break
+                if neighbour in on_stack:
+                    lowlinks[node] = min(lowlinks[node], indices[neighbour])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+            if lowlinks[node] == indices[node]:
+                component: list[Configuration] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                result.append(component)
+    return result
+
+
+def reachability_graph(
+    protocol: PopulationProtocol,
+    initial: Configuration,
+    max_configurations: int = 100_000,
+    restrict_to: Iterable[Transition] | None = None,
+) -> ReachabilityGraph:
+    """Breadth-first exploration of the configurations reachable from ``initial``.
+
+    Parameters
+    ----------
+    max_configurations:
+        Safety budget; if exceeded the returned graph has ``complete=False``.
+    restrict_to:
+        Optional subset of transitions (exploring ``P[S]`` instead of ``P``).
+    """
+    if not protocol.is_configuration(initial):
+        raise ProtocolError(f"{initial.pretty()} is not a configuration of {protocol.name}")
+    allowed = None if restrict_to is None else frozenset(restrict_to)
+    edges: dict[Configuration, frozenset[Configuration]] = {}
+    queue: deque[Configuration] = deque([initial])
+    seen: set[Configuration] = {initial}
+    complete = True
+    while queue:
+        current = queue.popleft()
+        succ: set[Configuration] = set()
+        for transition in enabled_transitions(protocol, current):
+            if allowed is not None and transition not in allowed:
+                continue
+            successor = transition.fire(current)
+            succ.add(successor)
+            if successor not in seen:
+                if len(seen) >= max_configurations:
+                    complete = False
+                    continue
+                seen.add(successor)
+                queue.append(successor)
+        edges[current] = frozenset(s for s in succ if s in seen)
+    return ReachabilityGraph(root=initial, edges=edges, complete=complete)
+
+
+def reachable_configurations(
+    protocol: PopulationProtocol,
+    initial: Configuration,
+    max_configurations: int = 100_000,
+) -> frozenset[Configuration]:
+    """The set of configurations reachable from ``initial``."""
+    return reachability_graph(protocol, initial, max_configurations).configurations
+
+
+def reachable_terminal_configurations(
+    protocol: PopulationProtocol,
+    initial: Configuration,
+    max_configurations: int = 100_000,
+) -> frozenset[Configuration]:
+    """Terminal configurations reachable from ``initial``."""
+    graph = reachability_graph(protocol, initial, max_configurations)
+    if not graph.complete:
+        raise ExplorationLimitError(
+            f"exploration from {initial.pretty()} exceeded {max_configurations} configurations"
+        )
+    return graph.terminal_configurations()
+
+
+def is_reachable(
+    protocol: PopulationProtocol,
+    source: Configuration,
+    target: Configuration,
+    max_configurations: int = 100_000,
+) -> bool:
+    """Decide ``source ->* target`` by explicit exploration (fixed population)."""
+    if source == target:
+        return True
+    if source.size() != target.size():
+        return False
+    graph = reachability_graph(protocol, source, max_configurations)
+    if target in graph.configurations:
+        return True
+    if not graph.complete:
+        raise ExplorationLimitError(
+            f"exploration from {source.pretty()} exceeded {max_configurations} configurations"
+        )
+    return False
+
+
+def enumerate_inputs(
+    protocol: PopulationProtocol, size: int
+) -> Iterator[Multiset]:
+    """Enumerate all inputs (populations over the alphabet) of a given size."""
+    symbols = list(protocol.input_alphabet)
+
+    def recurse(index: int, remaining: int, current: dict) -> Iterator[Multiset]:
+        if index == len(symbols) - 1:
+            final = dict(current)
+            if remaining > 0:
+                final[symbols[index]] = remaining
+            yield Multiset(final)
+            return
+        for count in range(remaining + 1):
+            nxt = dict(current)
+            if count > 0:
+                nxt[symbols[index]] = count
+            yield from recurse(index + 1, remaining - count, nxt)
+
+    if size < 2:
+        raise ProtocolError("populations must contain at least two agents")
+    yield from recurse(0, size, {})

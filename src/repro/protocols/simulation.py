@@ -1,0 +1,195 @@
+"""Random simulation of population protocols.
+
+The scheduler picks, at every step, an ordered pair of distinct agents
+uniformly at random and applies a transition enabled for that pair (if any).
+With probability one such a scheduler produces a fair execution, so for
+well-specified *silent* protocols the simulation converges to a terminal
+consensus configuration and reports its output.
+
+The simulator is used by the examples and by tests as an empirical sanity
+check of the consensus values predicted by the verification engine.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from statistics import mean
+
+from repro.datatypes.multiset import Multiset
+from repro.protocols.protocol import Configuration, PopulationProtocol, ProtocolError, Transition
+from repro.protocols.semantics import enabled_transitions, is_consensus, is_terminal, output_of
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated execution."""
+
+    initial: Configuration
+    final: Configuration
+    steps: int
+    converged: bool
+    output: int | None
+    history_length: int = 0
+    interactions_attempted: int = 0
+
+    @property
+    def is_consensus(self) -> bool:
+        return self.output is not None
+
+
+@dataclass
+class BatchStatistics:
+    """Aggregate statistics over a batch of simulations of the same input."""
+
+    runs: int
+    converged_runs: int
+    outputs: dict[int, int]
+    mean_steps: float
+    max_steps: int
+
+    def agreed_output(self) -> int | None:
+        """The unique output observed across converged runs, if any."""
+        if len(self.outputs) == 1:
+            return next(iter(self.outputs))
+        return None
+
+
+@dataclass
+class Simulator:
+    """Random-scheduler simulator for a population protocol.
+
+    Parameters
+    ----------
+    protocol:
+        The protocol to simulate.
+    seed:
+        Seed of the pseudo-random scheduler (``None`` for nondeterministic).
+    max_steps:
+        Bound on the number of non-silent steps before giving up.
+    """
+
+    protocol: PopulationProtocol
+    seed: int | None = None
+    max_steps: int = 100_000
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        input_population: Mapping | Multiset | None = None,
+        configuration: Configuration | None = None,
+        record_history: bool = False,
+    ) -> SimulationResult:
+        """Simulate one execution until a terminal configuration or ``max_steps``.
+
+        Either ``input_population`` (a population over the input alphabet) or
+        ``configuration`` (a configuration over the states) must be given.
+        """
+        if (input_population is None) == (configuration is None):
+            raise ProtocolError("provide exactly one of input_population or configuration")
+        if configuration is None:
+            configuration = self.protocol.initial_configuration(input_population)
+        if not self.protocol.is_configuration(configuration):
+            raise ProtocolError(f"{configuration.pretty()} is not a configuration")
+
+        current = configuration
+        steps = 0
+        attempted = 0
+        history = 1
+        while steps < self.max_steps:
+            enabled = enabled_transitions(self.protocol, current)
+            if not enabled:
+                return SimulationResult(
+                    initial=configuration,
+                    final=current,
+                    steps=steps,
+                    converged=True,
+                    output=output_of(self.protocol, current),
+                    history_length=history,
+                    interactions_attempted=attempted,
+                )
+            transition = self._pick_transition(current, enabled)
+            attempted += 1
+            if transition is None:
+                continue
+            current = transition.fire(current)
+            steps += 1
+            if record_history:
+                history += 1
+        return SimulationResult(
+            initial=configuration,
+            final=current,
+            steps=steps,
+            converged=is_terminal(self.protocol, current),
+            output=output_of(self.protocol, current) if is_consensus(self.protocol, current) else None,
+            history_length=history,
+            interactions_attempted=attempted,
+        )
+
+    def _pick_transition(
+        self, configuration: Configuration, enabled: list[Transition]
+    ) -> Transition | None:
+        """Pick a random interacting pair; return an enabled transition for it.
+
+        To keep simulations fast we sample directly among enabled non-silent
+        transitions, weighting each transition by the number of agent pairs
+        that can take it.  This induces the same fair limiting behaviour as
+        the uniform-pair scheduler while never wasting steps on silent
+        interactions.
+        """
+        weights = []
+        for transition in enabled:
+            support = list(transition.pre.support())
+            if len(support) == 1:
+                state = support[0]
+                count = configuration[state]
+                weight = count * (count - 1) // 2
+            else:
+                weight = configuration[support[0]] * configuration[support[1]]
+            weights.append(weight)
+        total = sum(weights)
+        if total == 0:
+            return None
+        pick = self._rng.randrange(total)
+        for transition, weight in zip(enabled, weights):
+            if pick < weight:
+                return transition
+            pick -= weight
+        return enabled[-1]
+
+    # ------------------------------------------------------------------
+
+    def run_batch(
+        self,
+        input_population: Mapping | Multiset,
+        runs: int = 20,
+    ) -> BatchStatistics:
+        """Run several independent simulations of the same input."""
+        results = [self.run(input_population=input_population) for _ in range(runs)]
+        outputs: dict[int, int] = {}
+        for result in results:
+            if result.output is not None:
+                outputs[result.output] = outputs.get(result.output, 0) + 1
+        return BatchStatistics(
+            runs=runs,
+            converged_runs=sum(1 for r in results if r.converged),
+            outputs=outputs,
+            mean_steps=mean(r.steps for r in results),
+            max_steps=max(r.steps for r in results),
+        )
+
+
+def simulate(
+    protocol: PopulationProtocol,
+    input_population: Mapping | Multiset,
+    seed: int | None = 0,
+    max_steps: int = 100_000,
+) -> SimulationResult:
+    """Convenience wrapper: simulate one execution of ``protocol`` on an input."""
+    return Simulator(protocol, seed=seed, max_steps=max_steps).run(input_population=input_population)

@@ -1,0 +1,58 @@
+"""smtlite — a small SMT-style solver for quantifier-free linear integer arithmetic.
+
+The paper's decision procedure for WS³ membership reduces to the
+(un)satisfiability of boolean combinations of linear constraints over the
+natural numbers (Sections 4 and 6, Appendix D) and is implemented by the
+authors on top of the SMT solver Z3.  Z3 is not available in this
+environment, so this subpackage provides a from-scratch replacement with the
+small feature set the verification engine needs:
+
+* linear integer terms and atoms (:mod:`repro.smtlite.terms`),
+* a boolean formula AST with negation-normal-form and Tseitin CNF conversion
+  (:mod:`repro.smtlite.formula`, :mod:`repro.smtlite.cnf`),
+* a CDCL SAT solver (:mod:`repro.smtlite.sat`),
+* an exact rational simplex and a branch-and-bound integer feasibility solver
+  (:mod:`repro.smtlite.simplex`, :mod:`repro.smtlite.branch_and_bound`),
+* a theory solver for conjunctions of linear integer constraints with
+  conflict-core extraction (:mod:`repro.smtlite.theory`), optionally backed
+  by scipy's HiGHS MILP solver (:mod:`repro.smtlite.scipy_backend`),
+* a lazy DPLL(T) combination (:mod:`repro.smtlite.solver`).
+
+Every model returned by the solver is re-verified with exact integer
+arithmetic, so an inexact backend can never produce an incorrect "sat"
+answer.
+"""
+
+from repro.smtlite.formula import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    BoolVar,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+)
+from repro.smtlite.solver import Model, Solver, SolverResult, SolverStatus
+from repro.smtlite.terms import IntVar, LinearExpr
+
+__all__ = [
+    "LinearExpr",
+    "IntVar",
+    "Formula",
+    "Atom",
+    "BoolVar",
+    "And",
+    "Or",
+    "Not",
+    "Implies",
+    "Iff",
+    "TRUE",
+    "FALSE",
+    "Solver",
+    "SolverResult",
+    "SolverStatus",
+    "Model",
+]

@@ -1,0 +1,134 @@
+"""Tseitin / Plaisted-Greenbaum conversion of formulas to CNF.
+
+The converter keeps a persistent mapping between arithmetic atoms (and named
+boolean variables) and propositional variables, so that formulas added
+incrementally to the same solver share propositional variables.  Because the
+input is first put into negation normal form, the polarity-aware
+(Plaisted-Greenbaum) encoding is sufficient: every sub-formula only needs the
+clauses for its positive occurrence, which keeps the CNF small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.smtlite.formula import (
+    And,
+    Atom,
+    BoolConst,
+    BoolVar,
+    Formula,
+    Not,
+    Or,
+    to_nnf,
+)
+
+
+@dataclass
+class CNFConverter:
+    """Stateful converter from formulas to CNF clauses over integer literals."""
+
+    _next_var: int = 1
+    atom_to_var: dict[Atom, int] = field(default_factory=dict)
+    var_to_atom: dict[int, Atom] = field(default_factory=dict)
+    boolvar_to_var: dict[str, int] = field(default_factory=dict)
+    var_to_boolvar: dict[int, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+
+    def fresh_var(self) -> int:
+        var = self._next_var
+        self._next_var += 1
+        return var
+
+    @property
+    def variable_count(self) -> int:
+        return self._next_var - 1
+
+    def var_for_atom(self, atom: Atom) -> int:
+        """Propositional variable associated with an arithmetic atom."""
+        var = self.atom_to_var.get(atom)
+        if var is None:
+            var = self.fresh_var()
+            self.atom_to_var[atom] = var
+            self.var_to_atom[var] = atom
+        return var
+
+    def var_for_boolvar(self, name: str) -> int:
+        var = self.boolvar_to_var.get(name)
+        if var is None:
+            var = self.fresh_var()
+            self.boolvar_to_var[name] = var
+            self.var_to_boolvar[var] = name
+        return var
+
+    def is_theory_var(self, var: int) -> bool:
+        return var in self.var_to_atom
+
+    # ------------------------------------------------------------------
+
+    def convert(self, formula: Formula) -> tuple[list[list[int]], bool]:
+        """Convert a formula into clauses asserting it.
+
+        Returns ``(clauses, trivially_false)``.  ``trivially_false`` is True
+        when the formula simplifies to FALSE (in which case the clause list
+        contains a single empty clause).
+        """
+        nnf = to_nnf(formula)
+        clauses: list[list[int]] = []
+        if isinstance(nnf, BoolConst):
+            if nnf.value:
+                return [], False
+            return [[]], True
+        top_conjuncts = nnf.operands if isinstance(nnf, And) else (nnf,)
+        for conjunct in top_conjuncts:
+            self._assert_positive(conjunct, clauses)
+        return clauses, False
+
+    # ------------------------------------------------------------------
+
+    def _assert_positive(self, formula: Formula, clauses: list[list[int]]) -> None:
+        """Assert a (NNF) formula at the top level."""
+        if isinstance(formula, Or):
+            clause = self._clause_for_disjunction(formula, clauses)
+            clauses.append(clause)
+            return
+        literal = self._encode(formula, clauses)
+        clauses.append([literal])
+
+    def _clause_for_disjunction(self, formula: Or, clauses: list[list[int]]) -> list[int]:
+        literals = []
+        for operand in formula.operands:
+            literals.append(self._encode(operand, clauses))
+        return literals
+
+    def _encode(self, formula: Formula, clauses: list[list[int]]) -> int:
+        """Return a literal equi-satisfiable (for positive polarity) with ``formula``."""
+        if isinstance(formula, Atom):
+            return self.var_for_atom(formula)
+        if isinstance(formula, BoolVar):
+            return self.var_for_boolvar(formula.name)
+        if isinstance(formula, Not):
+            operand = formula.operand
+            if isinstance(operand, BoolVar):
+                return -self.var_for_boolvar(operand.name)
+            raise TypeError(f"NNF formulas may only negate boolean variables, got {formula!r}")
+        if isinstance(formula, BoolConst):
+            # Encode constants through a fresh variable pinned by a unit clause.
+            var = self.fresh_var()
+            clauses.append([var] if formula.value else [-var])
+            return var
+        if isinstance(formula, And):
+            aux = self.fresh_var()
+            for operand in formula.operands:
+                literal = self._encode(operand, clauses)
+                clauses.append([-aux, literal])
+            return aux
+        if isinstance(formula, Or):
+            aux = self.fresh_var()
+            clause = [-aux]
+            for operand in formula.operands:
+                clause.append(self._encode(operand, clauses))
+            clauses.append(clause)
+            return aux
+        raise TypeError(f"cannot encode formula {formula!r}")

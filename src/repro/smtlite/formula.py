@@ -1,0 +1,394 @@
+"""Boolean combinations of linear integer constraints.
+
+All comparison atoms are normalised to the single canonical shape
+``expression <= 0`` with integer coefficients.  Over the integers this is
+enough to express every comparison:
+
+* ``a <  b``  becomes  ``a - b + 1 <= 0``
+* ``a == b``  becomes  ``(a - b <= 0) and (b - a <= 0)``
+* ``a != b``  becomes  ``(a - b + 1 <= 0) or (b - a + 1 <= 0)``
+
+and, crucially, the *negation* of an atom is again an atom
+(``not (e <= 0)`` is ``1 - e <= 0``), so negation normal form never needs
+disequalities.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.smtlite.terms import LinearExpr
+
+
+class Formula:
+    """Base class of all formulas."""
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def __rshift__(self, other: "Formula") -> "Formula":
+        return Implies(self, other)
+
+    # Subclasses override:
+    def evaluate(self, ints: Mapping[str, int], bools: Mapping[str, bool] | None = None) -> bool:
+        raise NotImplementedError
+
+    def atoms(self) -> set["Atom"]:
+        """All arithmetic atoms occurring in the formula."""
+        result: set[Atom] = set()
+        self._collect_atoms(result)
+        return result
+
+    def bool_vars(self) -> set[str]:
+        """All propositional variables occurring in the formula."""
+        result: set[str] = set()
+        self._collect_bool_vars(result)
+        return result
+
+    def int_variables(self) -> set[str]:
+        """All integer variables occurring in the formula."""
+        return {name for atom in self.atoms() for name in atom.expr.variables()}
+
+    def _collect_atoms(self, into: set["Atom"]) -> None:
+        raise NotImplementedError
+
+    def _collect_bool_vars(self, into: set[str]) -> None:
+        raise NotImplementedError
+
+
+class BoolConst(Formula):
+    """The constants true and false."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        self.value = bool(value)
+
+    def evaluate(self, ints, bools=None) -> bool:
+        return self.value
+
+    def _collect_atoms(self, into) -> None:
+        pass
+
+    def _collect_bool_vars(self, into) -> None:
+        pass
+
+    def __eq__(self, other):
+        return isinstance(other, BoolConst) and self.value == other.value
+
+    def __hash__(self):
+        return hash(("const", self.value))
+
+    def __repr__(self):
+        return "TRUE" if self.value else "FALSE"
+
+
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+
+
+class Atom(Formula):
+    """The linear constraint ``expr <= 0``."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: LinearExpr):
+        if not isinstance(expr, LinearExpr):
+            raise TypeError(f"Atom expects a LinearExpr, got {expr!r}")
+        self.expr = expr
+
+    def negated(self) -> "Atom":
+        """The atom equivalent to ``not (expr <= 0)``, namely ``1 - expr <= 0``."""
+        return Atom(-self.expr + 1)
+
+    def evaluate(self, ints, bools=None) -> bool:
+        return self.expr.evaluate(ints) <= 0
+
+    def _collect_atoms(self, into) -> None:
+        into.add(self)
+
+    def _collect_bool_vars(self, into) -> None:
+        pass
+
+    def __eq__(self, other):
+        return isinstance(other, Atom) and self.expr == other.expr
+
+    def __hash__(self):
+        return hash(("atom", self.expr))
+
+    def __repr__(self):
+        return f"Atom({self.expr!r} <= 0)"
+
+
+class BoolVar(Formula):
+    """A propositional variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not isinstance(name, str) or not name:
+            raise TypeError("boolean variable names must be non-empty strings")
+        self.name = name
+
+    def evaluate(self, ints, bools=None) -> bool:
+        if bools is None or self.name not in bools:
+            raise KeyError(f"no value for boolean variable {self.name!r}")
+        return bool(bools[self.name])
+
+    def _collect_atoms(self, into) -> None:
+        pass
+
+    def _collect_bool_vars(self, into) -> None:
+        into.add(self.name)
+
+    def __eq__(self, other):
+        return isinstance(other, BoolVar) and self.name == other.name
+
+    def __hash__(self):
+        return hash(("bvar", self.name))
+
+    def __repr__(self):
+        return f"BoolVar({self.name!r})"
+
+
+class Not(Formula):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Formula):
+        self.operand = operand
+
+    def evaluate(self, ints, bools=None) -> bool:
+        return not self.operand.evaluate(ints, bools)
+
+    def _collect_atoms(self, into) -> None:
+        self.operand._collect_atoms(into)
+
+    def _collect_bool_vars(self, into) -> None:
+        self.operand._collect_bool_vars(into)
+
+    def __eq__(self, other):
+        return isinstance(other, Not) and self.operand == other.operand
+
+    def __hash__(self):
+        return hash(("not", self.operand))
+
+    def __repr__(self):
+        return f"Not({self.operand!r})"
+
+
+class _NaryFormula(Formula):
+    __slots__ = ("operands",)
+    _symbol = "?"
+
+    def __init__(self, *operands: Formula):
+        flattened: list[Formula] = []
+        for operand in operands:
+            if isinstance(operand, self.__class__):
+                flattened.extend(operand.operands)
+            else:
+                flattened.append(operand)
+        for operand in flattened:
+            if not isinstance(operand, Formula):
+                raise TypeError(f"{self._symbol} expects formulas, got {operand!r}")
+        self.operands = tuple(flattened)
+
+    def _collect_atoms(self, into) -> None:
+        for operand in self.operands:
+            operand._collect_atoms(into)
+
+    def _collect_bool_vars(self, into) -> None:
+        for operand in self.operands:
+            operand._collect_bool_vars(into)
+
+    def __eq__(self, other):
+        return isinstance(other, self.__class__) and self.operands == other.operands
+
+    def __hash__(self):
+        return hash((self._symbol, self.operands))
+
+    def __repr__(self):
+        inner = ", ".join(repr(op) for op in self.operands)
+        return f"{self.__class__.__name__}({inner})"
+
+
+class And(_NaryFormula):
+    _symbol = "and"
+
+    def evaluate(self, ints, bools=None) -> bool:
+        return all(operand.evaluate(ints, bools) for operand in self.operands)
+
+
+class Or(_NaryFormula):
+    _symbol = "or"
+
+    def evaluate(self, ints, bools=None) -> bool:
+        return any(operand.evaluate(ints, bools) for operand in self.operands)
+
+
+class Implies(Formula):
+    __slots__ = ("antecedent", "consequent")
+
+    def __init__(self, antecedent: Formula, consequent: Formula):
+        self.antecedent = antecedent
+        self.consequent = consequent
+
+    def evaluate(self, ints, bools=None) -> bool:
+        return (not self.antecedent.evaluate(ints, bools)) or self.consequent.evaluate(ints, bools)
+
+    def _collect_atoms(self, into) -> None:
+        self.antecedent._collect_atoms(into)
+        self.consequent._collect_atoms(into)
+
+    def _collect_bool_vars(self, into) -> None:
+        self.antecedent._collect_bool_vars(into)
+        self.consequent._collect_bool_vars(into)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Implies)
+            and self.antecedent == other.antecedent
+            and self.consequent == other.consequent
+        )
+
+    def __hash__(self):
+        return hash(("implies", self.antecedent, self.consequent))
+
+    def __repr__(self):
+        return f"Implies({self.antecedent!r}, {self.consequent!r})"
+
+
+class Iff(Formula):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Formula, right: Formula):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, ints, bools=None) -> bool:
+        return self.left.evaluate(ints, bools) == self.right.evaluate(ints, bools)
+
+    def _collect_atoms(self, into) -> None:
+        self.left._collect_atoms(into)
+        self.right._collect_atoms(into)
+
+    def _collect_bool_vars(self, into) -> None:
+        self.left._collect_bool_vars(into)
+        self.right._collect_bool_vars(into)
+
+    def __eq__(self, other):
+        return isinstance(other, Iff) and self.left == other.left and self.right == other.right
+
+    def __hash__(self):
+        return hash(("iff", self.left, self.right))
+
+    def __repr__(self):
+        return f"Iff({self.left!r}, {self.right!r})"
+
+
+# ----------------------------------------------------------------------
+# Comparison normalisation (used by LinearExpr's rich comparisons)
+# ----------------------------------------------------------------------
+
+
+def compare(left: LinearExpr, right: LinearExpr, kind: str) -> Formula:
+    """Normalise a comparison between two linear expressions to formulas over ``<= 0`` atoms."""
+    difference = left - right
+    if kind == "<=":
+        return _atom_or_const(difference)
+    if kind == ">=":
+        return _atom_or_const(-difference)
+    if kind == "<":
+        return _atom_or_const(difference + 1)
+    if kind == ">":
+        return _atom_or_const(-difference + 1)
+    if kind == "==":
+        return conjunction([_atom_or_const(difference), _atom_or_const(-difference)])
+    if kind == "!=":
+        return disjunction([_atom_or_const(difference + 1), _atom_or_const(-difference + 1)])
+    raise ValueError(f"unknown comparison {kind!r}")
+
+
+def _atom_or_const(expr: LinearExpr) -> Formula:
+    if expr.is_constant():
+        return TRUE if expr.constant <= 0 else FALSE
+    return Atom(expr)
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors
+# ----------------------------------------------------------------------
+
+
+def conjunction(formulas: Iterable[Formula]) -> Formula:
+    """``And`` over an iterable, simplifying constants; empty conjunction is TRUE."""
+    operands = []
+    for formula in formulas:
+        if formula == FALSE:
+            return FALSE
+        if formula == TRUE:
+            continue
+        operands.append(formula)
+    if not operands:
+        return TRUE
+    if len(operands) == 1:
+        return operands[0]
+    return And(*operands)
+
+
+def disjunction(formulas: Iterable[Formula]) -> Formula:
+    """``Or`` over an iterable, simplifying constants; empty disjunction is FALSE."""
+    operands = []
+    for formula in formulas:
+        if formula == TRUE:
+            return TRUE
+        if formula == FALSE:
+            continue
+        operands.append(formula)
+    if not operands:
+        return FALSE
+    if len(operands) == 1:
+        return operands[0]
+    return Or(*operands)
+
+
+# ----------------------------------------------------------------------
+# Negation normal form
+# ----------------------------------------------------------------------
+
+
+def to_nnf(formula: Formula, negate: bool = False) -> Formula:
+    """Negation normal form.
+
+    The result contains only ``And``, ``Or``, ``Atom``, ``BoolVar``,
+    ``Not(BoolVar)`` and boolean constants: arithmetic negation is absorbed
+    into the atoms themselves.
+    """
+    if isinstance(formula, BoolConst):
+        return BoolConst(formula.value != negate)
+    if isinstance(formula, Atom):
+        return formula.negated() if negate else formula
+    if isinstance(formula, BoolVar):
+        return Not(formula) if negate else formula
+    if isinstance(formula, Not):
+        return to_nnf(formula.operand, not negate)
+    if isinstance(formula, And):
+        children = [to_nnf(op, negate) for op in formula.operands]
+        return disjunction(children) if negate else conjunction(children)
+    if isinstance(formula, Or):
+        children = [to_nnf(op, negate) for op in formula.operands]
+        return conjunction(children) if negate else disjunction(children)
+    if isinstance(formula, Implies):
+        return to_nnf(Or(Not(formula.antecedent), formula.consequent), negate)
+    if isinstance(formula, Iff):
+        expanded = And(
+            Or(Not(formula.left), formula.right),
+            Or(Not(formula.right), formula.left),
+        )
+        return to_nnf(expanded, negate)
+    raise TypeError(f"unknown formula {formula!r}")

@@ -1,0 +1,355 @@
+"""A CDCL SAT solver.
+
+This is a compact but complete implementation of conflict-driven clause
+learning with the standard ingredients: two-watched-literal propagation,
+first-UIP conflict analysis, VSIDS-style variable activities, phase saving
+and geometric restarts.  It is used as the propositional engine of the
+DPLL(T) solver in :mod:`repro.smtlite.solver` and is also usable on its own
+(see the unit tests, which cross-check it against brute force on random
+instances).
+
+Clauses are lists of non-zero integers in the DIMACS convention: a positive
+literal ``v`` means "variable v is true", a negative literal ``-v`` means
+"variable v is false".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+class SatSolver:
+    """Conflict-driven clause-learning SAT solver."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: list[list[int]] = []
+        self.watches: dict[int, list[int]] = {}
+        self.assignment: list[bool | None] = [None]
+        self.level: list[int] = [0]
+        self.reason: list[int | None] = [None]
+        self.activity: list[float] = [0.0]
+        self.phase: list[bool] = [False]
+        self.trail: list[int] = []
+        self.trail_lim: list[int] = []
+        self.qhead = 0
+        self.unsat = False
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.statistics = {"conflicts": 0, "decisions": 0, "propagations": 0, "restarts": 0}
+
+    # ------------------------------------------------------------------
+    # Variables and clauses
+    # ------------------------------------------------------------------
+
+    def new_var(self) -> int:
+        """Allocate a new variable and return its (1-based) index."""
+        self.num_vars += 1
+        self.assignment.append(None)
+        self.level.append(0)
+        self.reason.append(None)
+        self.activity.append(0.0)
+        self.phase.append(False)
+        return self.num_vars
+
+    def ensure_vars(self, count: int) -> None:
+        """Make sure variables ``1..count`` exist."""
+        while self.num_vars < count:
+            self.new_var()
+
+    def _value(self, literal: int) -> bool | None:
+        value = self.assignment[abs(literal)]
+        if value is None:
+            return None
+        return value if literal > 0 else not value
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a clause.  Returns False if the solver becomes trivially unsat.
+
+        Must be called at decision level 0 (the solver backtracks to level 0
+        automatically after each :meth:`solve` call).
+        """
+        if self.unsat:
+            return False
+        if self.decision_level() != 0:
+            self._cancel_until(0)
+
+        seen: set[int] = set()
+        clause: list[int] = []
+        for literal in literals:
+            literal = int(literal)
+            if literal == 0:
+                raise ValueError("0 is not a valid literal")
+            self.ensure_vars(abs(literal))
+            if -literal in seen:
+                return True  # tautology
+            if literal in seen:
+                continue
+            value = self._value(literal)
+            if value is True and self.level[abs(literal)] == 0:
+                return True  # already satisfied at the root level
+            if value is False and self.level[abs(literal)] == 0:
+                continue  # literal can never help
+            seen.add(literal)
+            clause.append(literal)
+
+        if not clause:
+            self.unsat = True
+            return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self.unsat = True
+                return False
+            if self._propagate() is not None:
+                self.unsat = True
+                return False
+            return True
+        index = len(self.clauses)
+        self.clauses.append(clause)
+        self._watch(clause[0], index)
+        self._watch(clause[1], index)
+        return True
+
+    def _watch(self, literal: int, clause_index: int) -> None:
+        self.watches.setdefault(literal, []).append(clause_index)
+
+    # ------------------------------------------------------------------
+    # Trail management
+    # ------------------------------------------------------------------
+
+    def decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    def _enqueue(self, literal: int, reason: int | None) -> bool:
+        value = self._value(literal)
+        if value is not None:
+            return value
+        var = abs(literal)
+        self.assignment[var] = literal > 0
+        self.level[var] = self.decision_level()
+        self.reason[var] = reason
+        self.phase[var] = literal > 0
+        self.trail.append(literal)
+        return True
+
+    def _cancel_until(self, target_level: int) -> None:
+        if self.decision_level() <= target_level:
+            return
+        boundary = self.trail_lim[target_level]
+        for literal in reversed(self.trail[boundary:]):
+            var = abs(literal)
+            self.assignment[var] = None
+            self.reason[var] = None
+        del self.trail[boundary:]
+        del self.trail_lim[target_level:]
+        self.qhead = min(self.qhead, len(self.trail))
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+
+    def _propagate(self) -> list[int] | None:
+        """Unit propagation.  Returns a conflicting clause or None."""
+        while self.qhead < len(self.trail):
+            literal = self.trail[self.qhead]
+            self.qhead += 1
+            false_literal = -literal
+            watch_list = self.watches.get(false_literal, [])
+            new_watch_list: list[int] = []
+            conflict: list[int] | None = None
+            index_position = 0
+            while index_position < len(watch_list):
+                clause_index = watch_list[index_position]
+                index_position += 1
+                clause = self.clauses[clause_index]
+                # Ensure the false literal is at position 1.
+                if clause[0] == false_literal:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) is True:
+                    new_watch_list.append(clause_index)
+                    continue
+                # Look for a replacement watch.
+                replaced = False
+                for position in range(2, len(clause)):
+                    candidate = clause[position]
+                    if self._value(candidate) is not False:
+                        clause[1], clause[position] = clause[position], clause[1]
+                        self._watch(candidate, clause_index)
+                        replaced = True
+                        break
+                if replaced:
+                    continue
+                new_watch_list.append(clause_index)
+                if self._value(first) is False:
+                    # Conflict: keep the remaining watchers and stop.
+                    new_watch_list.extend(watch_list[index_position:])
+                    conflict = clause
+                    break
+                self.statistics["propagations"] += 1
+                self._enqueue(first, clause_index)
+            self.watches[false_literal] = new_watch_list
+            if conflict is not None:
+                return conflict
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for index in range(1, self.num_vars + 1):
+                self.activity[index] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _decay_activities(self) -> None:
+        self.var_inc /= self.var_decay
+
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        """First-UIP conflict analysis.
+
+        Returns the learned clause (with the asserting literal first) and the
+        backjump level.
+        """
+        learned: list[int] = []
+        seen: set[int] = set()
+        counter = 0
+        literal: int | None = None
+        clause: Sequence[int] = conflict
+        trail_index = len(self.trail) - 1
+        current_level = self.decision_level()
+
+        while True:
+            for clause_literal in clause:
+                # When resolving with the reason of `literal`, skip the
+                # asserted literal itself (it cancels against its negation).
+                if literal is not None and clause_literal == literal:
+                    continue
+                var = abs(clause_literal)
+                if var in seen or self.level[var] == 0:
+                    continue
+                seen.add(var)
+                self._bump(var)
+                if self.level[var] == current_level:
+                    counter += 1
+                else:
+                    learned.append(clause_literal)
+            # Find the next literal of the current level on the trail.
+            while abs(self.trail[trail_index]) not in seen:
+                trail_index -= 1
+            literal = self.trail[trail_index]
+            trail_index -= 1
+            var = abs(literal)
+            seen.discard(var)
+            counter -= 1
+            if counter == 0:
+                break
+            reason_index = self.reason[var]
+            clause = self.clauses[reason_index] if reason_index is not None else []
+        learned.insert(0, -literal)
+
+        if len(learned) == 1:
+            backjump_level = 0
+        else:
+            # Second-highest decision level in the learned clause.
+            backjump_level = 0
+            best_position = 1
+            for position in range(1, len(learned)):
+                var_level = self.level[abs(learned[position])]
+                if var_level > backjump_level:
+                    backjump_level = var_level
+                    best_position = position
+            learned[1], learned[best_position] = learned[best_position], learned[1]
+        return learned, backjump_level
+
+    def _record_learned(self, learned: list[int]) -> None:
+        if len(learned) == 1:
+            self._enqueue(learned[0], None)
+            return
+        index = len(self.clauses)
+        self.clauses.append(learned)
+        self._watch(learned[0], index)
+        self._watch(learned[1], index)
+        self._enqueue(learned[0], index)
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+
+    def _pick_branch_variable(self) -> int | None:
+        best_var = None
+        best_activity = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self.assignment[var] is None and self.activity[var] > best_activity:
+                best_activity = self.activity[var]
+                best_var = var
+        return best_var
+
+    # ------------------------------------------------------------------
+    # Main solving loop
+    # ------------------------------------------------------------------
+
+    def solve(self, max_conflicts: int | None = None) -> bool | None:
+        """Decide satisfiability of the current clause set.
+
+        Returns True (sat), False (unsat), or None if ``max_conflicts`` was
+        exhausted.  On True, :attr:`model` holds a satisfying assignment.
+        """
+        if self.unsat:
+            return False
+        self._cancel_until(0)
+        if self._propagate() is not None:
+            self.unsat = True
+            return False
+
+        total_conflicts = 0
+        restart_limit = 100
+        conflicts_since_restart = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.statistics["conflicts"] += 1
+                total_conflicts += 1
+                conflicts_since_restart += 1
+                if self.decision_level() == 0:
+                    self.unsat = True
+                    return False
+                learned, backjump_level = self._analyze(conflict)
+                self._cancel_until(backjump_level)
+                self._record_learned(learned)
+                self._decay_activities()
+                if max_conflicts is not None and total_conflicts >= max_conflicts:
+                    self._cancel_until(0)
+                    return None
+                continue
+
+            if conflicts_since_restart >= restart_limit:
+                conflicts_since_restart = 0
+                restart_limit = int(restart_limit * 1.5)
+                self.statistics["restarts"] += 1
+                self._cancel_until(0)
+                continue
+
+            variable = self._pick_branch_variable()
+            if variable is None:
+                return True
+            self.statistics["decisions"] += 1
+            self.trail_lim.append(len(self.trail))
+            literal = variable if self.phase[variable] else -variable
+            self._enqueue(literal, None)
+
+    @property
+    def model(self) -> dict[int, bool]:
+        """The satisfying assignment found by the last successful :meth:`solve`."""
+        return {
+            var: bool(self.assignment[var])
+            for var in range(1, self.num_vars + 1)
+            if self.assignment[var] is not None
+        }
+
+    def model_value(self, var: int, default: bool = False) -> bool:
+        value = self.assignment[var] if var <= self.num_vars else None
+        return default if value is None else value

@@ -1,0 +1,229 @@
+"""Theory backend based on scipy's HiGHS solvers.
+
+This backend decides conjunctions of linear integer constraints with
+``scipy.optimize.milp`` (branch-and-cut in HiGHS) and extracts conflict cores
+from the dual multipliers of an *elastic* LP relaxation.  It is considerably
+faster than the pure-Python exact backend on the larger constraint systems
+produced by the threshold/remainder/flock-of-birds benchmarks.
+
+Soundness: HiGHS works in floating point, so
+
+* every model is rounded to integers and re-verified exactly
+  (:func:`repro.smtlite.theory.verify_model`); if verification fails the
+  query is re-run on the exact backend;
+* every conflict core is re-verified by a dedicated infeasibility check
+  before being returned; if the check fails the full constraint set is
+  returned as the (always valid) core.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+from scipy import optimize, sparse
+
+from repro.smtlite.theory import (
+    Bounds,
+    ExactTheorySolver,
+    TheoryConstraint,
+    TheoryResult,
+    TheorySolverBase,
+    verify_model,
+)
+
+_MARGINAL_TOLERANCE = 1e-7
+_FEASIBILITY_TOLERANCE = 1e-6
+
+
+class ScipyTheorySolver(TheorySolverBase):
+    """Linear integer arithmetic backend using scipy/HiGHS."""
+
+    name = "scipy"
+
+    def __init__(self, minimize_cores: bool = True, core_minimization_budget: int = 16):
+        self.minimize_cores = minimize_cores
+        self.core_minimization_budget = core_minimization_budget
+        self._exact_fallback = ExactTheorySolver()
+        self.statistics = {"milp_calls": 0, "lp_calls": 0, "exact_fallbacks": 0}
+
+    # ------------------------------------------------------------------
+
+    def is_satisfiable(self, constraints: Sequence[TheoryConstraint], bounds: Bounds) -> bool:
+        """Single MILP feasibility call (no model verification, no core work)."""
+        constraints = list(constraints)
+        variables = sorted(
+            {name for constraint in constraints for name in constraint.variables()} | set(bounds)
+        )
+        if not constraints:
+            return True
+        if not variables:
+            return all(constraint.constant <= 0 for constraint in constraints)
+        index_of = {name: position for position, name in enumerate(variables)}
+        matrix, rhs = self._constraint_matrix(constraints, index_of)
+        lower, upper = self._bound_arrays(variables, bounds)
+        feasible, _ = self._solve_milp(matrix, rhs, lower, upper)
+        return feasible
+
+    def check(self, constraints: Sequence[TheoryConstraint], bounds: Bounds) -> TheoryResult:
+        constraints = list(constraints)
+        variables = sorted(
+            {name for constraint in constraints for name in constraint.variables()} | set(bounds)
+        )
+        if not constraints:
+            model = {name: self._default_value(bounds.get(name, (0, None))) for name in variables}
+            return TheoryResult(True, model=model)
+        if not variables:
+            # Constant constraints only.
+            if all(constraint.constant <= 0 for constraint in constraints):
+                return TheoryResult(True, model={})
+            core = [i for i, c in enumerate(constraints) if c.constant > 0]
+            return TheoryResult(False, core=core)
+
+        index_of = {name: position for position, name in enumerate(variables)}
+        matrix, rhs = self._constraint_matrix(constraints, index_of)
+        lower, upper = self._bound_arrays(variables, bounds)
+
+        feasible, values = self._solve_milp(matrix, rhs, lower, upper)
+        if feasible:
+            model = {name: values[index_of[name]] for name in variables}
+            if verify_model(constraints, bounds, model):
+                return TheoryResult(True, model=model)
+            self.statistics["exact_fallbacks"] += 1
+            return self._exact_fallback.check(constraints, bounds)
+
+        core = self._extract_core(constraints, bounds, matrix, rhs, lower, upper)
+        return TheoryResult(False, core=core)
+
+    # ------------------------------------------------------------------
+    # MILP / LP building blocks
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _default_value(bound: tuple[int | None, int | None]) -> int:
+        lower, upper = bound
+        if lower is not None:
+            return int(lower)
+        if upper is not None:
+            return int(upper)
+        return 0
+
+    @staticmethod
+    def _constraint_matrix(
+        constraints: Sequence[TheoryConstraint], index_of: dict[str, int]
+    ) -> tuple[sparse.csr_matrix, np.ndarray]:
+        data, row_indices, column_indices = [], [], []
+        rhs = np.zeros(len(constraints))
+        for row, constraint in enumerate(constraints):
+            rhs[row] = -constraint.constant
+            for name, coefficient in constraint.coefficients:
+                data.append(float(coefficient))
+                row_indices.append(row)
+                column_indices.append(index_of[name])
+        matrix = sparse.csr_matrix(
+            (data, (row_indices, column_indices)), shape=(len(constraints), len(index_of))
+        )
+        return matrix, rhs
+
+    @staticmethod
+    def _bound_arrays(
+        variables: list[str], bounds: Bounds
+    ) -> tuple[np.ndarray, np.ndarray]:
+        lower = np.zeros(len(variables))
+        upper = np.full(len(variables), np.inf)
+        for position, name in enumerate(variables):
+            low, high = bounds.get(name, (0, None))
+            lower[position] = -np.inf if low is None else float(low)
+            upper[position] = np.inf if high is None else float(high)
+        return lower, upper
+
+    def _solve_milp(
+        self,
+        matrix: sparse.csr_matrix,
+        rhs: np.ndarray,
+        lower: np.ndarray,
+        upper: np.ndarray,
+    ) -> tuple[bool, list[int] | None]:
+        self.statistics["milp_calls"] += 1
+        num_variables = matrix.shape[1]
+        constraint = optimize.LinearConstraint(matrix, -np.inf, rhs)
+        result = optimize.milp(
+            c=np.zeros(num_variables),
+            constraints=[constraint],
+            integrality=np.ones(num_variables),
+            bounds=optimize.Bounds(lower, upper),
+        )
+        if result.success and result.x is not None:
+            return True, [int(round(value)) for value in result.x]
+        return False, None
+
+    # ------------------------------------------------------------------
+    # Conflict cores
+    # ------------------------------------------------------------------
+
+    def _extract_core(
+        self,
+        constraints: Sequence[TheoryConstraint],
+        bounds: Bounds,
+        matrix: sparse.csr_matrix,
+        rhs: np.ndarray,
+        lower: np.ndarray,
+        upper: np.ndarray,
+    ) -> list[int]:
+        all_indices = list(range(len(constraints)))
+        candidate = self._elastic_lp_core(matrix, rhs, lower, upper)
+        core = None
+        if candidate and len(candidate) < len(constraints):
+            # Re-verify the candidate with a dedicated MILP call on the subset.
+            subset = [constraints[index] for index in candidate]
+            sub_variables = sorted({v for c in subset for v in c.variables()} | set(bounds))
+            sub_index_of = {name: position for position, name in enumerate(sub_variables)}
+            sub_matrix, sub_rhs = self._constraint_matrix(subset, sub_index_of)
+            sub_lower, sub_upper = self._bound_arrays(sub_variables, bounds)
+            feasible, _ = self._solve_milp(sub_matrix, sub_rhs, sub_lower, sub_upper)
+            if not feasible:
+                core = candidate
+        if core is None:
+            core = all_indices
+        if self.minimize_cores and 4 < len(core) <= self.core_minimization_budget:
+            core = self.minimize_core(constraints, bounds, core, max_checks=self.core_minimization_budget)
+        return core
+
+    def _elastic_lp_core(
+        self,
+        matrix: sparse.csr_matrix,
+        rhs: np.ndarray,
+        lower: np.ndarray,
+        upper: np.ndarray,
+    ) -> list[int] | None:
+        """Dual-based core from the elastic LP ``min sum(s) s.t. Ax - s <= b``.
+
+        If the minimal total violation is positive, the LP relaxation itself
+        is infeasible and the rows with non-zero dual multipliers form a
+        Farkas-style certificate.
+        """
+        self.statistics["lp_calls"] += 1
+        num_constraints, num_variables = matrix.shape
+        elastic = sparse.hstack([matrix, -sparse.identity(num_constraints, format="csr")], format="csr")
+        objective = np.concatenate([np.zeros(num_variables), np.ones(num_constraints)])
+        variable_bounds = [
+            (None if np.isneginf(low) else low, None if np.isposinf(high) else high)
+            for low, high in zip(lower, upper)
+        ] + [(0, None)] * num_constraints
+        result = optimize.linprog(
+            objective,
+            A_ub=elastic,
+            b_ub=rhs,
+            bounds=variable_bounds,
+            method="highs",
+        )
+        if not result.success:
+            return None
+        if result.fun <= _FEASIBILITY_TOLERANCE:
+            # LP relaxation is feasible: infeasibility is integrality-driven,
+            # no cheap certificate available.
+            return None
+        marginals = getattr(result.ineqlin, "marginals", None)
+        if marginals is None:
+            return None
+        return [index for index, value in enumerate(marginals) if abs(value) > _MARGINAL_TOLERANCE]

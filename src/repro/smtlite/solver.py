@@ -1,0 +1,225 @@
+"""Lazy DPLL(T) solver for quantifier-free linear integer arithmetic.
+
+The solver combines the CDCL SAT engine (:mod:`repro.smtlite.sat`) with a
+theory solver for conjunctions of linear integer constraints
+(:mod:`repro.smtlite.theory`) in the classical *lemmas on demand* style:
+
+1. formulas are converted to CNF over fresh propositional variables, one per
+   arithmetic atom (:mod:`repro.smtlite.cnf`);
+2. the SAT solver proposes a complete boolean assignment;
+3. the conjunction of arithmetic atoms implied by the assignment is checked
+   by the theory backend;
+4. on theory conflict, a blocking clause built from the conflict core is
+   learned and the loop continues; on theory success the arithmetic model is
+   returned.
+
+Every model is re-checked against all asserted formulas with exact integer
+arithmetic before it is handed to the caller.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.smtlite.cnf import CNFConverter
+from repro.smtlite.formula import Atom, Formula
+from repro.smtlite.sat import SatSolver
+from repro.smtlite.terms import IntVar, LinearExpr
+from repro.smtlite.theory import (
+    TheoryConstraint,
+    TheoryError,
+    TheorySolverBase,
+    default_theory_solver,
+)
+
+
+class SolverStatus(Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+class Model:
+    """A satisfying assignment: integer values plus boolean values."""
+
+    def __init__(self, ints: dict[str, int], bools: dict[str, bool]):
+        self._ints = dict(ints)
+        self._bools = dict(bools)
+
+    def value(self, item: LinearExpr | str) -> int:
+        """Value of an integer variable (by name) or of a linear expression."""
+        if isinstance(item, str):
+            return self._ints.get(item, 0)
+        return item.evaluate({name: self._ints.get(name, 0) for name in item.variables()})
+
+    def bool_value(self, name: str) -> bool:
+        return self._bools.get(name, False)
+
+    def ints(self) -> dict[str, int]:
+        return dict(self._ints)
+
+    def bools(self) -> dict[str, bool]:
+        return dict(self._bools)
+
+    def __repr__(self) -> str:
+        return f"Model(ints={self._ints!r}, bools={self._bools!r})"
+
+
+@dataclass
+class SolverResult:
+    status: SolverStatus
+    model: Model | None = None
+    statistics: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status is SolverStatus.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status is SolverStatus.UNSAT
+
+
+class Solver:
+    """DPLL(T) solver over linear integer arithmetic.
+
+    Integer variables default to the natural numbers (lower bound 0), which
+    is the domain used throughout the paper; different bounds can be declared
+    with :meth:`int_var`.
+    """
+
+    def __init__(
+        self,
+        theory: TheorySolverBase | str = "auto",
+        max_theory_iterations: int = 200_000,
+    ):
+        self._converter = CNFConverter()
+        self._sat = SatSolver()
+        if isinstance(theory, str):
+            self._theory = default_theory_solver(theory)
+        else:
+            self._theory = theory
+        self._bounds: dict[str, tuple[int | None, int | None]] = {}
+        self._formulas: list[Formula] = []
+        self._trivially_unsat = False
+        self._max_theory_iterations = max_theory_iterations
+        self.statistics = {"sat_rounds": 0, "theory_conflicts": 0, "theory_checks": 0}
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+
+    def int_var(
+        self, name: str, lower: int | None = 0, upper: int | None = None
+    ) -> LinearExpr:
+        """Declare (or re-declare) an integer variable with bounds and return it."""
+        self._bounds[name] = (lower, upper)
+        return IntVar(name)
+
+    def int_vars(self, names: Iterable[str], lower: int | None = 0, upper: int | None = None) -> list[LinearExpr]:
+        return [self.int_var(name, lower, upper) for name in names]
+
+    def add(self, *formulas: Formula) -> None:
+        """Assert one or more formulas (conjunctively)."""
+        for formula in formulas:
+            if not isinstance(formula, Formula):
+                raise TypeError(f"expected a Formula, got {formula!r}")
+            self._formulas.append(formula)
+            clauses, trivially_false = self._converter.convert(formula)
+            if trivially_false:
+                self._trivially_unsat = True
+                return
+            self._sat.ensure_vars(self._converter.variable_count)
+            for clause in clauses:
+                if not self._sat.add_clause(clause):
+                    self._trivially_unsat = True
+                    return
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+
+    def check(self) -> SolverResult:
+        """Decide satisfiability of the asserted formulas."""
+        if self._trivially_unsat:
+            return SolverResult(SolverStatus.UNSAT, statistics=dict(self.statistics))
+
+        for _ in range(self._max_theory_iterations):
+            self.statistics["sat_rounds"] += 1
+            sat_answer = self._sat.solve()
+            if sat_answer is False:
+                return SolverResult(SolverStatus.UNSAT, statistics=dict(self.statistics))
+            if sat_answer is None:  # pragma: no cover - no conflict budget is set
+                return SolverResult(SolverStatus.UNKNOWN, statistics=dict(self.statistics))
+
+            asserted, literals = self._asserted_constraints()
+            bounds = self._effective_bounds(asserted)
+            self.statistics["theory_checks"] += 1
+            try:
+                theory_result = self._theory.check(asserted, bounds)
+            except TheoryError:
+                return SolverResult(SolverStatus.UNKNOWN, statistics=dict(self.statistics))
+
+            if theory_result.satisfiable:
+                model = self._build_model(theory_result.model or {})
+                self._verify_model(model)
+                return SolverResult(SolverStatus.SAT, model=model, statistics=dict(self.statistics))
+
+            self.statistics["theory_conflicts"] += 1
+            core = theory_result.core or list(range(len(asserted)))
+            blocking_clause = [-literals[index] for index in core]
+            if not blocking_clause:
+                return SolverResult(SolverStatus.UNSAT, statistics=dict(self.statistics))
+            if not self._sat.add_clause(blocking_clause):
+                return SolverResult(SolverStatus.UNSAT, statistics=dict(self.statistics))
+        return SolverResult(SolverStatus.UNKNOWN, statistics=dict(self.statistics))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _asserted_constraints(self) -> tuple[list[TheoryConstraint], list[int]]:
+        """Theory constraints implied by the SAT model, with their SAT literals."""
+        constraints: list[TheoryConstraint] = []
+        literals: list[int] = []
+        for atom, variable in self._converter.atom_to_var.items():
+            value = self._sat.model_value(variable, default=False)
+            expr = atom.expr if value else atom.negated().expr
+            constraints.append(TheoryConstraint.from_expr(expr.coefficients, expr.constant))
+            literals.append(variable if value else -variable)
+        return constraints, literals
+
+    def _effective_bounds(
+        self, constraints: list[TheoryConstraint]
+    ) -> dict[str, tuple[int | None, int | None]]:
+        bounds = dict(self._bounds)
+        for constraint in constraints:
+            for name in constraint.variables():
+                bounds.setdefault(name, (0, None))
+        return bounds
+
+    def _build_model(self, ints: dict[str, int]) -> Model:
+        values = dict(ints)
+        for formula in self._formulas:
+            for name in formula.int_variables():
+                if name not in values:
+                    lower, _ = self._bounds.get(name, (0, None))
+                    values[name] = 0 if lower is None else int(lower)
+        bools = {
+            name: self._sat.model_value(variable, default=False)
+            for name, variable in self._converter.boolvar_to_var.items()
+        }
+        return Model(values, bools)
+
+    def _verify_model(self, model: Model) -> None:
+        """Exact sanity check: every asserted formula holds in the model."""
+        ints = model.ints()
+        bools = model.bools()
+        for formula in self._formulas:
+            if not formula.evaluate(ints, bools):
+                raise RuntimeError(
+                    "internal error: the produced model does not satisfy an asserted formula; "
+                    f"formula={formula!r}"
+                )

@@ -1,0 +1,34 @@
+"""The WS³ verification engine (Sections 4 and 6 of the paper).
+
+Public entry points:
+
+* :func:`repro.verification.ws3.verify_ws3` — decide membership in WS³
+  (LayeredTermination + StrongConsensus);
+* :func:`repro.verification.layered_termination.check_layered_termination`;
+* :func:`repro.verification.strong_consensus.check_strong_consensus`;
+* :func:`repro.verification.correctness.check_correctness` — does a WS³
+  protocol compute a given predicate? (the Section 6 extension);
+* :mod:`repro.verification.explicit` — the explicit-state single-input
+  baseline of earlier work.
+"""
+
+from repro.verification.correctness import CorrectnessResult, check_correctness
+from repro.verification.layered_termination import (
+    LayeredTerminationResult,
+    check_layered_termination,
+    check_partition,
+)
+from repro.verification.strong_consensus import StrongConsensusResult, check_strong_consensus
+from repro.verification.ws3 import WS3Result, verify_ws3
+
+__all__ = [
+    "verify_ws3",
+    "WS3Result",
+    "check_layered_termination",
+    "check_partition",
+    "LayeredTerminationResult",
+    "check_strong_consensus",
+    "StrongConsensusResult",
+    "check_correctness",
+    "CorrectnessResult",
+]

@@ -1,0 +1,211 @@
+"""Correctness of a (well-specified) protocol against a predicate.
+
+Section 6 of the paper describes an extension of the well-specification
+check: *given* a protocol that belongs to WS³ and a predicate φ over its
+inputs, check that the protocol actually computes φ.  The constraint system
+asks for an input ``X`` and a terminal configuration ``C`` potentially
+reachable from ``I(X)`` such that ``O(C) ≠ φ(X)``; if no such pair exists
+(after trap/siphon refinement) the protocol is correct.
+
+Predicates must offer the small interface implemented by
+:mod:`repro.presburger.predicates`:
+
+* ``formula(input_vars)`` — a :class:`repro.smtlite.formula.Formula` saying
+  "φ holds for the input whose symbol counts are ``input_vars``";
+* ``negation_formula(input_vars)`` — the same for ¬φ;
+* ``evaluate(input_population)`` — concrete evaluation (used by tests and by
+  the explicit-state baseline).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Protocol as TypingProtocol
+
+from repro.datatypes.multiset import Multiset
+from repro.protocols.protocol import PopulationProtocol
+from repro.smtlite.formula import Formula, conjunction
+from repro.smtlite.solver import Solver, SolverStatus
+from repro.smtlite.terms import LinearExpr
+from repro.verification.results import CorrectnessCounterexample, RefinementStep
+from repro.verification.strong_consensus import (
+    _ConstraintBuilder,
+    find_refinement,
+    terminal_support_patterns,
+)
+
+
+class PredicateLike(TypingProtocol):
+    """Structural interface required of predicates."""
+
+    def formula(self, input_vars: dict) -> Formula: ...
+
+    def negation_formula(self, input_vars: dict) -> Formula: ...
+
+    def evaluate(self, input_population) -> bool: ...
+
+
+@dataclass
+class CorrectnessResult:
+    """Outcome of the correctness check."""
+
+    holds: bool
+    counterexample: CorrectnessCounterexample | None = None
+    refinements: list[RefinementStep] = field(default_factory=list)
+    statistics: dict = field(default_factory=dict)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.holds
+
+
+def check_correctness(
+    protocol: PopulationProtocol,
+    predicate: PredicateLike,
+    theory: str = "auto",
+    max_refinements: int = 10_000,
+) -> CorrectnessResult:
+    """Check that a protocol computes ``predicate``.
+
+    The check is sound for protocols in WS³: a well-specified silent protocol
+    stabilises, for every input, to the output of some reachable terminal
+    configuration, and every reachable terminal configuration is potentially
+    reachable, so if no potentially-reachable terminal configuration carries
+    the wrong output the protocol computes the predicate.
+    """
+    start = time.perf_counter()
+    refinements: list[RefinementStep] = []
+    statistics = {"iterations": 0, "traps": 0, "siphons": 0}
+
+    for expected_output in (1, 0):
+        outcome = _check_one_direction(
+            protocol, predicate, expected_output, theory, max_refinements, refinements, statistics
+        )
+        if outcome is not None:
+            statistics["time"] = time.perf_counter() - start
+            return CorrectnessResult(
+                holds=False,
+                counterexample=outcome,
+                refinements=refinements,
+                statistics=statistics,
+            )
+
+    statistics["time"] = time.perf_counter() - start
+    return CorrectnessResult(holds=True, refinements=refinements, statistics=statistics)
+
+
+def _check_one_direction(
+    protocol: PopulationProtocol,
+    predicate: PredicateLike,
+    expected_output: int,
+    theory: str,
+    max_refinements: int,
+    refinements: list[RefinementStep],
+    statistics: dict,
+) -> CorrectnessCounterexample | None:
+    """Search for an input with ``φ(X) = expected_output`` reaching a wrong terminal.
+
+    The terminal configuration is constrained through the same
+    support-pattern enumeration as the StrongConsensus check: only patterns
+    that can populate a state of the wrong output need to be considered.
+    """
+    builder = _ConstraintBuilder(protocol)
+    wrong_output = 1 - expected_output
+    patterns = [
+        pattern
+        for pattern in terminal_support_patterns(protocol)
+        if pattern.admits_output(protocol, wrong_output)
+    ]
+    for pattern in patterns:
+        statistics["pattern_pairs"] = statistics.get("pattern_pairs", 0) + 1
+        outcome = _solve_pattern(
+            protocol,
+            builder,
+            predicate,
+            expected_output,
+            pattern,
+            theory,
+            max_refinements,
+            refinements,
+            statistics,
+        )
+        if outcome is not None:
+            return outcome
+    return None
+
+
+def _solve_pattern(
+    protocol: PopulationProtocol,
+    builder: _ConstraintBuilder,
+    predicate: PredicateLike,
+    expected_output: int,
+    pattern,
+    theory: str,
+    max_refinements: int,
+    refinements: list[RefinementStep],
+    statistics: dict,
+) -> CorrectnessCounterexample | None:
+    solver = Solver(theory=theory)
+    input_vars = {
+        symbol: solver.int_var(f"inp_{index}", lower=0)
+        for index, symbol in enumerate(protocol.input_alphabet)
+    }
+    x1 = builder.flow_vars("x1")
+
+    # The initial configuration is the image of the input under I, expressed
+    # directly over the input variables; the flow equations are likewise
+    # substituted away (c1 is an expression over the input and the flow).
+    solver.add(LinearExpr.sum_of(input_vars.values()) >= 2)
+    c0 = {}
+    for state in builder.states:
+        symbols = [symbol for symbol in protocol.input_alphabet if protocol.input_map[symbol] == state]
+        if symbols:
+            c0[state] = LinearExpr.sum_of(input_vars[symbol] for symbol in symbols)
+        else:
+            c0[state] = LinearExpr.constant_expr(0)
+    c1 = builder.derived_config(c0, x1)
+
+    solver.add(builder.non_negative(c1))
+    solver.add(builder.pattern(c1, pattern))
+    # Wrong output: some populated state disagrees with the expected value.
+    solver.add(builder.has_output(c1, 1 - expected_output))
+    if expected_output == 1:
+        solver.add(predicate.formula(input_vars))
+    else:
+        solver.add(predicate.negation_formula(input_vars))
+
+    for iteration in range(max_refinements):
+        statistics["iterations"] += 1
+        result = solver.check()
+        if result.status is SolverStatus.UNSAT:
+            return None
+        if result.status is SolverStatus.UNKNOWN:
+            raise RuntimeError("the constraint solver could not decide the correctness query")
+
+        model = result.model
+        initial = builder.configuration_from_model(model, c0)
+        terminal = builder.configuration_from_model(model, c1)
+        flow = builder.flow_from_model(model, x1)
+        step = find_refinement(protocol, initial, terminal, flow)
+        if step is None:
+            input_population = Multiset(
+                {
+                    symbol: model.value(variable)
+                    for symbol, variable in input_vars.items()
+                    if model.value(variable) > 0
+                }
+            )
+            return CorrectnessCounterexample(
+                input_population=input_population,
+                initial=initial,
+                terminal=terminal,
+                flow=flow,
+                expected_output=expected_output,
+            )
+        step = RefinementStep(kind=step.kind, states=step.states, iteration=iteration)
+        refinements.append(step)
+        statistics["traps" if step.kind == "trap" else "siphons"] += 1
+        solver.add(builder.refinement_constraint(step, c0, c1, x1, target_support=pattern.allowed))
+    raise RuntimeError(
+        f"correctness refinement did not converge within {max_refinements} iterations"
+    )

@@ -1,0 +1,166 @@
+"""Explicit-state verification of single inputs (the baseline of prior work).
+
+Before the paper, automatic verification of population protocols meant model
+checking the finite configuration graph of *one* input at a time
+[6, 8, 21, 25].  This module implements that baseline:
+
+* :func:`verify_single_input` — is the protocol well-specified *for one
+  input*, and what value does it compute for it?
+* :func:`verify_inputs_up_to` — exhaustively check all inputs up to a given
+  population size (what the earlier tools did);
+* :func:`check_predicate_on_inputs` — compare the computed values against a
+  predicate.
+
+Under the paper's global fairness condition, a fair execution from ``C0``
+eventually enters a bottom strongly connected component of the reachability
+graph and visits all of its configurations infinitely often.  Hence the
+protocol stabilises to ``b`` from ``C0`` iff every bottom SCC reachable from
+``C0`` consists of consensus-``b`` configurations only, all for the same ``b``.
+
+The module doubles as a ground-truth oracle for the WS³ verifier in tests,
+and as the baseline side of the benchmark ``E-baseline``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.datatypes.multiset import Multiset
+from repro.protocols.protocol import Configuration, PopulationProtocol
+from repro.protocols.semantics import (
+    enumerate_inputs,
+    output_of,
+    reachability_graph,
+)
+
+
+@dataclass
+class SingleInputResult:
+    """Verdict for one input configuration."""
+
+    input_population: Configuration
+    well_specified: bool
+    output: int | None
+    num_configurations: int
+    reason: str = ""
+    time: float = 0.0
+
+
+@dataclass
+class InputSweepResult:
+    """Aggregate verdict over all inputs up to a size bound."""
+
+    results: list[SingleInputResult] = field(default_factory=list)
+
+    @property
+    def all_well_specified(self) -> bool:
+        return all(result.well_specified for result in self.results)
+
+    @property
+    def total_configurations(self) -> int:
+        return sum(result.num_configurations for result in self.results)
+
+    @property
+    def total_time(self) -> float:
+        return sum(result.time for result in self.results)
+
+    def outputs(self) -> dict[Configuration, int | None]:
+        return {result.input_population: result.output for result in self.results}
+
+
+def verify_single_input(
+    protocol: PopulationProtocol,
+    input_population: Mapping | Multiset,
+    max_configurations: int = 200_000,
+) -> SingleInputResult:
+    """Model-check well-specification for a single input."""
+    start = time.perf_counter()
+    if not isinstance(input_population, Multiset):
+        input_population = Multiset(dict(input_population))
+    initial = protocol.initial_configuration(input_population)
+    graph = reachability_graph(protocol, initial, max_configurations=max_configurations)
+    if not graph.complete:
+        return SingleInputResult(
+            input_population=input_population,
+            well_specified=False,
+            output=None,
+            num_configurations=len(graph),
+            reason=f"state space truncated at {max_configurations} configurations",
+            time=time.perf_counter() - start,
+        )
+
+    outputs: set[int] = set()
+    for component in graph.bottom_sccs():
+        for configuration in component:
+            value = output_of(protocol, configuration)
+            if value is None:
+                return SingleInputResult(
+                    input_population=input_population,
+                    well_specified=False,
+                    output=None,
+                    num_configurations=len(graph),
+                    reason=(
+                        "a fair execution keeps visiting the non-consensus configuration "
+                        f"{configuration.pretty()}"
+                    ),
+                    time=time.perf_counter() - start,
+                )
+            outputs.add(value)
+    if len(outputs) != 1:
+        return SingleInputResult(
+            input_population=input_population,
+            well_specified=False,
+            output=None,
+            num_configurations=len(graph),
+            reason=f"different fair executions stabilise to different values {sorted(outputs)}",
+            time=time.perf_counter() - start,
+        )
+    return SingleInputResult(
+        input_population=input_population,
+        well_specified=True,
+        output=next(iter(outputs)),
+        num_configurations=len(graph),
+        time=time.perf_counter() - start,
+    )
+
+
+def verify_inputs_up_to(
+    protocol: PopulationProtocol,
+    max_size: int,
+    min_size: int = 2,
+    max_configurations: int = 200_000,
+) -> InputSweepResult:
+    """Check every input of size ``min_size .. max_size`` (the prior-work approach)."""
+    sweep = InputSweepResult()
+    for size in range(min_size, max_size + 1):
+        for input_population in enumerate_inputs(protocol, size):
+            sweep.results.append(
+                verify_single_input(protocol, input_population, max_configurations=max_configurations)
+            )
+    return sweep
+
+
+def check_predicate_on_inputs(
+    protocol: PopulationProtocol,
+    predicate,
+    max_size: int,
+    min_size: int = 2,
+    max_configurations: int = 200_000,
+) -> tuple[bool, list[tuple[Configuration, int | None, bool]]]:
+    """Compare the protocol's outputs against ``predicate`` on all small inputs.
+
+    Returns ``(all_match, mismatches)`` where each mismatch is a triple
+    ``(input, computed_output, expected)``.
+    """
+    mismatches: list[tuple[Configuration, int | None, bool]] = []
+    sweep = verify_inputs_up_to(
+        protocol, max_size, min_size=min_size, max_configurations=max_configurations
+    )
+    for result in sweep.results:
+        expected = bool(predicate.evaluate(result.input_population))
+        computed = result.output
+        if not result.well_specified or computed is None or bool(computed) != expected:
+            mismatches.append((result.input_population, computed, expected))
+    return not mismatches, mismatches

@@ -1,0 +1,115 @@
+"""Flow equations and potential reachability (Section 4 of the paper).
+
+For a step ``C --t--> C'`` of a population protocol and every state ``q`` we
+have ``C'(q) = C(q) + post(t)(q) - pre(t)(q)``.  Summed over a transition
+sequence this gives the *flow equations* (Equation (1)): a necessary
+condition for ``C ->* C'`` parametrised by a vector ``x : T -> N`` counting
+transition occurrences.  The flow equations together with trap and siphon
+constraints define the *potential reachability* relation of Definition 12,
+which over-approximates reachability and is the backbone of the
+StrongConsensus check.
+
+This module provides the concrete (numeric) side of these notions: applying
+a flow vector to a configuration, checking the flow equations, and checking
+a full potential-reachability witness.  The symbolic (constraint) side lives
+in :mod:`repro.verification.strong_consensus`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.datatypes.multiset import Multiset
+from repro.protocols.protocol import Configuration, PopulationProtocol, Transition
+from repro.verification.traps_siphons import (
+    maximal_trap_with_support_outside,
+    maximal_siphon_with_support_outside,
+    pre_transitions,
+    post_transitions,
+)
+
+
+def transition_effect(transition: Transition) -> dict:
+    """The effect ``post - pre`` of a transition on every state it mentions."""
+    return transition.delta()
+
+
+def apply_flow(
+    configuration: Configuration, flow: Mapping[Transition, int]
+) -> dict:
+    """Apply a flow vector to a configuration.
+
+    Returns a plain dictionary (values may be negative, in which case no
+    configuration satisfies the flow equations with this vector).
+    """
+    counts: dict = {state: count for state, count in configuration.items()}
+    for transition, occurrences in flow.items():
+        if occurrences < 0:
+            raise ValueError("flow vectors must be non-negative")
+        if occurrences == 0:
+            continue
+        for state, change in transition.delta().items():
+            counts[state] = counts.get(state, 0) + occurrences * change
+    return counts
+
+
+def satisfies_flow_equations(
+    source: Configuration, target: Configuration, flow: Mapping[Transition, int]
+) -> bool:
+    """Check Equation (1) for every state."""
+    predicted = apply_flow(source, flow)
+    states = set(predicted) | set(target.support())
+    return all(predicted.get(state, 0) == target[state] for state in states)
+
+
+@dataclass
+class PotentialReachabilityWitness:
+    """A triple ``(C, C', x)`` claimed to satisfy ``C -x-> C'`` potentially."""
+
+    source: Configuration
+    target: Configuration
+    flow: dict[Transition, int]
+
+    def support(self) -> frozenset[Transition]:
+        return frozenset(t for t, occurrences in self.flow.items() if occurrences > 0)
+
+
+def check_potential_reachability(
+    protocol: PopulationProtocol, witness: PotentialReachabilityWitness
+) -> tuple[bool, str]:
+    """Check all three conditions of Definition 12 on concrete values.
+
+    Returns ``(True, "")`` if the witness is a genuine potential-reachability
+    witness, and ``(False, reason)`` otherwise.  Because the union of traps
+    (resp. siphons) is a trap (resp. siphon), it is enough to inspect the
+    maximal trap avoiding the support of the target (resp. the maximal siphon
+    avoiding the support of the source).
+    """
+    if not satisfies_flow_equations(witness.source, witness.target, witness.flow):
+        return False, "flow equations violated"
+    support = witness.support()
+
+    empty_in_target = {q for q in protocol.states if witness.target[q] == 0}
+    trap = maximal_trap_with_support_outside(protocol, support, empty_in_target)
+    if trap and pre_transitions(protocol, trap) & support:
+        return False, f"trap constraint violated by {sorted(map(repr, trap))}"
+
+    empty_in_source = {q for q in protocol.states if witness.source[q] == 0}
+    siphon = maximal_siphon_with_support_outside(protocol, support, empty_in_source)
+    if siphon and post_transitions(protocol, siphon) & support:
+        return False, f"siphon constraint violated by {sorted(map(repr, siphon))}"
+    return True, ""
+
+
+def flow_from_transition_sequence(transitions: list[Transition]) -> dict[Transition, int]:
+    """The Parikh image (occurrence counts) of a transition sequence."""
+    flow: dict[Transition, int] = {}
+    for transition in transitions:
+        flow[transition] = flow.get(transition, 0) + 1
+    return flow
+
+
+def configuration_from_counts(counts: Mapping) -> Configuration:
+    """Build a configuration from a (possibly zero-padded) count mapping."""
+    return Multiset({state: count for state, count in counts.items() if count > 0})

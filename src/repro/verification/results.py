@@ -1,0 +1,99 @@
+"""Result and certificate types shared by the verification modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from repro.protocols.protocol import Configuration, OrderedPartition, Transition
+
+
+@dataclass
+class LayerCertificate:
+    """Evidence that one layer terminates: a linear ranking function.
+
+    The ranking function assigns a non-negative weight to every state such
+    that every non-silent transition of the layer strictly decreases the
+    total weight of the configuration; its existence is equivalent to
+    condition (a) of Definition 4 for the layer (Proposition 6 via LP
+    duality / Farkas' lemma).  ``None`` weights mean the certificate was not
+    materialised (the silence check itself is still exact).
+    """
+
+    layer_index: int
+    transitions: frozenset[Transition]
+    ranking: dict | None = None
+
+    def weight_of(self, configuration: Configuration) -> Fraction | None:
+        if self.ranking is None:
+            return None
+        return sum(
+            (Fraction(self.ranking.get(state, 0)) * count for state, count in configuration.items()),
+            Fraction(0),
+        )
+
+
+@dataclass
+class LayeredTerminationCertificate:
+    """A verified ordered partition witnessing LayeredTermination."""
+
+    partition: OrderedPartition
+    layers: list[LayerCertificate] = field(default_factory=list)
+    strategy: str = "unknown"
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.partition)
+
+
+@dataclass
+class StrongConsensusCounterexample:
+    """A witness that StrongConsensus fails (Definition 14).
+
+    Two terminal configurations with different outputs (or one non-consensus
+    terminal configuration, in which case they coincide) are potentially
+    reachable from the same initial configuration.
+    """
+
+    initial: Configuration
+    terminal_true: Configuration
+    terminal_false: Configuration
+    flow_true: dict[Transition, int]
+    flow_false: dict[Transition, int]
+
+    def describe(self) -> str:
+        return (
+            f"from initial configuration {self.initial.pretty()} the protocol can potentially reach "
+            f"both {self.terminal_true.pretty()} (output 1) and {self.terminal_false.pretty()} (output 0)"
+        )
+
+
+@dataclass
+class RefinementStep:
+    """One trap/siphon constraint added by the CEGAR loop of Section 6."""
+
+    kind: str  # "trap" or "siphon"
+    states: frozenset
+    iteration: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("trap", "siphon"):
+            raise ValueError(f"refinement kind must be 'trap' or 'siphon', got {self.kind!r}")
+
+
+@dataclass
+class CorrectnessCounterexample:
+    """A potential execution that ends with the wrong output for its input."""
+
+    input_population: Configuration
+    initial: Configuration
+    terminal: Configuration
+    flow: dict[Transition, int]
+    expected_output: int
+
+    def describe(self) -> str:
+        return (
+            f"input {self.input_population.pretty()} (expected output {self.expected_output}) can "
+            f"potentially reach terminal configuration {self.terminal.pretty()} containing states of "
+            f"output {1 - self.expected_output}"
+        )

@@ -1,0 +1,574 @@
+"""StrongConsensus (Definition 14, Section 4.2) via the CEGAR loop of Section 6.
+
+A protocol satisfies *StrongConsensus* if no initial configuration can
+*potentially* reach (Definition 12: flow equations + trap/siphon constraints)
+two terminal configurations whose outputs disagree.  Following the paper's
+implementation we do not eagerly enumerate traps and siphons (there can be
+exponentially many); instead we run a counterexample-guided refinement loop:
+
+1. assert the flow equations, the initial/terminal/True/False constraints of
+   Appendix D.2 and the trap/siphon constraints collected so far;
+2. if unsatisfiable, StrongConsensus holds;
+3. otherwise take the model ``(C0, C1, C2, x1, x2)``, compute (greedily, in
+   polynomial time) the maximal ``U_j``-trap unpopulated in ``C_j`` and the
+   maximal ``U_j``-siphon unpopulated in ``C0`` for ``j = 1, 2``;
+4. if one of them witnesses a violated trap/siphon condition, add the
+   corresponding constraint and repeat; otherwise the model is a genuine
+   counterexample and StrongConsensus fails.
+
+Solving strategies
+------------------
+
+The paper hands the whole constraint system — whose only hard boolean
+structure is the big conjunction-of-disjunctions ``Terminal(c)`` — to Z3.
+Our from-scratch solver is far weaker than Z3 at pruning that boolean
+structure, so the default strategy factors it out combinatorially:
+``Terminal(c)`` only constrains the *support* of ``c`` (it must be an
+independent set of the "interaction conflict graph", with agents of a state
+that reacts with itself capped at one), so we enumerate the maximal
+independent sets once and solve one small, almost purely conjunctive system
+per pair of candidate supports.  For all protocol families from the paper
+the number of maximal independent sets is linear in the number of states.
+The paper's monolithic encoding is kept as an alternative strategy (used by
+the ablation benchmark and for small protocols).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.datatypes.multiset import Multiset
+from repro.protocols.protocol import Configuration, PopulationProtocol, Transition
+from repro.smtlite.formula import Formula, Implies, conjunction, disjunction
+from repro.smtlite.solver import Model, Solver, SolverStatus
+from repro.smtlite.terms import LinearExpr
+from repro.verification.results import RefinementStep, StrongConsensusCounterexample
+from repro.verification.traps_siphons import (
+    maximal_siphon_with_support_outside,
+    maximal_trap_with_support_outside,
+)
+
+
+@dataclass
+class StrongConsensusResult:
+    """Outcome of the StrongConsensus check."""
+
+    holds: bool
+    counterexample: StrongConsensusCounterexample | None = None
+    refinements: list[RefinementStep] = field(default_factory=list)
+    statistics: dict = field(default_factory=dict)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.holds
+
+
+# ----------------------------------------------------------------------
+# Terminal support patterns
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TerminalPattern:
+    """A candidate shape for a terminal configuration.
+
+    ``allowed`` is a maximal independent set of the interaction conflict
+    graph: only these states may be populated.  ``capped`` are the allowed
+    states that react with themselves, so they can hold at most one agent.
+    Every terminal configuration matches at least one pattern, and every
+    configuration matching a pattern is terminal.
+    """
+
+    allowed: frozenset
+    capped: frozenset
+
+    def admits_output(self, protocol: PopulationProtocol, output: int) -> bool:
+        return any(protocol.output_map[state] == output for state in self.allowed)
+
+
+def terminal_support_patterns(protocol: PopulationProtocol) -> list[TerminalPattern]:
+    """Enumerate the terminal support patterns of a protocol.
+
+    The *conflict graph* has the protocol's states as vertices and an edge
+    between two distinct states that appear together in the pre of some
+    non-silent transition.  A configuration is terminal iff its support is an
+    independent set of this graph and every state with a non-silent
+    self-interaction holds at most one agent.  Patterns are the maximal
+    independent sets (computed via maximal cliques of the complement graph).
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(protocol.states)
+    self_forbidden: set = set()
+    for transition in protocol.transitions:
+        support = sorted(transition.pre.support(), key=repr)
+        if len(support) == 1:
+            self_forbidden.add(support[0])
+        else:
+            graph.add_edge(support[0], support[1])
+    complement = nx.complement(graph)
+    patterns = []
+    for clique in nx.find_cliques(complement):
+        allowed = frozenset(clique)
+        patterns.append(TerminalPattern(allowed=allowed, capped=frozenset(allowed & self_forbidden)))
+    patterns.sort(key=lambda pattern: sorted(map(repr, pattern.allowed)))
+    return patterns
+
+
+# ----------------------------------------------------------------------
+# Constraint builder (Appendix D.2)
+# ----------------------------------------------------------------------
+
+
+class _ConstraintBuilder:
+    """Shared naming scheme and constraint templates from Appendix D.2."""
+
+    def __init__(self, protocol: PopulationProtocol):
+        self.protocol = protocol
+        self.states = sorted(protocol.states, key=repr)
+        self.state_index = {state: index for index, state in enumerate(self.states)}
+        self.transitions = list(protocol.transitions)
+        self.transition_index = {t: index for index, t in enumerate(self.transitions)}
+
+    # -- variable families -------------------------------------------------
+
+    def config_vars(self, prefix: str) -> dict:
+        return {state: LinearExpr.variable(f"{prefix}_{self.state_index[state]}") for state in self.states}
+
+    def flow_vars(self, prefix: str) -> dict[Transition, LinearExpr]:
+        return {
+            transition: LinearExpr.variable(f"{prefix}_{self.transition_index[transition]}")
+            for transition in self.transitions
+        }
+
+    def derived_config(self, source: dict, flow: dict[Transition, LinearExpr]) -> dict:
+        """The configuration reached from ``source`` via ``flow``, as expressions.
+
+        Substituting the flow equations away (instead of introducing fresh
+        variables per target state plus equality constraints) keeps the
+        constraint systems handed to the theory solver small.
+        """
+        derived = {}
+        for state in self.states:
+            change = LinearExpr.sum_of(
+                (transition.post[state] - transition.pre[state]) * flow[transition]
+                for transition in self.transitions
+                if transition.post[state] - transition.pre[state] != 0
+            )
+            derived[state] = source[state] + change
+        return derived
+
+    def non_negative(self, config: dict) -> Formula:
+        """Every (derived) state count is non-negative."""
+        return conjunction([config[state] >= 0 for state in self.states])
+
+    # -- constraint templates ----------------------------------------------
+
+    def initial(self, config: dict) -> Formula:
+        """``Initial(c)``: population of size >= 2 located on initial states only."""
+        initial_states = self.protocol.initial_states()
+        on_initial = LinearExpr.sum_of(config[state] for state in self.states if state in initial_states)
+        off_initial = [config[state] <= 0 for state in self.states if state not in initial_states]
+        return conjunction([on_initial >= 2] + off_initial)
+
+    def terminal(self, config: dict) -> Formula:
+        """``Terminal(c)``: every non-silent transition is disabled (monolithic form)."""
+        clauses = []
+        for transition in self.transitions:
+            options = [
+                config[state] <= transition.pre[state] - 1
+                for state in transition.pre.support()
+            ]
+            clauses.append(disjunction(options))
+        return conjunction(clauses)
+
+    def pattern(self, config: dict, pattern: TerminalPattern) -> Formula:
+        """Terminal-ness restricted to one support pattern (conjunctive form)."""
+        constraints = []
+        for state in self.states:
+            if state not in pattern.allowed:
+                constraints.append(config[state] <= 0)
+            elif state in pattern.capped:
+                constraints.append(config[state] <= 1)
+        return conjunction(constraints)
+
+    def has_output(self, config: dict, output: int) -> Formula:
+        """``True(c)`` / ``False(c)``: some populated state has the given output."""
+        states = [state for state in self.states if self.protocol.output_map[state] == output]
+        if not states:
+            from repro.smtlite.formula import FALSE
+
+            return FALSE
+        return LinearExpr.sum_of(config[state] for state in states) >= 1
+
+    def flow_equation(self, source: dict, target: dict, flow: dict[Transition, LinearExpr]) -> Formula:
+        """``FlowEquation(c, c', x)`` for every state (monolithic form)."""
+        constraints = []
+        for state in self.states:
+            change = LinearExpr.sum_of(
+                (transition.post[state] - transition.pre[state]) * flow[transition]
+                for transition in self.transitions
+                if transition.post[state] - transition.pre[state] != 0
+            )
+            constraints.append(target[state].eq(source[state] + change))
+        return conjunction(constraints)
+
+    def trap_constraint(
+        self,
+        states: Iterable,
+        source: dict,
+        target: dict,
+        flow: dict[Transition, LinearExpr],
+        target_support: Iterable | None = None,
+    ) -> Formula:
+        """``UTrap(R, c, c', x)``: if the flow uses •R and R is a trap of its support, R stays marked.
+
+        ``target_support`` may restrict the states that can possibly be
+        populated in the target configuration (e.g. the allowed set of a
+        terminal support pattern); states outside it contribute nothing to
+        the "stays marked" sum, which often turns the consequent into FALSE
+        and the whole constraint into a two-literal clause.
+        """
+        states = set(states)
+        into = [t for t in self.transitions if set(t.post.support()) & states]
+        out_only = [
+            t
+            for t in self.transitions
+            if set(t.pre.support()) & states and not (set(t.post.support()) & states)
+        ]
+        marked_states = states if target_support is None else states & set(target_support)
+        uses_into = LinearExpr.sum_of(flow[t] for t in into) >= 1 if into else None
+        no_escape = LinearExpr.sum_of(flow[t] for t in out_only) <= 0 if out_only else None
+        if marked_states:
+            marked: Formula = LinearExpr.sum_of(target[state] for state in marked_states) >= 1
+        else:
+            from repro.smtlite.formula import FALSE
+
+            marked = FALSE
+        if uses_into is None:
+            return marked if no_escape is None else Implies(no_escape, marked)
+        antecedent = uses_into if no_escape is None else conjunction([uses_into, no_escape])
+        return Implies(antecedent, marked)
+
+    def siphon_constraint(
+        self,
+        states: Iterable,
+        source: dict,
+        target: dict,
+        flow: dict[Transition, LinearExpr],
+        source_support: Iterable | None = None,
+    ) -> Formula:
+        """``USiphon(S, c, c', x)``: if the flow uses S• and S is a siphon of its support, S was marked.
+
+        ``source_support`` restricts the states that can be populated in the
+        source configuration; by default it is the set of initial states
+        (``Initial(c0)`` forces every other state of ``c0`` to zero).
+        """
+        states = set(states)
+        out = [t for t in self.transitions if set(t.pre.support()) & states]
+        in_only = [
+            t
+            for t in self.transitions
+            if set(t.post.support()) & states and not (set(t.pre.support()) & states)
+        ]
+        if source_support is None:
+            source_support = self.protocol.initial_states()
+        marked_states = states & set(source_support)
+        uses_out = LinearExpr.sum_of(flow[t] for t in out) >= 1 if out else None
+        no_refill = LinearExpr.sum_of(flow[t] for t in in_only) <= 0 if in_only else None
+        if marked_states:
+            marked: Formula = LinearExpr.sum_of(source[state] for state in marked_states) >= 1
+        else:
+            from repro.smtlite.formula import FALSE
+
+            marked = FALSE
+        if uses_out is None:
+            return marked if no_refill is None else Implies(no_refill, marked)
+        antecedent = uses_out if no_refill is None else conjunction([uses_out, no_refill])
+        return Implies(antecedent, marked)
+
+    def refinement_constraint(
+        self,
+        step: RefinementStep,
+        source: dict,
+        target: dict,
+        flow: dict[Transition, LinearExpr],
+        target_support: Iterable | None = None,
+    ) -> Formula:
+        if step.kind == "trap":
+            return self.trap_constraint(step.states, source, target, flow, target_support=target_support)
+        return self.siphon_constraint(step.states, source, target, flow)
+
+    # -- model extraction ----------------------------------------------------
+
+    def configuration_from_model(self, model: Model, config: dict) -> Configuration:
+        return Multiset(
+            {state: model.value(config[state]) for state in self.states if model.value(config[state]) > 0}
+        )
+
+    def flow_from_model(self, model: Model, flow: dict[Transition, LinearExpr]) -> dict[Transition, int]:
+        return {
+            transition: model.value(expression)
+            for transition, expression in flow.items()
+            if model.value(expression) > 0
+        }
+
+
+# ----------------------------------------------------------------------
+# Trap/siphon refinement
+# ----------------------------------------------------------------------
+
+
+def find_refinement(
+    protocol: PopulationProtocol,
+    source: Configuration,
+    target: Configuration,
+    flow: dict[Transition, int],
+) -> RefinementStep | None:
+    """Find a trap/siphon constraint of Definition 12 violated by a model.
+
+    Because traps (siphons) are closed under union it suffices to inspect the
+    maximal trap unpopulated in the target (the maximal siphon unpopulated in
+    the source).
+    """
+    support = [t for t, occurrences in flow.items() if occurrences > 0]
+    if not support:
+        return None
+    empty_target = {state for state in protocol.states if target[state] == 0}
+    trap = maximal_trap_with_support_outside(protocol, support, empty_target)
+    if trap:
+        feeds_trap = any(set(t.post.support()) & trap for t in support)
+        if feeds_trap:
+            return RefinementStep(kind="trap", states=frozenset(trap), iteration=-1)
+    empty_source = {state for state in protocol.states if source[state] == 0}
+    siphon = maximal_siphon_with_support_outside(protocol, support, empty_source)
+    if siphon:
+        drains_siphon = any(set(t.pre.support()) & siphon for t in support)
+        if drains_siphon:
+            return RefinementStep(kind="siphon", states=frozenset(siphon), iteration=-1)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Main entry point
+# ----------------------------------------------------------------------
+
+
+def check_strong_consensus(
+    protocol: PopulationProtocol,
+    theory: str = "auto",
+    strategy: str = "auto",
+    max_refinements: int = 10_000,
+    max_pattern_pairs: int = 250_000,
+) -> StrongConsensusResult:
+    """Decide StrongConsensus with the trap/siphon refinement loop of Section 6.
+
+    ``strategy`` is one of ``"auto"``, ``"patterns"`` (enumerate terminal
+    support patterns, the default for anything non-trivial) or
+    ``"monolithic"`` (the paper's single constraint system with the
+    ``Terminal`` disjunctions left to the solver).
+    """
+    start = time.perf_counter()
+    if strategy not in ("auto", "patterns", "monolithic"):
+        raise ValueError(f"unknown StrongConsensus strategy {strategy!r}")
+    chosen = strategy
+    patterns: list[TerminalPattern] | None = None
+    if strategy in ("auto", "patterns"):
+        patterns = terminal_support_patterns(protocol)
+        true_patterns = [p for p in patterns if p.admits_output(protocol, 1)]
+        false_patterns = [p for p in patterns if p.admits_output(protocol, 0)]
+        num_pairs = len(true_patterns) * len(false_patterns)
+        if strategy == "auto":
+            chosen = "patterns" if num_pairs <= max_pattern_pairs else "monolithic"
+        else:
+            chosen = "patterns"
+
+    if chosen == "patterns":
+        result = _check_with_patterns(
+            protocol, true_patterns, false_patterns, theory, max_refinements
+        )
+    else:
+        result = _check_monolithic(protocol, theory, max_refinements)
+    result.statistics["strategy"] = chosen
+    result.statistics["time"] = time.perf_counter() - start
+    if patterns is not None:
+        result.statistics["patterns"] = len(patterns)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Strategy 1: terminal-support-pattern enumeration
+# ----------------------------------------------------------------------
+
+
+def _check_with_patterns(
+    protocol: PopulationProtocol,
+    true_patterns: list[TerminalPattern],
+    false_patterns: list[TerminalPattern],
+    theory: str,
+    max_refinements: int,
+) -> StrongConsensusResult:
+    builder = _ConstraintBuilder(protocol)
+    refinements: list[RefinementStep] = []
+    statistics = {"iterations": 0, "traps": 0, "siphons": 0, "pattern_pairs": 0}
+
+    for pattern_true in true_patterns:
+        for pattern_false in false_patterns:
+            statistics["pattern_pairs"] += 1
+            outcome = _solve_pattern_pair(
+                protocol,
+                builder,
+                pattern_true,
+                pattern_false,
+                theory,
+                max_refinements,
+                refinements,
+                statistics,
+            )
+            if outcome is not None:
+                return StrongConsensusResult(
+                    holds=False,
+                    counterexample=outcome,
+                    refinements=refinements,
+                    statistics=statistics,
+                )
+    return StrongConsensusResult(holds=True, refinements=refinements, statistics=statistics)
+
+
+def _solve_pattern_pair(
+    protocol: PopulationProtocol,
+    builder: _ConstraintBuilder,
+    pattern_true: TerminalPattern,
+    pattern_false: TerminalPattern,
+    theory: str,
+    max_refinements: int,
+    refinements: list[RefinementStep],
+    statistics: dict,
+) -> StrongConsensusCounterexample | None:
+    solver = Solver(theory=theory)
+    c0 = builder.config_vars("c0")
+    x1 = builder.flow_vars("x1")
+    x2 = builder.flow_vars("x2")
+    c1 = builder.derived_config(c0, x1)
+    c2 = builder.derived_config(c0, x2)
+
+    solver.add(builder.initial(c0))
+    solver.add(builder.non_negative(c1))
+    solver.add(builder.non_negative(c2))
+    solver.add(builder.pattern(c1, pattern_true))
+    solver.add(builder.pattern(c2, pattern_false))
+    solver.add(builder.has_output(c1, 1))
+    solver.add(builder.has_output(c2, 0))
+
+    for _ in range(max_refinements):
+        statistics["iterations"] += 1
+        result = solver.check()
+        if result.status is SolverStatus.UNSAT:
+            return None
+        if result.status is SolverStatus.UNKNOWN:
+            raise RuntimeError("the constraint solver could not decide the StrongConsensus query")
+
+        model = result.model
+        initial = builder.configuration_from_model(model, c0)
+        terminal_true = builder.configuration_from_model(model, c1)
+        terminal_false = builder.configuration_from_model(model, c2)
+        flow_true = builder.flow_from_model(model, x1)
+        flow_false = builder.flow_from_model(model, x2)
+
+        step = find_refinement(protocol, initial, terminal_true, flow_true)
+        if step is None:
+            step = find_refinement(protocol, initial, terminal_false, flow_false)
+        if step is None:
+            return StrongConsensusCounterexample(
+                initial=initial,
+                terminal_true=terminal_true,
+                terminal_false=terminal_false,
+                flow_true=flow_true,
+                flow_false=flow_false,
+            )
+        step = RefinementStep(kind=step.kind, states=step.states, iteration=statistics["iterations"])
+        refinements.append(step)
+        statistics["traps" if step.kind == "trap" else "siphons"] += 1
+        solver.add(builder.refinement_constraint(step, c0, c1, x1, target_support=pattern_true.allowed))
+        solver.add(builder.refinement_constraint(step, c0, c2, x2, target_support=pattern_false.allowed))
+    raise RuntimeError(
+        f"StrongConsensus refinement did not converge within {max_refinements} iterations"
+    )
+
+
+# ----------------------------------------------------------------------
+# Strategy 2: the paper's monolithic encoding
+# ----------------------------------------------------------------------
+
+
+def _check_monolithic(
+    protocol: PopulationProtocol,
+    theory: str,
+    max_refinements: int,
+) -> StrongConsensusResult:
+    builder = _ConstraintBuilder(protocol)
+    solver = Solver(theory=theory)
+
+    c0 = builder.config_vars("c0")
+    x1 = builder.flow_vars("x1")
+    x2 = builder.flow_vars("x2")
+    # The flow equations are substituted away: c1 and c2 are expressions over
+    # c0 and the flow vectors rather than fresh variables.
+    c1 = builder.derived_config(c0, x1)
+    c2 = builder.derived_config(c0, x2)
+
+    solver.add(builder.initial(c0))
+    solver.add(builder.non_negative(c1))
+    solver.add(builder.non_negative(c2))
+    solver.add(builder.terminal(c1))
+    solver.add(builder.terminal(c2))
+    solver.add(builder.has_output(c1, 1))
+    solver.add(builder.has_output(c2, 0))
+
+    refinements: list[RefinementStep] = []
+    statistics = {"iterations": 0, "traps": 0, "siphons": 0}
+
+    for iteration in range(max_refinements):
+        statistics["iterations"] = iteration + 1
+        result = solver.check()
+        if result.status is SolverStatus.UNSAT:
+            return StrongConsensusResult(holds=True, refinements=refinements, statistics=statistics)
+        if result.status is SolverStatus.UNKNOWN:
+            raise RuntimeError("the constraint solver could not decide the StrongConsensus query")
+
+        model = result.model
+        initial = builder.configuration_from_model(model, c0)
+        terminal_true = builder.configuration_from_model(model, c1)
+        terminal_false = builder.configuration_from_model(model, c2)
+        flow_true = builder.flow_from_model(model, x1)
+        flow_false = builder.flow_from_model(model, x2)
+
+        step = find_refinement(protocol, initial, terminal_true, flow_true)
+        if step is None:
+            step = find_refinement(protocol, initial, terminal_false, flow_false)
+        if step is None:
+            counterexample = StrongConsensusCounterexample(
+                initial=initial,
+                terminal_true=terminal_true,
+                terminal_false=terminal_false,
+                flow_true=flow_true,
+                flow_false=flow_false,
+            )
+            return StrongConsensusResult(
+                holds=False,
+                counterexample=counterexample,
+                refinements=refinements,
+                statistics=statistics,
+            )
+
+        step = RefinementStep(kind=step.kind, states=step.states, iteration=iteration)
+        refinements.append(step)
+        statistics["traps" if step.kind == "trap" else "siphons"] += 1
+        solver.add(builder.refinement_constraint(step, c0, c1, x1))
+        solver.add(builder.refinement_constraint(step, c0, c2, x2))
+
+    raise RuntimeError(
+        f"StrongConsensus refinement did not converge within {max_refinements} iterations"
+    )

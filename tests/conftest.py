@@ -1,0 +1,52 @@
+"""Shared pytest fixtures: small protocols used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datatypes.multiset import Multiset
+from repro.protocols.protocol import PopulationProtocol, Transition
+
+
+def build_majority_protocol() -> PopulationProtocol:
+    """The majority protocol of Example 1, built by hand (no library import).
+
+    States A, B, a, b; computes "#B >= #A".
+    """
+    transitions = [
+        Transition.make(("A", "B"), ("a", "b"), name="tAB"),
+        Transition.make(("A", "b"), ("A", "a"), name="tAb"),
+        Transition.make(("B", "a"), ("B", "b"), name="tBa"),
+        Transition.make(("b", "a"), ("b", "b"), name="tba"),
+    ]
+    return PopulationProtocol(
+        states=["A", "B", "a", "b"],
+        transitions=transitions,
+        input_alphabet=["A", "B"],
+        input_map={"A": "A", "B": "B"},
+        output_map={"A": 0, "a": 0, "B": 1, "b": 1},
+        name="majority(handmade)",
+    )
+
+
+@pytest.fixture
+def majority_protocol() -> PopulationProtocol:
+    return build_majority_protocol()
+
+
+@pytest.fixture
+def broadcast_protocol() -> PopulationProtocol:
+    """One-transition broadcast protocol: (1, 0) -> (1, 1); computes x_1 >= 1."""
+    return PopulationProtocol(
+        states=[0, 1],
+        transitions=[Transition.make((1, 0), (1, 1), name="spread")],
+        input_alphabet=["zero", "one"],
+        input_map={"zero": 0, "one": 1},
+        output_map={0: 0, 1: 1},
+        name="broadcast(handmade)",
+    )
+
+
+@pytest.fixture
+def config() -> Multiset:
+    return Multiset({"A": 2, "B": 3})

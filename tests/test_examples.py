@@ -1,0 +1,41 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples double as end-to-end integration tests of the public API (they
+build protocols, run the verifier, the correctness checker, the simulator,
+the explicit-state baseline and the Petri-net substrate).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_and_run(script_name: str) -> None:
+    path = EXAMPLES_DIR / script_name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+def test_examples_exist():
+    assert len(EXAMPLE_SCRIPTS) >= 3
+    assert "quickstart.py" in EXAMPLE_SCRIPTS
+
+
+@pytest.mark.parametrize("script_name", EXAMPLE_SCRIPTS)
+def test_example_runs(script_name, capsys):
+    _load_and_run(script_name)
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script_name} produced no output"

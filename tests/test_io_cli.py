@@ -1,0 +1,89 @@
+"""Tests for JSON serialisation and the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io.serialization import (
+    protocol_from_dict,
+    protocol_from_json,
+    protocol_to_dict,
+    protocol_to_json,
+)
+from repro.protocols.library import majority_protocol, threshold_protocol
+
+
+class TestSerialization:
+    def test_round_trip_simple_protocol(self, majority_protocol):
+        data = protocol_to_json(majority_protocol)
+        restored = protocol_from_json(data)
+        assert restored.states == majority_protocol.states
+        assert set(restored.transitions) == set(majority_protocol.transitions)
+        assert restored.input_map == majority_protocol.input_map
+        assert restored.output_map == majority_protocol.output_map
+
+    def test_round_trip_with_tuple_states_and_hint(self):
+        protocol = threshold_protocol({"x": 1, "y": -1}, 1)
+        restored = protocol_from_json(protocol_to_json(protocol))
+        assert restored.states == protocol.states
+        assert set(restored.transitions) == set(protocol.transitions)
+        assert restored.partition_hint is not None
+        assert restored.partition_hint.covers(restored.transitions)
+
+    def test_round_trip_library_majority_hint(self):
+        protocol = majority_protocol()
+        restored = protocol_from_dict(protocol_to_dict(protocol))
+        assert restored.partition_hint is not None
+        assert len(restored.partition_hint) == len(protocol.partition_hint)
+
+    def test_json_is_deterministic(self, majority_protocol):
+        assert protocol_to_json(majority_protocol) == protocol_to_json(majority_protocol)
+
+    def test_dict_contains_expected_keys(self, majority_protocol):
+        data = protocol_to_dict(majority_protocol)
+        assert {"states", "transitions", "input_alphabet", "input_map", "output_map"} <= set(data)
+
+
+class TestCLI:
+    def test_list_families(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "majority" in output
+        assert "flock-of-birds" in output
+
+    def test_verify_majority_family(self, capsys):
+        exit_code = main(["family", "majority", "--simulate", "A=2,B=3"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "WS3 membership check" in output
+        assert "simulation of A=2,B=3" in output
+
+    def test_verify_family_json_output(self, capsys):
+        exit_code = main(["family", "broadcast", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["is_ws3"] is True
+        assert payload["states"] == 2
+
+    def test_verify_family_with_parameter_and_correctness(self, capsys):
+        exit_code = main(
+            ["family", "flock-of-birds", "--parameter", "3", "--check-correctness", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["computes_documented_predicate"] is True
+
+    def test_verify_protocol_from_file(self, tmp_path, capsys, majority_protocol):
+        path = tmp_path / "majority.json"
+        path.write_text(protocol_to_json(majority_protocol), encoding="utf-8")
+        exit_code = main(["file", str(path)])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "LayeredTermination" in output
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["family", "does-not-exist"])

@@ -1,0 +1,165 @@
+"""Unit and property-based tests for :mod:`repro.datatypes.multiset`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datatypes.multiset import Multiset
+
+elements = st.sampled_from(["a", "b", "c", "d", "e"])
+multisets = st.dictionaries(elements, st.integers(min_value=0, max_value=6)).map(Multiset)
+
+
+class TestConstruction:
+    def test_from_mapping_drops_zero_counts(self):
+        m = Multiset({"a": 2, "b": 0})
+        assert m["a"] == 2
+        assert "b" not in m
+        assert m.support() == frozenset({"a"})
+
+    def test_from_iterable_counts_occurrences(self):
+        m = Multiset(["x", "y", "x", "x"])
+        assert m["x"] == 3
+        assert m["y"] == 1
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Multiset({"a": -1})
+
+    def test_non_integer_count_rejected(self):
+        with pytest.raises(TypeError):
+            Multiset({"a": 1.5})
+
+    def test_singleton_and_empty(self):
+        assert Multiset.empty().is_empty()
+        assert Multiset.singleton("q", 3)["q"] == 3
+
+    def test_from_pairs_sums_duplicates(self):
+        m = Multiset.from_pairs([("a", 1), ("a", 2), ("b", 1)])
+        assert m["a"] == 3
+        assert m["b"] == 1
+
+
+class TestQueries:
+    def test_size_and_len(self):
+        m = Multiset({"a": 2, "b": 3})
+        assert m.size() == 5
+        assert len(m) == 2
+
+    def test_missing_element_is_zero(self):
+        assert Multiset({"a": 1})["zzz"] == 0
+
+    def test_total_over_subset(self):
+        m = Multiset({"a": 2, "b": 3, "c": 1})
+        assert m.total(["a", "c"]) == 3
+        assert m.total([]) == 0
+
+    def test_elements_iterates_occurrences(self):
+        m = Multiset({"a": 2, "b": 1})
+        assert sorted(m.elements()) == ["a", "a", "b"]
+
+
+class TestAlgebra:
+    def test_addition(self):
+        assert Multiset({"a": 1}) + Multiset({"a": 2, "b": 1}) == Multiset({"a": 3, "b": 1})
+
+    def test_subtraction_exact(self):
+        assert Multiset({"a": 3, "b": 1}) - Multiset({"a": 1, "b": 1}) == Multiset({"a": 2})
+
+    def test_subtraction_raises_when_not_included(self):
+        with pytest.raises(ValueError):
+            Multiset({"a": 1}) - Multiset({"a": 2})
+
+    def test_monus_saturates(self):
+        assert Multiset({"a": 1, "b": 2}).monus(Multiset({"a": 5})) == Multiset({"b": 2})
+
+    def test_scale(self):
+        assert Multiset({"a": 2}).scale(3) == Multiset({"a": 6})
+        assert Multiset({"a": 2}).scale(0).is_empty()
+        with pytest.raises(ValueError):
+            Multiset({"a": 1}).scale(-1)
+
+    def test_union_intersection(self):
+        m1 = Multiset({"a": 2, "b": 1})
+        m2 = Multiset({"a": 1, "c": 4})
+        assert m1.union(m2) == Multiset({"a": 2, "b": 1, "c": 4})
+        assert m1.intersection(m2) == Multiset({"a": 1})
+
+    def test_restrict(self):
+        assert Multiset({"a": 2, "b": 1}).restrict(["a"]) == Multiset({"a": 2})
+
+
+class TestComparison:
+    def test_inclusion(self):
+        assert Multiset({"a": 1}) <= Multiset({"a": 2, "b": 1})
+        assert not Multiset({"a": 3}) <= Multiset({"a": 2})
+        assert Multiset({"a": 1}) < Multiset({"a": 2})
+        assert Multiset({"a": 2}) >= Multiset({"a": 2})
+        assert not Multiset({"a": 2}) > Multiset({"a": 2})
+
+    def test_disjoint(self):
+        assert Multiset({"a": 1}).disjoint(Multiset({"b": 2}))
+        assert not Multiset({"a": 1}).disjoint(Multiset({"a": 2}))
+
+    def test_hash_consistency(self):
+        assert hash(Multiset({"a": 1, "b": 2})) == hash(Multiset({"b": 2, "a": 1}))
+        assert Multiset({"a": 1}) in {Multiset({"a": 1})}
+
+
+class TestPrinting:
+    def test_repr_deterministic(self):
+        assert repr(Multiset({"b": 1, "a": 2})) == "Multiset({'a': 2, 'b': 1})"
+
+    def test_pretty(self):
+        assert Multiset().pretty() == "{}"
+        assert Multiset({"a": 2, "b": 1}).pretty() == "{2*a, b}"
+
+
+class TestProperties:
+    @given(multisets, multisets)
+    def test_addition_commutative(self, m1, m2):
+        assert m1 + m2 == m2 + m1
+
+    @given(multisets, multisets, multisets)
+    def test_addition_associative(self, m1, m2, m3):
+        assert (m1 + m2) + m3 == m1 + (m2 + m3)
+
+    @given(multisets)
+    def test_empty_is_identity(self, m):
+        assert m + Multiset() == m
+
+    @given(multisets, multisets)
+    def test_monus_then_add_dominates(self, m1, m2):
+        # (m1 ∸ m2) + m2 >= m1 and equals m1 when m2 <= m1
+        assert m1 <= m1.monus(m2) + m2
+        if m2 <= m1:
+            assert m1.monus(m2) + m2 == m1
+            assert m1 - m2 == m1.monus(m2)
+
+    @given(multisets, multisets)
+    def test_size_additive(self, m1, m2):
+        assert (m1 + m2).size() == m1.size() + m2.size()
+
+    @given(multisets, multisets)
+    def test_inclusion_iff_monus_empty(self, m1, m2):
+        assert (m1 <= m2) == m1.monus(m2).is_empty()
+
+    @given(multisets, multisets)
+    def test_union_is_lub(self, m1, m2):
+        union = m1.union(m2)
+        assert m1 <= union and m2 <= union
+
+    @given(multisets, multisets)
+    def test_intersection_is_glb(self, m1, m2):
+        inter = m1.intersection(m2)
+        assert inter <= m1 and inter <= m2
+
+    @given(multisets)
+    def test_support_matches_positive_counts(self, m):
+        assert m.support() == frozenset(e for e in m if m[e] > 0)
+
+    @given(multisets, st.integers(min_value=0, max_value=5))
+    def test_scale_size(self, m, k):
+        assert m.scale(k).size() == k * m.size()

@@ -1,0 +1,247 @@
+"""Tests for the Petri-net substrate."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.datatypes.multiset import Multiset
+from repro.petri.analysis import (
+    agent_count_invariant,
+    incidence_matrix,
+    invariant_value,
+    place_invariants,
+    state_equation_holds,
+)
+from repro.petri.net import PetriNet, PetriNetError, PetriTransition
+from repro.petri.normal_form import to_normal_form
+from repro.petri.protocol_conversion import (
+    petri_net_from_protocol,
+    protocol_from_reachability_instance,
+)
+from repro.petri.reachability import coverable, explore, is_reachable
+from repro.petri.traps_siphons import (
+    is_siphon,
+    is_trap,
+    maximal_siphon_inside,
+    maximal_trap_inside,
+    siphon_trap_property_violations,
+)
+from repro.verification.explicit import verify_single_input
+
+
+@pytest.fixture
+def producer_consumer_net() -> PetriNet:
+    """A tiny bounded producer/consumer net with a buffer of capacity two."""
+    return PetriNet(
+        places=["idle", "producing", "buffer", "consuming", "done", "slot"],
+        transitions=[
+            PetriTransition.make("start", {"idle": 1}, {"producing": 1}),
+            PetriTransition.make("produce", {"producing": 1, "slot": 1}, {"idle": 1, "buffer": 1}),
+            PetriTransition.make("consume", {"buffer": 1, "done": 1}, {"consuming": 1}),
+            PetriTransition.make("finish", {"consuming": 1}, {"done": 1, "slot": 1}),
+        ],
+        name="producer-consumer",
+    )
+
+
+class TestNetBasics:
+    def test_firing(self, producer_consumer_net):
+        net = producer_consumer_net
+        marking = Multiset({"idle": 1, "done": 1, "slot": 2})
+        marking = net.fire(marking, "start")
+        marking = net.fire(marking, "produce")
+        assert marking == Multiset({"idle": 1, "buffer": 1, "done": 1, "slot": 1})
+        assert net.transition("consume").enabled_at(marking)
+
+    def test_firing_disabled_transition_raises(self, producer_consumer_net):
+        with pytest.raises(PetriNetError):
+            producer_consumer_net.fire(Multiset({"idle": 1}), "consume")
+
+    def test_validation(self):
+        with pytest.raises(PetriNetError):
+            PetriNet(["p"], [PetriTransition.make("t", {"p": 1}, {"q": 1})])
+        with pytest.raises(PetriNetError):
+            PetriNet(
+                ["p"],
+                [
+                    PetriTransition.make("t", {"p": 1}, {"p": 1}),
+                    PetriTransition.make("t", {"p": 1}, {"p": 2}),
+                ],
+            )
+
+    def test_conservative_detection(self, producer_consumer_net):
+        assert not producer_consumer_net.is_conservative
+        conservative = PetriNet(
+            ["a", "b"], [PetriTransition.make("swap", {"a": 1, "b": 1}, {"b": 2})]
+        )
+        assert conservative.is_conservative
+
+    def test_reversed_net(self, producer_consumer_net):
+        reversed_net = producer_consumer_net.reversed()
+        start = reversed_net.transition("start")
+        assert start.pre == Multiset({"producing": 1})
+        assert start.post == Multiset({"idle": 1})
+
+    def test_fire_sequence_and_describe(self, producer_consumer_net):
+        final = producer_consumer_net.fire_sequence(
+            Multiset({"idle": 1, "done": 1, "slot": 2}), ["start", "produce", "consume", "finish"]
+        )
+        assert final == Multiset({"idle": 1, "done": 1, "slot": 2})
+        assert "producer-consumer" in producer_consumer_net.describe()
+
+
+class TestReachability:
+    def test_explore_and_reachability(self, producer_consumer_net):
+        initial = Multiset({"idle": 1, "done": 1, "slot": 2})
+        graph = explore(producer_consumer_net, initial, max_markings=200)
+        assert graph.complete
+        assert Multiset({"idle": 1, "buffer": 1, "done": 1, "slot": 1}) in graph.markings
+        assert is_reachable(
+            producer_consumer_net,
+            initial,
+            Multiset({"consuming": 1, "idle": 1, "slot": 1}),
+        )
+
+    def test_unbounded_net_truncated(self):
+        net = PetriNet(["p"], [PetriTransition.make("grow", {"p": 1}, {"p": 2})])
+        graph = explore(net, Multiset({"p": 1}), max_markings=10)
+        assert not graph.complete
+        assert is_reachable(net, Multiset({"p": 1}), Multiset({"p": 100}), max_markings=10) is None
+
+    def test_coverability(self, producer_consumer_net):
+        initial = Multiset({"idle": 1, "done": 1, "slot": 2})
+        assert coverable(producer_consumer_net, initial, Multiset({"buffer": 1}))
+        # The slot place bounds the buffer at two tokens.
+        assert not coverable(producer_consumer_net, initial, Multiset({"buffer": 3}))
+
+    def test_deadlocks(self):
+        net = PetriNet(
+            ["p", "q"],
+            [PetriTransition.make("t", {"p": 2}, {"q": 1})],
+        )
+        graph = explore(net, Multiset({"p": 3}))
+        assert Multiset({"p": 1, "q": 1}) in graph.deadlocks()
+
+
+class TestStructuralAnalysis:
+    def test_incidence_matrix(self, producer_consumer_net):
+        places, names, matrix = incidence_matrix(producer_consumer_net)
+        assert len(matrix) == len(places)
+        buffer_row = matrix[places.index("buffer")]
+        assert buffer_row[names.index("produce")] == 1
+        assert buffer_row[names.index("consume")] == -1
+
+    def test_state_equation(self, producer_consumer_net):
+        source = Multiset({"idle": 1, "done": 1, "slot": 2})
+        target = producer_consumer_net.fire_sequence(source, ["start", "produce", "start"])
+        assert state_equation_holds(
+            producer_consumer_net, source, target, {"start": 2, "produce": 1}
+        )
+        assert not state_equation_holds(producer_consumer_net, source, target, {"start": 1})
+
+    def test_place_invariants(self, producer_consumer_net):
+        invariants = place_invariants(producer_consumer_net)
+        assert invariants
+        # Every invariant is conserved along firings.
+        source = Multiset({"idle": 1, "done": 1, "slot": 2})
+        target = producer_consumer_net.fire_sequence(source, ["start", "produce", "consume"])
+        for invariant in invariants:
+            assert invariant_value(invariant, source) == invariant_value(invariant, target)
+
+    def test_conservative_net_has_agent_count_invariant(self):
+        protocol_net = PetriNet(
+            ["a", "b"], [PetriTransition.make("t", {"a": 1, "b": 1}, {"b": 2})]
+        )
+        invariant = agent_count_invariant(protocol_net)
+        assert invariant == {"a": Fraction(1), "b": Fraction(1)}
+
+    def test_non_conservative_net_has_no_agent_count_invariant(self, producer_consumer_net):
+        assert agent_count_invariant(producer_consumer_net) is None
+
+
+class TestTrapsAndSiphons:
+    def test_trap_and_siphon_detection(self, producer_consumer_net):
+        # {idle, producing} is both a trap and a siphon: every transition that
+        # touches it keeps exactly one token inside.
+        assert is_trap(producer_consumer_net, {"idle", "producing"})
+        assert is_siphon(producer_consumer_net, {"idle", "producing"})
+        # {buffer} is not a trap (consume drains it without refilling).
+        assert not is_trap(producer_consumer_net, {"buffer"})
+
+    def test_maximal_trap_and_siphon(self, producer_consumer_net):
+        assert maximal_trap_inside(producer_consumer_net, {"idle", "producing", "buffer"}) == {
+            "idle",
+            "producing",
+        }
+        assert maximal_siphon_inside(producer_consumer_net, {"consuming", "done"}) == {
+            "consuming",
+            "done",
+        }
+
+    def test_initially_unmarked_siphon_detected(self, producer_consumer_net):
+        violations = siphon_trap_property_violations(
+            producer_consumer_net, Multiset({"idle": 1})
+        )
+        assert violations
+        assert {"consuming", "done"} <= set(violations[0])
+
+
+class TestNormalForm:
+    def test_wide_transition_gets_widget(self):
+        net = PetriNet(
+            ["a", "b", "c", "d", "e"],
+            [PetriTransition.make("wide", {"a": 1, "b": 1, "c": 1}, {"d": 1, "e": 1})],
+        )
+        result = to_normal_form(net)
+        assert result.net.in_normal_form()
+        # Reachability between clean markings is preserved.
+        initial = result.lift_marking(Multiset({"a": 1, "b": 1, "c": 1}))
+        graph = explore(result.net, initial, max_markings=500)
+        target = result.lift_marking(Multiset({"d": 1, "e": 1}))
+        assert target in graph.markings
+
+    def test_simple_transitions_kept(self):
+        net = PetriNet(
+            ["a", "b"],
+            [PetriTransition.make("move", {"a": 1}, {"b": 1})],
+        )
+        result = to_normal_form(net)
+        assert result.net.num_transitions == 1
+        assert result.net.in_normal_form()
+
+
+class TestProtocolConversion:
+    def test_protocol_to_net_roundtrip_semantics(self, majority_protocol):
+        net = petri_net_from_protocol(majority_protocol)
+        assert net.is_conservative
+        assert net.num_places == 4
+        assert net.num_transitions == 4
+        # Firing in the net matches firing in the protocol.
+        marking = Multiset({"A": 1, "B": 1})
+        successor = net.fire(marking, net.transitions[0].name)
+        assert successor.size() == 2
+
+    def test_proposition_3_reduction_negative_instance(self):
+        # A net in which the target place can never reach zero together with
+        # the source-place condition: the resulting protocol must be silent
+        # and stabilise to 0 for small inputs (it is in WS2).
+        net = PetriNet(
+            ["p", "q"],
+            [PetriTransition.make("t", {"p": 1}, {"q": 1})],
+        )
+        reduction = protocol_from_reachability_instance(net, Multiset({"p": 1}), target_place="q")
+        protocol = reduction.protocol
+        assert protocol.num_states >= 5
+        assert protocol.output_map[reduction.source_place] == 1
+        # All small inputs stabilise (to 0): the Collect machinery wins.
+        for symbol in list(protocol.input_alphabet)[:2]:
+            result = verify_single_input(protocol, {symbol: 2}, max_configurations=20_000)
+            assert result.well_specified
+            assert result.output == 0
+
+    def test_proposition_3_reduction_validates_input(self):
+        net = PetriNet(["p"], [PetriTransition.make("t", {"p": 1}, {"p": 1})])
+        with pytest.raises(PetriNetError):
+            protocol_from_reachability_instance(net, Multiset({"p": 1}), target_place="missing")

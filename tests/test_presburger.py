@@ -1,0 +1,160 @@
+"""Tests for Presburger predicates and their compilation to WS3 protocols."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.presburger.compiler import compile_predicate
+from repro.presburger.predicates import (
+    AndPredicate,
+    FalsePredicate,
+    NotPredicate,
+    OrPredicate,
+    RemainderPredicate,
+    ThresholdPredicate,
+    TruePredicate,
+)
+from repro.smtlite.solver import Solver, SolverStatus
+from repro.smtlite.terms import IntVar
+from repro.verification.explicit import check_predicate_on_inputs
+
+populations = st.fixed_dictionaries(
+    {"x": st.integers(min_value=0, max_value=8), "y": st.integers(min_value=0, max_value=8)}
+)
+
+
+class TestEvaluation:
+    def test_threshold(self):
+        predicate = ThresholdPredicate({"x": 2, "y": -1}, 3)
+        assert predicate.evaluate({"x": 1, "y": 0})
+        assert not predicate.evaluate({"x": 2, "y": 0})
+        assert predicate.evaluate({"x": 2, "y": 2})
+        assert predicate.variables() == {"x", "y"}
+        assert "< 3" in predicate.describe()
+
+    def test_remainder(self):
+        predicate = RemainderPredicate({"x": 1}, 3, 2)
+        assert predicate.evaluate({"x": 2})
+        assert predicate.evaluate({"x": 5})
+        assert not predicate.evaluate({"x": 3})
+        assert "(mod 3)" in predicate.describe()
+
+    def test_remainder_reduces_target(self):
+        assert RemainderPredicate({"x": 1}, 3, 5).c == 2
+
+    def test_boolean_combinations(self):
+        majority = ThresholdPredicate({"A": 1, "B": -1}, 1)   # B >= A
+        parity = RemainderPredicate({"A": 1, "B": 1}, 2, 0)   # even population
+        both = majority & parity
+        either = majority | parity
+        negation = ~majority
+        assert both.evaluate({"A": 1, "B": 1})
+        assert not both.evaluate({"A": 1, "B": 2})
+        assert either.evaluate({"A": 1, "B": 2})
+        assert negation.evaluate({"A": 2, "B": 1})
+        assert both.variables() == {"A", "B"}
+
+    def test_constants(self):
+        assert TruePredicate(["x"]).evaluate({"x": 0})
+        assert not FalsePredicate(["x"]).evaluate({"x": 0})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdPredicate({}, 1)
+        with pytest.raises(ValueError):
+            RemainderPredicate({"x": 1}, 1, 0)
+
+
+class TestFormulaAgreesWithEvaluation:
+    """The symbolic encoding and concrete evaluation must agree on every input."""
+
+    def _assert_agreement(self, predicate, population):
+        input_vars = {symbol: IntVar(f"n_{symbol}") for symbol in ("x", "y")}
+        assignment = {f"n_{symbol}": count for symbol, count in population.items()}
+
+        solver = Solver()
+        for symbol, variable in input_vars.items():
+            solver.add(variable.eq(population.get(symbol, 0)))
+        solver.add(predicate.formula(input_vars))
+        holds_symbolically = solver.check().status is SolverStatus.SAT
+
+        negation_solver = Solver()
+        for symbol, variable in input_vars.items():
+            negation_solver.add(variable.eq(population.get(symbol, 0)))
+        negation_solver.add(predicate.negation_formula(input_vars))
+        negation_holds = negation_solver.check().status is SolverStatus.SAT
+
+        expected = predicate.evaluate(population)
+        assert holds_symbolically == expected, (predicate.describe(), population, assignment)
+        assert negation_holds == (not expected)
+
+    @given(populations)
+    @settings(max_examples=20, deadline=None)
+    def test_threshold_formula(self, population):
+        self._assert_agreement(ThresholdPredicate({"x": 2, "y": -3}, 2), population)
+
+    @given(populations)
+    @settings(max_examples=20, deadline=None)
+    def test_remainder_formula(self, population):
+        self._assert_agreement(RemainderPredicate({"x": 1, "y": 2}, 4, 3), population)
+
+    @given(populations)
+    @settings(max_examples=15, deadline=None)
+    def test_combination_formula(self, population):
+        predicate = (ThresholdPredicate({"x": 1, "y": -1}, 1) & RemainderPredicate({"x": 1}, 2, 0)) | (
+            ~ThresholdPredicate({"y": 1}, 3)
+        )
+        self._assert_agreement(predicate, population)
+
+
+class TestCompiler:
+    def test_compile_threshold(self):
+        protocol = compile_predicate(ThresholdPredicate({"x": 1, "y": -1}, 1), name="x-minus-y<1")
+        assert protocol.name == "x-minus-y<1"
+        ok, mismatches = check_predicate_on_inputs(
+            protocol, ThresholdPredicate({"x": 1, "y": -1}, 1), max_size=4
+        )
+        assert ok, mismatches
+
+    def test_compile_remainder(self):
+        predicate = RemainderPredicate({"x": 1, "y": 1}, 3, 0)
+        protocol = compile_predicate(predicate)
+        ok, mismatches = check_predicate_on_inputs(protocol, predicate, max_size=4)
+        assert ok, mismatches
+
+    def test_compile_negation(self):
+        predicate = ~ThresholdPredicate({"x": 1, "y": -1}, 1)
+        protocol = compile_predicate(predicate)
+        ok, mismatches = check_predicate_on_inputs(protocol, predicate, max_size=4)
+        assert ok, mismatches
+
+    def test_compile_conjunction_aligns_alphabets(self):
+        # The two leaves mention different variables; the compiler must extend
+        # them to the common alphabet {x, y}.
+        predicate = AndPredicate(ThresholdPredicate({"x": -1}, 0), ThresholdPredicate({"y": -1}, 0))
+        protocol = compile_predicate(predicate)
+        assert set(protocol.input_alphabet) == {"x", "y"}
+        ok, mismatches = check_predicate_on_inputs(protocol, predicate, max_size=4)
+        assert ok, mismatches
+
+    def test_compile_disjunction(self):
+        predicate = OrPredicate(ThresholdPredicate({"x": -1}, 0), ThresholdPredicate({"y": -1}, 0))
+        protocol = compile_predicate(predicate)
+        ok, mismatches = check_predicate_on_inputs(protocol, predicate, max_size=4)
+        assert ok, mismatches
+
+    def test_compile_constant(self):
+        protocol = compile_predicate(TruePredicate(["x"]))
+        ok, mismatches = check_predicate_on_inputs(protocol, TruePredicate(["x"]), max_size=3)
+        assert ok, mismatches
+
+    def test_compile_rejects_empty_variable_set(self):
+        with pytest.raises(ValueError):
+            compile_predicate(TruePredicate())
+
+    def test_compiled_protocol_records_predicate(self):
+        predicate = ThresholdPredicate({"x": 1}, 2)
+        protocol = compile_predicate(predicate)
+        assert protocol.metadata["compiled_from"] == predicate.describe()

@@ -1,0 +1,213 @@
+"""Tests for protocol syntax: transitions, protocols, ordered partitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datatypes.multiset import Multiset
+from repro.protocols.protocol import (
+    OrderedPartition,
+    PopulationProtocol,
+    ProtocolError,
+    Transition,
+)
+
+
+class TestTransition:
+    def test_make_and_repr(self):
+        t = Transition.make(("A", "B"), ("a", "b"), name="tAB")
+        assert t.pre == Multiset({"A": 1, "B": 1})
+        assert t.post == Multiset({"a": 1, "b": 1})
+        assert "tAB" in repr(t)
+
+    def test_silent_detection(self):
+        assert Transition.make(("A", "B"), ("B", "A")).is_silent
+        assert not Transition.make(("A", "B"), ("A", "A")).is_silent
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ProtocolError):
+            Transition.make(("A",), ("A", "B"))
+        with pytest.raises(ProtocolError):
+            Transition.make(("A", "B", "C"), ("A", "B"))
+
+    def test_delta(self):
+        t = Transition.make(("A", "b"), ("A", "a"))
+        assert t.delta() == {"b": -1, "a": 1}
+
+    def test_fire(self):
+        t = Transition.make(("A", "B"), ("a", "b"))
+        assert t.fire(Multiset({"A": 2, "B": 1})) == Multiset({"A": 1, "a": 1, "b": 1})
+
+    def test_fire_requires_enabled(self):
+        t = Transition.make(("A", "B"), ("a", "b"))
+        with pytest.raises(ProtocolError):
+            t.fire(Multiset({"A": 2}))
+
+    def test_self_pair_transition(self):
+        t = Transition.make(("x", "x"), ("x", "y"))
+        assert t.enabled_at(Multiset({"x": 2}))
+        assert not t.enabled_at(Multiset({"x": 1, "y": 5}))
+
+    def test_equality_ignores_name(self):
+        t1 = Transition.make(("A", "B"), ("a", "b"), name="one")
+        t2 = Transition.make(("A", "B"), ("a", "b"), name="two")
+        assert t1 == t2
+        assert hash(t1) == hash(t2)
+
+
+class TestProtocolConstruction:
+    def test_basic_properties(self, majority_protocol):
+        assert majority_protocol.num_states == 4
+        assert majority_protocol.num_transitions == 4
+        assert majority_protocol.initial_states() == frozenset({"A", "B"})
+        assert majority_protocol.true_states() == frozenset({"B", "b"})
+        assert majority_protocol.false_states() == frozenset({"A", "a"})
+
+    def test_silent_transitions_dropped(self):
+        protocol = PopulationProtocol(
+            states=["p", "q"],
+            transitions=[
+                Transition.make(("p", "q"), ("q", "p")),
+                Transition.make(("p", "p"), ("q", "q")),
+            ],
+            input_alphabet=["p"],
+            input_map={"p": "p"},
+            output_map={"p": 0, "q": 1},
+        )
+        assert protocol.num_transitions == 1
+
+    def test_duplicate_transitions_merged(self):
+        protocol = PopulationProtocol(
+            states=["p", "q"],
+            transitions=[
+                Transition.make(("p", "p"), ("q", "q")),
+                Transition.make(("p", "p"), ("q", "q"), name="again"),
+            ],
+            input_alphabet=["p"],
+            input_map={"p": "p"},
+            output_map={"p": 0, "q": 1},
+        )
+        assert protocol.num_transitions == 1
+
+    def test_unknown_state_in_transition_rejected(self):
+        with pytest.raises(ProtocolError):
+            PopulationProtocol(
+                states=["p"],
+                transitions=[Transition.make(("p", "p"), ("p", "zzz"))],
+                input_alphabet=["p"],
+                input_map={"p": "p"},
+                output_map={"p": 0},
+            )
+
+    def test_missing_output_rejected(self):
+        with pytest.raises(ProtocolError):
+            PopulationProtocol(
+                states=["p", "q"],
+                transitions=[],
+                input_alphabet=["p"],
+                input_map={"p": "p"},
+                output_map={"p": 0},
+            )
+
+    def test_missing_input_map_rejected(self):
+        with pytest.raises(ProtocolError):
+            PopulationProtocol(
+                states=["p"],
+                transitions=[],
+                input_alphabet=["p", "q"],
+                input_map={"p": "p"},
+                output_map={"p": 1},
+            )
+
+    def test_non_boolean_output_rejected(self):
+        with pytest.raises(ProtocolError):
+            PopulationProtocol(
+                states=["p"],
+                transitions=[],
+                input_alphabet=["p"],
+                input_map={"p": "p"},
+                output_map={"p": 2},
+            )
+
+    def test_describe_mentions_transitions(self, majority_protocol):
+        text = majority_protocol.describe()
+        assert "states (4)" in text
+        assert "non-silent transitions (4)" in text
+
+
+class TestInitialConfigurations:
+    def test_initial_configuration_from_dict(self, majority_protocol):
+        config = majority_protocol.initial_configuration({"A": 2, "B": 3})
+        assert config == Multiset({"A": 2, "B": 3})
+
+    def test_initial_configuration_rejects_small_population(self, majority_protocol):
+        with pytest.raises(ProtocolError):
+            majority_protocol.initial_configuration({"A": 1})
+
+    def test_initial_configuration_rejects_unknown_symbol(self, majority_protocol):
+        with pytest.raises(ProtocolError):
+            majority_protocol.initial_configuration({"zzz": 2})
+
+    def test_is_initial(self, majority_protocol):
+        assert majority_protocol.is_initial(Multiset({"A": 1, "B": 1}))
+        assert not majority_protocol.is_initial(Multiset({"A": 1, "b": 1}))
+        assert not majority_protocol.is_initial(Multiset({"A": 1}))
+
+    def test_input_map_collapsing_symbols(self):
+        protocol = PopulationProtocol(
+            states=["s", "t"],
+            transitions=[Transition.make(("s", "s"), ("s", "t"))],
+            input_alphabet=["x", "y"],
+            input_map={"x": "s", "y": "s"},
+            output_map={"s": 0, "t": 1},
+        )
+        config = protocol.initial_configuration({"x": 1, "y": 2})
+        assert config == Multiset({"s": 3})
+
+
+class TestInducedAndNegated:
+    def test_induced_protocol_restricts_transitions(self, majority_protocol):
+        subset = [t for t in majority_protocol.transitions if t.name in {"tAB", "tAb"}]
+        induced = majority_protocol.induced(subset)
+        assert induced.num_transitions == 2
+        assert induced.states == majority_protocol.states
+
+    def test_negated_output(self, majority_protocol):
+        negated = majority_protocol.with_negated_output()
+        assert negated.true_states() == majority_protocol.false_states()
+        assert negated.false_states() == majority_protocol.true_states()
+        assert negated.num_transitions == majority_protocol.num_transitions
+
+
+class TestOrderedPartition:
+    def test_layers_and_lookup(self, majority_protocol):
+        by_name = {t.name: t for t in majority_protocol.transitions}
+        partition = OrderedPartition.of(
+            [by_name["tAB"], by_name["tAb"]],
+            [by_name["tBa"], by_name["tba"]],
+        )
+        assert len(partition) == 2
+        assert partition.covers(majority_protocol.transitions)
+        assert partition.layer_of(by_name["tAB"]) == 1
+        assert partition.layer_of(by_name["tba"]) == 2
+
+    def test_empty_layer_rejected(self, majority_protocol):
+        with pytest.raises(ProtocolError):
+            OrderedPartition.of(majority_protocol.transitions, [])
+
+    def test_overlapping_layers_rejected(self, majority_protocol):
+        t = majority_protocol.transitions[0]
+        with pytest.raises(ProtocolError):
+            OrderedPartition.of([t], [t])
+
+    def test_partition_hint_must_cover(self, majority_protocol):
+        partial = OrderedPartition.of([majority_protocol.transitions[0]])
+        with pytest.raises(ProtocolError):
+            PopulationProtocol(
+                states=majority_protocol.states,
+                transitions=majority_protocol.transitions,
+                input_alphabet=majority_protocol.input_alphabet,
+                input_map=majority_protocol.input_map,
+                output_map=majority_protocol.output_map,
+                partition_hint=partial,
+            )

@@ -1,0 +1,259 @@
+"""Tests for the protocol library: construction sizes, semantics, WS3 membership."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datatypes.multiset import Multiset
+from repro.protocols.library import (
+    PROTOCOL_FAMILIES,
+    broadcast_protocol,
+    coin_flip_protocol,
+    conjunction_protocol,
+    disjunction_protocol,
+    exclusive_majority_protocol,
+    flock_of_birds_protocol,
+    flock_of_birds_threshold_n_protocol,
+    majority_protocol,
+    negation_protocol,
+    oscillating_majority_protocol,
+    remainder_protocol,
+    threshold_protocol,
+    threshold_table_protocol,
+)
+from repro.protocols.simulation import Simulator
+from repro.verification.explicit import check_predicate_on_inputs, verify_single_input
+from repro.verification.layered_termination import check_partition
+
+
+class TestTableSizes:
+    """|Q| and |T| must match Table 1 of the paper exactly."""
+
+    def test_majority_size(self):
+        protocol = majority_protocol()
+        assert (protocol.num_states, protocol.num_transitions) == (4, 4)
+
+    def test_broadcast_size(self):
+        protocol = broadcast_protocol()
+        assert (protocol.num_states, protocol.num_transitions) == (2, 1)
+
+    @pytest.mark.parametrize("c,expected_transitions", [(20, 210), (25, 325), (30, 465)])
+    def test_flock_of_birds_sizes(self, c, expected_transitions):
+        protocol = flock_of_birds_protocol(c)
+        assert protocol.num_states == c + 1
+        assert protocol.num_transitions == expected_transitions
+
+    @pytest.mark.parametrize("c,expected_transitions", [(50, 99), (100, 199)])
+    def test_flock_of_birds_threshold_n_sizes(self, c, expected_transitions):
+        protocol = flock_of_birds_threshold_n_protocol(c)
+        assert protocol.num_states == c + 1
+        assert protocol.num_transitions == expected_transitions
+
+    @pytest.mark.parametrize("m,expected_transitions", [(10, 65), (20, 230)])
+    def test_remainder_sizes(self, m, expected_transitions):
+        protocol = remainder_protocol(list(range(m)), m, 1)
+        assert protocol.num_states == m + 2
+        assert protocol.num_transitions == expected_transitions
+
+    @pytest.mark.parametrize("vmax,expected_states,expected_transitions", [(3, 28, 288), (4, 36, 478)])
+    def test_threshold_sizes(self, vmax, expected_states, expected_transitions):
+        protocol = threshold_table_protocol(vmax)
+        assert protocol.num_states == expected_states
+        assert protocol.num_transitions == expected_transitions
+
+    def test_family_registry(self):
+        assert set(PROTOCOL_FAMILIES) == {
+            "majority",
+            "broadcast",
+            "threshold",
+            "remainder",
+            "flock-of-birds",
+            "flock-of-birds-threshold-n",
+        }
+        assert PROTOCOL_FAMILIES["flock-of-birds"](7).num_states == 8
+
+
+class TestHintsAreValidCertificates:
+    def test_majority_hint(self):
+        protocol = majority_protocol()
+        assert check_partition(protocol, protocol.partition_hint).holds
+
+    def test_threshold_hint(self):
+        protocol = threshold_table_protocol(2)
+        assert protocol.partition_hint is not None
+        assert check_partition(protocol, protocol.partition_hint).holds
+
+    def test_threshold_hint_negative_c(self):
+        protocol = threshold_protocol({"x": 1, "y": -1}, -1)
+        assert protocol.partition_hint is not None
+        assert check_partition(protocol, protocol.partition_hint).holds
+
+    def test_remainder_hint(self):
+        protocol = remainder_protocol([0, 1, 2, 3, 4], 5, 1)
+        assert protocol.partition_hint is not None
+        assert check_partition(protocol, protocol.partition_hint).holds
+
+    def test_strict_majority_hint(self):
+        protocol = exclusive_majority_protocol()
+        assert check_partition(protocol, protocol.partition_hint).holds
+
+
+class TestSemanticsOnSmallInputs:
+    """The explicit-state baseline confirms each protocol computes its predicate."""
+
+    def test_majority_small_inputs(self):
+        protocol = majority_protocol()
+        ok, mismatches = check_predicate_on_inputs(protocol, protocol.metadata["predicate"], max_size=4)
+        assert ok, mismatches
+
+    def test_broadcast_small_inputs(self):
+        protocol = broadcast_protocol()
+        ok, mismatches = check_predicate_on_inputs(protocol, protocol.metadata["predicate"], max_size=5)
+        assert ok, mismatches
+
+    def test_flock_of_birds_small_inputs(self):
+        protocol = flock_of_birds_protocol(3)
+        ok, mismatches = check_predicate_on_inputs(protocol, protocol.metadata["predicate"], max_size=5)
+        assert ok, mismatches
+
+    def test_flock_of_birds_threshold_n_small_inputs(self):
+        protocol = flock_of_birds_threshold_n_protocol(3)
+        ok, mismatches = check_predicate_on_inputs(protocol, protocol.metadata["predicate"], max_size=5)
+        assert ok, mismatches
+
+    def test_remainder_small_inputs(self):
+        protocol = remainder_protocol({"x1": 1, "x2": 2}, 3, 1)
+        ok, mismatches = check_predicate_on_inputs(protocol, protocol.metadata["predicate"], max_size=4)
+        assert ok, mismatches
+
+    def test_threshold_small_inputs(self):
+        protocol = threshold_protocol({"x1": 1, "x2": -1}, 1)
+        ok, mismatches = check_predicate_on_inputs(protocol, protocol.metadata["predicate"], max_size=4)
+        assert ok, mismatches
+
+    def test_strict_majority_differs_on_ties(self):
+        protocol = exclusive_majority_protocol()
+        result = verify_single_input(protocol, {"A": 2, "B": 2})
+        assert result.well_specified
+        assert result.output == 0  # ties go to A, unlike the standard majority
+
+    def test_coin_flip_is_not_well_specified(self):
+        result = verify_single_input(coin_flip_protocol(), {"x": 3})
+        assert not result.well_specified
+
+    def test_oscillating_majority_still_stabilises(self):
+        # Not silent, but still well-specified for each fixed input.
+        result = verify_single_input(oscillating_majority_protocol(), {"A": 1, "B": 2})
+        assert result.well_specified
+        assert result.output == 1
+
+
+class TestSimulationAgreement:
+    @pytest.mark.parametrize(
+        "factory,population,expected",
+        [
+            (majority_protocol, {"A": 3, "B": 5}, 1),
+            (majority_protocol, {"A": 5, "B": 3}, 0),
+            (broadcast_protocol, {"one": 1, "zero": 6}, 1),
+            (broadcast_protocol, {"zero": 5}, 0),
+            (lambda: flock_of_birds_protocol(4), {"sick": 5, "healthy": 2}, 1),
+            (lambda: flock_of_birds_protocol(4), {"sick": 3, "healthy": 2}, 0),
+            (lambda: flock_of_birds_threshold_n_protocol(3), {"sick": 4}, 1),
+            (lambda: flock_of_birds_threshold_n_protocol(3), {"sick": 2, "healthy": 1}, 0),
+            (lambda: remainder_protocol({"x": 1}, 3, 0), {"x": 6}, 1),
+            (lambda: remainder_protocol({"x": 1}, 3, 0), {"x": 7}, 0),
+        ],
+    )
+    def test_simulation_matches_expected_output(self, factory, population, expected):
+        protocol = factory()
+        result = Simulator(protocol, seed=7).run(input_population=population)
+        assert result.converged
+        assert result.output == expected
+
+    def test_threshold_simulation(self):
+        protocol = threshold_protocol({"x": 1, "y": -1}, 0)  # computes #x - #y < 0
+        result = Simulator(protocol, seed=11).run(input_population={"x": 2, "y": 5})
+        assert result.converged
+        assert result.output == 1
+        result = Simulator(protocol, seed=11).run(input_population={"x": 5, "y": 2})
+        assert result.converged
+        assert result.output == 0
+
+
+class TestCombinators:
+    def test_negation_flips_outputs(self):
+        protocol = majority_protocol()
+        negated = negation_protocol(protocol)
+        assert negated.true_states() == protocol.false_states()
+        predicate = negated.metadata["predicate"]
+        assert predicate.evaluate({"A": 3, "B": 1})
+        assert not predicate.evaluate({"A": 1, "B": 3})
+
+    def test_conjunction_requires_same_alphabet(self):
+        with pytest.raises(Exception):
+            conjunction_protocol(majority_protocol(), broadcast_protocol())
+
+    def test_conjunction_of_majority_and_strict_majority(self):
+        both = conjunction_protocol(majority_protocol(), exclusive_majority_protocol())
+        assert both.num_states == 16
+        # The product computes #B >= #A and #B > #A, i.e. #B > #A.
+        ok, mismatches = check_predicate_on_inputs(
+            both, exclusive_majority_protocol().metadata["predicate"], max_size=3
+        )
+        assert ok, mismatches
+
+    def test_conjunction_lifts_partition_hint(self):
+        both = conjunction_protocol(majority_protocol(), exclusive_majority_protocol())
+        assert both.partition_hint is not None
+        assert check_partition(both, both.partition_hint).holds
+
+    def test_disjunction_outputs(self):
+        either = disjunction_protocol(majority_protocol(), exclusive_majority_protocol())
+        # #B >= #A or #B > #A is just #B >= #A.
+        ok, mismatches = check_predicate_on_inputs(
+            either, majority_protocol().metadata["predicate"], max_size=3
+        )
+        assert ok, mismatches
+
+    def test_product_preserves_agent_count(self):
+        both = conjunction_protocol(majority_protocol(), exclusive_majority_protocol())
+        config = both.initial_configuration({"A": 2, "B": 2})
+        simulator = Simulator(both, seed=3)
+        result = simulator.run(configuration=config)
+        assert result.final.size() == 4
+
+
+class TestConstructionValidation:
+    def test_flock_of_birds_requires_c_at_least_2(self):
+        with pytest.raises(ValueError):
+            flock_of_birds_protocol(1)
+        with pytest.raises(ValueError):
+            flock_of_birds_threshold_n_protocol(0)
+
+    def test_remainder_requires_modulus(self):
+        with pytest.raises(ValueError):
+            remainder_protocol([1], 1, 0)
+        with pytest.raises(ValueError):
+            remainder_protocol([], 3, 0)
+
+    def test_threshold_requires_coefficients(self):
+        with pytest.raises(ValueError):
+            threshold_protocol([], 1)
+
+    def test_threshold_vmax_validation(self):
+        with pytest.raises(ValueError):
+            threshold_protocol({"x": 5}, 1, vmax=2)
+
+    def test_threshold_input_map_targets_leaders(self):
+        protocol = threshold_protocol({"x": 2, "y": -1}, 1)
+        for symbol in protocol.input_alphabet:
+            leader, value, opinion = protocol.input_map[symbol]
+            assert leader == 1
+            assert opinion == (1 if value < 1 else 0)
+
+    def test_remainder_output_map(self):
+        protocol = remainder_protocol({"x": 1}, 4, 2)
+        assert protocol.output_map[2] == 1
+        assert protocol.output_map["true"] == 1
+        assert protocol.output_map["false"] == 0
+        assert protocol.output_map[1] == 0

@@ -1,0 +1,228 @@
+"""Tests for the operational semantics: steps, reachability, SCC analysis."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datatypes.multiset import Multiset
+from repro.protocols import semantics
+from repro.protocols.protocol import PopulationProtocol, Transition
+from repro.protocols.semantics import (
+    ExplorationLimitError,
+    enabled_transitions,
+    enumerate_inputs,
+    fire_sequence,
+    is_consensus,
+    is_reachable,
+    is_terminal,
+    output_of,
+    reachability_graph,
+    reachable_configurations,
+    reachable_terminal_configurations,
+    strongly_connected_components,
+)
+
+
+class TestEnabledAndFire:
+    def test_enabled_transitions(self, majority_protocol):
+        config = Multiset({"A": 1, "B": 1})
+        enabled = enabled_transitions(majority_protocol, config)
+        assert {t.name for t in enabled} == {"tAB"}
+
+    def test_enabled_needs_both_agents(self, majority_protocol):
+        config = Multiset({"A": 2})
+        assert enabled_transitions(majority_protocol, config) == []
+
+    def test_fire_sequence(self, majority_protocol):
+        by_name = {t.name: t for t in majority_protocol.transitions}
+        config = Multiset({"A": 1, "B": 2})
+        final = fire_sequence(config, [by_name["tAB"], by_name["tBa"]])
+        assert final == Multiset({"B": 1, "b": 2})
+
+    def test_successors(self, majority_protocol):
+        config = Multiset({"A": 1, "B": 1, "a": 1})
+        succ = semantics.successors(majority_protocol, config)
+        assert Multiset({"a": 2, "b": 1}) in succ
+
+    def test_agent_count_preserved(self, majority_protocol):
+        config = Multiset({"A": 3, "B": 2})
+        for successor in semantics.successors(majority_protocol, config):
+            assert successor.size() == config.size()
+
+
+class TestTerminalAndConsensus:
+    def test_terminal(self, majority_protocol):
+        assert is_terminal(majority_protocol, Multiset({"b": 3}))
+        assert is_terminal(majority_protocol, Multiset({"A": 2, "a": 1}))
+        assert not is_terminal(majority_protocol, Multiset({"A": 1, "B": 1}))
+
+    def test_consensus_and_output(self, majority_protocol):
+        assert is_consensus(majority_protocol, Multiset({"B": 1, "b": 2}))
+        assert output_of(majority_protocol, Multiset({"B": 1, "b": 2})) == 1
+        assert output_of(majority_protocol, Multiset({"A": 1, "a": 1})) == 0
+        assert output_of(majority_protocol, Multiset({"A": 1, "b": 1})) is None
+
+
+class TestReachability:
+    def test_majority_tie_reaches_all_b(self, majority_protocol):
+        initial = Multiset({"A": 2, "B": 2})
+        terminals = reachable_terminal_configurations(majority_protocol, initial)
+        assert terminals == {Multiset({"b": 4})}
+
+    def test_majority_a_wins(self, majority_protocol):
+        initial = Multiset({"A": 2, "B": 1})
+        terminals = reachable_terminal_configurations(majority_protocol, initial)
+        assert all(t.support() <= {"A", "a"} for t in terminals)
+        assert all(output_of(majority_protocol, t) == 0 for t in terminals)
+
+    def test_reachable_configurations_contains_initial(self, majority_protocol):
+        initial = Multiset({"A": 1, "B": 1})
+        assert initial in reachable_configurations(majority_protocol, initial)
+
+    def test_is_reachable(self, majority_protocol):
+        assert is_reachable(majority_protocol, Multiset({"A": 1, "B": 1}), Multiset({"b": 2}))
+        assert not is_reachable(majority_protocol, Multiset({"A": 2, "B": 1}), Multiset({"b": 3}))
+        assert not is_reachable(majority_protocol, Multiset({"A": 2, "B": 1}), Multiset({"b": 2}))
+
+    def test_exploration_limit(self, majority_protocol):
+        with pytest.raises(ExplorationLimitError):
+            reachable_terminal_configurations(
+                majority_protocol, Multiset({"A": 5, "B": 5}), max_configurations=3
+            )
+
+    def test_restricted_exploration(self, majority_protocol):
+        by_name = {t.name: t for t in majority_protocol.transitions}
+        graph = reachability_graph(
+            majority_protocol,
+            Multiset({"A": 1, "B": 1}),
+            restrict_to=[by_name["tAb"]],
+        )
+        # Only the silent-free transition tAB could fire, but it is excluded.
+        assert graph.configurations == {Multiset({"A": 1, "B": 1})}
+
+    def test_flow_equation_holds_along_paths(self, majority_protocol):
+        # For every step C -> C', C'(q) = C(q) + post(q) - pre(q).
+        config = Multiset({"A": 2, "B": 3})
+        for transition in enabled_transitions(majority_protocol, config):
+            successor = transition.fire(config)
+            for state in majority_protocol.states:
+                assert successor[state] == config[state] + transition.post[state] - transition.pre[state]
+
+
+class TestBottomSCCs:
+    def test_majority_bottom_sccs_are_terminal(self, majority_protocol):
+        graph = reachability_graph(majority_protocol, Multiset({"A": 2, "B": 2}))
+        bottoms = graph.bottom_sccs()
+        assert bottoms
+        for component in bottoms:
+            assert len(component) == 1
+            (config,) = component
+            assert is_terminal(majority_protocol, config)
+
+    def test_non_silent_protocol_has_cyclic_bottom_scc(self):
+        # Two agents alternating between states p and q forever.
+        protocol = PopulationProtocol(
+            states=["p", "q"],
+            transitions=[
+                Transition.make(("p", "p"), ("q", "q")),
+                Transition.make(("q", "q"), ("p", "p")),
+            ],
+            input_alphabet=["p"],
+            input_map={"p": "p"},
+            output_map={"p": 1, "q": 1},
+        )
+        graph = reachability_graph(protocol, Multiset({"p": 2}))
+        bottoms = graph.bottom_sccs()
+        assert len(bottoms) == 1
+        assert len(bottoms[0]) == 2
+
+    def test_strongly_connected_components_simple_cycle(self):
+        a, b, c = Multiset({"x": 1, "y": 1}), Multiset({"x": 2}), Multiset({"y": 2})
+        edges = {a: frozenset({b}), b: frozenset({a}), c: frozenset({a})}
+        sccs = strongly_connected_components(edges)
+        assert sorted(len(s) for s in sccs) == [1, 2]
+
+
+class TestEnumerateInputs:
+    def test_counts(self, majority_protocol):
+        inputs = list(enumerate_inputs(majority_protocol, 3))
+        assert len(inputs) == 4  # (0,3), (1,2), (2,1), (3,0)
+        assert all(x.size() == 3 for x in inputs)
+
+    def test_small_size_rejected(self, majority_protocol):
+        with pytest.raises(Exception):
+            list(enumerate_inputs(majority_protocol, 1))
+
+    @given(st.integers(min_value=2, max_value=7))
+    @settings(max_examples=6, deadline=None)
+    def test_number_of_inputs_binomial(self, size):
+        protocol = PopulationProtocol(
+            states=["s"],
+            transitions=[],
+            input_alphabet=["x", "y", "z"],
+            input_map={"x": "s", "y": "s", "z": "s"},
+            output_map={"s": 1},
+        )
+        inputs = list(enumerate_inputs(protocol, size))
+        assert len(inputs) == (size + 1) * (size + 2) // 2
+
+
+class TestSimulation:
+    def test_majority_simulation_agrees_with_semantics(self, majority_protocol):
+        from repro.protocols.simulation import Simulator
+
+        simulator = Simulator(majority_protocol, seed=1)
+        result = simulator.run(input_population={"A": 3, "B": 5})
+        assert result.converged
+        assert result.output == 1
+        assert result.final.size() == 8
+
+    def test_minority_simulation(self, majority_protocol):
+        from repro.protocols.simulation import Simulator
+
+        simulator = Simulator(majority_protocol, seed=2)
+        result = simulator.run(input_population={"A": 6, "B": 2})
+        assert result.converged
+        assert result.output == 0
+
+    def test_tie_goes_to_b(self, majority_protocol):
+        from repro.protocols.simulation import Simulator
+
+        stats = Simulator(majority_protocol, seed=3).run_batch({"A": 4, "B": 4}, runs=5)
+        assert stats.agreed_output() == 1
+        assert stats.converged_runs == 5
+
+    def test_broadcast_simulation(self, broadcast_protocol):
+        from repro.protocols.simulation import simulate
+
+        result = simulate(broadcast_protocol, {"one": 1, "zero": 7}, seed=4)
+        assert result.converged
+        assert result.output == 1
+
+    def test_simulation_requires_exactly_one_source(self, majority_protocol):
+        from repro.protocols.simulation import Simulator
+
+        simulator = Simulator(majority_protocol, seed=0)
+        with pytest.raises(Exception):
+            simulator.run()
+        with pytest.raises(Exception):
+            simulator.run(input_population={"A": 2}, configuration=Multiset({"A": 2}))
+
+    def test_max_steps_cutoff(self):
+        protocol = PopulationProtocol(
+            states=["p", "q"],
+            transitions=[
+                Transition.make(("p", "p"), ("q", "q")),
+                Transition.make(("q", "q"), ("p", "p")),
+            ],
+            input_alphabet=["p"],
+            input_map={"p": "p"},
+            output_map={"p": 1, "q": 1},
+        )
+        from repro.protocols.simulation import Simulator
+
+        result = Simulator(protocol, seed=0, max_steps=50).run(input_population={"p": 2})
+        assert not result.converged
+        assert result.steps == 50

@@ -1,0 +1,164 @@
+"""Tests for the CDCL SAT solver, including cross-checks against brute force."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.smtlite.sat import SatSolver
+
+
+def brute_force_satisfiable(num_vars: int, clauses: list[list[int]]) -> bool:
+    for bits in itertools.product([False, True], repeat=num_vars):
+        assignment = {var: bits[var - 1] for var in range(1, num_vars + 1)}
+        if all(
+            any((lit > 0) == assignment[abs(lit)] for lit in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+def check_model(clauses: list[list[int]], model: dict[int, bool]) -> bool:
+    return all(any((lit > 0) == model[abs(lit)] for lit in clause) for clause in clauses)
+
+
+class TestBasics:
+    def test_empty_problem_is_sat(self):
+        assert SatSolver().solve() is True
+
+    def test_single_unit(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        assert solver.solve() is True
+        assert solver.model[1] is True
+
+    def test_contradictory_units(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        assert solver.add_clause([-1]) is False
+        assert solver.solve() is False
+
+    def test_simple_implication_chain(self):
+        solver = SatSolver()
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        solver.add_clause([1])
+        assert solver.solve() is True
+        assert solver.model[3] is True
+
+    def test_unsat_pigeonhole_2_into_1(self):
+        # Two pigeons, one hole: p1 and p2 both true, but not both.
+        solver = SatSolver()
+        solver.add_clause([1])
+        solver.add_clause([2])
+        solver.add_clause([-1, -2])
+        assert solver.solve() is False
+
+    def test_tautology_ignored(self):
+        solver = SatSolver()
+        solver.add_clause([1, -1])
+        assert solver.solve() is True
+
+    def test_zero_literal_rejected(self):
+        solver = SatSolver()
+        with pytest.raises(ValueError):
+            solver.add_clause([0])
+
+    def test_incremental_clause_addition(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve() is True
+        solver.add_clause([-1])
+        assert solver.solve() is True
+        assert solver.model[2] is True
+        solver.add_clause([-2])
+        assert solver.solve() is False
+
+
+class TestStructuredInstances:
+    def test_php_3_pigeons_2_holes(self):
+        # Pigeonhole principle: 3 pigeons in 2 holes is unsat.
+        # Variable p_{i,h} = pigeon i in hole h -> var index 2*(i-1)+h.
+        def var(i, h):
+            return 2 * (i - 1) + h
+
+        solver = SatSolver()
+        for i in (1, 2, 3):
+            solver.add_clause([var(i, 1), var(i, 2)])
+        for h in (1, 2):
+            for i, j in itertools.combinations((1, 2, 3), 2):
+                solver.add_clause([-var(i, h), -var(j, h)])
+        assert solver.solve() is False
+
+    def test_graph_coloring_triangle_with_2_colors_unsat(self):
+        # Vertices a, b, c; colors 1, 2; var index: 2*(vertex)+color.
+        def var(vertex, color):
+            return 2 * vertex + color
+
+        solver = SatSolver()
+        for vertex in (0, 1, 2):
+            solver.add_clause([var(vertex, 1), var(vertex, 2)])
+        for u, v in [(0, 1), (1, 2), (0, 2)]:
+            for color in (1, 2):
+                solver.add_clause([-var(u, color), -var(v, color)])
+        assert solver.solve() is False
+
+    def test_graph_coloring_path_with_2_colors_sat(self):
+        def var(vertex, color):
+            return 2 * vertex + color
+
+        solver = SatSolver()
+        for vertex in (0, 1, 2):
+            solver.add_clause([var(vertex, 1), var(vertex, 2)])
+            solver.add_clause([-var(vertex, 1), -var(vertex, 2)])
+        for u, v in [(0, 1), (1, 2)]:
+            for color in (1, 2):
+                solver.add_clause([-var(u, color), -var(v, color)])
+        assert solver.solve() is True
+        model = solver.model
+        assert model[var(0, 1)] != model[var(1, 1)]
+        assert model[var(1, 1)] != model[var(2, 1)]
+
+
+class TestRandomCrossCheck:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_3sat_agrees_with_brute_force(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(4, 9)
+        num_clauses = rng.randint(num_vars, 4 * num_vars)
+        clauses = []
+        for _ in range(num_clauses):
+            width = rng.randint(1, 3)
+            variables = rng.sample(range(1, num_vars + 1), min(width, num_vars))
+            clause = [var if rng.random() < 0.5 else -var for var in variables]
+            clauses.append(clause)
+
+        solver = SatSolver()
+        for clause in clauses:
+            solver.add_clause(list(clause))
+        answer = solver.solve()
+        expected = brute_force_satisfiable(num_vars, clauses)
+        assert answer == expected
+        if answer:
+            model = {var: solver.model_value(var) for var in range(1, num_vars + 1)}
+            assert check_model(clauses, model)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_larger_random_instances_have_valid_models(self, seed):
+        rng = random.Random(100 + seed)
+        num_vars = 60
+        num_clauses = 150
+        clauses = []
+        for _ in range(num_clauses):
+            variables = rng.sample(range(1, num_vars + 1), 3)
+            clauses.append([v if rng.random() < 0.5 else -v for v in variables])
+        solver = SatSolver()
+        for clause in clauses:
+            solver.add_clause(list(clause))
+        answer = solver.solve()
+        if answer:
+            model = {var: solver.model_value(var) for var in range(1, num_vars + 1)}
+            assert check_model(clauses, model)

@@ -1,0 +1,195 @@
+"""Tests for the theory solvers and the DPLL(T) solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.smtlite.formula import And, BoolVar, Iff, Implies, Not, Or
+from repro.smtlite.scipy_backend import ScipyTheorySolver
+from repro.smtlite.solver import Model, Solver, SolverStatus
+from repro.smtlite.terms import IntVar, LinearExpr
+from repro.smtlite.theory import (
+    ExactTheorySolver,
+    TheoryConstraint,
+    default_theory_solver,
+    verify_model,
+)
+
+x, y, z = IntVar("x"), IntVar("y"), IntVar("z")
+
+BACKENDS = [ExactTheorySolver(), ScipyTheorySolver()]
+
+
+def constraint(coefficients, constant):
+    return TheoryConstraint.from_expr(coefficients, constant)
+
+
+class TestTheorySolvers:
+    @pytest.mark.parametrize("backend", BACKENDS, ids=lambda backend: backend.name)
+    def test_satisfiable_conjunction(self, backend):
+        constraints = [
+            constraint({"x": 1, "y": 1}, -4),   # x + y <= 4
+            constraint({"x": -1}, 2),           # x >= 2
+        ]
+        result = backend.check(constraints, {"x": (0, None), "y": (0, None)})
+        assert result.satisfiable
+        assert verify_model(constraints, {"x": (0, None), "y": (0, None)}, result.model)
+
+    @pytest.mark.parametrize("backend", BACKENDS, ids=lambda backend: backend.name)
+    def test_unsatisfiable_conjunction_has_core(self, backend):
+        constraints = [
+            constraint({"x": 1}, -2),    # x <= 2
+            constraint({"x": -1}, 5),    # x >= 5
+            constraint({"y": 1}, -100),  # y <= 100 (irrelevant)
+        ]
+        result = backend.check(constraints, {"x": (0, None), "y": (0, None)})
+        assert not result.satisfiable
+        assert result.core
+        core_constraints = [constraints[index] for index in result.core]
+        core_result = backend.check(core_constraints, {"x": (0, None), "y": (0, None)})
+        assert not core_result.satisfiable
+
+    @pytest.mark.parametrize("backend", BACKENDS, ids=lambda backend: backend.name)
+    def test_integrality_matters(self, backend):
+        # 2x = 3 is LP-feasible but has no integer solution.
+        constraints = [
+            constraint({"x": 2}, -3),
+            constraint({"x": -2}, 3),
+        ]
+        result = backend.check(constraints, {"x": (0, None)})
+        assert not result.satisfiable
+
+    @pytest.mark.parametrize("backend", BACKENDS, ids=lambda backend: backend.name)
+    def test_empty_constraint_set(self, backend):
+        result = backend.check([], {"x": (0, None)})
+        assert result.satisfiable
+
+    def test_default_backend_selection(self):
+        assert default_theory_solver("exact").name == "exact"
+        assert default_theory_solver("auto").name in ("scipy", "exact")
+
+    def test_verify_model_checks_bounds(self):
+        constraints = [constraint({"x": 1}, -10)]
+        assert verify_model(constraints, {"x": (0, 5)}, {"x": 3})
+        assert not verify_model(constraints, {"x": (0, 5)}, {"x": 7})
+        assert not verify_model(constraints, {"x": (4, None)}, {"x": 3})
+
+
+@pytest.fixture(params=["exact", "scipy"])
+def solver(request):
+    return Solver(theory=request.param)
+
+
+class TestDPLLT:
+    def test_simple_sat(self, solver):
+        solver.add(x + y <= 5, x >= 2, y >= 1)
+        result = solver.check()
+        assert result.status is SolverStatus.SAT
+        model = result.model
+        assert model.value(x) >= 2
+        assert model.value(y) >= 1
+        assert model.value(x + y) <= 5
+
+    def test_simple_unsat(self, solver):
+        solver.add(x >= 5, x <= 2)
+        assert solver.check().status is SolverStatus.UNSAT
+
+    def test_disjunction_forces_theory_reasoning(self, solver):
+        solver.add(Or(x >= 5, y >= 5))
+        solver.add(x <= 3)
+        solver.add(y <= 6)
+        result = solver.check()
+        assert result.status is SolverStatus.SAT
+        assert result.model.value(y) >= 5
+
+    def test_unsat_disjunction(self, solver):
+        solver.add(Or(x >= 5, y >= 5))
+        solver.add(x <= 3, y <= 3)
+        assert solver.check().status is SolverStatus.UNSAT
+
+    def test_equalities_and_implications(self, solver):
+        solver.add((x + y).eq(10))
+        solver.add(Implies(x >= 6, y >= 6))
+        result = solver.check()
+        assert result.status is SolverStatus.SAT
+        model = result.model
+        assert model.value(x) + model.value(y) == 10
+        assert not (model.value(x) >= 6) or model.value(y) >= 6
+
+    def test_boolean_variables_mix(self, solver):
+        flag = BoolVar("flag")
+        solver.add(Iff(flag, x >= 3))
+        solver.add(Or(Not(flag), y.eq(x)))
+        solver.add(x >= 3)
+        result = solver.check()
+        assert result.status is SolverStatus.SAT
+        assert result.model.bool_value("flag") is True
+        assert result.model.value(y) == result.model.value(x)
+
+    def test_natural_number_default_domain(self, solver):
+        solver.add(x <= -1)
+        assert solver.check().status is SolverStatus.UNSAT
+
+    def test_free_variable_declaration(self, solver):
+        free = solver.int_var("free", lower=None)
+        solver.add(free <= -5)
+        result = solver.check()
+        assert result.status is SolverStatus.SAT
+        assert result.model.value(free) <= -5
+
+    def test_bounded_variable_declaration(self, solver):
+        bounded = solver.int_var("bounded", lower=2, upper=4)
+        solver.add(bounded >= 0)
+        result = solver.check()
+        assert result.status is SolverStatus.SAT
+        assert 2 <= result.model.value(bounded) <= 4
+
+    def test_integrality_unsat(self, solver):
+        solver.add((2 * x).eq(7))
+        assert solver.check().status is SolverStatus.UNSAT
+
+    def test_incremental_additions(self, solver):
+        solver.add(x + y <= 10)
+        assert solver.check().status is SolverStatus.SAT
+        solver.add(x >= 8)
+        assert solver.check().status is SolverStatus.SAT
+        solver.add(y >= 8)
+        assert solver.check().status is SolverStatus.UNSAT
+
+    def test_trivially_false_formula(self, solver):
+        solver.add(LinearExpr.constant_expr(1) <= 0)
+        assert solver.check().status is SolverStatus.UNSAT
+
+    def test_model_evaluates_expressions(self, solver):
+        solver.add(x.eq(3), y.eq(4))
+        model = solver.check().model
+        assert model.value(2 * x + y) == 10
+        assert model.value("x") == 3
+
+    def test_nontrivial_combination(self, solver):
+        # A small scheduling-style problem mixing disjunctions and equalities.
+        a, b, c = IntVar("a"), IntVar("b"), IntVar("c")
+        solver.add((a + b + c).eq(6))
+        solver.add(Or(a >= 4, b >= 4, c >= 4))
+        solver.add(a <= 3, Or(b <= 1, c <= 1))
+        result = solver.check()
+        assert result.status is SolverStatus.SAT
+        model = result.model
+        values = [model.value(a), model.value(b), model.value(c)]
+        assert sum(values) == 6
+        assert max(values[1], values[2]) >= 4
+        assert values[0] <= 3
+        assert min(values[1], values[2]) <= 1
+
+    def test_statistics_populated(self, solver):
+        solver.add(Or(x >= 5, y >= 5), x <= 3, y <= 6)
+        result = solver.check()
+        assert result.statistics["theory_checks"] >= 1
+
+
+class TestModel:
+    def test_missing_values_default_to_zero(self):
+        model = Model({"x": 2}, {})
+        assert model.value("y") == 0
+        assert model.value(IntVar("x") + IntVar("y")) == 2
+        assert model.bool_value("missing") is False

@@ -1,0 +1,151 @@
+"""Tests for traps, siphons, flow equations and potential reachability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datatypes.multiset import Multiset
+from repro.verification.flow import (
+    PotentialReachabilityWitness,
+    apply_flow,
+    check_potential_reachability,
+    flow_from_transition_sequence,
+    satisfies_flow_equations,
+)
+from repro.verification.traps_siphons import (
+    all_minimal_siphons,
+    is_siphon,
+    is_trap,
+    maximal_siphon_with_support_outside,
+    maximal_trap_with_support_outside,
+    post_transitions,
+    pre_transitions,
+)
+
+
+@pytest.fixture
+def majority_by_name(majority_protocol):
+    return {t.name: t for t in majority_protocol.transitions}
+
+
+class TestTrapsAndSiphons:
+    def test_example_13_trap(self, majority_protocol, majority_by_name):
+        # {A, b} is a U-trap for U = {tAB, tAb} (Example 13 of the paper).
+        U = [majority_by_name["tAB"], majority_by_name["tAb"]]
+        assert is_trap(majority_protocol, {"A", "b"}, U)
+
+    def test_not_a_trap_for_full_transition_set(self, majority_protocol):
+        # tBa removes from {A, b}?  No: tBa = (B,a)->(B,b) adds to it.  But
+        # tAb = (A,b)->(A,a) removes b without adding, so {b} alone is not a trap.
+        assert not is_trap(majority_protocol, {"b"}, majority_protocol.transitions)
+
+    def test_whole_state_set_is_trap_and_siphon(self, majority_protocol):
+        assert is_trap(majority_protocol, majority_protocol.states, majority_protocol.transitions)
+        assert is_siphon(majority_protocol, majority_protocol.states, majority_protocol.transitions)
+
+    def test_siphon_example(self, majority_protocol):
+        # {A, B} is a siphon: no transition ever creates A or B.
+        assert is_siphon(majority_protocol, {"A", "B"}, majority_protocol.transitions)
+        # {a} is not a siphon: tAb produces a without consuming from {a}.
+        assert not is_siphon(majority_protocol, {"a"}, majority_protocol.transitions)
+
+    def test_pre_post_transitions(self, majority_protocol, majority_by_name):
+        pre = pre_transitions(majority_protocol, {"b"})
+        assert majority_by_name["tAB"] in pre and majority_by_name["tBa"] in pre
+        post = post_transitions(majority_protocol, {"A"})
+        assert majority_by_name["tAB"] in post and majority_by_name["tAb"] in post
+
+    def test_maximal_trap_computation(self, majority_protocol, majority_by_name):
+        U = [majority_by_name["tAB"], majority_by_name["tAb"]]
+        # Candidate states: those unpopulated in the target Ha, aI.
+        candidates = {"A", "B", "b"}
+        trap = maximal_trap_with_support_outside(majority_protocol, U, candidates)
+        assert set(trap) >= {"A", "b"}
+        assert is_trap(majority_protocol, trap, U)
+
+    def test_maximal_trap_empty_when_everything_leaks(self, majority_protocol):
+        trap = maximal_trap_with_support_outside(
+            majority_protocol, majority_protocol.transitions, {"a"}
+        )
+        assert trap == frozenset()
+
+    def test_maximal_siphon_computation(self, majority_protocol):
+        # {A, B, a} is itself a siphon (every transition producing a also
+        # consumes A or B), so the greedy fixed point keeps all three states.
+        siphon = maximal_siphon_with_support_outside(
+            majority_protocol, majority_protocol.transitions, {"A", "B", "a"}
+        )
+        assert siphon == frozenset({"A", "B", "a"})
+        assert is_siphon(majority_protocol, siphon, majority_protocol.transitions)
+        # Inside {a, b} nothing survives: tAB produces both a and b but
+        # consumes neither.
+        assert maximal_siphon_with_support_outside(
+            majority_protocol, majority_protocol.transitions, {"a", "b"}
+        ) == frozenset()
+
+    def test_all_minimal_siphons(self, majority_protocol):
+        siphons = all_minimal_siphons(majority_protocol)
+        assert frozenset({"A"}) in siphons
+        assert frozenset({"B"}) in siphons
+        assert all(is_siphon(majority_protocol, s, majority_protocol.transitions) for s in siphons)
+
+    def test_trap_marking_is_preserved(self, majority_protocol, majority_by_name):
+        # Dynamic meaning of a trap (Observation 11): once marked, stays marked.
+        U = [majority_by_name["tAB"], majority_by_name["tAb"]]
+        trap = {"A", "b"}
+        config = Multiset({"A": 1, "B": 1})
+        assert config.total(trap) > 0
+        for transition in U:
+            if transition.enabled_at(config):
+                successor = transition.fire(config)
+                assert successor.total(trap) > 0
+
+
+class TestFlowEquations:
+    def test_apply_flow_matches_firing(self, majority_protocol, majority_by_name):
+        config = Multiset({"A": 2, "B": 3})
+        sequence = [majority_by_name["tAB"], majority_by_name["tBa"]]
+        flow = flow_from_transition_sequence(sequence)
+        final = config
+        for transition in sequence:
+            final = transition.fire(final)
+        assert satisfies_flow_equations(config, final, flow)
+        predicted = apply_flow(config, flow)
+        assert all(predicted.get(state, 0) == final[state] for state in majority_protocol.states)
+
+    def test_flow_equation_counterexample(self, majority_by_name):
+        # Example 9: the flow equations alone admit HA,BI -> Ha,aI.
+        flow = {majority_by_name["tAB"]: 1, majority_by_name["tAb"]: 1}
+        assert satisfies_flow_equations(Multiset({"A": 1, "B": 1}), Multiset({"a": 2}), flow)
+
+    def test_negative_flow_rejected(self, majority_by_name):
+        with pytest.raises(ValueError):
+            apply_flow(Multiset({"A": 1, "B": 1}), {majority_by_name["tAB"]: -1})
+
+    def test_potential_reachability_rejects_example_13(self, majority_protocol, majority_by_name):
+        # Example 13: the trap {A, b} rules out HA,BI ~~> Ha,aI.
+        witness = PotentialReachabilityWitness(
+            source=Multiset({"A": 1, "B": 1}),
+            target=Multiset({"a": 2}),
+            flow={majority_by_name["tAB"]: 1, majority_by_name["tAb"]: 1},
+        )
+        ok, reason = check_potential_reachability(majority_protocol, witness)
+        assert not ok
+        assert "trap" in reason
+
+    def test_potential_reachability_accepts_real_execution(self, majority_protocol, majority_by_name):
+        source = Multiset({"A": 1, "B": 2})
+        sequence = [majority_by_name["tAB"], majority_by_name["tBa"]]
+        target = source
+        for transition in sequence:
+            target = transition.fire(target)
+        witness = PotentialReachabilityWitness(
+            source=source, target=target, flow=flow_from_transition_sequence(sequence)
+        )
+        ok, reason = check_potential_reachability(majority_protocol, witness)
+        assert ok, reason
+
+    def test_flow_equations_violated(self, majority_by_name):
+        assert not satisfies_flow_equations(
+            Multiset({"A": 1, "B": 1}), Multiset({"A": 1, "B": 1}), {majority_by_name["tAB"]: 1}
+        )
