@@ -1,0 +1,6 @@
+"""Benchmark suite reproducing Table 1 of the paper.
+
+The package ``__init__`` exists so the ``from .conftest import ...`` imports
+in the benchmark modules resolve under plain rootdir collection
+(``python -m pytest`` from the repository root).
+"""

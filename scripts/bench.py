@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Run the fixed verification benchmark subset and record a perf snapshot.
+
+Writes ``BENCH_<n>.json`` (next free ``n``) in the repository root with one
+entry per benchmark instance: protocol name, |Q|, |T|, the verification
+verdict, wall-clock time, and the constraint-solver statistics (theory
+checks, cache hits/misses, CEGAR refinements).  Successive PRs can diff
+these snapshots to track the performance trajectory.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench.py            # default subset
+    PYTHONPATH=src python scripts/bench.py --large    # adds the heavier rows
+    PYTHONPATH=src python scripts/bench.py --output out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import re
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.protocols.library import (  # noqa: E402
+    broadcast_protocol,
+    flock_of_birds_protocol,
+    flock_of_birds_threshold_n_protocol,
+    majority_protocol,
+    remainder_protocol,
+    threshold_table_protocol,
+)
+from repro.verification.ws3 import verify_ws3  # noqa: E402
+
+
+def benchmark_suite(large: bool):
+    """The fixed subset: (family, parameter label, protocol factory)."""
+    rows = [
+        ("majority", "-", majority_protocol),
+        ("broadcast", "-", broadcast_protocol),
+        ("flock-of-birds", "c=4", lambda: flock_of_birds_protocol(4)),
+        ("flock-of-birds", "c=6", lambda: flock_of_birds_protocol(6)),
+        ("threshold-n", "c=5", lambda: flock_of_birds_threshold_n_protocol(5)),
+        ("threshold-n", "c=8", lambda: flock_of_birds_threshold_n_protocol(8)),
+        ("remainder", "m=5", lambda: remainder_protocol([1], 5, 3)),
+        ("threshold", "vmax=2", lambda: threshold_table_protocol(2)),
+    ]
+    if large:
+        rows += [
+            ("flock-of-birds", "c=8", lambda: flock_of_birds_protocol(8)),
+            ("threshold-n", "c=10", lambda: flock_of_birds_threshold_n_protocol(10)),
+            ("remainder", "m=8", lambda: remainder_protocol([1], 8, 3)),
+            ("threshold", "vmax=3", lambda: threshold_table_protocol(3)),
+        ]
+    return rows
+
+
+def run_instance(family: str, parameter: str, factory) -> dict:
+    protocol = factory()
+    start = time.perf_counter()
+    result = verify_ws3(protocol)
+    elapsed = time.perf_counter() - start
+    strong = result.strong_consensus
+    entry = {
+        "family": family,
+        "parameter": parameter,
+        "protocol": protocol.name,
+        "num_states": protocol.num_states,
+        "num_transitions": protocol.num_transitions,
+        "is_ws3": result.is_ws3,
+        "wall_clock_seconds": round(elapsed, 4),
+        "layered_termination": {
+            "holds": result.layered_termination.holds,
+            "strategy": result.layered_termination.statistics.get("strategy"),
+            "time": result.layered_termination.statistics.get("time"),
+        },
+    }
+    if strong is not None:
+        entry["strong_consensus"] = {
+            "holds": strong.holds,
+            "iterations": strong.statistics.get("iterations"),
+            "pattern_pairs": strong.statistics.get("pattern_pairs"),
+            "refinements": len(strong.refinements),
+            "time": strong.statistics.get("time"),
+            "solver": strong.statistics.get("solver", {}),
+        }
+    return entry
+
+
+def next_output_path() -> Path:
+    taken = set()
+    for path in REPO_ROOT.glob("BENCH_*.json"):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
+        if match:
+            taken.add(int(match.group(1)))
+    index = 0
+    while index in taken:
+        index += 1
+    return REPO_ROOT / f"BENCH_{index}.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--large", action="store_true", help="include the heavier instances")
+    parser.add_argument("--output", type=Path, default=None, help="output path (default: BENCH_<n>.json)")
+    args = parser.parse_args(argv)
+
+    entries = []
+    for family, parameter, factory in benchmark_suite(args.large):
+        print(f"running {family} {parameter} ...", flush=True)
+        entry = run_instance(family, parameter, factory)
+        print(
+            f"  |Q|={entry['num_states']} |T|={entry['num_transitions']} "
+            f"ws3={entry['is_ws3']} time={entry['wall_clock_seconds']}s",
+            flush=True,
+        )
+        entries.append(entry)
+
+    snapshot = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "large": args.large,
+        "total_seconds": round(sum(entry["wall_clock_seconds"] for entry in entries), 4),
+        "benchmarks": entries,
+    }
+    output = args.output or next_output_path()
+    output.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -66,6 +66,18 @@ class Multiset(Mapping[E, int]):
     # ------------------------------------------------------------------
 
     @classmethod
+    def _from_counts(cls, counts: dict[E, int]) -> "Multiset[E]":
+        """Internal constructor for already-validated positive counts.
+
+        The dict is taken over without copying or validation; callers must
+        guarantee positive integer multiplicities and exclusive ownership.
+        """
+        multiset = object.__new__(cls)
+        multiset._counts = counts
+        multiset._hash = None
+        return multiset
+
+    @classmethod
     def empty(cls) -> "Multiset[E]":
         """Return the empty multiset (written ``0`` in the paper)."""
         return cls()
@@ -138,9 +150,10 @@ class Multiset(Mapping[E, int]):
         if not isinstance(other, Multiset):
             return NotImplemented
         counts = dict(self._counts)
+        get = counts.get
         for element, count in other._counts.items():
-            counts[element] = counts.get(element, 0) + count
-        return Multiset(counts)
+            counts[element] = get(element, 0) + count
+        return Multiset._from_counts(counts)
 
     def __sub__(self, other: "Multiset[E]") -> "Multiset[E]":
         """Exact difference; raises ``ValueError`` if ``other`` is not included in ``self``."""
@@ -157,16 +170,20 @@ class Multiset(Mapping[E, int]):
                 counts.pop(element, None)
             else:
                 counts[element] = remaining
-        return Multiset(counts)
+        return Multiset._from_counts(counts)
 
     def monus(self, other: "Multiset[E]") -> "Multiset[E]":
         """Saturating difference ``max(M(e) - M'(e), 0)``, written ``M ∸ M'``."""
+        other_counts = other._counts
+        if not other_counts:
+            return self
         counts = {}
+        other_get = other_counts.get
         for element, count in self._counts.items():
-            remaining = count - other[element]
+            remaining = count - other_get(element, 0)
             if remaining > 0:
                 counts[element] = remaining
-        return Multiset(counts)
+        return Multiset._from_counts(counts)
 
     def scale(self, factor: int) -> "Multiset[E]":
         """Multiply every multiplicity by a non-negative integer factor."""
@@ -174,28 +191,35 @@ class Multiset(Mapping[E, int]):
             raise ValueError("scaling factor must be non-negative")
         if factor == 0:
             return Multiset()
-        return Multiset({element: count * factor for element, count in self._counts.items()})
+        return Multiset._from_counts(
+            {element: count * factor for element, count in self._counts.items()}
+        )
 
     def union(self, other: "Multiset[E]") -> "Multiset[E]":
         """Componentwise maximum."""
         counts = dict(self._counts)
+        get = counts.get
         for element, count in other._counts.items():
-            counts[element] = max(counts.get(element, 0), count)
-        return Multiset(counts)
+            if count > get(element, 0):
+                counts[element] = count
+        return Multiset._from_counts(counts)
 
     def intersection(self, other: "Multiset[E]") -> "Multiset[E]":
         """Componentwise minimum."""
         counts = {}
+        other_get = other._counts.get
         for element, count in self._counts.items():
-            shared = min(count, other[element])
+            shared = min(count, other_get(element, 0))
             if shared > 0:
                 counts[element] = shared
-        return Multiset(counts)
+        return Multiset._from_counts(counts)
 
     def restrict(self, elements: Iterable[E]) -> "Multiset[E]":
         """Keep only occurrences of the given elements."""
         allowed = set(elements)
-        return Multiset({element: count for element, count in self._counts.items() if element in allowed})
+        return Multiset._from_counts(
+            {element: count for element, count in self._counts.items() if element in allowed}
+        )
 
     # ------------------------------------------------------------------
     # Comparison
@@ -210,7 +234,11 @@ class Multiset(Mapping[E, int]):
         """Componentwise inclusion ``M <= M'``."""
         if not isinstance(other, Multiset):
             return NotImplemented
-        return all(count <= other[element] for element, count in self._counts.items())
+        other_get = other._counts.get
+        for element, count in self._counts.items():
+            if count > other_get(element, 0):
+                return False
+        return True
 
     def __lt__(self, other: "Multiset[E]") -> bool:
         if not isinstance(other, Multiset):

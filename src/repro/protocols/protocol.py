@@ -53,6 +53,13 @@ class Transition:
                 f"transitions are pairwise: pre and post must have size 2, got "
                 f"{self.pre.pretty()} -> {self.post.pretty()}"
             )
+        effect: dict[State, int] = {}
+        for state in self.pre.support() | self.post.support():
+            change = self.post[state] - self.pre[state]
+            if change != 0:
+                effect[state] = change
+        # The dataclass is frozen; the cached derived data is not a field.
+        object.__setattr__(self, "delta_map", effect)
 
     @classmethod
     def make(
@@ -77,12 +84,7 @@ class Transition:
 
     def delta(self) -> dict[State, int]:
         """Effect of the transition on each state: ``post(q) - pre(q)``."""
-        effect: dict[State, int] = {}
-        for state in self.states():
-            change = self.post[state] - self.pre[state]
-            if change != 0:
-                effect[state] = change
-        return effect
+        return dict(self.delta_map)
 
     def enabled_at(self, configuration: Configuration) -> bool:
         """True if ``configuration >= pre``."""

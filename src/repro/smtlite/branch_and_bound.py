@@ -63,9 +63,12 @@ def solve_integer_feasibility(
     integer_variables:
         Variables required to be integral; defaults to *all* variables.
     """
-    variable_names: set[str] = set(bounds)
+    names: set[str] = set(bounds)
     for coefficients, _, _ in constraints:
-        variable_names.update(coefficients)
+        names.update(coefficients)
+    # Deterministic variable order: the simplex pivoting path (and hence the
+    # branch-and-bound trajectory) must not depend on hash randomization.
+    variable_names = sorted(names)
     if integer_variables is None:
         integer_variables = set(variable_names)
 

@@ -2,15 +2,21 @@
 
 This is a compact but complete implementation of conflict-driven clause
 learning with the standard ingredients: two-watched-literal propagation,
-first-UIP conflict analysis, VSIDS-style variable activities, phase saving
-and geometric restarts.  It is used as the propositional engine of the
-DPLL(T) solver in :mod:`repro.smtlite.solver` and is also usable on its own
-(see the unit tests, which cross-check it against brute force on random
-instances).
+first-UIP conflict analysis, VSIDS-style variable activities maintained in an
+indexed max-heap, phase saving, geometric restarts, LBD-based deletion of
+learned clauses, and solving under assumptions.  It is used as the
+propositional engine of the DPLL(T) solver in :mod:`repro.smtlite.solver` and
+is also usable on its own (see the unit tests, which cross-check it against
+brute force on random instances).
 
 Clauses are lists of non-zero integers in the DIMACS convention: a positive
 literal ``v`` means "variable v is true", a negative literal ``-v`` means
 "variable v is false".
+
+Clauses added through :meth:`SatSolver.add_clause` are *problem* clauses and
+are never deleted (the DPLL(T) loop relies on blocking clauses being
+permanent for termination); only clauses learned internally by conflict
+analysis participate in database reduction.
 """
 
 from __future__ import annotations
@@ -23,7 +29,7 @@ class SatSolver:
 
     def __init__(self) -> None:
         self.num_vars = 0
-        self.clauses: list[list[int]] = []
+        self.clauses: list[list[int] | None] = []
         self.watches: dict[int, list[int]] = {}
         self.assignment: list[bool | None] = [None]
         self.level: list[int] = [0]
@@ -36,7 +42,21 @@ class SatSolver:
         self.unsat = False
         self.var_inc = 1.0
         self.var_decay = 0.95
-        self.statistics = {"conflicts": 0, "decisions": 0, "propagations": 0, "restarts": 0}
+        # Indexed binary max-heap over variable activities (lazy deletion:
+        # assigned variables may linger in the heap and are skipped on pop).
+        self._heap: list[int] = []
+        self._heap_pos: list[int] = [-1]
+        # LBD ("glue") of each learned clause, keyed by clause index.
+        self._learned_lbd: dict[int, int] = {}
+        self._max_learned = 4000
+        self.statistics = {
+            "conflicts": 0,
+            "decisions": 0,
+            "propagations": 0,
+            "restarts": 0,
+            "deleted_clauses": 0,
+            "db_reductions": 0,
+        }
 
     # ------------------------------------------------------------------
     # Variables and clauses
@@ -50,6 +70,8 @@ class SatSolver:
         self.reason.append(None)
         self.activity.append(0.0)
         self.phase.append(False)
+        self._heap_pos.append(-1)
+        self._heap_insert(self.num_vars)
         return self.num_vars
 
     def ensure_vars(self, count: int) -> None:
@@ -114,6 +136,67 @@ class SatSolver:
         self.watches.setdefault(literal, []).append(clause_index)
 
     # ------------------------------------------------------------------
+    # Activity heap
+    # ------------------------------------------------------------------
+
+    def _heap_insert(self, var: int) -> None:
+        if self._heap_pos[var] >= 0:
+            return
+        self._heap.append(var)
+        self._heap_pos[var] = len(self._heap) - 1
+        self._sift_up(len(self._heap) - 1)
+
+    def _sift_up(self, position: int) -> None:
+        heap, pos, activity = self._heap, self._heap_pos, self.activity
+        var = heap[position]
+        key = activity[var]
+        while position > 0:
+            parent = (position - 1) >> 1
+            parent_var = heap[parent]
+            if activity[parent_var] >= key:
+                break
+            heap[position] = parent_var
+            pos[parent_var] = position
+            position = parent
+        heap[position] = var
+        pos[var] = position
+
+    def _sift_down(self, position: int) -> None:
+        heap, pos, activity = self._heap, self._heap_pos, self.activity
+        size = len(heap)
+        var = heap[position]
+        key = activity[var]
+        while True:
+            child = 2 * position + 1
+            if child >= size:
+                break
+            right = child + 1
+            if right < size and activity[heap[right]] > activity[heap[child]]:
+                child = right
+            child_var = heap[child]
+            if key >= activity[child_var]:
+                break
+            heap[position] = child_var
+            pos[child_var] = position
+            position = child
+        heap[position] = var
+        pos[var] = position
+
+    def _heap_pop_max(self) -> int | None:
+        heap, pos = self._heap, self._heap_pos
+        while heap:
+            top = heap[0]
+            last = heap.pop()
+            pos[top] = -1
+            if heap:
+                heap[0] = last
+                pos[last] = 0
+                self._sift_down(0)
+            if self.assignment[top] is None:
+                return top
+        return None
+
+    # ------------------------------------------------------------------
     # Trail management
     # ------------------------------------------------------------------
 
@@ -140,6 +223,7 @@ class SatSolver:
             var = abs(literal)
             self.assignment[var] = None
             self.reason[var] = None
+            self._heap_insert(var)
         del self.trail[boundary:]
         del self.trail_lim[target_level:]
         self.qhead = min(self.qhead, len(self.trail))
@@ -162,6 +246,8 @@ class SatSolver:
                 clause_index = watch_list[index_position]
                 index_position += 1
                 clause = self.clauses[clause_index]
+                if clause is None:
+                    continue  # deleted learned clause; drop the watcher
                 # Ensure the false literal is at position 1.
                 if clause[0] == false_literal:
                     clause[0], clause[1] = clause[1], clause[0]
@@ -200,9 +286,12 @@ class SatSolver:
     def _bump(self, var: int) -> None:
         self.activity[var] += self.var_inc
         if self.activity[var] > 1e100:
+            # Uniform rescale preserves the heap order, so no rebuild needed.
             for index in range(1, self.num_vars + 1):
                 self.activity[index] *= 1e-100
             self.var_inc *= 1e-100
+        if self._heap_pos[var] >= 0:
+            self._sift_up(self._heap_pos[var])
 
     def _decay_activities(self) -> None:
         self.var_inc /= self.var_decay
@@ -272,34 +361,62 @@ class SatSolver:
         self.clauses.append(learned)
         self._watch(learned[0], index)
         self._watch(learned[1], index)
+        # LBD: the asserting literal is not yet (re-)assigned, so its stored
+        # level is stale — it will be enqueued at the current (backjump)
+        # level, which is what counts.
+        levels = {self.level[abs(literal)] for literal in learned[1:]}
+        levels.add(self.decision_level())
+        self._learned_lbd[index] = len(levels)
         self._enqueue(learned[0], index)
 
     # ------------------------------------------------------------------
-    # Decisions
+    # Learned-clause database reduction
     # ------------------------------------------------------------------
 
-    def _pick_branch_variable(self) -> int | None:
-        best_var = None
-        best_activity = -1.0
-        for var in range(1, self.num_vars + 1):
-            if self.assignment[var] is None and self.activity[var] > best_activity:
-                best_activity = self.activity[var]
-                best_var = var
-        return best_var
+    def _reduce_learned(self) -> None:
+        """Drop the worst half of the learned clauses (highest LBD first).
+
+        Must be called at decision level 0.  Clauses that are the reason of a
+        root-level assignment ("locked") and glue clauses (LBD <= 2) are kept.
+        """
+        locked = {self.reason[abs(literal)] for literal in self.trail}
+        candidates = [
+            (lbd, len(self.clauses[index]), index)
+            for index, lbd in self._learned_lbd.items()
+            if lbd > 2 and index not in locked
+        ]
+        candidates.sort(reverse=True)
+        for _, _, index in candidates[: len(candidates) // 2]:
+            self.clauses[index] = None
+            del self._learned_lbd[index]
+            self.statistics["deleted_clauses"] += 1
+        self.statistics["db_reductions"] += 1
+        self._max_learned = int(self._max_learned * 1.2)
 
     # ------------------------------------------------------------------
     # Main solving loop
     # ------------------------------------------------------------------
 
-    def solve(self, max_conflicts: int | None = None) -> bool | None:
+    def solve(
+        self, max_conflicts: int | None = None, assumptions: Sequence[int] = ()
+    ) -> bool | None:
         """Decide satisfiability of the current clause set.
 
         Returns True (sat), False (unsat), or None if ``max_conflicts`` was
         exhausted.  On True, :attr:`model` holds a satisfying assignment.
+
+        ``assumptions`` is a sequence of literals temporarily assumed true for
+        this call only; False then means "unsatisfiable under the
+        assumptions" and the solver remains usable (clause database intact).
         """
         if self.unsat:
             return False
         self._cancel_until(0)
+        assumptions = [int(literal) for literal in assumptions]
+        for literal in assumptions:
+            if literal == 0:
+                raise ValueError("0 is not a valid literal")
+            self.ensure_vars(abs(literal))
         if self._propagate() is not None:
             self.unsat = True
             return False
@@ -317,8 +434,13 @@ class SatSolver:
                 if self.decision_level() == 0:
                     self.unsat = True
                     return False
+                if self.decision_level() <= len(assumptions):
+                    # The conflict only depends on (a prefix of) the
+                    # assumptions: unsat under assumptions, solver intact.
+                    self._cancel_until(0)
+                    return False
                 learned, backjump_level = self._analyze(conflict)
-                self._cancel_until(backjump_level)
+                self._cancel_until(max(backjump_level, 0))
                 self._record_learned(learned)
                 self._decay_activities()
                 if max_conflicts is not None and total_conflicts >= max_conflicts:
@@ -331,9 +453,23 @@ class SatSolver:
                 restart_limit = int(restart_limit * 1.5)
                 self.statistics["restarts"] += 1
                 self._cancel_until(0)
+                if len(self._learned_lbd) > self._max_learned:
+                    self._reduce_learned()
                 continue
 
-            variable = self._pick_branch_variable()
+            if self.decision_level() < len(assumptions):
+                # Re-establish the next assumption as a pseudo-decision.
+                literal = assumptions[self.decision_level()]
+                value = self._value(literal)
+                if value is False:
+                    self._cancel_until(0)
+                    return False
+                self.trail_lim.append(len(self.trail))
+                if value is None:
+                    self._enqueue(literal, None)
+                continue
+
+            variable = self._heap_pop_max()
             if variable is None:
                 return True
             self.statistics["decisions"] += 1

@@ -6,6 +6,14 @@ from the dual multipliers of an *elastic* LP relaxation.  It is considerably
 faster than the pure-Python exact backend on the larger constraint systems
 produced by the threshold/remainder/flock-of-birds benchmarks.
 
+Incrementality: the DPLL(T) loop and the CEGAR refinement of the
+verification layer pose long sequences of closely related conjunctions, so
+the backend keeps a grow-only variable→column index and caches the sparse
+row of every constraint it has ever seen; each call assembles its matrix by
+stacking cached rows instead of rebuilding the MILP from scratch.  Columns
+belonging to variables of earlier calls are harmless: their coefficients are
+zero and their bounds default to the natural numbers.
+
 Soundness: HiGHS works in floating point, so
 
 * every model is rounded to integers and re-verified exactly
@@ -18,6 +26,7 @@ Soundness: HiGHS works in floating point, so
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 
 import numpy as np
@@ -41,27 +50,43 @@ class ScipyTheorySolver(TheorySolverBase):
 
     name = "scipy"
 
-    def __init__(self, minimize_cores: bool = True, core_minimization_budget: int = 16):
+    def __init__(
+        self,
+        minimize_cores: bool = True,
+        core_minimization_budget: int = 16,
+        core_shrink_budget: int = 96,
+        core_shrink_time_limit: float = 5.0,
+    ):
+        super().__init__()
         self.minimize_cores = minimize_cores
         self.core_minimization_budget = core_minimization_budget
+        self.core_shrink_budget = core_shrink_budget
+        self.core_shrink_time_limit = core_shrink_time_limit
         self._exact_fallback = ExactTheorySolver()
-        self.statistics = {"milp_calls": 0, "lp_calls": 0, "exact_fallbacks": 0}
+        # Grow-only variable -> column index shared by all calls.
+        self._var_index: dict[str, int] = {}
+        # Cached sparse row (data, column indices) per constraint.
+        self._row_cache: dict[TheoryConstraint, tuple[list[float], list[int]]] = {}
+        self.statistics = {
+            "milp_calls": 0,
+            "lp_calls": 0,
+            "exact_fallbacks": 0,
+            "row_cache_hits": 0,
+            "row_cache_misses": 0,
+        }
 
     # ------------------------------------------------------------------
 
     def is_satisfiable(self, constraints: Sequence[TheoryConstraint], bounds: Bounds) -> bool:
         """Single MILP feasibility call (no model verification, no core work)."""
         constraints = list(constraints)
-        variables = sorted(
-            {name for constraint in constraints for name in constraint.variables()} | set(bounds)
-        )
         if not constraints:
             return True
-        if not variables:
+        if not any(constraint.coefficients for constraint in constraints):
             return all(constraint.constant <= 0 for constraint in constraints)
-        index_of = {name: position for position, name in enumerate(variables)}
-        matrix, rhs = self._constraint_matrix(constraints, index_of)
-        lower, upper = self._bound_arrays(variables, bounds)
+        self._register_variables(bounds)
+        matrix, rhs = self._constraint_matrix(constraints)
+        lower, upper = self._bound_arrays(bounds)
         feasible, _ = self._solve_milp(matrix, rhs, lower, upper)
         return feasible
 
@@ -80,13 +105,13 @@ class ScipyTheorySolver(TheorySolverBase):
             core = [i for i, c in enumerate(constraints) if c.constant > 0]
             return TheoryResult(False, core=core)
 
-        index_of = {name: position for position, name in enumerate(variables)}
-        matrix, rhs = self._constraint_matrix(constraints, index_of)
-        lower, upper = self._bound_arrays(variables, bounds)
+        self._register_variables(bounds)
+        matrix, rhs = self._constraint_matrix(constraints)
+        lower, upper = self._bound_arrays(bounds)
 
         feasible, values = self._solve_milp(matrix, rhs, lower, upper)
         if feasible:
-            model = {name: values[index_of[name]] for name in variables}
+            model = {name: values[self._var_index[name]] for name in variables}
             if verify_model(constraints, bounds, model):
                 return TheoryResult(True, model=model)
             self.statistics["exact_fallbacks"] += 1
@@ -108,31 +133,53 @@ class ScipyTheorySolver(TheorySolverBase):
             return int(upper)
         return 0
 
-    @staticmethod
+    def _register_variables(self, bounds: Bounds) -> None:
+        index = self._var_index
+        for name in bounds:
+            if name not in index:
+                index[name] = len(index)
+
     def _constraint_matrix(
-        constraints: Sequence[TheoryConstraint], index_of: dict[str, int]
+        self, constraints: Sequence[TheoryConstraint]
     ) -> tuple[sparse.csr_matrix, np.ndarray]:
-        data, row_indices, column_indices = [], [], []
-        rhs = np.zeros(len(constraints))
+        index = self._var_index
+        row_cache = self._row_cache
+        data: list[float] = []
+        row_indices: list[int] = []
+        column_indices: list[int] = []
+        rhs = np.empty(len(constraints))
         for row, constraint in enumerate(constraints):
             rhs[row] = -constraint.constant
-            for name, coefficient in constraint.coefficients:
-                data.append(float(coefficient))
-                row_indices.append(row)
-                column_indices.append(index_of[name])
+            cached = row_cache.get(constraint)
+            if cached is None:
+                self.statistics["row_cache_misses"] += 1
+                row_data: list[float] = []
+                row_columns: list[int] = []
+                for name, coefficient in constraint.coefficients:
+                    column = index.get(name)
+                    if column is None:
+                        column = len(index)
+                        index[name] = column
+                    row_data.append(float(coefficient))
+                    row_columns.append(column)
+                cached = (row_data, row_columns)
+                row_cache[constraint] = cached
+            else:
+                self.statistics["row_cache_hits"] += 1
+            data.extend(cached[0])
+            column_indices.extend(cached[1])
+            row_indices.extend([row] * len(cached[0]))
         matrix = sparse.csr_matrix(
-            (data, (row_indices, column_indices)), shape=(len(constraints), len(index_of))
+            (data, (row_indices, column_indices)), shape=(len(constraints), len(index))
         )
         return matrix, rhs
 
-    @staticmethod
-    def _bound_arrays(
-        variables: list[str], bounds: Bounds
-    ) -> tuple[np.ndarray, np.ndarray]:
-        lower = np.zeros(len(variables))
-        upper = np.full(len(variables), np.inf)
-        for position, name in enumerate(variables):
-            low, high = bounds.get(name, (0, None))
+    def _bound_arrays(self, bounds: Bounds) -> tuple[np.ndarray, np.ndarray]:
+        num_columns = len(self._var_index)
+        lower = np.zeros(num_columns)
+        upper = np.full(num_columns, np.inf)
+        for name, (low, high) in bounds.items():
+            position = self._var_index[name]
             lower[position] = -np.inf if low is None else float(low)
             upper[position] = np.inf if high is None else float(high)
         return lower, upper
@@ -175,18 +222,80 @@ class ScipyTheorySolver(TheorySolverBase):
         core = None
         if candidate and len(candidate) < len(constraints):
             # Re-verify the candidate with a dedicated MILP call on the subset.
-            subset = [constraints[index] for index in candidate]
-            sub_variables = sorted({v for c in subset for v in c.variables()} | set(bounds))
-            sub_index_of = {name: position for position, name in enumerate(sub_variables)}
-            sub_matrix, sub_rhs = self._constraint_matrix(subset, sub_index_of)
-            sub_lower, sub_upper = self._bound_arrays(sub_variables, bounds)
-            feasible, _ = self._solve_milp(sub_matrix, sub_rhs, sub_lower, sub_upper)
-            if not feasible:
+            if self._subset_proven_infeasible(constraints, bounds, candidate):
                 core = candidate
         if core is None:
+            # No LP certificate (typically integrality-driven infeasibility).
             core = all_indices
+        if self.minimize_cores and len(core) > 4:
+            # Large cores make weak blocking clauses and the DPLL(T) loop
+            # degenerates into near-enumeration of boolean assignments, so
+            # spend a bounded number of subset MILP calls shrinking them.
+            core = self._dichotomic_shrink(constraints, bounds, core)
         if self.minimize_cores and 4 < len(core) <= self.core_minimization_budget:
             core = self.minimize_core(constraints, bounds, core, max_checks=self.core_minimization_budget)
+        return core
+
+    def _subset_proven_infeasible(
+        self,
+        constraints: Sequence[TheoryConstraint],
+        bounds: Bounds,
+        indices: Sequence[int],
+        time_limit: float | None = None,
+    ) -> bool:
+        """True only when HiGHS *proves* the subset infeasible.
+
+        Removing constraints can make the branch-and-bound much harder than
+        the full system, so subset probes carry a time limit; an undecided
+        probe counts as "not proven", which is always sound (the caller just
+        keeps a larger core).
+        """
+        subset = [constraints[index] for index in indices]
+        sub_matrix, sub_rhs = self._constraint_matrix(subset)
+        sub_lower, sub_upper = self._bound_arrays(bounds)
+        self.statistics["milp_calls"] += 1
+        constraint = optimize.LinearConstraint(sub_matrix, -np.inf, sub_rhs)
+        num_variables = sub_matrix.shape[1]
+        result = optimize.milp(
+            c=np.zeros(num_variables),
+            constraints=[constraint],
+            integrality=np.ones(num_variables),
+            bounds=optimize.Bounds(sub_lower, sub_upper),
+            options=None if time_limit is None else {"time_limit": time_limit},
+        )
+        return result.status == 2  # 2 = proven infeasible
+
+    def _dichotomic_shrink(
+        self, constraints: Sequence[TheoryConstraint], bounds: Bounds, core: list[int]
+    ) -> list[int]:
+        """Shrink an unsatisfiable index set by dropping halving chunks.
+
+        ddmin-style: try to remove chunks of decreasing size while the
+        remainder stays infeasible.  Costs O(budget) time-limited subset MILP
+        calls and typically reduces a full-assignment core to a handful of
+        rows, which turns the learned blocking clause from a
+        single-assignment exclusion into a real pruning lemma.
+        """
+        budget = self.core_shrink_budget
+        if budget <= 0 or len(core) <= 4:
+            return core
+        deadline = time.perf_counter() + self.core_shrink_time_limit
+        per_probe = max(self.core_shrink_time_limit / 8.0, 0.25)
+        chunk = len(core) // 2
+        while chunk >= 1 and budget > 0:
+            position = 0
+            while position < len(core) and budget > 0:
+                if time.perf_counter() > deadline:
+                    return core
+                trial = core[:position] + core[position + chunk :]
+                if not trial:
+                    break
+                budget -= 1
+                if self._subset_proven_infeasible(constraints, bounds, trial, time_limit=per_probe):
+                    core = trial
+                else:
+                    position += chunk
+            chunk //= 2
         return core
 
     def _elastic_lp_core(

@@ -90,6 +90,11 @@ class TheorySolverBase:
 
     name = "base"
 
+    def __init__(self) -> None:
+        # The DPLL(T) loop re-poses near-identical conjunctions, so the
+        # per-constraint ILP rows are assembled once and reused across calls.
+        self._ilp_row_cache: dict[TheoryConstraint, tuple] = {}
+
     def check(self, constraints: Sequence[TheoryConstraint], bounds: Bounds) -> TheoryResult:
         raise NotImplementedError
 
@@ -106,9 +111,16 @@ class TheorySolverBase:
     # Shared helpers
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def _as_ilp(constraints: Sequence[TheoryConstraint]):
-        return [(c.coefficient_dict(), "<=", -c.constant) for c in constraints]
+    def _as_ilp(self, constraints: Sequence[TheoryConstraint]):
+        cache = self._ilp_row_cache
+        rows = []
+        for constraint in constraints:
+            row = cache.get(constraint)
+            if row is None:
+                row = (constraint.coefficient_dict(), "<=", -constraint.constant)
+                cache[constraint] = row
+            rows.append(row)
+        return rows
 
     def minimize_core(
         self,
@@ -146,6 +158,7 @@ class ExactTheorySolver(TheorySolverBase):
     name = "exact"
 
     def __init__(self, max_nodes: int = 4000):
+        super().__init__()
         self.max_nodes = max_nodes
 
     def is_satisfiable(self, constraints: Sequence[TheoryConstraint], bounds: Bounds) -> bool:

@@ -75,76 +75,14 @@ def check_correctness(
     """
     start = time.perf_counter()
     refinements: list[RefinementStep] = []
-    statistics = {"iterations": 0, "traps": 0, "siphons": 0}
+    statistics = {"iterations": 0, "traps": 0, "siphons": 0, "solver_instances": 1}
 
-    for expected_output in (1, 0):
-        outcome = _check_one_direction(
-            protocol, predicate, expected_output, theory, max_refinements, refinements, statistics
-        )
-        if outcome is not None:
-            statistics["time"] = time.perf_counter() - start
-            return CorrectnessResult(
-                holds=False,
-                counterexample=outcome,
-                refinements=refinements,
-                statistics=statistics,
-            )
-
-    statistics["time"] = time.perf_counter() - start
-    return CorrectnessResult(holds=True, refinements=refinements, statistics=statistics)
-
-
-def _check_one_direction(
-    protocol: PopulationProtocol,
-    predicate: PredicateLike,
-    expected_output: int,
-    theory: str,
-    max_refinements: int,
-    refinements: list[RefinementStep],
-    statistics: dict,
-) -> CorrectnessCounterexample | None:
-    """Search for an input with ``φ(X) = expected_output`` reaching a wrong terminal.
-
-    The terminal configuration is constrained through the same
-    support-pattern enumeration as the StrongConsensus check: only patterns
-    that can populate a state of the wrong output need to be considered.
-    """
+    # One persistent solver for both output directions and all terminal
+    # support patterns (cf. the StrongConsensus check): the input encoding,
+    # flow variables and non-negativity constraints are asserted once, the
+    # per-direction/per-pattern constraints live in push/pop scopes, and
+    # lemmas learned while refuting one pattern carry over to the next.
     builder = _ConstraintBuilder(protocol)
-    wrong_output = 1 - expected_output
-    patterns = [
-        pattern
-        for pattern in terminal_support_patterns(protocol)
-        if pattern.admits_output(protocol, wrong_output)
-    ]
-    for pattern in patterns:
-        statistics["pattern_pairs"] = statistics.get("pattern_pairs", 0) + 1
-        outcome = _solve_pattern(
-            protocol,
-            builder,
-            predicate,
-            expected_output,
-            pattern,
-            theory,
-            max_refinements,
-            refinements,
-            statistics,
-        )
-        if outcome is not None:
-            return outcome
-    return None
-
-
-def _solve_pattern(
-    protocol: PopulationProtocol,
-    builder: _ConstraintBuilder,
-    predicate: PredicateLike,
-    expected_output: int,
-    pattern,
-    theory: str,
-    max_refinements: int,
-    refinements: list[RefinementStep],
-    statistics: dict,
-) -> CorrectnessCounterexample | None:
     solver = Solver(theory=theory)
     input_vars = {
         symbol: solver.int_var(f"inp_{index}", lower=0)
@@ -164,8 +102,60 @@ def _solve_pattern(
         else:
             c0[state] = LinearExpr.constant_expr(0)
     c1 = builder.derived_config(c0, x1)
-
     solver.add(builder.non_negative(c1))
+
+    patterns = terminal_support_patterns(protocol)
+    for expected_output in (1, 0):
+        wrong_output = 1 - expected_output
+        for pattern in patterns:
+            if not pattern.admits_output(protocol, wrong_output):
+                continue
+            statistics["pattern_pairs"] = statistics.get("pattern_pairs", 0) + 1
+            solver.push()
+            try:
+                outcome = _solve_pattern(
+                    protocol,
+                    builder,
+                    solver,
+                    (input_vars, c0, c1, x1),
+                    predicate,
+                    expected_output,
+                    pattern,
+                    max_refinements,
+                    refinements,
+                    statistics,
+                )
+            finally:
+                solver.pop()
+            if outcome is not None:
+                statistics["solver"] = dict(solver.statistics)
+                statistics["time"] = time.perf_counter() - start
+                return CorrectnessResult(
+                    holds=False,
+                    counterexample=outcome,
+                    refinements=refinements,
+                    statistics=statistics,
+                )
+
+    statistics["solver"] = dict(solver.statistics)
+    statistics["time"] = time.perf_counter() - start
+    return CorrectnessResult(holds=True, refinements=refinements, statistics=statistics)
+
+
+def _solve_pattern(
+    protocol: PopulationProtocol,
+    builder: _ConstraintBuilder,
+    solver: Solver,
+    variables: tuple,
+    predicate: PredicateLike,
+    expected_output: int,
+    pattern,
+    max_refinements: int,
+    refinements: list[RefinementStep],
+    statistics: dict,
+) -> CorrectnessCounterexample | None:
+    """Run the refinement loop for one pattern inside an open solver scope."""
+    input_vars, c0, c1, x1 = variables
     solver.add(builder.pattern(c1, pattern))
     # Wrong output: some populated state disagrees with the expected value.
     solver.add(builder.has_output(c1, 1 - expected_output))
@@ -173,6 +163,10 @@ def _solve_pattern(
         solver.add(predicate.formula(input_vars))
     else:
         solver.add(predicate.negation_formula(input_vars))
+    # Trap/siphon constraints discovered for earlier patterns are valid here
+    # too (they only reference the shared flow and configurations).
+    for step in refinements:
+        solver.add(builder.refinement_constraint(step, c0, c1, x1, target_support=pattern.allowed))
 
     for iteration in range(max_refinements):
         statistics["iterations"] += 1

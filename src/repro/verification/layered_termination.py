@@ -75,11 +75,9 @@ def layer_is_silent(protocol: PopulationProtocol, layer: Iterable[Transition]) -
     states = set()
     for transition in transitions:
         states.update(transition.states())
-    for state in states:
+    for state in sorted(states, key=repr):
         coefficients = {
-            names[t]: t.post[state] - t.pre[state]
-            for t in transitions
-            if t.post[state] - t.pre[state] != 0
+            names[t]: t.delta_map[state] for t in transitions if state in t.delta_map
         }
         if coefficients:
             program.add_constraint(coefficients, "==", 0)
@@ -120,9 +118,10 @@ def _ranking_via_scipy(transitions: Sequence[Transition], states: Sequence) -> d
     except ImportError:  # pragma: no cover - scipy is a hard dependency
         return None
     matrix = np.zeros((len(transitions), len(states)))
+    column_of = {state: column for column, state in enumerate(states)}
     for row, transition in enumerate(transitions):
-        for column, state in enumerate(states):
-            matrix[row, column] = transition.post[state] - transition.pre[state]
+        for state, change in transition.delta_map.items():
+            matrix[row, column_of[state]] = change
     result = optimize.linprog(
         c=np.ones(len(states)),
         A_ub=matrix,
@@ -359,50 +358,29 @@ def smt_partition_search(
         max_layers = min(len(transitions), 2)
     witnesses = _lemma22_witness_sets(transitions)
 
-    for num_layers in range(1, max_layers + 1):
-        partition = _smt_partition_search_fixed(protocol, transitions, witnesses, num_layers, theory)
-        if partition is not None:
-            return partition
-    return None
-
-
-def _lemma22_witness_sets(
-    transitions: Sequence[Transition],
-) -> dict[tuple[Transition, Transition], list[Transition]]:
-    """Precompute ``U'(t, u)`` of Appendix D.1 for every pair of transitions."""
-    result: dict[tuple[Transition, Transition], list[Transition]] = {}
-    for t in transitions:
-        for u in transitions:
-            witness_config = t.pre + u.pre.monus(t.post)
-            result[(t, u)] = [w for w in transitions if w.pre <= witness_config]
-    return result
-
-
-def _smt_partition_search_fixed(
-    protocol: PopulationProtocol,
-    transitions: Sequence[Transition],
-    witnesses: dict[tuple[Transition, Transition], list[Transition]],
-    num_layers: int,
-    theory: str,
-) -> OrderedPartition | None:
+    # One persistent solver for the whole 1..max_layers sweep: the encoding
+    # is built once for the largest bound, and each round k is checked under
+    # the assumptions ``b_t <= k``.  Lemmas learned while refuting small
+    # bounds carry over to the larger ones.
     solver = Solver(theory=theory)
     layer_var: dict[Transition, LinearExpr] = {}
     for index, transition in enumerate(transitions):
-        layer_var[transition] = solver.int_var(f"b{index}", lower=1, upper=num_layers)
+        layer_var[transition] = solver.int_var(f"b{index}", lower=1, upper=max_layers)
 
     states = sorted(protocol.states, key=repr)
     ranking_vars = {
         (layer, state): solver.int_var(f"y_{layer}_{position}", lower=0)
-        for layer in range(1, num_layers + 1)
+        for layer in range(1, max_layers + 1)
         for position, state in enumerate(states)
     }
 
-    # Condition (a): each layer admits a ranking function.
-    for layer in range(1, num_layers + 1):
+    # Condition (a): each layer admits a ranking function.  Constraints for
+    # layers above the current bound are vacuous under ``b_t <= k``.
+    for layer in range(1, max_layers + 1):
         for transition in transitions:
             drop = LinearExpr.sum_of(
-                (transition.post[state] - transition.pre[state]) * ranking_vars[(layer, state)]
-                for state in transition.states()
+                change * ranking_vars[(layer, state)]
+                for state, change in transition.delta_map.items()
             )
             solver.add(Implies(layer_var[transition].eq(layer), drop <= -1))
 
@@ -414,16 +392,54 @@ def _smt_partition_search_fixed(
             )
             solver.add(Implies(layer_var[u] < layer_var[t], enabled_below))
 
-    result = solver.check()
-    if result.status is not SolverStatus.SAT:
-        return None
-    assignment = {t: result.model.value(layer_var[t]) for t in transitions}
-    layers = []
-    for layer in range(1, num_layers + 1):
-        members = frozenset(t for t, value in assignment.items() if value == layer)
-        if members:
-            layers.append(members)
-    return OrderedPartition(tuple(layers))
+    for num_layers in range(1, max_layers + 1):
+        assumptions = [layer_var[t] <= num_layers for t in transitions]
+        result = solver.check(assumptions=assumptions)
+        if result.status is not SolverStatus.SAT:
+            continue
+        assignment = {t: result.model.value(layer_var[t]) for t in transitions}
+        layers = []
+        for layer in range(1, num_layers + 1):
+            members = frozenset(t for t, value in assignment.items() if value == layer)
+            if members:
+                layers.append(members)
+        return OrderedPartition(tuple(layers))
+    return None
+
+
+def _lemma22_witness_sets(
+    transitions: Sequence[Transition],
+) -> dict[tuple[Transition, Transition], list[Transition]]:
+    """Precompute ``U'(t, u)`` of Appendix D.1 for every pair of transitions.
+
+    Instead of scanning all transitions per pair (cubic in ``|T|``), the
+    transitions are indexed by their (size-two) pre multiset; for each
+    witness configuration the at most ``support^2`` candidate pres drawn from
+    its support are looked up directly.
+    """
+    by_pre: dict[Multiset, list[Transition]] = {}
+    for w in transitions:
+        by_pre.setdefault(w.pre, []).append(w)
+    order = {t: position for position, t in enumerate(transitions)}
+
+    result: dict[tuple[Transition, Transition], list[Transition]] = {}
+    for t in transitions:
+        for u in transitions:
+            witness_config = t.pre + u.pre.monus(t.post)
+            enabled: list[Transition] = []
+            support = sorted(witness_config.support(), key=repr)
+            for position, first in enumerate(support):
+                for second in support[position:]:
+                    if first == second:
+                        if witness_config[first] < 2:
+                            continue
+                        candidate = Multiset({first: 2})
+                    else:
+                        candidate = Multiset({first: 1, second: 1})
+                    enabled.extend(by_pre.get(candidate, ()))
+            enabled.sort(key=order.__getitem__)
+            result[(t, u)] = enabled
+    return result
 
 
 # ----------------------------------------------------------------------

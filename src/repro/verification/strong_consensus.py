@@ -153,9 +153,9 @@ class _ConstraintBuilder:
         derived = {}
         for state in self.states:
             change = LinearExpr.sum_of(
-                (transition.post[state] - transition.pre[state]) * flow[transition]
+                transition.delta_map[state] * flow[transition]
                 for transition in self.transitions
-                if transition.post[state] - transition.pre[state] != 0
+                if state in transition.delta_map
             )
             derived[state] = source[state] + change
         return derived
@@ -208,9 +208,9 @@ class _ConstraintBuilder:
         constraints = []
         for state in self.states:
             change = LinearExpr.sum_of(
-                (transition.post[state] - transition.pre[state]) * flow[transition]
+                transition.delta_map[state] * flow[transition]
                 for transition in self.transitions
-                if transition.post[state] - transition.pre[state] != 0
+                if state in transition.delta_map
             )
             constraints.append(target[state].eq(source[state] + change))
         return conjunction(constraints)
@@ -412,41 +412,13 @@ def _check_with_patterns(
 ) -> StrongConsensusResult:
     builder = _ConstraintBuilder(protocol)
     refinements: list[RefinementStep] = []
-    statistics = {"iterations": 0, "traps": 0, "siphons": 0, "pattern_pairs": 0}
+    statistics = {"iterations": 0, "traps": 0, "siphons": 0, "pattern_pairs": 0, "solver_instances": 1}
 
-    for pattern_true in true_patterns:
-        for pattern_false in false_patterns:
-            statistics["pattern_pairs"] += 1
-            outcome = _solve_pattern_pair(
-                protocol,
-                builder,
-                pattern_true,
-                pattern_false,
-                theory,
-                max_refinements,
-                refinements,
-                statistics,
-            )
-            if outcome is not None:
-                return StrongConsensusResult(
-                    holds=False,
-                    counterexample=outcome,
-                    refinements=refinements,
-                    statistics=statistics,
-                )
-    return StrongConsensusResult(holds=True, refinements=refinements, statistics=statistics)
-
-
-def _solve_pattern_pair(
-    protocol: PopulationProtocol,
-    builder: _ConstraintBuilder,
-    pattern_true: TerminalPattern,
-    pattern_false: TerminalPattern,
-    theory: str,
-    max_refinements: int,
-    refinements: list[RefinementStep],
-    statistics: dict,
-) -> StrongConsensusCounterexample | None:
+    # One persistent solver for all pattern pairs.  The pair-independent
+    # constraints (initial configuration, flow non-negativity) are asserted
+    # once; the per-pair constraints live in a push/pop scope.  Learned
+    # lemmas — blocking clauses and memoized theory checks over the shared
+    # atoms — survive across pairs, so later pairs start warm.
     solver = Solver(theory=theory)
     c0 = builder.config_vars("c0")
     x1 = builder.flow_vars("x1")
@@ -457,10 +429,84 @@ def _solve_pattern_pair(
     solver.add(builder.initial(c0))
     solver.add(builder.non_negative(c1))
     solver.add(builder.non_negative(c2))
+
+    def side_feasible(flow_config, pattern, output) -> bool:
+        """Cheap theory-only pre-check of one side of a pattern pair.
+
+        The conjunction (initial population, derived non-negativity, support
+        pattern, output presence) is a subset of the pair's full constraint
+        system, so infeasibility here soundly rules out every pair using this
+        side.  The same false-pattern side recurs across pairs, so the
+        underlying theory query is answered from the solver's memo cache
+        after the first time.
+        """
+        result = solver.check_conjunction(
+            [
+                builder.initial(c0),
+                builder.non_negative(flow_config),
+                builder.pattern(flow_config, pattern),
+                builder.has_output(flow_config, output),
+            ]
+        )
+        return result.status is not SolverStatus.UNSAT
+
+    for pattern_true in true_patterns:
+        true_side_ok = side_feasible(c1, pattern_true, 1)
+        for pattern_false in false_patterns:
+            statistics["pattern_pairs"] += 1
+            if not true_side_ok or not side_feasible(c2, pattern_false, 0):
+                statistics["pruned_pairs"] = statistics.get("pruned_pairs", 0) + 1
+                continue
+            solver.push()
+            try:
+                outcome = _solve_pattern_pair(
+                    protocol,
+                    builder,
+                    solver,
+                    (c0, c1, c2, x1, x2),
+                    pattern_true,
+                    pattern_false,
+                    max_refinements,
+                    refinements,
+                    statistics,
+                )
+            finally:
+                solver.pop()
+            if outcome is not None:
+                statistics["solver"] = dict(solver.statistics)
+                return StrongConsensusResult(
+                    holds=False,
+                    counterexample=outcome,
+                    refinements=refinements,
+                    statistics=statistics,
+                )
+    statistics["solver"] = dict(solver.statistics)
+    return StrongConsensusResult(holds=True, refinements=refinements, statistics=statistics)
+
+
+def _solve_pattern_pair(
+    protocol: PopulationProtocol,
+    builder: _ConstraintBuilder,
+    solver: Solver,
+    variables: tuple,
+    pattern_true: TerminalPattern,
+    pattern_false: TerminalPattern,
+    max_refinements: int,
+    refinements: list[RefinementStep],
+    statistics: dict,
+) -> StrongConsensusCounterexample | None:
+    """Run the refinement loop for one pattern pair inside an open scope."""
+    c0, c1, c2, x1, x2 = variables
     solver.add(builder.pattern(c1, pattern_true))
     solver.add(builder.pattern(c2, pattern_false))
     solver.add(builder.has_output(c1, 1))
     solver.add(builder.has_output(c2, 0))
+    # Re-assert the trap/siphon constraints discovered while solving earlier
+    # pairs: they are valid refinements of Definition 12 for any pair and
+    # often cut the counterexample space immediately.
+    for step in refinements:
+        solver.add(builder.refinement_constraint(step, c0, c1, x1, target_support=pattern_true.allowed))
+        solver.add(builder.refinement_constraint(step, c0, c2, x2, target_support=pattern_false.allowed))
 
     for _ in range(max_refinements):
         statistics["iterations"] += 1
@@ -534,6 +580,7 @@ def _check_monolithic(
         statistics["iterations"] = iteration + 1
         result = solver.check()
         if result.status is SolverStatus.UNSAT:
+            statistics["solver"] = dict(solver.statistics)
             return StrongConsensusResult(holds=True, refinements=refinements, statistics=statistics)
         if result.status is SolverStatus.UNKNOWN:
             raise RuntimeError("the constraint solver could not decide the StrongConsensus query")
@@ -556,6 +603,7 @@ def _check_monolithic(
                 flow_true=flow_true,
                 flow_false=flow_false,
             )
+            statistics["solver"] = dict(solver.statistics)
             return StrongConsensusResult(
                 holds=False,
                 counterexample=counterexample,

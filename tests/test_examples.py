@@ -16,6 +16,14 @@ import pytest
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 EXAMPLE_SCRIPTS = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
 
+# The protocol-design example compiles a product protocol and verifies it
+# end-to-end — by far the longest-running test of the suite.
+_SLOW_EXAMPLES = {"design_a_protocol.py"}
+EXAMPLE_PARAMS = [
+    pytest.param(name, marks=pytest.mark.slow) if name in _SLOW_EXAMPLES else name
+    for name in EXAMPLE_SCRIPTS
+]
+
 
 def _load_and_run(script_name: str) -> None:
     path = EXAMPLES_DIR / script_name
@@ -34,7 +42,7 @@ def test_examples_exist():
     assert "quickstart.py" in EXAMPLE_SCRIPTS
 
 
-@pytest.mark.parametrize("script_name", EXAMPLE_SCRIPTS)
+@pytest.mark.parametrize("script_name", EXAMPLE_PARAMS)
 def test_example_runs(script_name, capsys):
     _load_and_run(script_name)
     output = capsys.readouterr().out

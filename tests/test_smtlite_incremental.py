@@ -1,0 +1,239 @@
+"""Tests for the incremental solving interface.
+
+Covers the assumption mechanism of the SAT core, push/pop scopes and
+assumption-based checks of the DPLL(T) solver, the theory-result memo cache
+exposed through :attr:`Solver.statistics`, and learned-clause deletion.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.smtlite.formula import BoolVar, Not, Or
+from repro.smtlite.sat import SatSolver
+from repro.smtlite.solver import Solver, SolverStatus
+from repro.smtlite.terms import IntVar
+
+x, y, z = IntVar("x"), IntVar("y"), IntVar("z")
+
+
+def brute_force_satisfiable(num_vars: int, clauses: list[list[int]]) -> bool:
+    for bits in itertools.product([False, True], repeat=num_vars):
+        assignment = {var: bits[var - 1] for var in range(1, num_vars + 1)}
+        if all(
+            any((lit > 0) == assignment[abs(lit)] for lit in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+class TestSatAssumptions:
+    def test_assumptions_restrict_models(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1]) is True
+        assert solver.model[2] is True
+        assert solver.solve(assumptions=[-2]) is True
+        assert solver.model[1] is True
+
+    def test_conflicting_assumptions_do_not_poison_solver(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 2])
+        assert solver.solve(assumptions=[-2]) is False
+        # The failure was local to the assumptions: the problem is still sat.
+        assert solver.solve() is True
+        assert solver.model[2] is True
+
+    def test_directly_contradictory_assumptions(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[1, -1]) is False
+        assert solver.solve() is True
+
+    def test_assumptions_on_fresh_variables(self):
+        solver = SatSolver()
+        assert solver.solve(assumptions=[3]) is True
+        assert solver.model[3] is True
+
+    def test_assumptions_against_brute_force(self):
+        rng = random.Random(7)
+        for _ in range(40):
+            num_vars = rng.randint(3, 6)
+            clauses = [
+                [rng.choice([-1, 1]) * rng.randint(1, num_vars) for _ in range(3)]
+                for _ in range(rng.randint(3, 14))
+            ]
+            assumption = rng.choice([-1, 1]) * rng.randint(1, num_vars)
+            solver = SatSolver()
+            for clause in clauses:
+                solver.add_clause(clause)
+            answer = solver.solve(assumptions=[assumption])
+            expected = brute_force_satisfiable(num_vars, clauses + [[assumption]])
+            assert answer is expected, (clauses, assumption)
+
+
+class TestClauseDeletion:
+    def test_reduction_keeps_answers_correct(self):
+        rng = random.Random(13)
+        for _ in range(25):
+            num_vars = rng.randint(5, 8)
+            clauses = [
+                [rng.choice([-1, 1]) * rng.randint(1, num_vars) for _ in range(3)]
+                for _ in range(rng.randint(10, 30))
+            ]
+            solver = SatSolver()
+            solver._max_learned = 2  # force aggressive database reduction
+            for clause in clauses:
+                solver.add_clause(clause)
+            assert solver.solve() is brute_force_satisfiable(num_vars, clauses)
+
+    def test_statistics_track_deletions(self):
+        solver = SatSolver()
+        assert "deleted_clauses" in solver.statistics
+        assert "db_reductions" in solver.statistics
+
+
+class TestPushPop:
+    def test_pop_retracts_scope(self):
+        solver = Solver()
+        solver.add(x <= 5)
+        solver.push()
+        solver.add(x >= 10)
+        assert solver.check().status is SolverStatus.UNSAT
+        solver.pop()
+        result = solver.check()
+        assert result.status is SolverStatus.SAT
+        assert result.model.value(x) <= 5
+
+    def test_nested_scopes(self):
+        solver = Solver()
+        solver.add(x + y <= 10)
+        solver.push()
+        solver.add(x >= 4)
+        solver.push()
+        solver.add(y >= 8)
+        assert solver.check().status is SolverStatus.UNSAT
+        solver.pop()
+        result = solver.check()
+        assert result.status is SolverStatus.SAT
+        assert result.model.value(x) >= 4
+        solver.pop()
+        assert solver.check().status is SolverStatus.SAT
+        assert solver.num_scopes == 0
+
+    def test_pop_without_push_raises(self):
+        with pytest.raises(RuntimeError):
+            Solver().pop()
+
+    def test_scoped_trivially_false_is_recoverable(self):
+        solver = Solver()
+        solver.push()
+        solver.add(IntVar("q") <= IntVar("q") - 1)  # simplifies to FALSE
+        assert solver.check().status is SolverStatus.UNSAT
+        solver.pop()
+        assert solver.check().status is SolverStatus.SAT
+
+    def test_scope_statistics(self):
+        solver = Solver()
+        solver.push()
+        solver.pop()
+        assert solver.statistics["pushes"] == 1
+        assert solver.statistics["pops"] == 1
+
+
+class TestCheckAssumptions:
+    def test_atom_assumptions(self):
+        solver = Solver()
+        solver.add(x <= 10)
+        assert solver.check(assumptions=[x >= 11]).status is SolverStatus.UNSAT
+        result = solver.check(assumptions=[x >= 7])
+        assert result.status is SolverStatus.SAT
+        assert 7 <= result.model.value(x) <= 10
+        # The assumption is gone on the next check.
+        assert solver.check(assumptions=[x <= 3]).status is SolverStatus.SAT
+
+    def test_boolvar_assumptions(self):
+        solver = Solver()
+        flag = BoolVar("flag")
+        solver.add(Or(Not(flag), x >= 5))
+        result = solver.check(assumptions=[flag])
+        assert result.status is SolverStatus.SAT
+        assert result.model.bool_value("flag") is True
+        assert result.model.value(x) >= 5
+        result = solver.check(assumptions=[Not(flag)])
+        assert result.status is SolverStatus.SAT
+        assert result.model.bool_value("flag") is False
+
+    def test_formula_assumptions(self):
+        solver = Solver()
+        solver.add(x + y <= 6)
+        result = solver.check(assumptions=[Or(x >= 5, y >= 5)])
+        assert result.status is SolverStatus.SAT
+        model = result.model
+        assert model.value(x) >= 5 or model.value(y) >= 5
+        assert solver.check(assumptions=[Or(x >= 5, y >= 5), x >= 2, y >= 2]).status is SolverStatus.UNSAT
+
+    def test_layer_sweep_style_assumptions(self):
+        # The layered-termination sweep checks the same encoding under
+        # successively weaker bound assumptions; emulate two rounds.
+        solver = Solver()
+        b = solver.int_var("b", lower=1, upper=3)
+        solver.add(b >= 2)
+        assert solver.check(assumptions=[b <= 1]).status is SolverStatus.UNSAT
+        result = solver.check(assumptions=[b <= 2])
+        assert result.status is SolverStatus.SAT
+        assert result.model.value(b) == 2
+
+
+class TestTheoryCache:
+    def test_statistics_report_cache_counters(self):
+        solver = Solver()
+        assert "theory_cache_hits" in solver.statistics
+        assert "theory_cache_misses" in solver.statistics
+
+    def test_repeated_conjunction_hits_cache(self):
+        solver = Solver()
+        conjunction = [x + y <= 8, x >= 3, y >= 2]
+        first = solver.check_conjunction(conjunction)
+        assert first.status is SolverStatus.SAT
+        misses = solver.statistics["theory_cache_misses"]
+        second = solver.check_conjunction(list(conjunction))
+        assert second.status is SolverStatus.SAT
+        assert solver.statistics["theory_cache_misses"] == misses
+        assert solver.statistics["theory_cache_hits"] >= 1
+
+    def test_core_subsumption_answers_superset_conjunctions(self):
+        solver = Solver()
+        assert solver.check_conjunction([x >= 5, x <= 2]).status is SolverStatus.UNSAT
+        hits_before = solver.statistics["theory_cache_hits"]
+        # A strict superset of a known unsatisfiable core: no backend call.
+        assert solver.check_conjunction([x >= 5, x <= 2, y >= 1]).status is SolverStatus.UNSAT
+        assert solver.statistics["theory_cache_hits"] == hits_before + 1
+
+    def test_core_subsumption_respects_redeclared_bounds(self):
+        # A core learned under tight bounds must not answer queries posed
+        # after the bounds were widened via int_var re-declaration.
+        solver = Solver()
+        tight = solver.int_var("t", lower=0, upper=0)
+        assert solver.check_conjunction([tight >= 1]).status is SolverStatus.UNSAT
+        solver.int_var("t", lower=0, upper=10)
+        result = solver.check_conjunction([tight >= 1, IntVar("u") >= 0])
+        assert result.status is SolverStatus.SAT
+        assert result.model.value(tight) >= 1
+
+    def test_check_conjunction_rejects_disjunctions(self):
+        solver = Solver()
+        with pytest.raises(TypeError):
+            solver.check_conjunction([Or(x >= 1, y >= 1)])
+
+    def test_check_conjunction_model(self):
+        solver = Solver()
+        result = solver.check_conjunction([x.eq(4), y.eq(2)])
+        assert result.status is SolverStatus.SAT
+        assert result.model.value(x) == 4
+        assert result.model.value(y) == 2

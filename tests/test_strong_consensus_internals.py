@@ -178,6 +178,43 @@ class TestStrategiesAgree:
             check_strong_consensus(majority_protocol(), strategy="quantum")
 
 
+class TestSolverReuse:
+    def test_pattern_strategy_uses_one_solver_across_pairs(self, monkeypatch):
+        """Regression: the pattern strategy must not rebuild a solver per pair."""
+        import repro.verification.strong_consensus as sc_module
+
+        instances = []
+        original = sc_module.Solver
+
+        def counting_solver(*args, **kwargs):
+            solver = original(*args, **kwargs)
+            instances.append(solver)
+            return solver
+
+        monkeypatch.setattr(sc_module, "Solver", counting_solver)
+        protocol = remainder_protocol([1], 5, 3)
+        result = check_strong_consensus(protocol, strategy="patterns")
+        assert result.holds
+        assert result.statistics["pattern_pairs"] > 1
+        assert len(instances) == 1
+        assert result.statistics["solver_instances"] == 1
+
+    def test_pattern_strategy_reports_solver_statistics(self):
+        result = check_strong_consensus(flock_of_birds_protocol(4), strategy="patterns")
+        solver_stats = result.statistics["solver"]
+        assert solver_stats["theory_checks"] > 0
+        assert "theory_cache_hits" in solver_stats
+        assert solver_stats["pushes"] == solver_stats["pops"]
+        assert solver_stats["pushes"] >= 1
+
+    def test_side_prechecks_hit_theory_cache(self):
+        """The per-pair side skeletons recur, so the memo cache must fire."""
+        protocol = remainder_protocol([1], 5, 3)
+        result = check_strong_consensus(protocol, strategy="patterns")
+        assert result.holds
+        assert result.statistics["solver"]["theory_cache_hits"] > 0
+
+
 class TestResultTypes:
     def test_layer_certificate_weight(self, majority_protocol):
         layer = frozenset(majority_protocol.transitions[:2])
