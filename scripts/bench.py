@@ -9,15 +9,22 @@ these snapshots to track the performance trajectory.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench.py            # default subset
+    PYTHONPATH=src python scripts/bench.py            # default subset, serial
+    PYTHONPATH=src python scripts/bench.py --jobs 4   # parallel engine, 4 workers
     PYTHONPATH=src python scripts/bench.py --large    # adds the heavier rows
+    PYTHONPATH=src python scripts/bench.py --cache-dir .repro-cache  # result cache
     PYTHONPATH=src python scripts/bench.py --output out.json
+
+The output path is picked automatically (the next free ``BENCH_<n>.json``);
+``--jobs`` and the engine result-cache traffic are recorded in the snapshot,
+so serial vs. parallel and cold vs. warm-cache runs can be diffed directly.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import re
 import sys
@@ -60,11 +67,55 @@ def benchmark_suite(large: bool):
     return rows
 
 
-def run_instance(family: str, parameter: str, factory) -> dict:
+def run_instance(family: str, parameter: str, factory, jobs: int = 1, cache=None) -> dict:
     protocol = factory()
+    if cache is not None:
+        from repro.engine import ENGINE_VERSION, ResultCache, protocol_content_hash
+        from repro.engine.batch import ws3_cache_options
+
+        key = ResultCache.entry_key(
+            protocol_content_hash(protocol), ENGINE_VERSION, ws3_cache_options()
+        )
+        start = time.perf_counter()
+        cached = cache.get(key)
+        if cached is not None:
+            # Mirror the schema of freshly-verified entries (keys and block
+            # shapes) so cold and warm snapshots diff cleanly; timings and
+            # solver counters are not cached, so those fields are null.
+            layered = cached.get("layered_termination") or {}
+            entry = {
+                "family": family,
+                "parameter": parameter,
+                "protocol": protocol.name,
+                "num_states": protocol.num_states,
+                "num_transitions": protocol.num_transitions,
+                "is_ws3": cached["is_ws3"],
+                "from_cache": True,
+                "wall_clock_seconds": round(time.perf_counter() - start, 4),
+                "layered_termination": {
+                    "holds": layered.get("holds"),
+                    "strategy": layered.get("strategy"),
+                    "time": None,
+                },
+            }
+            strong = cached.get("strong_consensus")
+            if strong is not None:
+                entry["strong_consensus"] = {
+                    "holds": strong.get("holds"),
+                    "iterations": None,
+                    "pattern_pairs": None,
+                    "refinements": strong.get("refinements"),
+                    "time": None,
+                    "solver": {},
+                }
+            return entry
     start = time.perf_counter()
-    result = verify_ws3(protocol)
+    result = verify_ws3(protocol, jobs=jobs)
     elapsed = time.perf_counter() - start
+    if cache is not None:
+        from repro.engine.batch import ws3_result_to_dict
+
+        cache.put(key, ws3_result_to_dict(result))
     strong = result.strong_consensus
     entry = {
         "family": family,
@@ -108,15 +159,31 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--large", action="store_true", help="include the heavier instances")
     parser.add_argument("--output", type=Path, default=None, help="output path (default: BENCH_<n>.json)")
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the verification engine"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="use (and record traffic of) the engine result cache in this directory",
+    )
     args = parser.parse_args(argv)
+
+    cache = None
+    if args.cache_dir is not None:
+        from repro.engine import ResultCache
+
+        cache = ResultCache(args.cache_dir)
 
     entries = []
     for family, parameter, factory in benchmark_suite(args.large):
         print(f"running {family} {parameter} ...", flush=True)
-        entry = run_instance(family, parameter, factory)
+        entry = run_instance(family, parameter, factory, jobs=args.jobs, cache=cache)
         print(
             f"  |Q|={entry['num_states']} |T|={entry['num_transitions']} "
-            f"ws3={entry['is_ws3']} time={entry['wall_clock_seconds']}s",
+            f"ws3={entry['is_ws3']} time={entry['wall_clock_seconds']}s"
+            + (" [cache]" if entry.get("from_cache") else ""),
             flush=True,
         )
         entries.append(entry)
@@ -126,6 +193,9 @@ def main(argv: list[str] | None = None) -> int:
         "python": platform.python_version(),
         "machine": platform.machine(),
         "large": args.large,
+        "jobs": args.jobs,
+        "cpu_count": os.cpu_count(),
+        "engine_cache": dict(cache.statistics) if cache is not None else None,
         "total_seconds": round(sum(entry["wall_clock_seconds"] for entry in entries), 4),
         "benchmarks": entries,
     }

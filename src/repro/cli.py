@@ -11,6 +11,11 @@ Verify a protocol stored as JSON::
 
     repro-verify file my_protocol.json --simulate "A=3,B=5"
 
+Verify a whole batch on four worker processes, with the result cache::
+
+    repro-verify batch majority broadcast flock-of-birds:6 my_protocol.json \
+        --jobs 4 --cache-dir .repro-cache
+
 List the available families::
 
     repro-verify list
@@ -27,6 +32,13 @@ from repro.protocols.library import PROTOCOL_FAMILIES
 from repro.protocols.simulation import Simulator
 from repro.verification.correctness import check_correctness
 from repro.verification.ws3 import verify_ws3
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {text!r}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,6 +60,44 @@ def build_parser() -> argparse.ArgumentParser:
     file_parser = subparsers.add_parser("file", help="verify a protocol stored as JSON")
     file_parser.add_argument("path", help="path to the protocol JSON file")
     _add_common_options(file_parser)
+
+    batch_parser = subparsers.add_parser(
+        "batch",
+        help="verify many protocols at once (process-pool fan-out + result cache)",
+    )
+    batch_parser.add_argument(
+        "specs",
+        nargs="+",
+        metavar="SPEC",
+        help=(
+            "a protocol: either 'family' or 'family:parameter' (e.g. flock-of-birds:6), "
+            "or a path to a protocol JSON file"
+        ),
+    )
+    batch_parser.add_argument(
+        "--jobs", type=_positive_int, default=1, help="number of worker processes (default: 1)"
+    )
+    batch_parser.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="directory of the content-addressed result cache (default: .repro-cache)",
+    )
+    batch_parser.add_argument(
+        "--no-cache", action="store_true", help="verify everything, touching no cache"
+    )
+    batch_parser.add_argument(
+        "--strategy",
+        default="auto",
+        choices=["auto", "hint", "single", "scc", "smt"],
+        help="partition-search strategy for LayeredTermination",
+    )
+    batch_parser.add_argument(
+        "--theory",
+        default="auto",
+        choices=["auto", "scipy", "exact"],
+        help="constraint-solver backend",
+    )
+    batch_parser.add_argument("--json", action="store_true", help="print the verdicts as JSON")
 
     return parser
 
@@ -76,6 +126,12 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         help='simulate one run on an input such as "A=3,B=5"',
     )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for the parallel verification engine (default: 1, serial)",
+    )
     parser.add_argument("--json", action="store_true", help="print the verdict as JSON")
 
 
@@ -95,6 +151,87 @@ def _load_protocol(args):
         return protocol_from_json(handle.read())
 
 
+def _load_batch_spec(spec: str):
+    """Resolve one batch SPEC: 'family', 'family:parameter' or a JSON path.
+
+    Family names take precedence, so a stray file or directory in the
+    working directory that happens to share a family's name cannot shadow
+    the library protocol.
+    """
+    import os
+
+    name, _, parameter = spec.partition(":")
+    is_family = name in PROTOCOL_FAMILIES
+    if not is_family and (spec.endswith(".json") or os.path.exists(spec)):
+        try:
+            with open(spec, encoding="utf-8") as handle:
+                return protocol_from_json(handle.read())
+        except OSError as error:
+            raise SystemExit(f"cannot read protocol file {spec!r}: {error}")
+        except (ValueError, KeyError, TypeError) as error:
+            # json.JSONDecodeError is a ValueError; missing/odd protocol
+            # fields surface as KeyError/TypeError/ProtocolError(ValueError).
+            raise SystemExit(f"{spec!r} is not a valid protocol JSON file: {error!r}")
+    if not is_family:
+        raise SystemExit(
+            f"unknown protocol family or file {spec!r}; "
+            f"families: {', '.join(sorted(PROTOCOL_FAMILIES))}"
+        )
+    factory = PROTOCOL_FAMILIES[name]
+    if not parameter:
+        try:
+            return factory()
+        except TypeError:
+            raise SystemExit(f"family {name!r} needs a parameter: use {name}:<n>")
+    try:
+        value = int(parameter)
+    except ValueError:
+        raise SystemExit(f"parameter of {spec!r} must be an integer, got {parameter!r}")
+    return factory(value)
+
+
+def _run_batch(args) -> int:
+    from repro.engine import verify_many
+
+    protocols = [_load_batch_spec(spec) for spec in args.specs]
+    cache_dir = None if args.no_cache else args.cache_dir
+    batch = verify_many(
+        protocols,
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        strategy=args.strategy,
+        theory=args.theory,
+    )
+    cache_stats = batch.statistics.get("cache") or {"hits": 0, "misses": 0}
+    if args.json:
+        payload = {
+            "protocols": [
+                {
+                    "protocol": item.protocol_name,
+                    "hash": item.protocol_hash,
+                    "is_ws3": item.is_ws3,
+                    "from_cache": item.from_cache,
+                    "time_seconds": item.time_seconds,
+                    "summary": item.summary,
+                }
+                for item in batch
+            ],
+            "statistics": batch.statistics,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for item in batch:
+            verdict = "WS3" if item.is_ws3 else "NOT PROVEN"
+            source = "cache" if item.from_cache else f"{item.time_seconds:.3f}s"
+            print(f"{item.protocol_name:40s} {verdict:11s} [{source}]")
+        print(
+            f"batch: {len(batch)} protocol(s), {batch.statistics['verified']} verified, "
+            f"{cache_stats['hits']} cache hit(s), jobs={batch.statistics['jobs']}, "
+            f"total {batch.statistics['time']:.3f}s"
+        )
+    return 0 if batch.all_ws3 else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``repro-verify`` command."""
     parser = build_parser()
@@ -105,16 +242,31 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
 
-    protocol = _load_protocol(args)
-    result = verify_ws3(protocol, strategy=args.strategy, theory=args.theory)
+    if args.command == "batch":
+        return _run_batch(args)
 
-    correctness = None
-    if args.check_correctness:
-        predicate = protocol.metadata.get("predicate")
-        if predicate is None:
-            print("no documented predicate attached to this protocol; skipping correctness check")
-        else:
-            correctness = check_correctness(protocol, predicate, theory=args.theory)
+    protocol = _load_protocol(args)
+    # One engine (one worker pool) for everything this invocation verifies.
+    engine = None
+    if args.jobs > 1:
+        from repro.engine import VerificationEngine
+
+        engine = VerificationEngine(jobs=args.jobs)
+    try:
+        result = verify_ws3(protocol, strategy=args.strategy, theory=args.theory, engine=engine)
+
+        correctness = None
+        if args.check_correctness:
+            predicate = protocol.metadata.get("predicate")
+            if predicate is None:
+                print("no documented predicate attached to this protocol; skipping correctness check")
+            else:
+                correctness = check_correctness(
+                    protocol, predicate, theory=args.theory, engine=engine
+                )
+    finally:
+        if engine is not None:
+            engine.shutdown()
 
     if args.json:
         payload = {

@@ -272,6 +272,13 @@ class Multiset(Mapping[E, int]):
             self._hash = hash(frozenset(self._counts.items()))
         return self._hash
 
+    def __reduce__(self):
+        # Pickle only the counts, never the cached hash: hash values of the
+        # elements are process-specific under hash randomization, so a hash
+        # cached in one process must not travel to another (worker processes
+        # of the parallel verification engine would corrupt their dicts).
+        return (Multiset, (self._counts,))
+
     def __repr__(self) -> str:
         if not self._counts:
             return "Multiset()"

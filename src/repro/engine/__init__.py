@@ -1,0 +1,40 @@
+"""Parallel, cache-aware verification engine.
+
+The verification layer decomposes every WS³ check into many independent
+subproblems — terminal-pattern pairs for StrongConsensus/correctness,
+partition-search strategies for LayeredTermination, whole protocols for
+batch sweeps.  This package schedules those subproblems over a pool of
+worker processes:
+
+* :mod:`repro.engine.subproblem` — the picklable :class:`Subproblem` /
+  :class:`SubproblemResult` envelope plus portable encodings of refinement
+  steps and partitions;
+* :mod:`repro.engine.worker` — the worker-process entry point (per-process
+  protocol/solver caches, kind dispatch);
+* :mod:`repro.engine.scheduler` — the process-pool scheduler: deterministic
+  wave execution, cross-worker sharing of learned trap/siphon refinements
+  via the coordinator, early cancellation, and a serial in-process fallback;
+* :mod:`repro.engine.cache` — the content-addressed protocol hash and the
+  on-disk result cache keyed by it;
+* :mod:`repro.engine.batch` — ``verify_many``: fan a set of protocols over
+  the pool, with verified instances served from the result cache.
+"""
+
+from repro.engine.cache import ResultCache, canonical_protocol_dict, protocol_content_hash
+from repro.engine.scheduler import ENGINE_VERSION, EngineError, VerificationEngine
+from repro.engine.subproblem import Subproblem, SubproblemResult
+from repro.engine.batch import BatchItem, BatchResult, verify_many
+
+__all__ = [
+    "BatchItem",
+    "BatchResult",
+    "ENGINE_VERSION",
+    "EngineError",
+    "ResultCache",
+    "Subproblem",
+    "SubproblemResult",
+    "VerificationEngine",
+    "canonical_protocol_dict",
+    "protocol_content_hash",
+    "verify_many",
+]

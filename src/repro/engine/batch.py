@@ -1,0 +1,254 @@
+"""Batch verification: fan a set of protocols over the engine, with caching.
+
+``verify_many`` is the multi-protocol front end the ROADMAP's batch
+scenario asks for: each protocol becomes one ``verify-ws3`` subproblem, the
+pool verifies ``jobs`` of them concurrently, and a content-addressed
+:class:`~repro.engine.cache.ResultCache` short-circuits protocols whose
+verdict is already known (identical protocol + engine version + options),
+so repeated sweeps — benchmark reruns, parameter scans that revisit
+instances — are served from disk in milliseconds.
+
+Results are uniform portable summaries (plain dictionaries) whether they
+come from a worker, from the in-process serial path, or from the cache.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.engine.cache import ResultCache, protocol_content_hash
+from repro.engine.scheduler import ENGINE_VERSION, VerificationEngine
+from repro.engine.subproblem import (
+    Subproblem,
+    encode_consensus_counterexample,
+)
+from repro.io.serialization import protocol_to_dict
+from repro.protocols.protocol import PopulationProtocol
+
+
+def ws3_cache_options(
+    strategy: str = "auto", theory: str = "auto", max_layers: int | None = None
+) -> dict:
+    """The options dictionary that keys cached WS³ verdicts.
+
+    The single source of truth for cache keying: every caller that reads or
+    writes the result cache (``verify_many``, ``scripts/bench.py``) must
+    build its options through here, or identical runs would stop sharing
+    entries.
+    """
+    return {"check": "ws3", "strategy": strategy, "theory": theory, "max_layers": max_layers}
+
+
+def ws3_result_to_dict(result) -> dict:
+    """Portable summary of a :class:`~repro.verification.ws3.WS3Result`."""
+    layered = result.layered_termination
+    summary = {
+        "protocol": result.protocol_name,
+        "is_ws3": result.is_ws3,
+        "layered_termination": {
+            "holds": layered.holds,
+            "strategy": (
+                layered.certificate.strategy
+                if layered.certificate is not None
+                else layered.statistics.get("strategy")
+            ),
+            "num_layers": (
+                layered.certificate.num_layers if layered.certificate is not None else None
+            ),
+            "reason": layered.reason,
+        },
+        "strong_consensus": None,
+        "time_seconds": result.statistics.get("time"),
+    }
+    strong = result.strong_consensus
+    if strong is not None:
+        summary["strong_consensus"] = {
+            "holds": strong.holds,
+            "refinements": len(strong.refinements),
+            "counterexample": (
+                encode_consensus_counterexample(strong.counterexample)
+                if strong.counterexample is not None
+                else None
+            ),
+        }
+    return summary
+
+
+@dataclass
+class BatchItem:
+    """Verdict for one protocol of a batch."""
+
+    index: int
+    protocol_name: str
+    protocol_hash: str
+    summary: dict
+    from_cache: bool = False
+    time_seconds: float = 0.0
+
+    @property
+    def is_ws3(self) -> bool:
+        return bool(self.summary.get("is_ws3"))
+
+
+@dataclass
+class BatchResult:
+    """Outcome of a :func:`verify_many` run."""
+
+    items: list[BatchItem]
+    statistics: dict = field(default_factory=dict)
+
+    @property
+    def all_ws3(self) -> bool:
+        return all(item.is_ws3 for item in self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+def verify_many(
+    protocols: Iterable[PopulationProtocol],
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    cache_dir=None,
+    strategy: str = "auto",
+    theory: str = "auto",
+    max_layers: int | None = None,
+    engine: VerificationEngine | None = None,
+) -> BatchResult:
+    """Verify many protocols, fanning out over worker processes.
+
+    Protocols appearing more than once (by content hash) are verified once;
+    later occurrences reuse the verdict.  With a cache (an explicit
+    :class:`ResultCache` or a ``cache_dir`` path), verdicts are read from /
+    written to disk; cache traffic is reported in the result statistics.
+    """
+    from repro.verification.ws3 import verify_ws3
+
+    if engine is not None and jobs != 1:
+        raise ValueError("pass either jobs>1 or an engine, not both")
+    start = time.perf_counter()
+    protocols = list(protocols)
+    if cache is None and cache_dir is not None:
+        cache = ResultCache(cache_dir)
+    options = ws3_cache_options(strategy=strategy, theory=theory, max_layers=max_layers)
+
+    items: list[BatchItem | None] = [None] * len(protocols)
+    pending: list[tuple[int, PopulationProtocol, str, str]] = []
+    first_occurrence: dict[str, int] = {}
+    duplicates: list[tuple[int, int]] = []
+
+    for index, protocol in enumerate(protocols):
+        content_hash = protocol_content_hash(protocol)
+        key = ResultCache.entry_key(content_hash, ENGINE_VERSION, options)
+        if content_hash in first_occurrence:
+            duplicates.append((index, first_occurrence[content_hash]))
+            continue
+        first_occurrence[content_hash] = index
+        cached = cache.get(key) if cache is not None else None
+        if cached is not None:
+            items[index] = BatchItem(
+                index=index,
+                protocol_name=protocol.name,
+                protocol_hash=content_hash,
+                summary=cached,
+                from_cache=True,
+            )
+        else:
+            pending.append((index, protocol, content_hash, key))
+
+    verified = 0
+    parallel = jobs > 1 or (engine is not None and engine.parallel)
+    if pending:
+        verified = len(pending)
+        if parallel and len(pending) > 1:
+            # Across-protocol fan-out: one verify-ws3 subproblem per protocol.
+            _verify_parallel(pending, items, options, jobs, engine)
+        else:
+            # A single pending protocol gets the within-protocol parallelism
+            # (pattern pairs, strategy portfolio) instead of one lonely
+            # worker; with jobs=1 this is the plain serial loop.
+            for index, protocol, content_hash, _key in pending:
+                instance_start = time.perf_counter()
+                result = verify_ws3(
+                    protocol,
+                    strategy=strategy,
+                    theory=theory,
+                    max_layers=max_layers,
+                    jobs=jobs if engine is None else 1,
+                    engine=engine,
+                )
+                items[index] = BatchItem(
+                    index=index,
+                    protocol_name=protocol.name,
+                    protocol_hash=content_hash,
+                    summary=ws3_result_to_dict(result),
+                    time_seconds=time.perf_counter() - instance_start,
+                )
+        if cache is not None:
+            for index, _protocol, _content_hash, key in pending:
+                cache.put(key, items[index].summary)
+
+    for index, original in duplicates:
+        source = items[original]
+        items[index] = BatchItem(
+            index=index,
+            protocol_name=protocols[index].name,
+            protocol_hash=source.protocol_hash,
+            summary=source.summary,
+            from_cache=source.from_cache,
+        )
+
+    statistics = {
+        "protocols": len(protocols),
+        "verified": verified,
+        "duplicates": len(duplicates),
+        "jobs": jobs if engine is None else engine.jobs,
+        "time": time.perf_counter() - start,
+        "cache": dict(cache.statistics) if cache is not None else None,
+    }
+    return BatchResult(items=list(items), statistics=statistics)
+
+
+def _verify_parallel(
+    pending: Sequence[tuple[int, PopulationProtocol, str, str]],
+    items: list,
+    options: dict,
+    jobs: int,
+    engine: VerificationEngine | None,
+) -> None:
+    """Fan the pending protocols over the pool, one subproblem each."""
+    subproblems = [
+        Subproblem(
+            kind="verify-ws3",
+            index=position,
+            protocol_key=content_hash,
+            protocol_data=protocol_to_dict(protocol),
+            params={
+                "strategy": options["strategy"],
+                "theory": options["theory"],
+                "max_layers": options["max_layers"],
+            },
+        )
+        for position, (_index, protocol, content_hash, _key) in enumerate(pending)
+    ]
+    owned = engine is None
+    engine = engine or VerificationEngine(jobs=jobs)
+    try:
+        results = engine.run_wave(subproblems)
+    finally:
+        if owned:
+            engine.shutdown()
+    for position, result in enumerate(results):
+        index, protocol, content_hash, _key = pending[position]
+        items[index] = BatchItem(
+            index=index,
+            protocol_name=protocol.name,
+            protocol_hash=content_hash,
+            summary=result.data["summary"],
+            time_seconds=result.statistics.get("time", 0.0),
+        )

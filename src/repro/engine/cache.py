@@ -1,0 +1,129 @@
+"""Content-addressed protocol hashing and the on-disk result cache.
+
+``protocol_content_hash`` computes a SHA-256 digest of a *canonical* form of
+a protocol: states, transitions, the input alphabet and both mappings are
+sorted by a stable key before hashing, so two protocols that differ only in
+the order their states or transitions were declared hash identically, while
+any semantic difference (an extra transition, a flipped output bit, a
+different input mapping) changes the digest.  Presentation-only attributes —
+the name and free-form metadata — are excluded.
+
+``ResultCache`` stores verification verdicts on disk, one JSON file per
+entry, keyed by the protocol hash, the engine version and a digest of the
+verification options.  Repeated sweeps over the same protocol set (repeated
+benchmarks, parameter scans, ``repro-verify batch`` runs) are then served
+from the cache instead of re-verifying.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.io.serialization import _encode_state, protocol_to_dict
+from repro.protocols.protocol import PopulationProtocol
+
+
+def canonical_protocol_dict(protocol: PopulationProtocol) -> dict:
+    """A canonical, order-independent dictionary form of a protocol.
+
+    Built on :func:`repro.io.serialization.protocol_to_dict` (which already
+    sorts states and the output map) with the remaining order-dependent
+    pieces — transitions, the input alphabet, the input map and the layers
+    of a partition hint — sorted by the ``repr`` of their encoded form, and
+    the presentation-only ``name`` dropped.
+    """
+    data = protocol_to_dict(protocol)
+    data.pop("name", None)
+    for transition in data["transitions"]:
+        transition.pop("name", None)
+        transition["pre"] = sorted(transition["pre"], key=repr)
+        transition["post"] = sorted(transition["post"], key=repr)
+    data["transitions"] = sorted(data["transitions"], key=repr)
+    data["input_alphabet"] = sorted(data["input_alphabet"], key=repr)
+    data["input_map"] = sorted(data["input_map"], key=repr)
+    if "partition_hint" in data:
+        data["partition_hint"] = [
+            sorted(
+                (
+                    {"pre": sorted(t["pre"], key=repr), "post": sorted(t["post"], key=repr)}
+                    for t in layer
+                ),
+                key=repr,
+            )
+            for layer in data["partition_hint"]
+        ]
+    return data
+
+
+def protocol_content_hash(protocol: PopulationProtocol) -> str:
+    """SHA-256 digest of the canonical protocol form (hex, 64 chars)."""
+    canonical = json.dumps(canonical_protocol_dict(protocol), sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def options_digest(options: dict) -> str:
+    """Short digest of the verification options that affect cached verdicts."""
+    canonical = json.dumps(
+        {key: _encode_state(value) for key, value in sorted(options.items())},
+        sort_keys=True,
+        default=repr,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+class ResultCache:
+    """A content-addressed verification-result cache on disk.
+
+    Entries are JSON files named ``<protocol-hash>-<engine-version>-
+    <options-digest>.json``; writes go through a temporary file and an
+    atomic rename, so concurrent writers (parallel batch runs sharing a
+    cache directory) cannot leave a torn entry behind.
+    """
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.statistics = {"hits": 0, "misses": 0, "stores": 0}
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    @staticmethod
+    def entry_key(protocol_hash: str, engine_version: str, options: dict) -> str:
+        return f"{protocol_hash}-{engine_version}-{options_digest(options)}"
+
+    def get(self, key: str) -> dict | None:
+        """Look up an entry; counts a hit or a miss."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            self.statistics["misses"] += 1
+            return None
+        self.statistics["hits"] += 1
+        return payload
+
+    def put(self, key: str, value: dict) -> None:
+        """Store an entry atomically."""
+        path = self._path(key)
+        handle = tempfile.NamedTemporaryFile(
+            mode="w", dir=self.directory, suffix=".tmp", delete=False, encoding="utf-8"
+        )
+        try:
+            with handle:
+                json.dump(value, handle, indent=2, sort_keys=True)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self.statistics["stores"] += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))

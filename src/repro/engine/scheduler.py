@@ -1,0 +1,292 @@
+"""Process-pool scheduler for verification subproblems.
+
+The scheduler executes :class:`~repro.engine.subproblem.Subproblem` batches
+("waves") over a pool of worker processes and returns the results in the
+deterministic input order, independent of completion timing.  Coordinators
+(the verification modules, the batch front end) drive it wave by wave:
+between waves they merge worker discoveries — trap/siphon refinements
+learned while solving one pattern pair seed the CEGAR loops of the next
+wave — and stop dispatching as soon as a decisive result (a SAT
+counterexample, a successful layer partition) arrives, which is the
+engine's early-cancellation policy: queued-but-not-started siblings are
+cancelled, running siblings are awaited (they are wave peers of similar
+cost), and later waves are never dispatched.
+
+``jobs=1`` never creates a pool: subproblems are solved inline in the
+coordinator process, so the serial behaviour (and failure modes) of the
+pre-engine code are preserved exactly.
+
+A worker process dying mid-subproblem (OOM kill, segfault, ``os._exit``)
+surfaces as a clean :class:`EngineError` instead of a hang or a bare
+``BrokenProcessPool`` traceback.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+from collections.abc import Callable, Sequence
+
+from repro.engine.subproblem import Subproblem, SubproblemResult
+
+#: Bumped whenever a change to the engine or the verification layer can
+#: alter verdicts, certificates or counterexamples; part of every result
+#: cache key, so stale entries from older engines are never served.
+ENGINE_VERSION = "2"
+
+
+class EngineError(RuntimeError):
+    """A subproblem could not be completed (worker death, timeout, ...)."""
+
+
+class VerificationEngine:
+    """Schedules verification subproblems over a process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Number of worker processes.  ``1`` solves everything inline in the
+        current process (no pool, no pickling) — the exact serial code path.
+    wave_timeout:
+        Optional per-wave timeout in seconds; a wave that exceeds it raises
+        :class:`EngineError` instead of blocking forever.
+    """
+
+    def __init__(self, jobs: int = 1, wave_timeout: float | None = None):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+        self.wave_timeout = wave_timeout
+        self._executor: concurrent.futures.ProcessPoolExecutor | None = None
+        self.statistics = {"waves": 0, "subproblems": 0, "cancelled": 0, "failed_after_stop": 0}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def parallel(self) -> bool:
+        return self.jobs > 1
+
+    def _ensure_executor(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = concurrent.futures.ProcessPoolExecutor(max_workers=self.jobs)
+        return self._executor
+
+    def shutdown(self, kill: bool = False) -> None:
+        """Tear down the pool; ``kill`` also terminates the worker processes.
+
+        Plain shutdown lets running tasks finish in the background.  After a
+        timeout the wedged worker would keep burning CPU forever, so the
+        timeout path passes ``kill=True`` and the workers are terminated
+        outright (reaching into the executor's process table is the only way
+        ProcessPoolExecutor offers).
+        """
+        if self._executor is not None:
+            executor = self._executor
+            self._executor = None
+            processes = list(getattr(executor, "_processes", {}).values()) if kill else []
+            executor.shutdown(wait=False, cancel_futures=True)
+            for process in processes:
+                process.terminate()
+
+    def __enter__(self) -> "VerificationEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run_wave(
+        self,
+        subproblems: Sequence[Subproblem],
+        stop_on: Callable[[SubproblemResult], bool] | None = None,
+    ) -> list[SubproblemResult | None]:
+        """Solve one wave of subproblems; results are in input order.
+
+        With ``stop_on``, dispatch is cut short once a decisive result is
+        seen: futures that have not started yet are cancelled and their
+        slots are ``None`` (already-running wave peers still complete and
+        are reported).  Determinism note: coordinators must not let the
+        *content* of later waves depend on which same-wave peers finished
+        before the decisive one — the two parallel consumers in the
+        verification layer satisfy this by construction (StrongConsensus
+        falls back to a serial re-run on SAT; the strategy portfolio ranks
+        completed results by priority).
+        """
+        if not subproblems:
+            return []
+        self.statistics["waves"] += 1
+        self.statistics["subproblems"] += len(subproblems)
+        if not self.parallel:
+            return self._run_inline(subproblems, stop_on)
+
+        from repro.engine.worker import solve_subproblem
+
+        executor = self._ensure_executor()
+        try:
+            futures = [executor.submit(solve_subproblem, sub) for sub in subproblems]
+        except RuntimeError as error:  # pool already broken/shut down
+            raise EngineError(f"could not dispatch subproblems: {error}") from error
+
+        results: list[SubproblemResult | None] = [None] * len(subproblems)
+        pending = dict(enumerate(futures))
+        stopping = False
+        deadline = None if self.wave_timeout is None else time.monotonic() + self.wave_timeout
+        try:
+            for position, future in enumerate(futures):
+                if stopping and not future.running() and future.cancel():
+                    self.statistics["cancelled"] += 1
+                    pending.pop(position, None)
+                    continue
+                remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+                try:
+                    results[position] = future.result(timeout=remaining)
+                except concurrent.futures.CancelledError:
+                    self.statistics["cancelled"] += 1
+                except concurrent.futures.TimeoutError as error:
+                    if stopping:
+                        self._drop_failed_peer(teardown=True)
+                        continue
+                    self.shutdown(kill=True)
+                    raise EngineError(
+                        f"wave exceeded its {self.wave_timeout}s budget while waiting on "
+                        f"{subproblems[position].label}"
+                    ) from error
+                except concurrent.futures.process.BrokenProcessPool as error:
+                    if stopping:
+                        self._drop_failed_peer(teardown=True)
+                        continue
+                    raise EngineError(
+                        f"a worker process died while solving {subproblems[position].label}; "
+                        "the remaining subproblems of this wave were abandoned"
+                    ) from error
+                except Exception:
+                    # A peer that failed *after* a decisive result was
+                    # collected sits past the serial stopping point — the
+                    # serial sweep would never have solved it, so its error
+                    # must not mask the verdict.  Failures before any
+                    # decisive result propagate, exactly as in serial order.
+                    if stopping:
+                        self._drop_failed_peer(teardown=False)
+                        continue
+                    raise
+                pending.pop(position, None)
+                result = results[position]
+                if stop_on is not None and result is not None and stop_on(result):
+                    stopping = True
+        except EngineError:
+            # The pool is unusable; make sure nothing queued keeps running
+            # and that the next wave gets a fresh pool.
+            self.shutdown()
+            raise
+        except BaseException:
+            for future in pending.values():
+                future.cancel()
+            raise
+        return results
+
+    def _drop_failed_peer(self, teardown: bool) -> None:
+        """Discard a wave peer that failed after a decisive result arrived.
+
+        ``teardown`` tears the pool down (dead worker, hung task — it is no
+        longer trustworthy); an ordinary in-task exception leaves the pool
+        usable for the next wave.
+        """
+        self.statistics["failed_after_stop"] += 1
+        if teardown:
+            self.shutdown(kill=True)
+
+    def _run_inline(
+        self,
+        subproblems: Sequence[Subproblem],
+        stop_on: Callable[[SubproblemResult], bool] | None,
+    ) -> list[SubproblemResult | None]:
+        from repro.engine.worker import solve_subproblem
+
+        results: list[SubproblemResult | None] = [None] * len(subproblems)
+        for position, subproblem in enumerate(subproblems):
+            results[position] = solve_subproblem(subproblem)
+            if stop_on is not None and stop_on(results[position]):
+                self.statistics["cancelled"] += len(subproblems) - position - 1
+                break
+        return results
+
+
+# ----------------------------------------------------------------------
+# Coordination helpers shared by the CEGAR-style parallel checks
+# ----------------------------------------------------------------------
+
+
+def wave_plan(total: int, jobs: int) -> list[tuple[int, int]]:
+    """Deterministic wave boundaries: a warm-up wave of one, then ``jobs``.
+
+    The first subproblem runs alone because it does the bulk of the
+    trap/siphon discovery (exactly as in the serial sweep); every later
+    subproblem is then seeded with those refinements instead of
+    rediscovering them concurrently, which both avoids duplicated work
+    across workers and keeps the merged refinement list essentially the
+    serial one.
+    """
+    if total <= 0:
+        return []
+    plan = [(0, 1)]
+    start = 1
+    while start < total:
+        end = min(start + max(jobs, 1), total)
+        plan.append((start, end))
+        start = end
+    return plan
+
+
+def run_refinement_sweep(
+    engine: VerificationEngine,
+    total: int,
+    build_subproblems: Callable[[int, int, list], Sequence[Subproblem]],
+    statistics: dict,
+) -> tuple[bool, list]:
+    """Drive a refinement-sharing sweep over ``total`` CEGAR subproblems.
+
+    ``build_subproblems(start, end, seed_refinements)`` packages one wave of
+    the deterministic enumeration.  Workers report the trap/siphon steps
+    they discovered; the coordinator merges them in subproblem order
+    (deduplicated on ``(kind, states)``) and seeds the next wave with the
+    union, so learned refinements cross worker boundaries.  Dispatch stops
+    at the first SAT result (queued siblings are cancelled).
+
+    Returns ``(sat_seen, refinements)``; ``statistics`` is updated in place
+    and must carry the ``waves`` / ``pattern_pairs`` / ``iterations`` /
+    ``solver_instances`` / ``traps`` / ``siphons`` counters.
+    """
+    refinements: list = []
+    seen: set[tuple] = set()
+    sat_seen = False
+    for wave_start, wave_end in wave_plan(total, engine.jobs):
+        results = engine.run_wave(
+            build_subproblems(wave_start, wave_end, refinements),
+            stop_on=lambda result: result.verdict == "sat",
+        )
+        statistics["waves"] += 1
+        for result in results:
+            if result is None:  # cancelled after a decisive sibling
+                continue
+            statistics["pattern_pairs"] += 1
+            statistics["iterations"] += result.statistics.get("iterations", 0)
+            if result.verdict == "pruned":
+                statistics["pruned_pairs"] = statistics.get("pruned_pairs", 0) + 1
+            else:
+                statistics["solver_instances"] += 1
+            for step in result.data.get("refinements", ()):
+                key = (step.kind, step.states)
+                if key not in seen:
+                    seen.add(key)
+                    refinements.append(step)
+                    statistics["traps" if step.kind == "trap" else "siphons"] += 1
+            if result.verdict == "sat":
+                sat_seen = True
+        if sat_seen:
+            break
+    return sat_seen, refinements

@@ -1,0 +1,147 @@
+"""Picklable subproblem envelopes exchanged between coordinator and workers.
+
+A :class:`Subproblem` is a self-contained description of one independent
+piece of a verification run: which check to perform (``kind``), the protocol
+it concerns, and the kind-specific parameters (a terminal-pattern pair and
+the trap/siphon refinements to seed the CEGAR loop with, a partition-search
+strategy, ...).  Everything in the envelope is picklable, so a subproblem
+can cross a process boundary; the protocol travels as the serialisation
+dictionary of :mod:`repro.io.serialization` together with its content hash,
+which lets worker processes cache the decoded protocol across subproblems.
+
+Small objects with stable equality semantics (patterns, refinement steps)
+travel as plain pickled values; the portable encodings below (multisets,
+counterexamples, layered partitions) are JSON-compatible structures used
+where payloads also land on disk — the result cache stores counterexamples
+through them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datatypes.multiset import Multiset
+from repro.io.serialization import _decode_state, _encode_state
+from repro.protocols.protocol import Transition
+from repro.verification.results import StrongConsensusCounterexample
+
+#: Subproblem kinds understood by :func:`repro.engine.worker.solve_subproblem`.
+KINDS = (
+    "consensus-pair",
+    "correctness-pattern",
+    "termination-strategy",
+    "verify-ws3",
+    "poison",
+)
+
+
+@dataclass(frozen=True)
+class Subproblem:
+    """One independent unit of verification work.
+
+    ``index`` is the subproblem's position in the deterministic enumeration
+    order of its producer; the coordinator uses it to merge results (and
+    pick winners) independently of completion timing.
+    """
+
+    kind: str
+    index: int
+    protocol_key: str
+    protocol_data: dict
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown subproblem kind {self.kind!r}")
+
+    @property
+    def label(self) -> str:
+        return f"{self.kind}[{self.index}]"
+
+
+@dataclass
+class SubproblemResult:
+    """What a worker sends back: a verdict plus kind-specific payload.
+
+    ``verdict`` is kind-dependent ("unsat"/"sat" for CEGAR subproblems,
+    "holds"/"fails" for strategy and whole-protocol subproblems); ``data``
+    carries portable payloads (new refinements, encoded partitions, result
+    summaries) and ``statistics`` the worker-side counters.
+    """
+
+    kind: str
+    index: int
+    verdict: str
+    data: dict = field(default_factory=dict)
+    statistics: dict = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# Portable encodings
+# ----------------------------------------------------------------------
+
+
+def encode_multiset(multiset: Multiset) -> list:
+    """Encode a multiset as sorted ``[element, count]`` pairs."""
+    return [[_encode_state(element), count] for element, count in multiset.items_sorted()]
+
+
+def decode_multiset(payload) -> Multiset:
+    return Multiset({_decode_state(element): count for element, count in payload})
+
+
+def encode_flow(flow: dict[Transition, int]) -> list:
+    entries = [
+        [encode_multiset(t.pre), encode_multiset(t.post), count] for t, count in flow.items()
+    ]
+    entries.sort(key=repr)
+    return entries
+
+
+def decode_flow(payload) -> dict[Transition, int]:
+    return {
+        Transition(decode_multiset(pre), decode_multiset(post)): count
+        for pre, post, count in payload
+    }
+
+
+def encode_consensus_counterexample(ce: StrongConsensusCounterexample) -> dict:
+    return {
+        "initial": encode_multiset(ce.initial),
+        "terminal_true": encode_multiset(ce.terminal_true),
+        "terminal_false": encode_multiset(ce.terminal_false),
+        "flow_true": encode_flow(ce.flow_true),
+        "flow_false": encode_flow(ce.flow_false),
+    }
+
+
+def decode_consensus_counterexample(payload: dict) -> StrongConsensusCounterexample:
+    return StrongConsensusCounterexample(
+        initial=decode_multiset(payload["initial"]),
+        terminal_true=decode_multiset(payload["terminal_true"]),
+        terminal_false=decode_multiset(payload["terminal_false"]),
+        flow_true=decode_flow(payload["flow_true"]),
+        flow_false=decode_flow(payload["flow_false"]),
+    )
+
+
+def encode_partition(partition) -> list:
+    """Encode an ordered partition as layers of ``(pre, post)`` transition pairs."""
+    return [
+        sorted(
+            ([encode_multiset(t.pre), encode_multiset(t.post)] for t in layer),
+            key=repr,
+        )
+        for layer in partition
+    ]
+
+
+def decode_partition(payload):
+    from repro.protocols.protocol import OrderedPartition
+
+    layers = [
+        [Transition(decode_multiset(pre), decode_multiset(post)) for pre, post in layer]
+        for layer in payload
+    ]
+    return OrderedPartition.of(*layers)
+

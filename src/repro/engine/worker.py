@@ -1,0 +1,178 @@
+"""Worker-process entry point: solve one subproblem envelope.
+
+``solve_subproblem`` is the single function shipped to the process pool.
+It dispatches on the subproblem ``kind`` to the solving routines exposed by
+the verification modules, which are imported lazily (the verification layer
+imports the engine, not the other way round at module load time).
+
+Decoded protocols are cached per process keyed by their content hash, so a
+worker that solves many subproblems of the same protocol — the common case:
+one pattern pair per subproblem, dozens of pairs per protocol — pays the
+deserialisation cost once.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.engine.subproblem import (
+    Subproblem,
+    SubproblemResult,
+    encode_partition,
+)
+from repro.io.serialization import protocol_from_dict
+
+#: Per-process cache of decoded protocols, keyed by content hash.  Bounded:
+#: a long-lived pool serving thousands of distinct protocols must not grow
+#: worker RSS forever (subproblems of one protocol arrive clustered, so a
+#: small cache keeps the hit rate at ~100%).
+_PROTOCOLS: dict = {}
+_MAX_PROTOCOLS = 64
+
+
+def _protocol_for(subproblem: Subproblem):
+    protocol = _PROTOCOLS.get(subproblem.protocol_key)
+    if protocol is None:
+        protocol = protocol_from_dict(subproblem.protocol_data)
+        if len(_PROTOCOLS) >= _MAX_PROTOCOLS:
+            _PROTOCOLS.pop(next(iter(_PROTOCOLS)))
+        _PROTOCOLS[subproblem.protocol_key] = protocol
+    return protocol
+
+
+def solve_subproblem(subproblem: Subproblem) -> SubproblemResult:
+    """Solve one subproblem and return a picklable result envelope."""
+    start = time.perf_counter()
+    if subproblem.kind == "poison":
+        _poison(subproblem)
+    handler = _HANDLERS[subproblem.kind]
+    result = handler(subproblem)
+    result.statistics.setdefault("time", time.perf_counter() - start)
+    result.statistics.setdefault("worker_pid", os.getpid())
+    return result
+
+
+# ----------------------------------------------------------------------
+# Kind handlers
+# ----------------------------------------------------------------------
+
+
+def _solve_consensus_pair(subproblem: Subproblem) -> SubproblemResult:
+    from repro.verification.strong_consensus import solve_pattern_pair_subproblem
+
+    protocol = _protocol_for(subproblem)
+    params = subproblem.params
+    outcome = solve_pattern_pair_subproblem(
+        protocol,
+        pattern_true=params["pattern_true"],
+        pattern_false=params["pattern_false"],
+        seed_refinements=params["refinements"],
+        theory=params.get("theory", "auto"),
+        max_refinements=params.get("max_refinements", 10_000),
+        protocol_key=subproblem.protocol_key,
+    )
+    # The counterexample model is deliberately not shipped: on SAT the
+    # coordinator re-derives the canonical one via the serial path, so only
+    # the verdict and the discovered refinements matter.
+    return SubproblemResult(
+        kind=subproblem.kind,
+        index=subproblem.index,
+        verdict=outcome.verdict,
+        data={"refinements": list(outcome.new_refinements)},
+        statistics=outcome.statistics,
+    )
+
+
+def _solve_correctness_pattern(subproblem: Subproblem) -> SubproblemResult:
+    from repro.verification.correctness import solve_correctness_pattern_subproblem
+
+    protocol = _protocol_for(subproblem)
+    params = subproblem.params
+    outcome = solve_correctness_pattern_subproblem(
+        protocol,
+        predicate=params["predicate"],
+        expected_output=params["expected_output"],
+        pattern=params["pattern"],
+        seed_refinements=params["refinements"],
+        theory=params.get("theory", "auto"),
+        max_refinements=params.get("max_refinements", 10_000),
+    )
+    return SubproblemResult(
+        kind=subproblem.kind,
+        index=subproblem.index,
+        verdict=outcome.verdict,
+        data={"refinements": list(outcome.new_refinements)},
+        statistics=outcome.statistics,
+    )
+
+
+def _solve_termination_strategy(subproblem: Subproblem) -> SubproblemResult:
+    from repro.verification.layered_termination import attempt_strategy
+
+    protocol = _protocol_for(subproblem)
+    params = subproblem.params
+    result = attempt_strategy(
+        protocol,
+        strategy=params["strategy"],
+        max_layers=params.get("max_layers"),
+        theory=params.get("theory", "auto"),
+    )
+    data = {"strategy": params["strategy"], "reason": result.reason}
+    if result.holds and result.certificate is not None:
+        data["partition"] = encode_partition(result.certificate.partition)
+    return SubproblemResult(
+        kind=subproblem.kind,
+        index=subproblem.index,
+        verdict="holds" if result.holds else "fails",
+        data=data,
+        statistics=result.statistics,
+    )
+
+
+def _solve_verify_ws3(subproblem: Subproblem) -> SubproblemResult:
+    from repro.engine.batch import ws3_result_to_dict
+    from repro.verification.ws3 import verify_ws3
+
+    protocol = _protocol_for(subproblem)
+    params = subproblem.params
+    result = verify_ws3(
+        protocol,
+        strategy=params.get("strategy", "auto"),
+        theory=params.get("theory", "auto"),
+        max_layers=params.get("max_layers"),
+        check_consensus_first=params.get("check_consensus_first", False),
+    )
+    summary = ws3_result_to_dict(result)
+    predicate = params.get("predicate")
+    if predicate is not None:
+        from repro.verification.correctness import check_correctness
+
+        correctness = check_correctness(protocol, predicate, theory=params.get("theory", "auto"))
+        summary["correctness"] = {
+            "holds": correctness.holds,
+            "refinements": len(correctness.refinements),
+        }
+    return SubproblemResult(
+        kind=subproblem.kind,
+        index=subproblem.index,
+        verdict="holds" if result.is_ws3 else "fails",
+        data={"summary": summary},
+        statistics={"time": result.statistics.get("time", 0.0)},
+    )
+
+
+def _poison(subproblem: Subproblem) -> None:
+    """Deliberately damage this worker (used by the fault-injection tests)."""
+    mode = subproblem.params.get("mode", "exit")
+    if mode == "exit":
+        os._exit(17)
+    raise RuntimeError("poisoned subproblem")
+
+
+_HANDLERS = {
+    "consensus-pair": _solve_consensus_pair,
+    "correctness-pattern": _solve_correctness_pattern,
+    "termination-strategy": _solve_termination_strategy,
+    "verify-ws3": _solve_verify_ws3,
+}

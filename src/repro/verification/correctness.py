@@ -59,11 +59,52 @@ class CorrectnessResult:
         return self.holds
 
 
+def _assert_correctness_base(
+    protocol: PopulationProtocol, builder: _ConstraintBuilder, solver: Solver
+) -> tuple:
+    """Declare the shared input/flow variables and assert the base constraints.
+
+    The initial configuration is the image of the input under I, expressed
+    directly over the input variables; the flow equations are likewise
+    substituted away (c1 is an expression over the input and the flow).
+    """
+    input_vars = {
+        symbol: solver.int_var(f"inp_{index}", lower=0)
+        for index, symbol in enumerate(protocol.input_alphabet)
+    }
+    x1 = builder.flow_vars("x1")
+    solver.add(LinearExpr.sum_of(input_vars.values()) >= 2)
+    c0 = {}
+    for state in builder.states:
+        symbols = [symbol for symbol in protocol.input_alphabet if protocol.input_map[symbol] == state]
+        if symbols:
+            c0[state] = LinearExpr.sum_of(input_vars[symbol] for symbol in symbols)
+        else:
+            c0[state] = LinearExpr.constant_expr(0)
+    c1 = builder.derived_config(c0, x1)
+    solver.add(builder.non_negative(c1))
+    return input_vars, c0, c1, x1
+
+
+def correctness_tasks(protocol: PopulationProtocol) -> list[tuple[int, object]]:
+    """The deterministic enumeration of (expected output, pattern) tasks."""
+    patterns = terminal_support_patterns(protocol)
+    tasks = []
+    for expected_output in (1, 0):
+        wrong_output = 1 - expected_output
+        for pattern in patterns:
+            if pattern.admits_output(protocol, wrong_output):
+                tasks.append((expected_output, pattern))
+    return tasks
+
+
 def check_correctness(
     protocol: PopulationProtocol,
     predicate: PredicateLike,
     theory: str = "auto",
     max_refinements: int = 10_000,
+    jobs: int = 1,
+    engine=None,
 ) -> CorrectnessResult:
     """Check that a protocol computes ``predicate``.
 
@@ -72,7 +113,26 @@ def check_correctness(
     configuration, and every reachable terminal configuration is potentially
     reachable, so if no potentially-reachable terminal configuration carries
     the wrong output the protocol computes the predicate.
+
+    With ``jobs > 1`` (or a parallel ``engine``), the independent
+    (direction, terminal pattern) subproblems are fanned out over worker
+    processes; ``jobs=1`` runs the persistent-solver path unchanged.
     """
+    if engine is not None and jobs != 1:
+        raise ValueError("pass either jobs>1 or an engine, not both")
+    owned_engine = False
+    if engine is None and jobs > 1:
+        from repro.engine.scheduler import VerificationEngine
+
+        engine = VerificationEngine(jobs=jobs)
+        owned_engine = True
+    if engine is not None and engine.parallel:
+        try:
+            return _check_correctness_engine(protocol, predicate, theory, max_refinements, engine)
+        finally:
+            if owned_engine:
+                engine.shutdown()
+
     start = time.perf_counter()
     refinements: list[RefinementStep] = []
     statistics = {"iterations": 0, "traps": 0, "siphons": 0, "solver_instances": 1}
@@ -84,25 +144,7 @@ def check_correctness(
     # lemmas learned while refuting one pattern carry over to the next.
     builder = _ConstraintBuilder(protocol)
     solver = Solver(theory=theory)
-    input_vars = {
-        symbol: solver.int_var(f"inp_{index}", lower=0)
-        for index, symbol in enumerate(protocol.input_alphabet)
-    }
-    x1 = builder.flow_vars("x1")
-
-    # The initial configuration is the image of the input under I, expressed
-    # directly over the input variables; the flow equations are likewise
-    # substituted away (c1 is an expression over the input and the flow).
-    solver.add(LinearExpr.sum_of(input_vars.values()) >= 2)
-    c0 = {}
-    for state in builder.states:
-        symbols = [symbol for symbol in protocol.input_alphabet if protocol.input_map[symbol] == state]
-        if symbols:
-            c0[state] = LinearExpr.sum_of(input_vars[symbol] for symbol in symbols)
-        else:
-            c0[state] = LinearExpr.constant_expr(0)
-    c1 = builder.derived_config(c0, x1)
-    solver.add(builder.non_negative(c1))
+    input_vars, c0, c1, x1 = _assert_correctness_base(protocol, builder, solver)
 
     patterns = terminal_support_patterns(protocol)
     for expected_output in (1, 0):
@@ -203,3 +245,151 @@ def _solve_pattern(
     raise RuntimeError(
         f"correctness refinement did not converge within {max_refinements} iterations"
     )
+
+
+# ----------------------------------------------------------------------
+# Correctness patterns as engine subproblems
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CorrectnessPatternOutcome:
+    """Worker-side outcome of one (direction, pattern) subproblem."""
+
+    verdict: str  # "unsat" or "sat"
+    new_refinements: list[RefinementStep]
+    statistics: dict
+
+
+def solve_correctness_pattern_subproblem(
+    protocol: PopulationProtocol,
+    predicate: PredicateLike,
+    expected_output: int,
+    pattern,
+    seed_refinements,
+    theory: str = "auto",
+    max_refinements: int = 10_000,
+) -> CorrectnessPatternOutcome:
+    """Solve one (direction, pattern) subproblem on a fresh solver.
+
+    Like its StrongConsensus counterpart, the outcome depends only on the
+    arguments — never on sibling subproblems solved by the same process —
+    which keeps parallel runs reproducible.
+    """
+    builder = _ConstraintBuilder(protocol)
+    solver = Solver(theory=theory)
+    variables = _assert_correctness_base(protocol, builder, solver)
+    refinements = list(seed_refinements)
+    seeded = len(refinements)
+    statistics = {"iterations": 0, "traps": 0, "siphons": 0}
+    outcome = _solve_pattern(
+        protocol,
+        builder,
+        solver,
+        variables,
+        predicate,
+        expected_output,
+        pattern,
+        max_refinements,
+        refinements,
+        statistics,
+    )
+    statistics["solver"] = dict(solver.statistics)
+    return CorrectnessPatternOutcome(
+        verdict="unsat" if outcome is None else "sat",
+        new_refinements=refinements[seeded:],
+        statistics=statistics,
+    )
+
+
+def correctness_pattern_subproblems(
+    protocol: PopulationProtocol,
+    predicate: PredicateLike,
+    tasks: list,
+    seed_refinements: list[RefinementStep],
+    theory: str,
+    max_refinements: int,
+    first_index: int,
+    protocol_data: dict,
+    protocol_key: str,
+) -> list:
+    """Package a slice of the (direction, pattern) enumeration as subproblems."""
+    from repro.engine.subproblem import Subproblem
+
+    return [
+        Subproblem(
+            kind="correctness-pattern",
+            index=first_index + offset,
+            protocol_key=protocol_key,
+            protocol_data=protocol_data,
+            params={
+                "predicate": predicate,
+                "expected_output": expected_output,
+                "pattern": pattern,
+                "refinements": tuple(seed_refinements),
+                "theory": theory,
+                "max_refinements": max_refinements,
+            },
+        )
+        for offset, (expected_output, pattern) in enumerate(tasks)
+    ]
+
+
+def _check_correctness_engine(
+    protocol: PopulationProtocol,
+    predicate: PredicateLike,
+    theory: str,
+    max_refinements: int,
+    engine,
+) -> CorrectnessResult:
+    """Fan the (direction, pattern) subproblems over the worker pool.
+
+    Same coordination scheme as the parallel StrongConsensus check:
+    deterministic waves of ``jobs`` subproblems, trap/siphon refinements
+    merged between waves, and a serial re-run when a wrong-output witness is
+    found so the reported counterexample is canonical.
+    """
+    from repro.engine.cache import protocol_content_hash
+    from repro.engine.scheduler import run_refinement_sweep
+    from repro.io.serialization import protocol_to_dict
+
+    start = time.perf_counter()
+    tasks = correctness_tasks(protocol)
+    protocol_data = protocol_to_dict(protocol)
+    protocol_key = protocol_content_hash(protocol)
+    statistics = {
+        "iterations": 0,
+        "traps": 0,
+        "siphons": 0,
+        "pattern_pairs": 0,
+        "jobs": engine.jobs,
+        "waves": 0,
+        "solver_instances": 0,
+    }
+    sat_seen, refinements = run_refinement_sweep(
+        engine,
+        len(tasks),
+        lambda wave_start, wave_end, seed: correctness_pattern_subproblems(
+            protocol,
+            predicate,
+            tasks[wave_start:wave_end],
+            seed,
+            theory,
+            max_refinements,
+            wave_start,
+            protocol_data,
+            protocol_key,
+        ),
+        statistics,
+    )
+
+    if sat_seen:
+        serial = check_correctness(protocol, predicate, theory=theory, max_refinements=max_refinements)
+        serial.statistics["parallel"] = {
+            "jobs": engine.jobs,
+            "waves": statistics["waves"],
+            "fallback": "serial-rerun",
+        }
+        return serial
+    statistics["time"] = time.perf_counter() - start
+    return CorrectnessResult(holds=True, refinements=refinements, statistics=statistics)

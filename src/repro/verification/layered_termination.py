@@ -443,6 +443,165 @@ def _lemma22_witness_sets(
 
 
 # ----------------------------------------------------------------------
+# Single strategies as engine subproblems
+# ----------------------------------------------------------------------
+
+#: Search order of the ``"auto"`` strategy; also the priority order of the
+#: parallel portfolio (cheap certificates first, the exact search last).
+STRATEGY_PRIORITY = ("hint", "single", "scc", "smt")
+
+
+def attempt_strategy(
+    protocol: PopulationProtocol,
+    strategy: str,
+    max_layers: int | None = None,
+    theory: str = "auto",
+    materialize_rankings: bool = False,
+) -> LayeredTerminationResult:
+    """Run exactly one partition-search strategy, with no fallbacks.
+
+    This is the unit of work of the parallel strategy portfolio: each
+    strategy is independent of the others, so the engine can race them on
+    separate workers and keep the highest-priority success.
+    """
+    start = time.perf_counter()
+    if strategy == "hint":
+        partition = protocol.partition_hint
+        failure = "the protocol carries no partition hint"
+    elif strategy == "single":
+        partition = single_layer_partition(protocol)
+        failure = "the one-layer partition admits a non-silent execution"
+    elif strategy == "scc":
+        partition = scc_heuristic_partition(protocol)
+        failure = "the enabling-graph heuristic produced no silent layering"
+    elif strategy == "smt":
+        partition = smt_partition_search(protocol, max_layers=max_layers, theory=theory)
+        failure = "no ordered partition found within the layer bound"
+    else:
+        raise ValueError(f"unknown LayeredTermination strategy {strategy!r}")
+    if partition is None:
+        result = LayeredTerminationResult(holds=False, reason=failure)
+    else:
+        result = check_partition(
+            protocol, partition, materialize_rankings=materialize_rankings, strategy=strategy
+        )
+    result.statistics = {
+        "strategy": strategy,
+        "time": time.perf_counter() - start,
+        **result.statistics,
+    }
+    return result
+
+
+def termination_strategy_subproblems(
+    protocol: PopulationProtocol,
+    strategies: Sequence[str],
+    max_layers: int | None,
+    theory: str,
+    protocol_data: dict,
+    protocol_key: str,
+    first_index: int = 0,
+) -> list:
+    """Package a strategy portfolio as engine subproblems (priority order)."""
+    from repro.engine.subproblem import Subproblem
+
+    return [
+        Subproblem(
+            kind="termination-strategy",
+            index=first_index + offset,
+            protocol_key=protocol_key,
+            protocol_data=protocol_data,
+            params={"strategy": strategy, "max_layers": max_layers, "theory": theory},
+        )
+        for offset, strategy in enumerate(strategies)
+    ]
+
+
+def _check_layered_termination_portfolio(
+    protocol: PopulationProtocol,
+    engine,
+    max_layers: int | None,
+    materialize_rankings: bool,
+    theory: str,
+) -> LayeredTerminationResult:
+    """The ``"auto"`` strategy as a parallel portfolio.
+
+    The cheap polynomial strategies (hint, single layer, SCC heuristic) run
+    concurrently in one wave; the result of the highest-priority holding
+    strategy wins, matching the serial search order.  Only if all of them
+    fail is the exact SMT search dispatched, so no exponential work is
+    wasted when a heuristic certificate exists.  Certificates are re-checked
+    (and rankings materialised) in the coordinator with the polynomial
+    checker, so a returned certificate never depends on trusting a worker.
+    """
+    from repro.engine.cache import protocol_content_hash
+    from repro.engine.subproblem import decode_partition
+    from repro.io.serialization import protocol_to_dict
+
+    start = time.perf_counter()
+    protocol_data = protocol_to_dict(protocol)
+    protocol_key = protocol_content_hash(protocol)
+    statistics: dict = {"strategy": None, "jobs": engine.jobs, "portfolio": True}
+
+    def finish(result: LayeredTerminationResult, used_strategy: str) -> LayeredTerminationResult:
+        statistics["strategy"] = used_strategy
+        statistics["time"] = time.perf_counter() - start
+        result.statistics = {**statistics, **result.statistics}
+        return result
+
+    def accept(result) -> LayeredTerminationResult:
+        partition = decode_partition(result.data["partition"])
+        checked = check_partition(
+            protocol,
+            partition,
+            materialize_rankings=materialize_rankings,
+            strategy=result.data["strategy"],
+        )
+        if not checked.holds:  # pragma: no cover - the worker already checked
+            raise RuntimeError(
+                f"strategy {result.data['strategy']!r} returned a partition that fails "
+                f"re-checking: {checked.reason}"
+            )
+        return finish(checked, result.data["strategy"])
+
+    heuristics = [
+        strategy
+        for strategy in STRATEGY_PRIORITY[:-1]
+        if strategy != "hint" or protocol.partition_hint is not None
+    ]
+    results = engine.run_wave(
+        termination_strategy_subproblems(
+            protocol, heuristics, max_layers, theory, protocol_data, protocol_key
+        )
+    )
+    for result in results:  # input order == priority order
+        if result is not None and result.verdict == "holds":
+            return accept(result)
+
+    smt_results = engine.run_wave(
+        termination_strategy_subproblems(
+            protocol,
+            ["smt"],
+            max_layers,
+            theory,
+            protocol_data,
+            protocol_key,
+            first_index=len(heuristics),
+        )
+    )
+    smt_result = smt_results[0]
+    if smt_result is not None and smt_result.verdict == "holds":
+        return accept(smt_result)
+    return finish(
+        LayeredTerminationResult(
+            holds=False,
+            reason="no ordered partition found within the layer bound",
+        ),
+        "smt",
+    )
+
+
+# ----------------------------------------------------------------------
 # Top-level decision procedure
 # ----------------------------------------------------------------------
 
@@ -453,6 +612,8 @@ def check_layered_termination(
     max_layers: int | None = None,
     materialize_rankings: bool = False,
     theory: str = "auto",
+    jobs: int = 1,
+    engine=None,
 ) -> LayeredTerminationResult:
     """Decide LayeredTermination.
 
@@ -465,10 +626,34 @@ def check_layered_termination(
     * ``"scc"`` — only try the enabling-graph heuristic;
     * ``"smt"`` — only run the exact search (Appendix D.1 encoding).
 
+    With ``jobs > 1`` (or a parallel ``engine``) and the ``"auto"``
+    strategy, the partition searches run as a portfolio on the worker pool
+    (see :func:`_check_layered_termination_portfolio`); single strategies
+    and ``jobs=1`` use the serial path below unchanged.
+
     Note that ``"auto"`` with the default ``max_layers`` bound is sound but
     not complete: a negative answer means that no partition with at most
     ``max_layers`` layers was found, not that none exists.
     """
+    if engine is not None and jobs != 1:
+        raise ValueError("pass either jobs>1 or an engine, not both")
+    owned_engine = False
+    if engine is None and jobs > 1:
+        from repro.engine.scheduler import VerificationEngine
+
+        engine = VerificationEngine(jobs=jobs)
+        owned_engine = True
+    if engine is not None and engine.parallel and strategy == "auto":
+        try:
+            return _check_layered_termination_portfolio(
+                protocol, engine, max_layers, materialize_rankings, theory
+            )
+        finally:
+            if owned_engine:
+                engine.shutdown()
+    if owned_engine:
+        engine.shutdown()
+
     start = time.perf_counter()
     statistics: dict = {"strategy": None}
 

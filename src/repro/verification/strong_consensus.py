@@ -362,6 +362,8 @@ def check_strong_consensus(
     strategy: str = "auto",
     max_refinements: int = 10_000,
     max_pattern_pairs: int = 250_000,
+    jobs: int = 1,
+    engine=None,
 ) -> StrongConsensusResult:
     """Decide StrongConsensus with the trap/siphon refinement loop of Section 6.
 
@@ -369,10 +371,24 @@ def check_strong_consensus(
     support patterns, the default for anything non-trivial) or
     ``"monolithic"`` (the paper's single constraint system with the
     ``Terminal`` disjunctions left to the solver).
+
+    With ``jobs > 1`` (or a parallel ``engine``, a
+    :class:`repro.engine.scheduler.VerificationEngine`), the independent
+    pattern pairs of the ``"patterns"`` strategy are fanned out over worker
+    processes; ``jobs=1`` runs the single-process persistent-solver path
+    unchanged.  Verdicts and counterexamples are identical either way.
     """
     start = time.perf_counter()
     if strategy not in ("auto", "patterns", "monolithic"):
         raise ValueError(f"unknown StrongConsensus strategy {strategy!r}")
+    if engine is not None and jobs != 1:
+        raise ValueError("pass either jobs>1 or an engine, not both")
+    owned_engine = False
+    if engine is None and jobs > 1:
+        from repro.engine.scheduler import VerificationEngine
+
+        engine = VerificationEngine(jobs=jobs)
+        owned_engine = True
     chosen = strategy
     patterns: list[TerminalPattern] | None = None
     if strategy in ("auto", "patterns"):
@@ -385,12 +401,21 @@ def check_strong_consensus(
         else:
             chosen = "patterns"
 
-    if chosen == "patterns":
-        result = _check_with_patterns(
-            protocol, true_patterns, false_patterns, theory, max_refinements
-        )
-    else:
-        result = _check_monolithic(protocol, theory, max_refinements)
+    try:
+        if chosen == "patterns":
+            if engine is not None and engine.parallel:
+                result = _check_with_patterns_engine(
+                    protocol, true_patterns, false_patterns, theory, max_refinements, engine
+                )
+            else:
+                result = _check_with_patterns(
+                    protocol, true_patterns, false_patterns, theory, max_refinements
+                )
+        else:
+            result = _check_monolithic(protocol, theory, max_refinements)
+    finally:
+        if owned_engine:
+            engine.shutdown()
     result.statistics["strategy"] = chosen
     result.statistics["time"] = time.perf_counter() - start
     if patterns is not None:
@@ -401,6 +426,24 @@ def check_strong_consensus(
 # ----------------------------------------------------------------------
 # Strategy 1: terminal-support-pattern enumeration
 # ----------------------------------------------------------------------
+
+
+def _consensus_variables(builder: _ConstraintBuilder) -> tuple:
+    """The shared variable families ``(c0, c1, c2, x1, x2)`` of Appendix D.2."""
+    c0 = builder.config_vars("c0")
+    x1 = builder.flow_vars("x1")
+    x2 = builder.flow_vars("x2")
+    c1 = builder.derived_config(c0, x1)
+    c2 = builder.derived_config(c0, x2)
+    return c0, c1, c2, x1, x2
+
+
+def _assert_consensus_base(builder: _ConstraintBuilder, solver: Solver, variables: tuple) -> None:
+    """Assert the pair-independent constraints (initial population, non-negativity)."""
+    c0, c1, c2, _x1, _x2 = variables
+    solver.add(builder.initial(c0))
+    solver.add(builder.non_negative(c1))
+    solver.add(builder.non_negative(c2))
 
 
 def _check_with_patterns(
@@ -420,15 +463,9 @@ def _check_with_patterns(
     # lemmas — blocking clauses and memoized theory checks over the shared
     # atoms — survive across pairs, so later pairs start warm.
     solver = Solver(theory=theory)
-    c0 = builder.config_vars("c0")
-    x1 = builder.flow_vars("x1")
-    x2 = builder.flow_vars("x2")
-    c1 = builder.derived_config(c0, x1)
-    c2 = builder.derived_config(c0, x2)
-
-    solver.add(builder.initial(c0))
-    solver.add(builder.non_negative(c1))
-    solver.add(builder.non_negative(c2))
+    variables = _consensus_variables(builder)
+    c0, c1, c2, x1, x2 = variables
+    _assert_consensus_base(builder, solver, variables)
 
     def side_feasible(flow_config, pattern, output) -> bool:
         """Cheap theory-only pre-check of one side of a pattern pair.
@@ -542,6 +579,220 @@ def _solve_pattern_pair(
     raise RuntimeError(
         f"StrongConsensus refinement did not converge within {max_refinements} iterations"
     )
+
+
+# ----------------------------------------------------------------------
+# Pattern pairs as engine subproblems
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class PairOutcome:
+    """Worker-side outcome of one pattern-pair subproblem.
+
+    ``verdict`` is ``"unsat"`` (the pair admits no counterexample),
+    ``"sat"`` (a genuine counterexample exists) or ``"pruned"`` (one side of
+    the pair is infeasible on its own, so the pair was never solved).
+    ``new_refinements`` are the trap/siphon steps discovered beyond the
+    seeded ones — the coordinator merges them and seeds later waves.
+    """
+
+    verdict: str
+    new_refinements: list[RefinementStep]
+    statistics: dict
+    counterexample: StrongConsensusCounterexample | None = None
+
+
+#: Per-process memo of side-feasibility answers, keyed by protocol content
+#: hash.  The same (pattern, output) side recurs across the pairs a worker
+#: solves; feasibility is a mathematical property of the side alone, so the
+#: cached answer is exactly what a fresh solver would compute.  Bounded
+#: (FIFO) so a long-lived worker pool cannot grow without limit.
+_SIDE_FEASIBILITY_CACHE: dict[tuple, bool] = {}
+_MAX_SIDE_FEASIBILITY_CACHE = 4096
+
+
+def _side_is_feasible(
+    builder: _ConstraintBuilder,
+    solver: Solver,
+    c0: dict,
+    flow_config: dict,
+    pattern: TerminalPattern,
+    output: int,
+    cache_key: tuple | None,
+) -> bool:
+    if cache_key is not None:
+        cached = _SIDE_FEASIBILITY_CACHE.get(cache_key)
+        if cached is not None:
+            return cached
+    result = solver.check_conjunction(
+        [
+            builder.initial(c0),
+            builder.non_negative(flow_config),
+            builder.pattern(flow_config, pattern),
+            builder.has_output(flow_config, output),
+        ]
+    )
+    feasible = result.status is not SolverStatus.UNSAT
+    if cache_key is not None:
+        if len(_SIDE_FEASIBILITY_CACHE) >= _MAX_SIDE_FEASIBILITY_CACHE:
+            _SIDE_FEASIBILITY_CACHE.pop(next(iter(_SIDE_FEASIBILITY_CACHE)))
+        _SIDE_FEASIBILITY_CACHE[cache_key] = feasible
+    return feasible
+
+
+def solve_pattern_pair_subproblem(
+    protocol: PopulationProtocol,
+    pattern_true: TerminalPattern,
+    pattern_false: TerminalPattern,
+    seed_refinements: Iterable[RefinementStep],
+    theory: str = "auto",
+    max_refinements: int = 10_000,
+    protocol_key: str | None = None,
+) -> PairOutcome:
+    """Solve one pattern pair in isolation (the worker-process entry point).
+
+    A fresh solver is built per pair, so the outcome — verdict, discovered
+    refinements, counterexample model — depends only on the arguments, never
+    on which other subproblems the hosting process solved before.  That is
+    what makes parallel runs reproducible: the coordinator's wave plan fixes
+    every seed, so scheduling timing cannot leak into the results.
+    """
+    builder = _ConstraintBuilder(protocol)
+    solver = Solver(theory=theory)
+    variables = _consensus_variables(builder)
+    c0, c1, c2, _x1, _x2 = variables
+    statistics = {"iterations": 0, "traps": 0, "siphons": 0}
+
+    true_key = (protocol_key, theory, "true", pattern_true) if protocol_key else None
+    false_key = (protocol_key, theory, "false", pattern_false) if protocol_key else None
+    if not _side_is_feasible(builder, solver, c0, c1, pattern_true, 1, true_key) or not (
+        _side_is_feasible(builder, solver, c0, c2, pattern_false, 0, false_key)
+    ):
+        return PairOutcome(verdict="pruned", new_refinements=[], statistics=statistics)
+
+    _assert_consensus_base(builder, solver, variables)
+    refinements = list(seed_refinements)
+    seeded = len(refinements)
+    counterexample = _solve_pattern_pair(
+        protocol,
+        builder,
+        solver,
+        variables,
+        pattern_true,
+        pattern_false,
+        max_refinements,
+        refinements,
+        statistics,
+    )
+    statistics["solver"] = dict(solver.statistics)
+    new_refinements = refinements[seeded:]
+    if counterexample is not None:
+        return PairOutcome(
+            verdict="sat",
+            new_refinements=new_refinements,
+            statistics=statistics,
+            counterexample=counterexample,
+        )
+    return PairOutcome(verdict="unsat", new_refinements=new_refinements, statistics=statistics)
+
+
+def consensus_pair_subproblems(
+    protocol: PopulationProtocol,
+    pairs: list[tuple[TerminalPattern, TerminalPattern]],
+    seed_refinements: list[RefinementStep],
+    theory: str,
+    max_refinements: int,
+    first_index: int,
+    protocol_data: dict,
+    protocol_key: str,
+) -> list:
+    """Package a slice of the pattern-pair enumeration as engine subproblems."""
+    from repro.engine.subproblem import Subproblem
+
+    return [
+        Subproblem(
+            kind="consensus-pair",
+            index=first_index + offset,
+            protocol_key=protocol_key,
+            protocol_data=protocol_data,
+            params={
+                "pattern_true": pattern_true,
+                "pattern_false": pattern_false,
+                "refinements": tuple(seed_refinements),
+                "theory": theory,
+                "max_refinements": max_refinements,
+            },
+        )
+        for offset, (pattern_true, pattern_false) in enumerate(pairs)
+    ]
+
+
+def _check_with_patterns_engine(
+    protocol: PopulationProtocol,
+    true_patterns: list[TerminalPattern],
+    false_patterns: list[TerminalPattern],
+    theory: str,
+    max_refinements: int,
+    engine,
+) -> StrongConsensusResult:
+    """Fan the pattern pairs over the engine's worker pool, wave by wave.
+
+    Each wave dispatches ``jobs`` pairs seeded with every trap/siphon
+    refinement merged so far (cross-worker sharing through the
+    coordinator); new discoveries are merged back in deterministic pair
+    order, so the wave plan — and hence the result — is independent of
+    worker timing.  The first SAT pair stops dispatch and cancels queued
+    siblings; the counterexample itself is then re-derived by the serial
+    path, which both pins the reported model to the ``jobs=1`` one and
+    keeps falsification answers canonical across worker counts.  (The
+    serial re-run stops at its own first SAT pair, so it re-solves only the
+    pair prefix up to the counterexample — cheap, since falsified protocols
+    fail on an early pair.)
+    """
+    from repro.engine.cache import protocol_content_hash
+    from repro.engine.scheduler import run_refinement_sweep
+    from repro.io.serialization import protocol_to_dict
+
+    pairs = [(t, f) for t in true_patterns for f in false_patterns]
+    protocol_data = protocol_to_dict(protocol)
+    protocol_key = protocol_content_hash(protocol)
+    statistics = {
+        "iterations": 0,
+        "traps": 0,
+        "siphons": 0,
+        "pattern_pairs": 0,
+        "jobs": engine.jobs,
+        "waves": 0,
+        "solver_instances": 0,
+    }
+    sat_seen, refinements = run_refinement_sweep(
+        engine,
+        len(pairs),
+        lambda start, end, seed: consensus_pair_subproblems(
+            protocol,
+            pairs[start:end],
+            seed,
+            theory,
+            max_refinements,
+            start,
+            protocol_data,
+            protocol_key,
+        ),
+        statistics,
+    )
+
+    if sat_seen:
+        serial = _check_with_patterns(
+            protocol, true_patterns, false_patterns, theory, max_refinements
+        )
+        serial.statistics["parallel"] = {
+            "jobs": engine.jobs,
+            "waves": statistics["waves"],
+            "fallback": "serial-rerun",
+        }
+        return serial
+    return StrongConsensusResult(holds=True, refinements=refinements, statistics=statistics)
 
 
 # ----------------------------------------------------------------------

@@ -69,6 +69,8 @@ def verify_ws3(
     max_layers: int | None = None,
     check_consensus_first: bool = False,
     materialize_rankings: bool = False,
+    jobs: int = 1,
+    engine=None,
 ) -> WS3Result:
     """Decide membership of a protocol in WS³.
 
@@ -83,29 +85,55 @@ def verify_ws3(
         The paper observes that StrongConsensus is usually cheaper than
         LayeredTermination; set this to run it first (the result is the same,
         only the time distribution changes).
+    jobs:
+        Number of worker processes for the parallel engine.  ``1`` (the
+        default) is the exact single-process path; ``jobs > 1`` fans the
+        independent subproblems of both properties — partition-search
+        strategies, terminal-pattern pairs — over a process pool, with
+        identical verdicts and counterexamples.
+    engine:
+        An existing :class:`repro.engine.scheduler.VerificationEngine` to
+        schedule on (its worker pool is reused and left running); mutually
+        exclusive with ``jobs > 1``, which creates a private engine for the
+        duration of the call.
     """
     start = time.perf_counter()
     strong_consensus: StrongConsensusResult | None = None
 
-    if check_consensus_first:
-        strong_consensus = check_strong_consensus(protocol, theory=theory)
-        layered = check_layered_termination(
-            protocol,
-            strategy=strategy,
-            max_layers=max_layers,
-            theory=theory,
-            materialize_rankings=materialize_rankings,
-        )
-    else:
-        layered = check_layered_termination(
-            protocol,
-            strategy=strategy,
-            max_layers=max_layers,
-            theory=theory,
-            materialize_rankings=materialize_rankings,
-        )
-        if layered.holds:
-            strong_consensus = check_strong_consensus(protocol, theory=theory)
+    if engine is not None and jobs != 1:
+        raise ValueError("pass either jobs>1 or an engine, not both")
+    owned_engine = False
+    if engine is None and jobs > 1:
+        from repro.engine.scheduler import VerificationEngine
+
+        engine = VerificationEngine(jobs=jobs)
+        owned_engine = True
+
+    try:
+        if check_consensus_first:
+            strong_consensus = check_strong_consensus(protocol, theory=theory, engine=engine)
+            layered = check_layered_termination(
+                protocol,
+                strategy=strategy,
+                max_layers=max_layers,
+                theory=theory,
+                materialize_rankings=materialize_rankings,
+                engine=engine,
+            )
+        else:
+            layered = check_layered_termination(
+                protocol,
+                strategy=strategy,
+                max_layers=max_layers,
+                theory=theory,
+                materialize_rankings=materialize_rankings,
+                engine=engine,
+            )
+            if layered.holds:
+                strong_consensus = check_strong_consensus(protocol, theory=theory, engine=engine)
+    finally:
+        if owned_engine:
+            engine.shutdown()
 
     is_member = layered.holds and strong_consensus is not None and strong_consensus.holds
     elapsed = time.perf_counter() - start
@@ -116,6 +144,7 @@ def verify_ws3(
         "refinements": len(strong_consensus.refinements) if strong_consensus else 0,
         "num_states": protocol.num_states,
         "num_transitions": protocol.num_transitions,
+        "jobs": engine.jobs if engine is not None else 1,
     }
     return WS3Result(
         protocol_name=protocol.name,

@@ -1,0 +1,171 @@
+"""Tests for the parallel verification engine (scheduler, worker, envelopes)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.datatypes.multiset import Multiset
+from repro.engine import EngineError, Subproblem, VerificationEngine
+from repro.engine.cache import protocol_content_hash
+from repro.engine.subproblem import (
+    decode_consensus_counterexample,
+    decode_partition,
+    encode_consensus_counterexample,
+    encode_partition,
+)
+from repro.io.serialization import protocol_to_dict
+from repro.protocols.protocol import OrderedPartition, Transition
+from repro.verification.results import RefinementStep, StrongConsensusCounterexample
+
+
+def _consensus_subproblems(protocol, count=None):
+    """All pattern-pair subproblems of a protocol, seeded empty."""
+    from repro.verification.strong_consensus import (
+        consensus_pair_subproblems,
+        terminal_support_patterns,
+    )
+
+    patterns = terminal_support_patterns(protocol)
+    true_patterns = [p for p in patterns if p.admits_output(protocol, 1)]
+    false_patterns = [p for p in patterns if p.admits_output(protocol, 0)]
+    pairs = [(t, f) for t in true_patterns for f in false_patterns]
+    if count is not None:
+        pairs = pairs[:count]
+    return consensus_pair_subproblems(
+        protocol,
+        pairs,
+        [],
+        "auto",
+        10_000,
+        0,
+        protocol_to_dict(protocol),
+        protocol_content_hash(protocol),
+    )
+
+
+class TestEnvelopes:
+    def test_subproblem_rejects_unknown_kind(self, majority_protocol):
+        with pytest.raises(ValueError):
+            Subproblem(kind="nonsense", index=0, protocol_key="k", protocol_data={})
+
+    def test_subproblems_pickle(self, majority_protocol):
+        subproblems = _consensus_subproblems(majority_protocol)
+        assert subproblems, "majority must have at least one pattern pair"
+        for subproblem in subproblems:
+            clone = pickle.loads(pickle.dumps(subproblem))
+            assert clone.kind == subproblem.kind
+            assert clone.protocol_key == subproblem.protocol_key
+            assert clone.params["pattern_true"] == subproblem.params["pattern_true"]
+
+    def test_multiset_pickle_drops_cached_hash(self):
+        multiset = Multiset({"a": 2, ("b", 1): 1})
+        hash(multiset)  # populate the cache
+        clone = pickle.loads(pickle.dumps(multiset))
+        assert clone._hash is None
+        assert clone == multiset
+        assert hash(clone) == hash(multiset)  # same process, same seed
+
+    def test_refinement_steps_pickle(self):
+        step = RefinementStep(kind="trap", states=frozenset({"a", ("b", 2)}), iteration=3)
+        clone = pickle.loads(pickle.dumps(step))
+        assert clone.kind == step.kind
+        assert clone.states == step.states
+
+    def test_counterexample_round_trip(self):
+        transition = Transition.make(("a", "b"), ("b", "b"))
+        counterexample = StrongConsensusCounterexample(
+            initial=Multiset({"a": 3}),
+            terminal_true=Multiset({"b": 3}),
+            terminal_false=Multiset({"a": 1, "b": 2}),
+            flow_true={transition: 2},
+            flow_false={},
+        )
+        clone = decode_consensus_counterexample(
+            encode_consensus_counterexample(counterexample)
+        )
+        assert clone.initial == counterexample.initial
+        assert clone.terminal_true == counterexample.terminal_true
+        assert clone.terminal_false == counterexample.terminal_false
+        assert clone.flow_true == counterexample.flow_true
+        assert clone.flow_false == counterexample.flow_false
+
+    def test_partition_round_trip(self):
+        first = Transition.make(("a", "b"), ("b", "b"))
+        second = Transition.make(("b", "c"), ("c", "c"))
+        partition = OrderedPartition.of([first], [second])
+        clone = decode_partition(encode_partition(partition))
+        assert clone == partition
+
+
+class TestSchedulerSerial:
+    """jobs=1 solves everything inline: no pool, no pickling."""
+
+    def test_inline_results_in_input_order(self, majority_protocol):
+        engine = VerificationEngine(jobs=1)
+        subproblems = _consensus_subproblems(majority_protocol)
+        results = engine.run_wave(subproblems)
+        assert [r.index for r in results] == [s.index for s in subproblems]
+        assert all(r.verdict in ("unsat", "sat", "pruned") for r in results)
+
+    def test_inline_stop_on_skips_the_rest(self, majority_protocol):
+        engine = VerificationEngine(jobs=1)
+        subproblems = _consensus_subproblems(majority_protocol) * 3
+        results = engine.run_wave(subproblems, stop_on=lambda result: True)
+        assert results[0] is not None
+        assert all(result is None for result in results[1:])
+        assert engine.statistics["cancelled"] == len(subproblems) - 1
+
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ValueError):
+            VerificationEngine(jobs=0)
+
+
+class TestSchedulerParallel:
+    def test_pool_results_in_input_order(self, majority_protocol):
+        with VerificationEngine(jobs=2) as engine:
+            subproblems = _consensus_subproblems(majority_protocol)
+            results = engine.run_wave(subproblems)
+        assert [r.index for r in results] == [s.index for s in subproblems]
+
+    def test_poisoned_worker_raises_clean_error(self):
+        """A worker dying mid-subproblem is an EngineError, not a hang."""
+        with VerificationEngine(jobs=2, wave_timeout=60) as engine:
+            poison = Subproblem(kind="poison", index=0, protocol_key="k", protocol_data={})
+            with pytest.raises(EngineError, match="worker process died"):
+                engine.run_wave([poison])
+
+    def test_engine_usable_again_after_worker_death(self, majority_protocol):
+        with VerificationEngine(jobs=2, wave_timeout=60) as engine:
+            poison = Subproblem(kind="poison", index=0, protocol_key="k", protocol_data={})
+            with pytest.raises(EngineError):
+                engine.run_wave([poison])
+            results = engine.run_wave(_consensus_subproblems(majority_protocol, count=1))
+            assert results[0] is not None
+
+    def test_worker_exception_propagates(self):
+        with VerificationEngine(jobs=2, wave_timeout=60) as engine:
+            bad = Subproblem(
+                kind="poison", index=0, protocol_key="k", protocol_data={}, params={"mode": "raise"}
+            )
+            with pytest.raises(RuntimeError, match="poisoned subproblem"):
+                engine.run_wave([bad])
+
+    def test_failed_peer_does_not_mask_a_decisive_result(self, majority_protocol):
+        """A peer that fails past the stopping point must not hide the verdict.
+
+        The serial order would never have solved the failing subproblem (it
+        sits after the decisive one), so its error is dropped, exactly like
+        a cancelled sibling.
+        """
+        decisive = _consensus_subproblems(majority_protocol, count=1)[0]
+        bad = Subproblem(
+            kind="poison", index=1, protocol_key="k", protocol_data={}, params={"mode": "raise"}
+        )
+        with VerificationEngine(jobs=2, wave_timeout=60) as engine:
+            results = engine.run_wave([decisive, bad], stop_on=lambda result: True)
+            assert results[0] is not None
+            assert results[1] is None
+            dropped = engine.statistics["cancelled"] + engine.statistics["failed_after_stop"]
+            assert dropped == 1

@@ -1,0 +1,61 @@
+"""Tests for the batch front end (verify_many + result cache integration)."""
+
+from __future__ import annotations
+
+from repro.engine import ResultCache, verify_many
+from repro.protocols.library import (
+    broadcast_protocol,
+    coin_flip_protocol,
+    majority_protocol,
+)
+
+
+class TestVerifyMany:
+    def test_serial_batch_verdicts(self):
+        batch = verify_many([majority_protocol(), coin_flip_protocol()])
+        assert [item.is_ws3 for item in batch] == [True, False]
+        assert batch.statistics["verified"] == 2
+        assert not batch.all_ws3
+
+    def test_parallel_batch_matches_serial(self):
+        protocols = [majority_protocol(), broadcast_protocol(), coin_flip_protocol()]
+        serial = verify_many(protocols)
+        parallel = verify_many([p for p in protocols], jobs=3)
+        assert [item.is_ws3 for item in parallel] == [item.is_ws3 for item in serial]
+        assert [item.protocol_hash for item in parallel] == [
+            item.protocol_hash for item in serial
+        ]
+        for serial_item, parallel_item in zip(serial, parallel):
+            serial_sc = serial_item.summary["strong_consensus"]
+            parallel_sc = parallel_item.summary["strong_consensus"]
+            assert (serial_sc is None) == (parallel_sc is None)
+            if serial_sc is not None:
+                assert parallel_sc["holds"] == serial_sc["holds"]
+                assert parallel_sc["counterexample"] == serial_sc["counterexample"]
+
+    def test_second_run_is_served_from_cache(self, tmp_path):
+        protocols = [majority_protocol(), broadcast_protocol()]
+        cold = verify_many(protocols, cache_dir=tmp_path)
+        assert cold.statistics["cache"] == {"hits": 0, "misses": 2, "stores": 2}
+        assert not any(item.from_cache for item in cold)
+
+        warm = verify_many(protocols, cache_dir=tmp_path)
+        assert warm.statistics["cache"]["hits"] == 2
+        assert warm.statistics["verified"] == 0
+        assert all(item.from_cache for item in warm)
+        assert [item.summary for item in warm] == [item.summary for item in cold]
+        # the warm run does no solving, so it is effectively instant
+        assert warm.statistics["time"] < 0.5
+
+    def test_duplicate_protocols_verified_once(self):
+        batch = verify_many([broadcast_protocol(), broadcast_protocol()])
+        assert batch.statistics["verified"] == 1
+        assert batch.statistics["duplicates"] == 1
+        assert batch.items[0].summary == batch.items[1].summary
+
+    def test_shared_cache_object(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        verify_many([broadcast_protocol()], cache=cache)
+        batch = verify_many([broadcast_protocol()], cache=cache)
+        assert cache.statistics["hits"] == 1
+        assert batch.items[0].from_cache

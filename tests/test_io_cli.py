@@ -87,3 +87,63 @@ class TestCLI:
     def test_unknown_family_rejected(self):
         with pytest.raises(SystemExit):
             main(["family", "does-not-exist"])
+
+    def test_verify_family_with_jobs(self, capsys):
+        exit_code = main(["family", "broadcast", "--jobs", "2", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["is_ws3"] is True
+
+
+class TestBatchCLI:
+    def test_batch_mixed_specs_and_exit_code(self, tmp_path, capsys, majority_protocol):
+        path = tmp_path / "majority.json"
+        path.write_text(protocol_to_json(majority_protocol), encoding="utf-8")
+        exit_code = main(
+            ["batch", "broadcast", str(path), "--cache-dir", str(tmp_path / "cache")]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "broadcast" in output
+        assert "2 verified, 0 cache hit(s)" in output
+
+    def test_batch_second_run_is_served_from_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["batch", "broadcast", "majority", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["batch", "broadcast", "majority", "--cache-dir", cache_dir]) == 0
+        output = capsys.readouterr().out
+        assert "0 verified, 2 cache hit(s)" in output
+        assert output.count("[cache]") == 2
+
+    def test_batch_json_output_with_jobs(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "batch",
+                "broadcast",
+                "--jobs",
+                "2",
+                "--json",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["statistics"]["jobs"] == 2
+        assert payload["protocols"][0]["is_ws3"] is True
+        assert len(payload["protocols"][0]["hash"]) == 64
+
+    def test_batch_failing_protocol_sets_exit_code(self, tmp_path, capsys):
+        from repro.protocols.library import coin_flip_protocol
+
+        path = tmp_path / "coin.json"
+        path.write_text(protocol_to_json(coin_flip_protocol()), encoding="utf-8")
+        exit_code = main(["batch", "broadcast", str(path), "--no-cache"])
+        output = capsys.readouterr().out
+        assert exit_code == 1
+        assert "NOT PROVEN" in output
+
+    def test_batch_unknown_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["batch", "no-such-family-or-file", "--no-cache"])
