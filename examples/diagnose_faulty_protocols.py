@@ -5,8 +5,9 @@ protocol fails verification — as future work.  The verifier already produces
 useful diagnostic artefacts: a counterexample to StrongConsensus is a pair of
 potentially-reachable terminal configurations with contradicting outputs, and
 a LayeredTermination failure names the non-terminating layer.  This example
-runs the verifier on two deliberately broken protocols and prints what it
-finds.
+runs one :class:`repro.api.Verifier` session over three deliberately broken
+protocols and prints what the reports say (including the explicit-state
+baseline, which is just another pluggable property of the session API).
 
 Run with::
 
@@ -15,52 +16,55 @@ Run with::
 
 from __future__ import annotations
 
+from repro.api import Verifier
 from repro.protocols.library import (
     coin_flip_protocol,
     exclusive_majority_protocol,
     majority_protocol,
     oscillating_majority_protocol,
 )
-from repro.verification.correctness import check_correctness
-from repro.verification.explicit import verify_single_input
-from repro.verification.ws3 import verify_ws3
 
 
 def main() -> None:
-    print("=== coin-flip: not well-specified ===")
-    coin_flip = coin_flip_protocol()
-    result = verify_ws3(coin_flip, check_consensus_first=True)
-    print(result.summary())
-    counterexample = result.strong_consensus.counterexample
-    print(f"diagnosis: {counterexample.describe()}")
-    explicit = verify_single_input(coin_flip, {"x": 2})
-    print(f"confirmed by explicit model checking: {explicit.reason}")
-    print()
+    with Verifier(check_consensus_first=True, explicit_max_size=3) as verifier:
+        print("=== coin-flip: not well-specified ===")
+        report = verifier.check(coin_flip_protocol(), properties=["ws3", "explicit"])
+        print(report.summary())
+        counterexample = report.result_for("strong_consensus").counterexample
+        print(f"diagnosis: {counterexample.describe()}")
+        explicit = report.result_for("explicit")
+        broken_input = next(
+            entry for entry in explicit.details["inputs"] if not entry["well_specified"]
+        )
+        print(f"confirmed by explicit model checking: {broken_input['reason']}")
+        print()
 
-    print("=== oscillating majority: well-specified but not silent ===")
-    oscillating = oscillating_majority_protocol()
-    result = verify_ws3(oscillating)
-    print(result.summary())
-    print(
-        "diagnosis: no ordered partition exists because two agents can swap between "
-        "b and b' forever; the protocol is outside WS2/WS3 even though each input stabilises."
-    )
-    explicit = verify_single_input(oscillating, {"A": 1, "B": 2})
-    print(f"explicit check of one input: well specified={explicit.well_specified}, output={explicit.output}")
-    print()
+        print("=== oscillating majority: well-specified but not silent ===")
+        report = verifier.check(oscillating_majority_protocol(), properties=["ws3", "explicit"])
+        print(report.summary())
+        print(
+            "diagnosis: no ordered partition exists because two agents can swap between "
+            "b and b' forever; the protocol is outside WS2/WS3 even though each input stabilises."
+        )
+        explicit = report.result_for("explicit")
+        print(
+            "explicit check of small inputs: all well specified = "
+            f"{all(entry['well_specified'] for entry in explicit.details['inputs'])}"
+        )
+        print()
 
-    print("=== strict majority: in WS3 but computes a different predicate ===")
-    strict = exclusive_majority_protocol()
-    result = verify_ws3(strict)
-    print(result.summary())
-    wrong_predicate = majority_protocol().metadata["predicate"]  # "#B >= #A"
-    correctness = check_correctness(strict, wrong_predicate)
-    print(f"does it compute {wrong_predicate.describe()}?  {correctness.holds}")
-    if correctness.counterexample is not None:
-        print(f"diagnosis: {correctness.counterexample.describe()}")
-    right_predicate = strict.metadata["predicate"]
-    correctness = check_correctness(strict, right_predicate)
-    print(f"does it compute {right_predicate.describe()}?  {correctness.holds}")
+        print("=== strict majority: in WS3 but computes a different predicate ===")
+        strict = exclusive_majority_protocol()
+        wrong_predicate = majority_protocol().metadata["predicate"]  # "#B >= #A"
+        report = verifier.check(strict, properties=["ws3", "correctness"], predicate=wrong_predicate)
+        print(report.summary())
+        correctness = report.result_for("correctness")
+        print(f"does it compute {wrong_predicate.describe()}?  {correctness.holds}")
+        if correctness.counterexample is not None:
+            print(f"diagnosis: {correctness.counterexample.describe()}")
+        report = verifier.check(strict, properties=["correctness"])  # documented predicate
+        right_predicate = strict.metadata["predicate"]
+        print(f"does it compute {right_predicate.describe()}?  {report.holds('correctness')}")
 
 
 if __name__ == "__main__":

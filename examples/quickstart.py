@@ -5,8 +5,9 @@ protocol of Angluin et al.  We
 
 1. build the protocol from scratch with the public API,
 2. prove that it belongs to WS³ — and is therefore well-specified for every
-   one of its infinitely many inputs — with the constraint-based verifier,
-3. check that it computes the documented predicate ``#B >= #A``,
+   one of its infinitely many inputs — and that it computes the documented
+   predicate ``#B >= #A``, in a single :class:`repro.api.Verifier` session,
+3. serialise the verification report to JSON and back, losslessly,
 4. simulate a few populations and compare with the predicate.
 
 Run with::
@@ -17,9 +18,8 @@ Run with::
 from __future__ import annotations
 
 from repro import PopulationProtocol, Simulator, Transition
+from repro.api import VerificationReport, Verifier
 from repro.presburger.predicates import ThresholdPredicate
-from repro.verification.correctness import check_correctness
-from repro.verification.ws3 import verify_ws3
 
 
 def build_majority() -> PopulationProtocol:
@@ -44,16 +44,26 @@ def main() -> None:
     print(protocol.describe())
     print()
 
-    # --- 1. Prove well-specification for ALL inputs (WS3 membership).
-    result = verify_ws3(protocol)
-    print(result.summary())
+    # --- 1. One Verifier session checks WS3 membership (well-specification
+    # for ALL inputs) and correctness of "#B >= #A" in a single call.
+    predicate = ThresholdPredicate({"A": 1, "B": -1}, 1)
+    with Verifier() as verifier:
+        report = verifier.check(protocol, properties=["ws3", "correctness"], predicate=predicate)
+    print(report.summary())
+    verdict = "computes" if report.holds("correctness") else "does NOT compute"
+    print(f"The protocol {verdict} the predicate {predicate.describe()}.")
     print()
 
-    # --- 2. Check the protocol computes "#B >= #A" (equivalently #A - #B < 1).
-    predicate = ThresholdPredicate({"A": 1, "B": -1}, 1)
-    correctness = check_correctness(protocol, predicate)
-    verdict = "computes" if correctness.holds else "does NOT compute"
-    print(f"The protocol {verdict} the predicate {predicate.describe()}.")
+    # --- 2. The report round-trips losslessly through JSON: certificates,
+    # counterexamples and refinement trails survive serialisation.
+    payload = report.to_json()
+    clone = VerificationReport.from_json(payload)
+    assert clone == report
+    certificate = clone.result_for("layered_termination").certificate
+    print(
+        f"report JSON: {len(payload)} bytes; decoded certificate has "
+        f"{certificate.num_layers} layer(s) (strategy {certificate.strategy})"
+    )
     print()
 
     # --- 3. Simulate a few populations.

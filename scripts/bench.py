@@ -4,8 +4,10 @@
 Writes ``BENCH_<n>.json`` (next free ``n``) in the repository root with one
 entry per benchmark instance: protocol name, |Q|, |T|, the verification
 verdict, wall-clock time, and the constraint-solver statistics (theory
-checks, cache hits/misses, CEGAR refinements).  Successive PRs can diff
-these snapshots to track the performance trajectory.
+checks, cache hits/misses, CEGAR refinements).  The snapshot also records
+the selected properties and the full verification-options snapshot, so two
+snapshots can only be compared apples-to-apples.  Successive PRs diff these
+snapshots to track the performance trajectory.
 
 Usage::
 
@@ -34,6 +36,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.api import VerificationOptions, Verifier  # noqa: E402
 from repro.protocols.library import (  # noqa: E402
     broadcast_protocol,
     flock_of_birds_protocol,
@@ -42,7 +45,9 @@ from repro.protocols.library import (  # noqa: E402
     remainder_protocol,
     threshold_table_protocol,
 )
-from repro.verification.ws3 import verify_ws3  # noqa: E402
+
+#: The property set every benchmark instance is checked against.
+PROPERTIES = ("ws3",)
 
 
 def benchmark_suite(large: bool):
@@ -67,80 +72,66 @@ def benchmark_suite(large: bool):
     return rows
 
 
-def run_instance(family: str, parameter: str, factory, jobs: int = 1, cache=None) -> dict:
-    protocol = factory()
-    if cache is not None:
-        from repro.engine import ENGINE_VERSION, ResultCache, protocol_content_hash
-        from repro.engine.batch import ws3_cache_options
-
-        key = ResultCache.entry_key(
-            protocol_content_hash(protocol), ENGINE_VERSION, ws3_cache_options()
-        )
-        start = time.perf_counter()
-        cached = cache.get(key)
-        if cached is not None:
-            # Mirror the schema of freshly-verified entries (keys and block
-            # shapes) so cold and warm snapshots diff cleanly; timings and
-            # solver counters are not cached, so those fields are null.
-            layered = cached.get("layered_termination") or {}
-            entry = {
-                "family": family,
-                "parameter": parameter,
-                "protocol": protocol.name,
-                "num_states": protocol.num_states,
-                "num_transitions": protocol.num_transitions,
-                "is_ws3": cached["is_ws3"],
-                "from_cache": True,
-                "wall_clock_seconds": round(time.perf_counter() - start, 4),
-                "layered_termination": {
-                    "holds": layered.get("holds"),
-                    "strategy": layered.get("strategy"),
-                    "time": None,
-                },
-            }
-            strong = cached.get("strong_consensus")
-            if strong is not None:
-                entry["strong_consensus"] = {
-                    "holds": strong.get("holds"),
-                    "iterations": None,
-                    "pattern_pairs": None,
-                    "refinements": strong.get("refinements"),
-                    "time": None,
-                    "solver": {},
-                }
-            return entry
-    start = time.perf_counter()
-    result = verify_ws3(protocol, jobs=jobs)
-    elapsed = time.perf_counter() - start
-    if cache is not None:
-        from repro.engine.batch import ws3_result_to_dict
-
-        cache.put(key, ws3_result_to_dict(result))
-    strong = result.strong_consensus
+def _entry_from_report(family: str, parameter: str, protocol, report, elapsed: float, from_cache: bool) -> dict:
+    layered = report.result_for("layered_termination")
+    strong = report.result_for("strong_consensus")
     entry = {
         "family": family,
         "parameter": parameter,
         "protocol": protocol.name,
         "num_states": protocol.num_states,
         "num_transitions": protocol.num_transitions,
-        "is_ws3": result.is_ws3,
+        "is_ws3": report.is_ws3,
         "wall_clock_seconds": round(elapsed, 4),
         "layered_termination": {
-            "holds": result.layered_termination.holds,
-            "strategy": result.layered_termination.statistics.get("strategy"),
-            "time": result.layered_termination.statistics.get("time"),
+            "holds": layered.holds if layered is not None else None,
+            "strategy": (layered.statistics.get("strategy") if layered is not None else None),
+            "time": (None if from_cache else layered.statistics.get("time")) if layered is not None else None,
         },
     }
-    if strong is not None:
+    if from_cache:
+        entry["from_cache"] = True
+    if strong is not None and strong.verdict.value != "skipped":
         entry["strong_consensus"] = {
             "holds": strong.holds,
-            "iterations": strong.statistics.get("iterations"),
-            "pattern_pairs": strong.statistics.get("pattern_pairs"),
+            "iterations": None if from_cache else strong.statistics.get("iterations"),
+            "pattern_pairs": None if from_cache else strong.statistics.get("pattern_pairs"),
             "refinements": len(strong.refinements),
-            "time": strong.statistics.get("time"),
-            "solver": strong.statistics.get("solver", {}),
+            "time": None if from_cache else strong.statistics.get("time"),
+            "solver": {} if from_cache else strong.statistics.get("solver", {}),
         }
     return entry
+
+
+def run_instance(family: str, parameter: str, factory, verifier: Verifier, cache=None) -> dict:
+    protocol = factory()
+    if cache is not None:
+        from repro.engine import ENGINE_VERSION, ResultCache, protocol_content_hash
+        from repro.engine.batch import batch_cache_options
+
+        key = ResultCache.entry_key(
+            protocol_content_hash(protocol),
+            ENGINE_VERSION,
+            batch_cache_options(PROPERTIES, verifier.options),
+        )
+        start = time.perf_counter()
+        cached = cache.get(key)
+        if cached is not None:
+            from repro.api import VerificationReport
+
+            # Timings and solver counters are not meaningful for a cache
+            # hit, so those fields are nulled; the verdict block shapes are
+            # kept so cold and warm snapshots diff cleanly.
+            report = VerificationReport.from_dict(cached)
+            return _entry_from_report(
+                family, parameter, protocol, report, time.perf_counter() - start, from_cache=True
+            )
+    start = time.perf_counter()
+    report = verifier.check(protocol, properties=PROPERTIES)
+    elapsed = time.perf_counter() - start
+    if cache is not None:
+        cache.put(key, report.to_dict())
+    return _entry_from_report(family, parameter, protocol, report, elapsed, from_cache=False)
 
 
 def next_output_path() -> Path:
@@ -176,17 +167,19 @@ def main(argv: list[str] | None = None) -> int:
 
         cache = ResultCache(args.cache_dir)
 
+    options = VerificationOptions(jobs=args.jobs)
     entries = []
-    for family, parameter, factory in benchmark_suite(args.large):
-        print(f"running {family} {parameter} ...", flush=True)
-        entry = run_instance(family, parameter, factory, jobs=args.jobs, cache=cache)
-        print(
-            f"  |Q|={entry['num_states']} |T|={entry['num_transitions']} "
-            f"ws3={entry['is_ws3']} time={entry['wall_clock_seconds']}s"
-            + (" [cache]" if entry.get("from_cache") else ""),
-            flush=True,
-        )
-        entries.append(entry)
+    with Verifier(options) as verifier:
+        for family, parameter, factory in benchmark_suite(args.large):
+            print(f"running {family} {parameter} ...", flush=True)
+            entry = run_instance(family, parameter, factory, verifier, cache=cache)
+            print(
+                f"  |Q|={entry['num_states']} |T|={entry['num_transitions']} "
+                f"ws3={entry['is_ws3']} time={entry['wall_clock_seconds']}s"
+                + (" [cache]" if entry.get("from_cache") else ""),
+                flush=True,
+            )
+            entries.append(entry)
 
     snapshot = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -195,6 +188,8 @@ def main(argv: list[str] | None = None) -> int:
         "large": args.large,
         "jobs": args.jobs,
         "cpu_count": os.cpu_count(),
+        "properties": list(PROPERTIES),
+        "options": options.to_dict(),
         "engine_cache": dict(cache.statistics) if cache is not None else None,
         "total_seconds": round(sum(entry["wall_clock_seconds"] for entry in entries), 4),
         "benchmarks": entries,

@@ -40,12 +40,20 @@ __all__ = [
     "SimulationResult",
     "Simulator",
     "simulate",
+    "Verifier",
+    "VerificationOptions",
+    "VerificationReport",
+    "Verdict",
     "__version__",
 ]
 
 
 def __getattr__(name):
     """Lazily expose the higher-level subsystems without import cycles."""
+    if name in ("Verifier", "VerificationOptions", "VerificationReport", "Verdict"):
+        import repro.api as api
+
+        return getattr(api, name)
     if name == "verify_ws3":
         from repro.verification.ws3 import verify_ws3
 

@@ -1,0 +1,127 @@
+"""One validated place for every knob of a verification session.
+
+Before this module existed, solver/strategy/engine configuration was
+threaded as loose keyword arguments through five separate entry points.
+:class:`VerificationOptions` gathers all of it: a frozen, hashable
+dataclass validated at construction, with a lossless ``to_dict`` /
+``from_dict`` pair (used to ship options to worker processes and to stamp
+the options snapshot into every report) and a ``cache_snapshot`` that
+names exactly the fields allowed to key cached verdicts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+#: Partition-search strategies for LayeredTermination.
+STRATEGIES = ("auto", "hint", "single", "scc", "smt")
+#: Constraint-solver theory backends.
+THEORIES = ("auto", "scipy", "exact")
+#: StrongConsensus solving strategies.
+CONSENSUS_STRATEGIES = ("auto", "patterns", "monolithic")
+
+
+@dataclass(frozen=True)
+class VerificationOptions:
+    """Configuration of a :class:`~repro.api.verifier.Verifier` session.
+
+    Parameters
+    ----------
+    strategy:
+        Partition-search strategy for LayeredTermination.
+    theory:
+        Constraint-solver backend (``"auto"``, ``"scipy"``, ``"exact"``).
+    max_layers:
+        Layer bound of the exact SMT partition search (``None`` = default).
+    materialize_rankings:
+        Materialise per-layer ranking functions in LT certificates.
+    check_consensus_first:
+        Run StrongConsensus before LayeredTermination in the WS³ check.
+    consensus_strategy:
+        ``"auto"``, ``"patterns"`` or ``"monolithic"`` for StrongConsensus.
+    max_refinements:
+        Bound on CEGAR trap/siphon refinement iterations.
+    max_pattern_pairs:
+        Pattern-pair budget above which ``"auto"`` falls back to the
+        monolithic StrongConsensus encoding.
+    explicit_max_size:
+        Input-population bound of the ``"explicit"`` property (the
+        explicit-state baseline sweeps all inputs up to this size).
+    explicit_max_configurations:
+        Reachability-graph size bound of the explicit-state baseline.
+    jobs:
+        Worker processes for the parallel engine (1 = serial).
+    cache_dir:
+        Directory of the content-addressed result cache used by
+        ``check_many`` (``None`` disables caching).
+    """
+
+    strategy: str = "auto"
+    theory: str = "auto"
+    max_layers: int | None = None
+    materialize_rankings: bool = False
+    check_consensus_first: bool = False
+    consensus_strategy: str = "auto"
+    max_refinements: int = 10_000
+    max_pattern_pairs: int = 250_000
+    explicit_max_size: int = 4
+    explicit_max_configurations: int = 200_000
+    jobs: int = 1
+    cache_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise ValueError(f"strategy must be one of {STRATEGIES}, got {self.strategy!r}")
+        if self.theory not in THEORIES:
+            raise ValueError(f"theory must be one of {THEORIES}, got {self.theory!r}")
+        if self.consensus_strategy not in CONSENSUS_STRATEGIES:
+            raise ValueError(
+                f"consensus_strategy must be one of {CONSENSUS_STRATEGIES}, "
+                f"got {self.consensus_strategy!r}"
+            )
+        if self.max_layers is not None and self.max_layers < 1:
+            raise ValueError(f"max_layers must be >= 1 or None, got {self.max_layers}")
+        if self.max_refinements < 1:
+            raise ValueError(f"max_refinements must be >= 1, got {self.max_refinements}")
+        if self.max_pattern_pairs < 1:
+            raise ValueError(f"max_pattern_pairs must be >= 1, got {self.max_pattern_pairs}")
+        if self.explicit_max_size < 2:
+            raise ValueError(f"explicit_max_size must be >= 2, got {self.explicit_max_size}")
+        if self.explicit_max_configurations < 1:
+            raise ValueError(
+                f"explicit_max_configurations must be >= 1, got {self.explicit_max_configurations}"
+            )
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.cache_dir is not None:
+            object.__setattr__(self, "cache_dir", str(self.cache_dir))
+
+    def replace(self, **overrides) -> "VerificationOptions":
+        """A copy with the given fields replaced (and re-validated)."""
+        return dataclasses.replace(self, **overrides)
+
+    def to_dict(self) -> dict:
+        """Lossless plain-dictionary form (JSON-clean)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VerificationOptions":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown verification options: {sorted(unknown)}")
+        return cls(**data)
+
+    def cache_snapshot(self) -> dict:
+        """The fields that may affect verdicts or artifacts.
+
+        Execution-only knobs — worker count, cache location — are excluded:
+        a serial and a parallel run of the same check must share cache
+        entries (their verdicts and counterexamples are identical).
+        """
+        snapshot = self.to_dict()
+        snapshot.pop("jobs")
+        snapshot.pop("cache_dir")
+        return snapshot

@@ -1,0 +1,305 @@
+"""Unified, lossless verification reports.
+
+Every check run through the :class:`~repro.api.verifier.Verifier` produces a
+:class:`VerificationReport`: one :class:`PropertyResult` per requested
+property, each carrying a :class:`Verdict` plus the full evidence — layered
+termination certificates (including rational ranking weights),
+StrongConsensus/correctness counterexamples (configurations and transition
+flows), the trap/siphon refinement trail and the solver statistics.
+
+Reports round-trip **losslessly** through ``to_dict``/``from_dict`` and
+``to_json``/``from_json``: artifacts are serialised with the shared codecs
+of :mod:`repro.io.serialization`, and a decoded report compares equal to the
+one that was encoded.  The same dictionaries are what the result cache
+stores and what ``repro-verify --json`` prints.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.io.serialization import (
+    certificate_from_dict,
+    certificate_to_dict,
+    counterexample_from_dict,
+    counterexample_to_dict,
+    refinement_step_from_dict,
+    refinement_step_to_dict,
+)
+
+#: Version tag of the report wire format; bumped on schema changes.
+REPORT_SCHEMA = "repro-verification-report/1"
+
+
+class Verdict(str, Enum):
+    """Outcome of checking one property."""
+
+    HOLDS = "holds"
+    FAILS = "fails"
+    SKIPPED = "skipped"
+
+    @property
+    def holds(self) -> bool:
+        return self is Verdict.HOLDS
+
+    def __str__(self) -> str:  # pragma: no cover - display convenience
+        return self.value
+
+
+def _jsonable(value):
+    """Deep-copy a value into JSON-clean form (keys stringified, tuples listed).
+
+    Applied to statistics and detail payloads when a result is constructed,
+    so the in-memory object already equals its JSON round-trip.
+    """
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    return repr(value)
+
+
+@dataclass
+class PropertyResult:
+    """Verdict and evidence for one property of one protocol.
+
+    ``certificate`` is a positive witness (currently: a
+    :class:`~repro.verification.results.LayeredTerminationCertificate`);
+    ``counterexample`` a negative one (StrongConsensus or correctness);
+    ``refinements`` the trap/siphon CEGAR trail; ``parts`` the sub-results
+    of composite properties (WS³ = layered termination + strong consensus);
+    ``details`` a JSON-clean property-specific payload (e.g. the per-input
+    verdicts of the explicit-state baseline).
+    """
+
+    property: str
+    verdict: Verdict
+    reason: str = ""
+    certificate: object | None = None
+    counterexample: object | None = None
+    refinements: list = field(default_factory=list)
+    parts: list["PropertyResult"] = field(default_factory=list)
+    details: dict = field(default_factory=dict)
+    statistics: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.verdict = Verdict(self.verdict)
+        self.details = _jsonable(self.details)
+        self.statistics = _jsonable(self.statistics)
+
+    @property
+    def holds(self) -> bool:
+        return self.verdict.holds
+
+    def part(self, name: str) -> "PropertyResult | None":
+        """The sub-result for a property name, searched recursively."""
+        for candidate in self.parts:
+            if candidate.property == name:
+                return candidate
+            nested = candidate.part(name)
+            if nested is not None:
+                return nested
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "property": self.property,
+            "verdict": self.verdict.value,
+            "reason": self.reason,
+            "certificate": (
+                certificate_to_dict(self.certificate) if self.certificate is not None else None
+            ),
+            "counterexample": (
+                counterexample_to_dict(self.counterexample)
+                if self.counterexample is not None
+                else None
+            ),
+            "refinements": [refinement_step_to_dict(step) for step in self.refinements],
+            "parts": [part.to_dict() for part in self.parts],
+            "details": self.details,
+            "statistics": self.statistics,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PropertyResult":
+        return cls(
+            property=data["property"],
+            verdict=Verdict(data["verdict"]),
+            reason=data.get("reason", ""),
+            certificate=(
+                certificate_from_dict(data["certificate"])
+                if data.get("certificate") is not None
+                else None
+            ),
+            counterexample=(
+                counterexample_from_dict(data["counterexample"])
+                if data.get("counterexample") is not None
+                else None
+            ),
+            refinements=[refinement_step_from_dict(step) for step in data.get("refinements", [])],
+            parts=[cls.from_dict(part) for part in data.get("parts", [])],
+            details=data.get("details", {}),
+            statistics=data.get("statistics", {}),
+        )
+
+    # -- display -----------------------------------------------------------
+
+    def describe(self, indent: str = "  ") -> list[str]:
+        """Human-readable lines for :meth:`VerificationReport.summary`."""
+        lines: list[str] = []
+        if self.property == "ws3":
+            lines.append(f"{indent}WS3 membership: {_verdict_word(self.verdict)}")
+        elif self.property == "layered_termination":
+            detail = ""
+            if self.certificate is not None:
+                detail = (
+                    f" ({self.certificate.num_layers} layer(s), "
+                    f"strategy {self.certificate.strategy})"
+                )
+            elif self.reason:
+                detail = f" ({self.reason})"
+            word = "holds" if self.holds else ("skipped" if self.verdict is Verdict.SKIPPED else "not established")
+            lines.append(f"{indent}LayeredTermination: {word}{detail}")
+        elif self.property == "strong_consensus":
+            if self.verdict is Verdict.SKIPPED:
+                lines.append(f"{indent}StrongConsensus: skipped")
+            else:
+                lines.append(
+                    f"{indent}StrongConsensus: {'holds' if self.holds else 'fails'}"
+                    f" ({len(self.refinements)} trap/siphon refinement(s))"
+                )
+        elif self.property == "correctness":
+            predicate = self.details.get("predicate")
+            suffix = f" of {predicate}" if predicate else ""
+            if self.verdict is Verdict.SKIPPED:
+                lines.append(f"{indent}Correctness: skipped ({self.reason})")
+            else:
+                lines.append(f"{indent}Correctness{suffix}: {'holds' if self.holds else 'fails'}")
+        else:
+            lines.append(
+                f"{indent}{self.property}: {_verdict_word(self.verdict)}"
+                + (f" ({self.reason})" if self.reason else "")
+            )
+        if self.counterexample is not None:
+            lines.append(f"{indent}  counterexample: {self.counterexample.describe()}")
+        for part in self.parts:
+            lines.extend(part.describe(indent + "  "))
+        return lines
+
+
+def _verdict_word(verdict: Verdict) -> str:
+    return {"holds": "YES", "fails": "NOT PROVEN", "skipped": "skipped"}[verdict.value]
+
+
+@dataclass
+class VerificationReport:
+    """The complete, serialisable outcome of one ``Verifier.check`` call."""
+
+    protocol_name: str
+    protocol_hash: str
+    properties: list[PropertyResult]
+    options: dict = field(default_factory=dict)
+    statistics: dict = field(default_factory=dict)
+    schema: str = REPORT_SCHEMA
+
+    def __post_init__(self) -> None:
+        self.options = _jsonable(self.options)
+        self.statistics = _jsonable(self.statistics)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        """True iff no requested property failed (skipped ones are fine)."""
+        return all(result.verdict is not Verdict.FAILS for result in self.properties)
+
+    @property
+    def is_ws3(self) -> bool:
+        """Convenience: did the WS³ membership check succeed?"""
+        result = self.result_for("ws3")
+        return result is not None and result.holds
+
+    def result_for(self, name: str) -> PropertyResult | None:
+        """The result for a property, searching composite parts too."""
+        for result in self.properties:
+            if result.property == name:
+                return result
+        for result in self.properties:
+            nested = result.part(name)
+            if nested is not None:
+                return nested
+        return None
+
+    def holds(self, name: str) -> bool:
+        result = self.result_for(name)
+        return result is not None and result.holds
+
+    def verdict_of(self, name: str) -> Verdict | None:
+        result = self.result_for(name)
+        return result.verdict if result is not None else None
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "protocol": self.protocol_name,
+            "protocol_hash": self.protocol_hash,
+            "options": self.options,
+            "properties": [result.to_dict() for result in self.properties],
+            "statistics": self.statistics,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VerificationReport":
+        schema = data.get("schema", REPORT_SCHEMA)
+        if schema != REPORT_SCHEMA:
+            raise ValueError(f"unsupported report schema {schema!r} (expected {REPORT_SCHEMA!r})")
+        return cls(
+            protocol_name=data["protocol"],
+            protocol_hash=data["protocol_hash"],
+            properties=[PropertyResult.from_dict(entry) for entry in data["properties"]],
+            options=data.get("options", {}),
+            statistics=data.get("statistics", {}),
+            schema=schema,
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "VerificationReport":
+        return cls.from_dict(json.loads(text))
+
+    # -- display -----------------------------------------------------------
+
+    def summary(self) -> str:
+        """Multi-line human-readable rendering (the CLI's text output)."""
+        ws3 = self.result_for("ws3")
+        if ws3 is not None and any(r.property == "ws3" for r in self.properties):
+            header = (
+                f"WS3 membership check for {self.protocol_name}: "
+                f"{_verdict_word(ws3.verdict)}"
+            )
+        else:
+            header = (
+                f"Verification report for {self.protocol_name}: "
+                f"{'OK' if self.ok else 'FAILED'}"
+            )
+        lines = [header]
+        for result in self.properties:
+            if result.property == "ws3":
+                for part in result.parts:
+                    lines.extend(part.describe())
+            else:
+                lines.extend(result.describe())
+        time_seconds = self.statistics.get("time")
+        if time_seconds is not None:
+            lines.append(f"  total time: {time_seconds:.3f}s")
+        return "\n".join(lines)

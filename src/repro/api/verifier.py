@@ -1,0 +1,194 @@
+"""The unified verification session object.
+
+One :class:`Verifier` owns one :class:`~repro.api.options.VerificationOptions`
+bundle, one (lazily created, reused) parallel engine and one result cache,
+and exposes the whole pipeline of the paper through two methods::
+
+    with Verifier(jobs=4) as verifier:
+        report = verifier.check(protocol, properties=["ws3", "correctness"])
+        batch = verifier.check_many(protocols)
+
+``check`` returns a lossless :class:`~repro.api.report.VerificationReport`;
+``check_many`` fans whole protocols over the worker pool and serves repeat
+instances from the content-addressed result cache.  The deprecated
+per-property entry points (``verify_ws3``, ``check_strong_consensus``, ...)
+are thin shims over the same machinery.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Sequence
+
+from repro.api.options import VerificationOptions
+from repro.api.properties import property_checker
+from repro.api.report import VerificationReport
+
+#: The default property set of a bare ``verifier.check(protocol)``.
+DEFAULT_PROPERTIES = ("ws3",)
+
+
+def _normalize_properties(properties) -> tuple[str, ...]:
+    if properties is None:
+        return DEFAULT_PROPERTIES
+    if isinstance(properties, str):
+        return (properties,)
+    names = tuple(properties)
+    if not names:
+        raise ValueError("at least one property must be requested")
+    return names
+
+
+class Verifier:
+    """A verification session: validated options + reusable engine + cache.
+
+    Parameters
+    ----------
+    options:
+        A :class:`VerificationOptions` bundle; omitted fields come from the
+        defaults.  Keyword overrides are applied on top, so
+        ``Verifier(jobs=4, theory="exact")`` works without building the
+        options object by hand.
+    engine:
+        An existing :class:`~repro.engine.scheduler.VerificationEngine` to
+        schedule on (left running on :meth:`close`); mutually exclusive
+        with ``jobs > 1`` in the options, which makes the session create —
+        and own — a pool lazily on first use.
+    cache:
+        An existing :class:`~repro.engine.cache.ResultCache`; by default a
+        cache is opened at ``options.cache_dir`` (if set) on first
+        ``check_many`` call.
+    """
+
+    def __init__(self, options: VerificationOptions | None = None, *, engine=None, cache=None, **overrides):
+        if options is None:
+            options = VerificationOptions(**overrides)
+        elif overrides:
+            options = options.replace(**overrides)
+        if engine is not None and options.jobs != 1:
+            raise ValueError("pass either jobs>1 in the options or an engine, not both")
+        self.options = options
+        self._engine = engine
+        self._owns_engine = False
+        self._cache = cache
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the session's own worker pool (if one was created)."""
+        if self._owns_engine and self._engine is not None:
+            self._engine.shutdown()
+            self._engine = None
+            self._owns_engine = False
+        self._closed = True
+
+    def __enter__(self) -> "Verifier":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC-timing dependent
+        # Safety net for sessions used without the context manager: an
+        # owned worker pool must not outlive the session object.
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    @property
+    def engine(self):
+        """The session's engine (``None`` until a parallel check runs)."""
+        return self._engine
+
+    def _engine_for_call(self):
+        if self._closed:
+            raise RuntimeError("this Verifier session is closed")
+        if self._engine is None and self.options.jobs > 1:
+            from repro.engine.scheduler import VerificationEngine
+
+            self._engine = VerificationEngine(jobs=self.options.jobs)
+            self._owns_engine = True
+        return self._engine
+
+    def _cache_for_call(self):
+        if self._cache is None and self.options.cache_dir is not None:
+            from repro.engine.cache import ResultCache
+
+            self._cache = ResultCache(self.options.cache_dir)
+        return self._cache
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
+
+    def check(
+        self,
+        protocol,
+        properties: Sequence[str] | str | None = None,
+        *,
+        predicate=None,
+    ) -> VerificationReport:
+        """Check the requested properties of one protocol.
+
+        ``properties`` names come from the registry
+        (:func:`repro.api.properties.available_properties`); the default is
+        ``["ws3"]``.  ``predicate`` overrides the protocol's documented
+        ``metadata["predicate"]`` for the ``"correctness"`` property.
+        """
+        names = _normalize_properties(properties)
+        checkers = [property_checker(name) for name in names]  # fail fast on unknown names
+        engine = self._engine_for_call()
+        return self._run_checkers(protocol, names, checkers, engine, predicate)
+
+    def _run_checkers(self, protocol, names, checkers, engine, predicate) -> VerificationReport:
+        from repro.engine.cache import protocol_content_hash
+
+        start = time.perf_counter()
+        results = [
+            checker.check(protocol, self.options, engine=engine, predicate=predicate)
+            for checker in checkers
+        ]
+        statistics = {
+            "time": time.perf_counter() - start,
+            "jobs": engine.jobs if engine is not None else 1,
+            "properties": list(names),
+        }
+        return VerificationReport(
+            protocol_name=protocol.name,
+            protocol_hash=protocol_content_hash(protocol),
+            properties=results,
+            options=self.options.to_dict(),
+            statistics=statistics,
+        )
+
+    def check_many(
+        self,
+        protocols: Iterable,
+        properties: Sequence[str] | str | None = None,
+    ):
+        """Check many protocols, with across-protocol fan-out and caching.
+
+        Returns a :class:`~repro.engine.batch.BatchResult` whose items carry
+        full :class:`VerificationReport` objects.  Protocols appearing more
+        than once (by content hash) are verified once; with a cache
+        configured, known verdicts are served from disk.
+        """
+        from repro.engine.batch import run_batch
+
+        names = _normalize_properties(properties)
+        for name in names:
+            property_checker(name)  # fail fast on unknown names
+        return run_batch(
+            list(protocols),
+            names,
+            self.options,
+            engine=self._engine_for_call(),
+            cache=self._cache_for_call(),
+            check_one=lambda protocol, engine: self._run_checkers(
+                protocol, names, [property_checker(name) for name in names], engine, None
+            ),
+        )

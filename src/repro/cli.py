@@ -1,5 +1,11 @@
 """Command-line front end (the Peregrine-style "repro-verify" tool).
 
+A thin shell over the unified :class:`repro.api.Verifier` session API: every
+command builds one ``Verifier``, runs the requested properties, and prints
+either the human-readable report summary or — with ``--json`` — the lossless
+report dictionary (``VerificationReport.to_dict()``), which round-trips back
+into report objects via ``VerificationReport.from_json``.
+
 Examples
 --------
 Verify a library protocol::
@@ -7,8 +13,9 @@ Verify a library protocol::
     repro-verify family majority
     repro-verify family flock-of-birds --parameter 10
 
-Verify a protocol stored as JSON::
+Check specific properties of a protocol stored as JSON::
 
+    repro-verify file my_protocol.json --property layered_termination
     repro-verify file my_protocol.json --simulate "A=3,B=5"
 
 Verify a whole batch on four worker processes, with the result cache::
@@ -19,6 +26,11 @@ Verify a whole batch on four worker processes, with the result cache::
 List the available families::
 
     repro-verify list
+
+Exit codes: 0 — no requested property failed (a property can also be
+*skipped*, e.g. correctness on a protocol without a documented predicate:
+the report says so explicitly and the run is not considered a failure);
+1 — a property failed; 2 — a protocol spec or file could not be loaded.
 """
 
 from __future__ import annotations
@@ -27,11 +39,10 @@ import argparse
 import json
 import sys
 
-from repro.io.serialization import protocol_from_json
+from repro.api import VerificationOptions, Verifier, available_properties
+from repro.io.loading import ProtocolLoadError, load_protocol_file, resolve_protocol_spec
 from repro.protocols.library import PROTOCOL_FAMILIES
 from repro.protocols.simulation import Simulator
-from repro.verification.correctness import check_correctness
-from repro.verification.ws3 import verify_ws3
 
 
 def _positive_int(text: str) -> int:
@@ -44,11 +55,13 @@ def _positive_int(text: str) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-verify",
-        description="Decide WS3 membership (well-specification) of population protocols.",
+        description="Verify population protocols (WS3 membership and related properties).",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    list_parser = subparsers.add_parser("list", help="list the built-in protocol families")
+    subparsers.add_parser("list", help="list the built-in protocol families")
+
+    subparsers.add_parser("properties", help="list the registered verifiable properties")
 
     family_parser = subparsers.add_parser("family", help="verify a built-in protocol family")
     family_parser.add_argument("name", choices=sorted(PROTOCOL_FAMILIES), help="family name")
@@ -75,9 +88,6 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     batch_parser.add_argument(
-        "--jobs", type=_positive_int, default=1, help="number of worker processes (default: 1)"
-    )
-    batch_parser.add_argument(
         "--cache-dir",
         default=".repro-cache",
         help="directory of the content-addressed result cache (default: .repro-cache)",
@@ -85,24 +95,14 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser.add_argument(
         "--no-cache", action="store_true", help="verify everything, touching no cache"
     )
-    batch_parser.add_argument(
-        "--strategy",
-        default="auto",
-        choices=["auto", "hint", "single", "scc", "smt"],
-        help="partition-search strategy for LayeredTermination",
-    )
-    batch_parser.add_argument(
-        "--theory",
-        default="auto",
-        choices=["auto", "scipy", "exact"],
-        help="constraint-solver backend",
-    )
+    _add_verifier_options(batch_parser)
     batch_parser.add_argument("--json", action="store_true", help="print the verdicts as JSON")
 
     return parser
 
 
-def _add_common_options(parser: argparse.ArgumentParser) -> None:
+def _add_verifier_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by every verifying command (they feed VerificationOptions)."""
     parser.add_argument(
         "--strategy",
         default="auto",
@@ -115,6 +115,25 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         choices=["auto", "scipy", "exact"],
         help="constraint-solver backend",
     )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for the parallel verification engine (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--property",
+        dest="properties",
+        action="append",
+        choices=sorted(available_properties()),
+        default=None,
+        metavar="NAME",
+        help="property to check (repeatable; default: ws3)",
+    )
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    _add_verifier_options(parser)
     parser.add_argument(
         "--check-correctness",
         action="store_true",
@@ -125,12 +144,6 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         metavar="INPUT",
         default=None,
         help='simulate one run on an input such as "A=3,B=5"',
-    )
-    parser.add_argument(
-        "--jobs",
-        type=_positive_int,
-        default=1,
-        help="worker processes for the parallel verification engine (default: 1, serial)",
     )
     parser.add_argument("--json", action="store_true", help="print the verdict as JSON")
 
@@ -143,76 +156,72 @@ def _parse_input(text: str) -> dict:
     return population
 
 
+def _options_from_args(args) -> VerificationOptions:
+    return VerificationOptions(strategy=args.strategy, theory=args.theory, jobs=args.jobs)
+
+
+def _properties_from_args(args) -> list[str]:
+    properties = list(args.properties) if args.properties else ["ws3"]
+    if getattr(args, "check_correctness", False) and "correctness" not in properties:
+        properties.append("correctness")
+    return properties
+
+
 def _load_protocol(args):
     if args.command == "family":
-        factory = PROTOCOL_FAMILIES[args.name]
-        return factory(args.parameter) if args.parameter is not None else factory()
-    with open(args.path, encoding="utf-8") as handle:
-        return protocol_from_json(handle.read())
+        # Route through the spec loader so bad parameters surface as
+        # ProtocolLoadError (exit code 2), exactly like batch specs.
+        spec = args.name if args.parameter is None else f"{args.name}:{args.parameter}"
+        return resolve_protocol_spec(spec)
+    return load_protocol_file(args.path)
 
 
-def _load_batch_spec(spec: str):
-    """Resolve one batch SPEC: 'family', 'family:parameter' or a JSON path.
+def _run_single(args) -> int:
+    protocol = _load_protocol(args)
+    properties = _properties_from_args(args)
+    # A missing documented predicate surfaces as a SKIPPED correctness
+    # verdict in the report itself, so no ad-hoc message is printed here
+    # (it would also pollute --json output).
+    with Verifier(_options_from_args(args)) as verifier:
+        report = verifier.check(protocol, properties=properties)
 
-    Family names take precedence, so a stray file or directory in the
-    working directory that happens to share a family's name cannot shadow
-    the library protocol.
-    """
-    import os
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.summary())
 
-    name, _, parameter = spec.partition(":")
-    is_family = name in PROTOCOL_FAMILIES
-    if not is_family and (spec.endswith(".json") or os.path.exists(spec)):
-        try:
-            with open(spec, encoding="utf-8") as handle:
-                return protocol_from_json(handle.read())
-        except OSError as error:
-            raise SystemExit(f"cannot read protocol file {spec!r}: {error}")
-        except (ValueError, KeyError, TypeError) as error:
-            # json.JSONDecodeError is a ValueError; missing/odd protocol
-            # fields surface as KeyError/TypeError/ProtocolError(ValueError).
-            raise SystemExit(f"{spec!r} is not a valid protocol JSON file: {error!r}")
-    if not is_family:
-        raise SystemExit(
-            f"unknown protocol family or file {spec!r}; "
-            f"families: {', '.join(sorted(PROTOCOL_FAMILIES))}"
+    if args.simulate:
+        simulator = Simulator(protocol, seed=0)
+        run = simulator.run(input_population=_parse_input(args.simulate))
+        print(
+            f"  simulation of {args.simulate}: output={run.output} after {run.steps} interactions "
+            f"(converged={run.converged})"
         )
-    factory = PROTOCOL_FAMILIES[name]
-    if not parameter:
-        try:
-            return factory()
-        except TypeError:
-            raise SystemExit(f"family {name!r} needs a parameter: use {name}:<n>")
-    try:
-        value = int(parameter)
-    except ValueError:
-        raise SystemExit(f"parameter of {spec!r} must be an integer, got {parameter!r}")
-    return factory(value)
+
+    return 0 if report.ok else 1
 
 
 def _run_batch(args) -> int:
-    from repro.engine import verify_many
-
-    protocols = [_load_batch_spec(spec) for spec in args.specs]
-    cache_dir = None if args.no_cache else args.cache_dir
-    batch = verify_many(
-        protocols,
-        jobs=args.jobs,
-        cache_dir=cache_dir,
-        strategy=args.strategy,
-        theory=args.theory,
-    )
+    protocols = [resolve_protocol_spec(spec) for spec in args.specs]
+    properties = _properties_from_args(args)
+    options = _options_from_args(args)
+    if not args.no_cache:
+        options = options.replace(cache_dir=args.cache_dir)
+    with Verifier(options) as verifier:
+        batch = verifier.check_many(protocols, properties=properties)
     cache_stats = batch.statistics.get("cache") or {"hits": 0, "misses": 0}
+    ws3_requested = "ws3" in properties
     if args.json:
         payload = {
             "protocols": [
                 {
                     "protocol": item.protocol_name,
                     "hash": item.protocol_hash,
-                    "is_ws3": item.is_ws3,
+                    "ok": item.ok,
+                    "is_ws3": item.is_ws3 if ws3_requested else None,
                     "from_cache": item.from_cache,
                     "time_seconds": item.time_seconds,
-                    "summary": item.summary,
+                    "report": item.report.to_dict(),
                 }
                 for item in batch
             ],
@@ -221,7 +230,10 @@ def _run_batch(args) -> int:
         print(json.dumps(payload, indent=2))
     else:
         for item in batch:
-            verdict = "WS3" if item.is_ws3 else "NOT PROVEN"
+            if ws3_requested:
+                verdict = "WS3" if item.is_ws3 else "NOT PROVEN"
+            else:
+                verdict = "OK" if item.ok else "FAILED"
             source = "cache" if item.from_cache else f"{item.time_seconds:.3f}s"
             print(f"{item.protocol_name:40s} {verdict:11s} [{source}]")
         print(
@@ -229,7 +241,7 @@ def _run_batch(args) -> int:
             f"{cache_stats['hits']} cache hit(s), jobs={batch.statistics['jobs']}, "
             f"total {batch.statistics['time']:.3f}s"
         )
-    return 0 if batch.all_ws3 else 1
+    return 0 if batch.all_ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -242,65 +254,20 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
 
-    if args.command == "batch":
-        return _run_batch(args)
+    if args.command == "properties":
+        for name in available_properties():
+            print(name)
+        return 0
 
-    protocol = _load_protocol(args)
-    # One engine (one worker pool) for everything this invocation verifies.
-    engine = None
-    if args.jobs > 1:
-        from repro.engine import VerificationEngine
-
-        engine = VerificationEngine(jobs=args.jobs)
+    # Loader failures are library exceptions (ProtocolLoadError); only here,
+    # at the process boundary, do they become exit codes.
     try:
-        result = verify_ws3(protocol, strategy=args.strategy, theory=args.theory, engine=engine)
-
-        correctness = None
-        if args.check_correctness:
-            predicate = protocol.metadata.get("predicate")
-            if predicate is None:
-                print("no documented predicate attached to this protocol; skipping correctness check")
-            else:
-                correctness = check_correctness(
-                    protocol, predicate, theory=args.theory, engine=engine
-                )
-    finally:
-        if engine is not None:
-            engine.shutdown()
-
-    if args.json:
-        payload = {
-            "protocol": protocol.name,
-            "states": protocol.num_states,
-            "transitions": protocol.num_transitions,
-            "is_ws3": result.is_ws3,
-            "layered_termination": result.layered_termination.holds,
-            "strong_consensus": (
-                result.strong_consensus.holds if result.strong_consensus is not None else None
-            ),
-            "time_seconds": result.statistics["time"],
-        }
-        if correctness is not None:
-            payload["computes_documented_predicate"] = correctness.holds
-        print(json.dumps(payload, indent=2))
-    else:
-        print(result.summary())
-        if correctness is not None:
-            predicate = protocol.metadata["predicate"]
-            verdict = "computes" if correctness.holds else "DOES NOT compute"
-            print(f"  correctness: {verdict} the predicate {predicate.describe()}")
-            if correctness.counterexample is not None:
-                print(f"    {correctness.counterexample.describe()}")
-
-    if args.simulate:
-        simulator = Simulator(protocol, seed=0)
-        run = simulator.run(input_population=_parse_input(args.simulate))
-        print(
-            f"  simulation of {args.simulate}: output={run.output} after {run.steps} interactions "
-            f"(converged={run.converged})"
-        )
-
-    return 0 if result.is_ws3 else 1
+        if args.command == "batch":
+            return _run_batch(args)
+        return _run_single(args)
+    except ProtocolLoadError as error:
+        print(f"repro-verify: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

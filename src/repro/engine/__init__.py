@@ -16,14 +16,17 @@ worker processes:
   via the coordinator, early cancellation, and a serial in-process fallback;
 * :mod:`repro.engine.cache` — the content-addressed protocol hash and the
   on-disk result cache keyed by it;
-* :mod:`repro.engine.batch` — ``verify_many``: fan a set of protocols over
-  the pool, with verified instances served from the result cache.
+* :mod:`repro.engine.batch` — ``run_batch``: fan a set of protocols over
+  the pool, with verified instances served from the result cache as
+  lossless :class:`~repro.api.report.VerificationReport` payloads (the
+  back end of :meth:`repro.api.Verifier.check_many`; the deprecated
+  ``verify_many`` shim lives here too).
 """
 
 from repro.engine.cache import ResultCache, canonical_protocol_dict, protocol_content_hash
 from repro.engine.scheduler import ENGINE_VERSION, EngineError, VerificationEngine
 from repro.engine.subproblem import Subproblem, SubproblemResult
-from repro.engine.batch import BatchItem, BatchResult, verify_many
+from repro.engine.batch import BatchItem, BatchResult, batch_cache_options, run_batch, verify_many
 
 __all__ = [
     "BatchItem",
@@ -34,7 +37,9 @@ __all__ = [
     "Subproblem",
     "SubproblemResult",
     "VerificationEngine",
+    "batch_cache_options",
     "canonical_protocol_dict",
     "protocol_content_hash",
+    "run_batch",
     "verify_many",
 ]

@@ -1,15 +1,21 @@
 """Batch verification: fan a set of protocols over the engine, with caching.
 
-``verify_many`` is the multi-protocol front end the ROADMAP's batch
-scenario asks for: each protocol becomes one ``verify-ws3`` subproblem, the
-pool verifies ``jobs`` of them concurrently, and a content-addressed
+:func:`run_batch` is the multi-protocol back end of
+:meth:`repro.api.verifier.Verifier.check_many`: each protocol becomes one
+``check-protocol`` subproblem, the pool verifies ``jobs`` of them
+concurrently, and a content-addressed
 :class:`~repro.engine.cache.ResultCache` short-circuits protocols whose
-verdict is already known (identical protocol + engine version + options),
-so repeated sweeps — benchmark reruns, parameter scans that revisit
-instances — are served from disk in milliseconds.
+verdict is already known (identical protocol + engine version + property
+set + options), so repeated sweeps — benchmark reruns, parameter scans that
+revisit instances — are served from disk in milliseconds.
 
-Results are uniform portable summaries (plain dictionaries) whether they
-come from a worker, from the in-process serial path, or from the cache.
+Every item carries a full, lossless
+:class:`~repro.api.report.VerificationReport` — certificates,
+counterexamples and refinement trails included — whether it comes from a
+worker, from the in-process serial path, or from the cache (which stores
+exactly ``report.to_dict()``).
+
+The legacy :func:`verify_many` entry point remains as a deprecated shim.
 """
 
 from __future__ import annotations
@@ -18,62 +24,33 @@ import time
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
+from repro.api.options import VerificationOptions
+from repro.api.report import VerificationReport
 from repro.engine.cache import ResultCache, protocol_content_hash
 from repro.engine.scheduler import ENGINE_VERSION, VerificationEngine
-from repro.engine.subproblem import (
-    Subproblem,
-    encode_consensus_counterexample,
-)
+from repro.engine.subproblem import Subproblem
 from repro.io.serialization import protocol_to_dict
 from repro.protocols.protocol import PopulationProtocol
 
 
-def ws3_cache_options(
-    strategy: str = "auto", theory: str = "auto", max_layers: int | None = None
+def batch_cache_options(
+    properties: Sequence[str],
+    options: VerificationOptions,
+    predicate=None,
 ) -> dict:
-    """The options dictionary that keys cached WS³ verdicts.
+    """The options dictionary that keys cached verdicts.
 
     The single source of truth for cache keying: every caller that reads or
-    writes the result cache (``verify_many``, ``scripts/bench.py``) must
-    build its options through here, or identical runs would stop sharing
-    entries.
+    writes the result cache (``run_batch``, ``scripts/bench.py``) must build
+    its options through here, or identical runs would stop sharing entries.
+    Only verdict-affecting fields participate (``options.cache_snapshot()``);
+    the documented predicate joins the key when correctness is requested,
+    since the verdict depends on it.
     """
-    return {"check": "ws3", "strategy": strategy, "theory": theory, "max_layers": max_layers}
-
-
-def ws3_result_to_dict(result) -> dict:
-    """Portable summary of a :class:`~repro.verification.ws3.WS3Result`."""
-    layered = result.layered_termination
-    summary = {
-        "protocol": result.protocol_name,
-        "is_ws3": result.is_ws3,
-        "layered_termination": {
-            "holds": layered.holds,
-            "strategy": (
-                layered.certificate.strategy
-                if layered.certificate is not None
-                else layered.statistics.get("strategy")
-            ),
-            "num_layers": (
-                layered.certificate.num_layers if layered.certificate is not None else None
-            ),
-            "reason": layered.reason,
-        },
-        "strong_consensus": None,
-        "time_seconds": result.statistics.get("time"),
-    }
-    strong = result.strong_consensus
-    if strong is not None:
-        summary["strong_consensus"] = {
-            "holds": strong.holds,
-            "refinements": len(strong.refinements),
-            "counterexample": (
-                encode_consensus_counterexample(strong.counterexample)
-                if strong.counterexample is not None
-                else None
-            ),
-        }
-    return summary
+    payload = {"properties": list(properties), "options": options.cache_snapshot()}
+    if predicate is not None:
+        payload["predicate"] = predicate.describe()
+    return payload
 
 
 @dataclass
@@ -83,21 +60,36 @@ class BatchItem:
     index: int
     protocol_name: str
     protocol_hash: str
-    summary: dict
+    report: VerificationReport
     from_cache: bool = False
     time_seconds: float = 0.0
 
     @property
+    def ok(self) -> bool:
+        """True iff no requested property failed."""
+        return self.report.ok
+
+    @property
     def is_ws3(self) -> bool:
-        return bool(self.summary.get("is_ws3"))
+        """True iff WS³ membership was checked and holds.
+
+        Never fabricated: when ``"ws3"`` was not among the requested
+        properties this is ``False``, not a guess from the other verdicts.
+        """
+        result = self.report.result_for("ws3")
+        return result is not None and result.holds
 
 
 @dataclass
 class BatchResult:
-    """Outcome of a :func:`verify_many` run."""
+    """Outcome of a batch run."""
 
     items: list[BatchItem]
     statistics: dict = field(default_factory=dict)
+
+    @property
+    def all_ok(self) -> bool:
+        return all(item.ok for item in self.items)
 
     @property
     def all_ws3(self) -> bool:
@@ -110,6 +102,157 @@ class BatchResult:
         return len(self.items)
 
 
+def run_batch(
+    protocols: Sequence[PopulationProtocol],
+    properties: Sequence[str],
+    options: VerificationOptions,
+    engine: VerificationEngine | None = None,
+    cache: ResultCache | None = None,
+    check_one=None,
+) -> BatchResult:
+    """Verify many protocols, fanning out over worker processes.
+
+    ``check_one(protocol, engine) -> VerificationReport`` is the serial
+    fallback used when the batch cannot fan out across protocols (no
+    parallel engine, or a single pending protocol that gets the
+    *within*-protocol parallelism instead); ``Verifier.check_many`` wires it
+    to its own ``check``.  Protocols appearing more than once (by content
+    hash) are verified once; later occurrences reuse the verdict.
+    """
+    if check_one is None:
+        raise ValueError("run_batch requires a check_one callback (see Verifier.check_many)")
+    start = time.perf_counter()
+    protocols = list(protocols)
+    properties = tuple(properties)
+
+    items: list[BatchItem | None] = [None] * len(protocols)
+    pending: list[tuple[int, PopulationProtocol, str, str, object]] = []
+    first_occurrence: dict[str, int] = {}
+    duplicates: list[tuple[int, int]] = []
+
+    for index, protocol in enumerate(protocols):
+        content_hash = protocol_content_hash(protocol)
+        predicate = protocol.metadata.get("predicate") if "correctness" in properties else None
+        key = ResultCache.entry_key(
+            content_hash, ENGINE_VERSION, batch_cache_options(properties, options, predicate)
+        )
+        # Dedup on the full entry key, not the content hash alone: two
+        # structurally identical protocols can still differ in their
+        # documented predicate (metadata is excluded from the hash), and a
+        # correctness verdict must not leak between them.
+        if key in first_occurrence:
+            duplicates.append((index, first_occurrence[key]))
+            continue
+        first_occurrence[key] = index
+        cached = cache.get(key) if cache is not None else None
+        if cached is not None:
+            items[index] = BatchItem(
+                index=index,
+                protocol_name=protocol.name,
+                protocol_hash=content_hash,
+                report=VerificationReport.from_dict(cached),
+                from_cache=True,
+            )
+        else:
+            pending.append((index, protocol, content_hash, key, predicate))
+
+    verified = 0
+    # Across-protocol fan-out requires every property to be resolvable in a
+    # fresh worker process; plugin properties registered only in this
+    # process stay on the coordinator's serial path.
+    from repro.api.properties import BUILTIN_PROPERTIES
+
+    parallel = (
+        engine is not None and engine.parallel and set(properties) <= BUILTIN_PROPERTIES
+    )
+    if pending:
+        verified = len(pending)
+        if parallel and len(pending) > 1:
+            # Across-protocol fan-out: one check-protocol subproblem each.
+            _run_parallel(pending, items, properties, options, engine)
+        else:
+            # A single pending protocol gets the within-protocol parallelism
+            # (pattern pairs, strategy portfolio) instead of one lonely
+            # worker; with no engine this is the plain serial loop.
+            for index, protocol, content_hash, _key, _predicate in pending:
+                instance_start = time.perf_counter()
+                report = check_one(protocol, engine)
+                items[index] = BatchItem(
+                    index=index,
+                    protocol_name=protocol.name,
+                    protocol_hash=content_hash,
+                    report=report,
+                    time_seconds=time.perf_counter() - instance_start,
+                )
+        if cache is not None:
+            for index, _protocol, _content_hash, key, _predicate in pending:
+                cache.put(key, items[index].report.to_dict())
+
+    for index, original in duplicates:
+        source = items[original]
+        items[index] = BatchItem(
+            index=index,
+            protocol_name=protocols[index].name,
+            protocol_hash=source.protocol_hash,
+            report=source.report,
+            from_cache=source.from_cache,
+        )
+
+    statistics = {
+        "protocols": len(protocols),
+        "verified": verified,
+        "duplicates": len(duplicates),
+        "properties": list(properties),
+        "jobs": engine.jobs if engine is not None else 1,
+        "time": time.perf_counter() - start,
+        "cache": dict(cache.statistics) if cache is not None else None,
+    }
+    return BatchResult(items=[item for item in items], statistics=statistics)
+
+
+def _run_parallel(
+    pending: Sequence[tuple[int, PopulationProtocol, str, str, object]],
+    items: list,
+    properties: tuple[str, ...],
+    options: VerificationOptions,
+    engine: VerificationEngine,
+) -> None:
+    """Fan the pending protocols over the pool, one subproblem each.
+
+    Workers run the full property pipeline serially (their ``options`` are
+    forced to ``jobs=1``); the documented predicate travels in the params
+    because protocol metadata does not survive the wire format.
+    """
+    worker_options = options.replace(jobs=1, cache_dir=None).to_dict()
+    subproblems = []
+    for position, (_index, protocol, content_hash, _key, predicate) in enumerate(pending):
+        params = {
+            "properties": list(properties),
+            "options": worker_options,
+        }
+        if predicate is not None:
+            params["predicate"] = predicate
+        subproblems.append(
+            Subproblem(
+                kind="check-protocol",
+                index=position,
+                protocol_key=content_hash,
+                protocol_data=protocol_to_dict(protocol),
+                params=params,
+            )
+        )
+    results = engine.run_wave(subproblems)
+    for position, result in enumerate(results):
+        index, protocol, content_hash, _key, _predicate = pending[position]
+        items[index] = BatchItem(
+            index=index,
+            protocol_name=protocol.name,
+            protocol_hash=content_hash,
+            report=VerificationReport.from_dict(result.data["report"]),
+            time_seconds=result.statistics.get("time", 0.0),
+        )
+
+
 def verify_many(
     protocols: Iterable[PopulationProtocol],
     jobs: int = 1,
@@ -120,135 +263,33 @@ def verify_many(
     max_layers: int | None = None,
     engine: VerificationEngine | None = None,
 ) -> BatchResult:
-    """Verify many protocols, fanning out over worker processes.
+    """Deprecated: use :meth:`repro.api.Verifier.check_many` instead.
 
-    Protocols appearing more than once (by content hash) are verified once;
-    later occurrences reuse the verdict.  With a cache (an explicit
-    :class:`ResultCache` or a ``cache_dir`` path), verdicts are read from /
-    written to disk; cache traffic is reported in the result statistics.
+    ``Verifier(jobs=..., cache_dir=...).check_many(protocols)`` returns the
+    same :class:`BatchResult`; this shim delegates to the same machinery, so
+    verdicts are identical.  Note that items now carry full
+    :class:`~repro.api.report.VerificationReport` objects (``item.report``)
+    instead of the old lossy summary dictionaries.
     """
-    from repro.verification.ws3 import verify_ws3
+    import warnings
+
+    warnings.warn(
+        "verify_many() is deprecated; use repro.api.Verifier"
+        " (Verifier(jobs=..., cache_dir=...).check_many(protocols))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api.verifier import Verifier
 
     if engine is not None and jobs != 1:
         raise ValueError("pass either jobs>1 or an engine, not both")
-    start = time.perf_counter()
-    protocols = list(protocols)
+    options = VerificationOptions(
+        strategy=strategy,
+        theory=theory,
+        max_layers=max_layers,
+        jobs=jobs if engine is None else 1,
+    )
     if cache is None and cache_dir is not None:
         cache = ResultCache(cache_dir)
-    options = ws3_cache_options(strategy=strategy, theory=theory, max_layers=max_layers)
-
-    items: list[BatchItem | None] = [None] * len(protocols)
-    pending: list[tuple[int, PopulationProtocol, str, str]] = []
-    first_occurrence: dict[str, int] = {}
-    duplicates: list[tuple[int, int]] = []
-
-    for index, protocol in enumerate(protocols):
-        content_hash = protocol_content_hash(protocol)
-        key = ResultCache.entry_key(content_hash, ENGINE_VERSION, options)
-        if content_hash in first_occurrence:
-            duplicates.append((index, first_occurrence[content_hash]))
-            continue
-        first_occurrence[content_hash] = index
-        cached = cache.get(key) if cache is not None else None
-        if cached is not None:
-            items[index] = BatchItem(
-                index=index,
-                protocol_name=protocol.name,
-                protocol_hash=content_hash,
-                summary=cached,
-                from_cache=True,
-            )
-        else:
-            pending.append((index, protocol, content_hash, key))
-
-    verified = 0
-    parallel = jobs > 1 or (engine is not None and engine.parallel)
-    if pending:
-        verified = len(pending)
-        if parallel and len(pending) > 1:
-            # Across-protocol fan-out: one verify-ws3 subproblem per protocol.
-            _verify_parallel(pending, items, options, jobs, engine)
-        else:
-            # A single pending protocol gets the within-protocol parallelism
-            # (pattern pairs, strategy portfolio) instead of one lonely
-            # worker; with jobs=1 this is the plain serial loop.
-            for index, protocol, content_hash, _key in pending:
-                instance_start = time.perf_counter()
-                result = verify_ws3(
-                    protocol,
-                    strategy=strategy,
-                    theory=theory,
-                    max_layers=max_layers,
-                    jobs=jobs if engine is None else 1,
-                    engine=engine,
-                )
-                items[index] = BatchItem(
-                    index=index,
-                    protocol_name=protocol.name,
-                    protocol_hash=content_hash,
-                    summary=ws3_result_to_dict(result),
-                    time_seconds=time.perf_counter() - instance_start,
-                )
-        if cache is not None:
-            for index, _protocol, _content_hash, key in pending:
-                cache.put(key, items[index].summary)
-
-    for index, original in duplicates:
-        source = items[original]
-        items[index] = BatchItem(
-            index=index,
-            protocol_name=protocols[index].name,
-            protocol_hash=source.protocol_hash,
-            summary=source.summary,
-            from_cache=source.from_cache,
-        )
-
-    statistics = {
-        "protocols": len(protocols),
-        "verified": verified,
-        "duplicates": len(duplicates),
-        "jobs": jobs if engine is None else engine.jobs,
-        "time": time.perf_counter() - start,
-        "cache": dict(cache.statistics) if cache is not None else None,
-    }
-    return BatchResult(items=list(items), statistics=statistics)
-
-
-def _verify_parallel(
-    pending: Sequence[tuple[int, PopulationProtocol, str, str]],
-    items: list,
-    options: dict,
-    jobs: int,
-    engine: VerificationEngine | None,
-) -> None:
-    """Fan the pending protocols over the pool, one subproblem each."""
-    subproblems = [
-        Subproblem(
-            kind="verify-ws3",
-            index=position,
-            protocol_key=content_hash,
-            protocol_data=protocol_to_dict(protocol),
-            params={
-                "strategy": options["strategy"],
-                "theory": options["theory"],
-                "max_layers": options["max_layers"],
-            },
-        )
-        for position, (_index, protocol, content_hash, _key) in enumerate(pending)
-    ]
-    owned = engine is None
-    engine = engine or VerificationEngine(jobs=jobs)
-    try:
-        results = engine.run_wave(subproblems)
-    finally:
-        if owned:
-            engine.shutdown()
-    for position, result in enumerate(results):
-        index, protocol, content_hash, _key = pending[position]
-        items[index] = BatchItem(
-            index=index,
-            protocol_name=protocol.name,
-            protocol_hash=content_hash,
-            summary=result.data["summary"],
-            time_seconds=result.statistics.get("time", 0.0),
-        )
+    with Verifier(options, engine=engine, cache=cache) as verifier:
+        return verifier.check_many(protocols)

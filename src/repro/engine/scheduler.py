@@ -32,7 +32,7 @@ from repro.engine.subproblem import Subproblem, SubproblemResult
 #: Bumped whenever a change to the engine or the verification layer can
 #: alter verdicts, certificates or counterexamples; part of every result
 #: cache key, so stale entries from older engines are never served.
-ENGINE_VERSION = "2"
+ENGINE_VERSION = "3"
 
 
 class EngineError(RuntimeError):

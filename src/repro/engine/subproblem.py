@@ -10,27 +10,33 @@ dictionary of :mod:`repro.io.serialization` together with its content hash,
 which lets worker processes cache the decoded protocol across subproblems.
 
 Small objects with stable equality semantics (patterns, refinement steps)
-travel as plain pickled values; the portable encodings below (multisets,
-counterexamples, layered partitions) are JSON-compatible structures used
-where payloads also land on disk — the result cache stores counterexamples
-through them.
+travel as plain pickled values; payloads that also land on disk — the
+result cache stores whole verification reports — go through the shared
+artifact codecs of :mod:`repro.io.serialization`, re-exported here for the
+engine's convenience.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.datatypes.multiset import Multiset
-from repro.io.serialization import _decode_state, _encode_state
-from repro.protocols.protocol import Transition
-from repro.verification.results import StrongConsensusCounterexample
+from repro.io.serialization import (  # noqa: F401  (re-exported codec surface)
+    counterexample_from_dict,
+    counterexample_to_dict,
+    decode_flow,
+    decode_multiset,
+    decode_partition,
+    encode_flow,
+    encode_multiset,
+    encode_partition,
+)
 
 #: Subproblem kinds understood by :func:`repro.engine.worker.solve_subproblem`.
 KINDS = (
     "consensus-pair",
     "correctness-pattern",
     "termination-strategy",
-    "verify-ws3",
+    "check-protocol",
     "poison",
 )
 
@@ -77,71 +83,10 @@ class SubproblemResult:
 
 
 # ----------------------------------------------------------------------
-# Portable encodings
+# Portable encodings (shared codecs from repro.io.serialization)
 # ----------------------------------------------------------------------
 
-
-def encode_multiset(multiset: Multiset) -> list:
-    """Encode a multiset as sorted ``[element, count]`` pairs."""
-    return [[_encode_state(element), count] for element, count in multiset.items_sorted()]
-
-
-def decode_multiset(payload) -> Multiset:
-    return Multiset({_decode_state(element): count for element, count in payload})
-
-
-def encode_flow(flow: dict[Transition, int]) -> list:
-    entries = [
-        [encode_multiset(t.pre), encode_multiset(t.post), count] for t, count in flow.items()
-    ]
-    entries.sort(key=repr)
-    return entries
-
-
-def decode_flow(payload) -> dict[Transition, int]:
-    return {
-        Transition(decode_multiset(pre), decode_multiset(post)): count
-        for pre, post, count in payload
-    }
-
-
-def encode_consensus_counterexample(ce: StrongConsensusCounterexample) -> dict:
-    return {
-        "initial": encode_multiset(ce.initial),
-        "terminal_true": encode_multiset(ce.terminal_true),
-        "terminal_false": encode_multiset(ce.terminal_false),
-        "flow_true": encode_flow(ce.flow_true),
-        "flow_false": encode_flow(ce.flow_false),
-    }
-
-
-def decode_consensus_counterexample(payload: dict) -> StrongConsensusCounterexample:
-    return StrongConsensusCounterexample(
-        initial=decode_multiset(payload["initial"]),
-        terminal_true=decode_multiset(payload["terminal_true"]),
-        terminal_false=decode_multiset(payload["terminal_false"]),
-        flow_true=decode_flow(payload["flow_true"]),
-        flow_false=decode_flow(payload["flow_false"]),
-    )
-
-
-def encode_partition(partition) -> list:
-    """Encode an ordered partition as layers of ``(pre, post)`` transition pairs."""
-    return [
-        sorted(
-            ([encode_multiset(t.pre), encode_multiset(t.post)] for t in layer),
-            key=repr,
-        )
-        for layer in partition
-    ]
-
-
-def decode_partition(payload):
-    from repro.protocols.protocol import OrderedPartition
-
-    layers = [
-        [Transition(decode_multiset(pre), decode_multiset(post)) for pre, post in layer]
-        for layer in payload
-    ]
-    return OrderedPartition.of(*layers)
+#: Backwards-compatible aliases for the pre-codec names.
+encode_consensus_counterexample = counterexample_to_dict
+decode_consensus_counterexample = counterexample_from_dict
 

@@ -130,35 +130,32 @@ def _solve_termination_strategy(subproblem: Subproblem) -> SubproblemResult:
     )
 
 
-def _solve_verify_ws3(subproblem: Subproblem) -> SubproblemResult:
-    from repro.engine.batch import ws3_result_to_dict
-    from repro.verification.ws3 import verify_ws3
+def _solve_check_protocol(subproblem: Subproblem) -> SubproblemResult:
+    """Run the full property pipeline for one protocol, serially, in-worker.
+
+    The result payload is the lossless report dictionary — exactly what the
+    coordinator's serial path would produce and what the result cache
+    stores — so across-protocol fan-out loses no artifacts.
+    """
+    from repro.api.options import VerificationOptions
+    from repro.api.verifier import Verifier
 
     protocol = _protocol_for(subproblem)
     params = subproblem.params
-    result = verify_ws3(
-        protocol,
-        strategy=params.get("strategy", "auto"),
-        theory=params.get("theory", "auto"),
-        max_layers=params.get("max_layers"),
-        check_consensus_first=params.get("check_consensus_first", False),
-    )
-    summary = ws3_result_to_dict(result)
-    predicate = params.get("predicate")
-    if predicate is not None:
-        from repro.verification.correctness import check_correctness
-
-        correctness = check_correctness(protocol, predicate, theory=params.get("theory", "auto"))
-        summary["correctness"] = {
-            "holds": correctness.holds,
-            "refinements": len(correctness.refinements),
-        }
+    options = VerificationOptions.from_dict(params.get("options", {}))
+    options = options.replace(jobs=1, cache_dir=None)
+    with Verifier(options) as verifier:
+        report = verifier.check(
+            protocol,
+            properties=params.get("properties", ("ws3",)),
+            predicate=params.get("predicate"),
+        )
     return SubproblemResult(
         kind=subproblem.kind,
         index=subproblem.index,
-        verdict="holds" if result.is_ws3 else "fails",
-        data={"summary": summary},
-        statistics={"time": result.statistics.get("time", 0.0)},
+        verdict="holds" if report.ok else "fails",
+        data={"report": report.to_dict()},
+        statistics={"time": report.statistics.get("time", 0.0)},
     )
 
 
@@ -174,5 +171,5 @@ _HANDLERS = {
     "consensus-pair": _solve_consensus_pair,
     "correctness-pattern": _solve_correctness_pattern,
     "termination-strategy": _solve_termination_strategy,
-    "verify-ws3": _solve_verify_ws3,
+    "check-protocol": _solve_check_protocol,
 }

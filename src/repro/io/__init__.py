@@ -1,15 +1,60 @@
-"""Input/output helpers: JSON serialisation of protocols and results."""
+"""Input/output helpers: JSON serialisation of protocols, artifacts, reports.
 
+* :mod:`repro.io.serialization` — protocol JSON format plus the shared
+  artifact codecs (certificates, counterexamples, refinement steps) used by
+  the report types, the engine envelopes and the result cache;
+* :mod:`repro.io.loading` — resolve protocol specs (family names,
+  ``family:parameter`` strings, JSON file paths) into protocol objects,
+  raising :class:`~repro.io.loading.ProtocolLoadError` on bad input so the
+  loaders are usable programmatically.
+"""
+
+from repro.io.loading import ProtocolLoadError, load_protocol_file, resolve_protocol_spec
 from repro.io.serialization import (
+    certificate_from_dict,
+    certificate_to_dict,
+    counterexample_from_dict,
+    counterexample_to_dict,
+    decode_flow,
+    decode_multiset,
+    decode_partition,
+    decode_ranking,
+    decode_transition,
+    encode_flow,
+    encode_multiset,
+    encode_partition,
+    encode_ranking,
+    encode_transition,
     protocol_from_dict,
     protocol_from_json,
     protocol_to_dict,
     protocol_to_json,
+    refinement_step_from_dict,
+    refinement_step_to_dict,
 )
 
 __all__ = [
+    "ProtocolLoadError",
+    "certificate_from_dict",
+    "certificate_to_dict",
+    "counterexample_from_dict",
+    "counterexample_to_dict",
+    "decode_flow",
+    "decode_multiset",
+    "decode_partition",
+    "decode_ranking",
+    "decode_transition",
+    "encode_flow",
+    "encode_multiset",
+    "encode_partition",
+    "encode_ranking",
+    "encode_transition",
+    "load_protocol_file",
     "protocol_to_dict",
     "protocol_from_dict",
     "protocol_to_json",
     "protocol_from_json",
+    "refinement_step_from_dict",
+    "refinement_step_to_dict",
+    "resolve_protocol_spec",
 ]

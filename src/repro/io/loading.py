@@ -1,0 +1,98 @@
+"""Resolve protocol specifications into protocol objects.
+
+A *spec* is what the command line and the batch front end accept: a built-in
+family name (``"majority"``), a parameterised family (``"flock-of-birds:6"``)
+or a path to a protocol JSON file.  Resolution failures raise
+:class:`ProtocolLoadError` — a :class:`~repro.protocols.protocol.ProtocolError`
+subclass — so the loaders are usable from library code; only
+:func:`repro.cli.main` translates the error into a process exit code.
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+
+from repro.protocols.protocol import PopulationProtocol, ProtocolError
+
+
+class ProtocolLoadError(ProtocolError):
+    """A protocol spec or file could not be resolved into a protocol."""
+
+
+def load_protocol_file(path: str | os.PathLike) -> PopulationProtocol:
+    """Load a protocol from a JSON file, raising :class:`ProtocolLoadError` on failure."""
+    from repro.io.serialization import protocol_from_json
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        raise ProtocolLoadError(f"cannot read protocol file {str(path)!r}: {error}") from error
+    try:
+        return protocol_from_json(text)
+    except (ValueError, KeyError, TypeError) as error:
+        # json.JSONDecodeError is a ValueError; missing/odd protocol fields
+        # surface as KeyError/TypeError/ProtocolError(ValueError).
+        raise ProtocolLoadError(
+            f"{str(path)!r} is not a valid protocol JSON file: {error!r}"
+        ) from error
+
+
+def resolve_protocol_spec(spec: str) -> PopulationProtocol:
+    """Resolve one spec: ``'family'``, ``'family:parameter'`` or a JSON path.
+
+    Family names take precedence, so a stray file or directory in the
+    working directory that happens to share a family's name cannot shadow
+    the library protocol.
+    """
+    from repro.protocols.library import PROTOCOL_FAMILIES
+
+    name, _, parameter = spec.partition(":")
+    is_family = name in PROTOCOL_FAMILIES
+    if not is_family and (spec.endswith(".json") or os.path.exists(spec)):
+        return load_protocol_file(spec)
+    if not is_family:
+        raise ProtocolLoadError(
+            f"unknown protocol family or file {spec!r}; "
+            f"families: {', '.join(sorted(PROTOCOL_FAMILIES))}"
+        )
+    factory = PROTOCOL_FAMILIES[name]
+    if not parameter:
+        try:
+            return factory()
+        except TypeError as error:
+            raise ProtocolLoadError(
+                f"family {name!r} needs a parameter: use {name}:<n>"
+            ) from error
+    if not _takes_parameter(factory):
+        raise ProtocolLoadError(
+            f"family {name!r} takes no parameter, but {spec!r} supplies one"
+        )
+    try:
+        value = int(parameter)
+    except ValueError as error:
+        raise ProtocolLoadError(
+            f"parameter of {spec!r} must be an integer, got {parameter!r}"
+        ) from error
+    try:
+        return factory(value)
+    except (TypeError, ValueError) as error:
+        # Out-of-range parameters (e.g. flock-of-birds:-3) surface as
+        # ValueError/ProtocolError inside the factory; keep them library
+        # exceptions rather than raw tracebacks.
+        raise ProtocolLoadError(f"cannot build {spec!r}: {error}") from error
+
+
+def _takes_parameter(factory) -> bool:
+    """Does the family factory accept a real size parameter?
+
+    Parameter-less families are registered with a throwaway ``_`` argument
+    (so the registry has a uniform calling convention); a spec that supplies
+    a parameter to one of those would be silently discarded otherwise.
+    """
+    try:
+        parameters = inspect.signature(factory).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins without signatures
+        return True
+    return any(name != "_" for name in parameters)

@@ -1,18 +1,29 @@
-"""JSON serialisation of population protocols.
+"""JSON serialisation of protocols and verification artifacts.
 
-The format is deliberately simple and close to the input format of the
-authors' Peregrine tool: a JSON object with the states, the non-silent
+The protocol format is deliberately simple and close to the input format of
+the authors' Peregrine tool: a JSON object with the states, the non-silent
 transitions, the input alphabet, the input mapping and the output mapping.
 States may be arbitrary JSON-representable values; tuples (used by the
 threshold protocol and by product constructions) are encoded as JSON arrays
 and decoded back to tuples.
+
+Beyond protocols, this module is the single home of the *artifact codecs*:
+lossless JSON encodings of everything a verification run can produce —
+multisets and transition flows, ordered partitions and layered-termination
+certificates (with `Fraction`-valued ranking weights), StrongConsensus and
+correctness counterexamples, and trap/siphon refinement steps.  The report
+types of :mod:`repro.api.report`, the engine's subproblem envelopes and the
+on-disk result cache all serialise through these functions, so an artifact
+decoded from JSON compares equal to the object that was encoded.
 """
 
 from __future__ import annotations
 
 import json
+from fractions import Fraction
 from typing import Any
 
+from repro.datatypes.multiset import Multiset
 from repro.protocols.protocol import OrderedPartition, PopulationProtocol, Transition
 
 
@@ -111,3 +122,205 @@ def protocol_to_json(protocol: PopulationProtocol, indent: int = 2) -> str:
 def protocol_from_json(text: str) -> PopulationProtocol:
     """Parse a protocol from a JSON string."""
     return protocol_from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Artifact codecs: multisets, flows, partitions
+# ----------------------------------------------------------------------
+
+
+def encode_multiset(multiset: Multiset) -> list:
+    """Encode a multiset as sorted ``[element, count]`` pairs."""
+    return [[_encode_state(element), count] for element, count in multiset.items_sorted()]
+
+
+def decode_multiset(payload) -> Multiset:
+    return Multiset({_decode_state(element): count for element, count in payload})
+
+
+def encode_transition(transition: Transition) -> list:
+    """Encode a transition as a ``[pre, post]`` pair of encoded multisets."""
+    return [encode_multiset(transition.pre), encode_multiset(transition.post)]
+
+
+def decode_transition(payload) -> Transition:
+    pre, post = payload
+    return Transition(decode_multiset(pre), decode_multiset(post))
+
+
+def encode_flow(flow: dict[Transition, int]) -> list:
+    """Encode a transition flow as sorted ``[pre, post, count]`` triples."""
+    entries = [
+        [encode_multiset(t.pre), encode_multiset(t.post), count] for t, count in flow.items()
+    ]
+    entries.sort(key=repr)
+    return entries
+
+
+def decode_flow(payload) -> dict[Transition, int]:
+    return {
+        Transition(decode_multiset(pre), decode_multiset(post)): count
+        for pre, post, count in payload
+    }
+
+
+def encode_partition(partition: OrderedPartition) -> list:
+    """Encode an ordered partition as layers of ``[pre, post]`` transition pairs."""
+    return [sorted((encode_transition(t) for t in layer), key=repr) for layer in partition]
+
+
+def decode_partition(payload) -> OrderedPartition:
+    layers = [[decode_transition(entry) for entry in layer] for layer in payload]
+    return OrderedPartition.of(*layers)
+
+
+# ----------------------------------------------------------------------
+# Artifact codecs: certificates
+# ----------------------------------------------------------------------
+
+
+def encode_fraction(value) -> str:
+    """Exact string form of a rational weight (``"3/4"``, ``"2"``)."""
+    return str(Fraction(value))
+
+
+def decode_fraction(text: str) -> Fraction:
+    return Fraction(text)
+
+
+def encode_ranking(ranking: dict | None) -> list | None:
+    """Encode a ranking function as sorted ``[state, weight]`` pairs.
+
+    Weights are serialised as exact fraction strings, so rational ranking
+    functions (the usual output of the LP certificate search) survive the
+    round trip without precision loss.
+    """
+    if ranking is None:
+        return None
+    return sorted(
+        ([_encode_state(state), encode_fraction(weight)] for state, weight in ranking.items()),
+        key=repr,
+    )
+
+
+def decode_ranking(payload) -> dict | None:
+    if payload is None:
+        return None
+    return {_decode_state(state): decode_fraction(weight) for state, weight in payload}
+
+
+def certificate_to_dict(certificate) -> dict:
+    """Losslessly encode a :class:`LayeredTerminationCertificate`."""
+    return {
+        "type": "layered_termination",
+        "strategy": certificate.strategy,
+        "partition": encode_partition(certificate.partition),
+        "layers": [
+            {
+                "layer_index": layer.layer_index,
+                "transitions": sorted(
+                    (encode_transition(t) for t in layer.transitions), key=repr
+                ),
+                "ranking": encode_ranking(layer.ranking),
+            }
+            for layer in certificate.layers
+        ],
+    }
+
+
+def certificate_from_dict(data: dict):
+    from repro.verification.results import LayerCertificate, LayeredTerminationCertificate
+
+    if data.get("type") != "layered_termination":
+        raise ValueError(f"unknown certificate type {data.get('type')!r}")
+    layers = [
+        LayerCertificate(
+            layer_index=entry["layer_index"],
+            transitions=frozenset(decode_transition(t) for t in entry["transitions"]),
+            ranking=decode_ranking(entry.get("ranking")),
+        )
+        for entry in data["layers"]
+    ]
+    return LayeredTerminationCertificate(
+        partition=decode_partition(data["partition"]),
+        layers=layers,
+        strategy=data.get("strategy", "unknown"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Artifact codecs: counterexamples and refinement steps
+# ----------------------------------------------------------------------
+
+
+def counterexample_to_dict(counterexample) -> dict:
+    """Losslessly encode a StrongConsensus or correctness counterexample."""
+    from repro.verification.results import (
+        CorrectnessCounterexample,
+        StrongConsensusCounterexample,
+    )
+
+    if isinstance(counterexample, StrongConsensusCounterexample):
+        return {
+            "type": "strong_consensus",
+            "initial": encode_multiset(counterexample.initial),
+            "terminal_true": encode_multiset(counterexample.terminal_true),
+            "terminal_false": encode_multiset(counterexample.terminal_false),
+            "flow_true": encode_flow(counterexample.flow_true),
+            "flow_false": encode_flow(counterexample.flow_false),
+        }
+    if isinstance(counterexample, CorrectnessCounterexample):
+        return {
+            "type": "correctness",
+            "input_population": encode_multiset(counterexample.input_population),
+            "initial": encode_multiset(counterexample.initial),
+            "terminal": encode_multiset(counterexample.terminal),
+            "flow": encode_flow(counterexample.flow),
+            "expected_output": counterexample.expected_output,
+        }
+    raise TypeError(f"cannot encode counterexample of type {type(counterexample).__name__}")
+
+
+def counterexample_from_dict(data: dict):
+    from repro.verification.results import (
+        CorrectnessCounterexample,
+        StrongConsensusCounterexample,
+    )
+
+    kind = data.get("type")
+    if kind == "strong_consensus":
+        return StrongConsensusCounterexample(
+            initial=decode_multiset(data["initial"]),
+            terminal_true=decode_multiset(data["terminal_true"]),
+            terminal_false=decode_multiset(data["terminal_false"]),
+            flow_true=decode_flow(data["flow_true"]),
+            flow_false=decode_flow(data["flow_false"]),
+        )
+    if kind == "correctness":
+        return CorrectnessCounterexample(
+            input_population=decode_multiset(data["input_population"]),
+            initial=decode_multiset(data["initial"]),
+            terminal=decode_multiset(data["terminal"]),
+            flow=decode_flow(data["flow"]),
+            expected_output=data["expected_output"],
+        )
+    raise ValueError(f"unknown counterexample type {kind!r}")
+
+
+def refinement_step_to_dict(step) -> dict:
+    """Losslessly encode a trap/siphon :class:`RefinementStep`."""
+    return {
+        "kind": step.kind,
+        "states": sorted((_encode_state(state) for state in step.states), key=repr),
+        "iteration": step.iteration,
+    }
+
+
+def refinement_step_from_dict(data: dict):
+    from repro.verification.results import RefinementStep
+
+    return RefinementStep(
+        kind=data["kind"],
+        states=frozenset(_decode_state(state) for state in data["states"]),
+        iteration=data["iteration"],
+    )

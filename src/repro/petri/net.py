@@ -10,7 +10,7 @@ create or destroy tokens.
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.datatypes.multiset import Multiset
 

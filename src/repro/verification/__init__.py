@@ -1,34 +1,51 @@
 """The WS³ verification engine (Sections 4 and 6 of the paper).
 
-Public entry points:
+The supported entry point is the unified session API of :mod:`repro.api`::
 
-* :func:`repro.verification.ws3.verify_ws3` — decide membership in WS³
-  (LayeredTermination + StrongConsensus);
-* :func:`repro.verification.layered_termination.check_layered_termination`;
-* :func:`repro.verification.strong_consensus.check_strong_consensus`;
-* :func:`repro.verification.correctness.check_correctness` — does a WS³
-  protocol compute a given predicate? (the Section 6 extension);
-* :mod:`repro.verification.explicit` — the explicit-state single-input
-  baseline of earlier work.
+    from repro.api import Verifier
+
+    report = Verifier().check(protocol, properties=["ws3", "correctness"])
+
+The historical per-property functions (``verify_ws3``,
+``check_layered_termination``, ``check_strong_consensus``,
+``check_correctness``) remain importable from here but emit
+``DeprecationWarning``; they delegate to the same implementations
+(``*_impl``) the API's property checkers use, so verdicts are identical.
+:mod:`repro.verification.explicit` — the explicit-state single-input
+baseline of earlier work — is also exposed through the ``"explicit"``
+property of the new API.
 """
 
-from repro.verification.correctness import CorrectnessResult, check_correctness
+from repro.verification.correctness import (
+    CorrectnessResult,
+    check_correctness,
+    check_correctness_impl,
+)
 from repro.verification.layered_termination import (
     LayeredTerminationResult,
     check_layered_termination,
+    check_layered_termination_impl,
     check_partition,
 )
-from repro.verification.strong_consensus import StrongConsensusResult, check_strong_consensus
-from repro.verification.ws3 import WS3Result, verify_ws3
+from repro.verification.strong_consensus import (
+    StrongConsensusResult,
+    check_strong_consensus,
+    check_strong_consensus_impl,
+)
+from repro.verification.ws3 import WS3Result, verify_ws3, verify_ws3_impl
 
 __all__ = [
     "verify_ws3",
+    "verify_ws3_impl",
     "WS3Result",
     "check_layered_termination",
+    "check_layered_termination_impl",
     "check_partition",
     "LayeredTerminationResult",
     "check_strong_consensus",
+    "check_strong_consensus_impl",
     "StrongConsensusResult",
     "check_correctness",
+    "check_correctness_impl",
     "CorrectnessResult",
 ]

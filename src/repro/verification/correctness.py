@@ -25,7 +25,7 @@ from typing import Protocol as TypingProtocol
 
 from repro.datatypes.multiset import Multiset
 from repro.protocols.protocol import PopulationProtocol
-from repro.smtlite.formula import Formula, conjunction
+from repro.smtlite.formula import Formula
 from repro.smtlite.solver import Solver, SolverStatus
 from repro.smtlite.terms import LinearExpr
 from repro.verification.results import CorrectnessCounterexample, RefinementStep
@@ -98,7 +98,7 @@ def correctness_tasks(protocol: PopulationProtocol) -> list[tuple[int, object]]:
     return tasks
 
 
-def check_correctness(
+def check_correctness_impl(
     protocol: PopulationProtocol,
     predicate: PredicateLike,
     theory: str = "auto",
@@ -384,7 +384,9 @@ def _check_correctness_engine(
     )
 
     if sat_seen:
-        serial = check_correctness(protocol, predicate, theory=theory, max_refinements=max_refinements)
+        serial = check_correctness_impl(
+            protocol, predicate, theory=theory, max_refinements=max_refinements
+        )
         serial.statistics["parallel"] = {
             "jobs": engine.jobs,
             "waves": statistics["waves"],
@@ -393,3 +395,35 @@ def _check_correctness_engine(
         return serial
     statistics["time"] = time.perf_counter() - start
     return CorrectnessResult(holds=True, refinements=refinements, statistics=statistics)
+
+
+def check_correctness(
+    protocol: PopulationProtocol,
+    predicate: PredicateLike,
+    theory: str = "auto",
+    max_refinements: int = 10_000,
+    jobs: int = 1,
+    engine=None,
+) -> CorrectnessResult:
+    """Deprecated: use :class:`repro.api.Verifier` instead.
+
+    ``Verifier().check(protocol, properties=["correctness"], predicate=...)``
+    returns the same verdict and counterexample in report form; this shim
+    delegates to the same implementation, so verdicts are identical.
+    """
+    import warnings
+
+    warnings.warn(
+        "check_correctness() is deprecated; use repro.api.Verifier"
+        " (Verifier().check(protocol, properties=['correctness'], predicate=...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return check_correctness_impl(
+        protocol,
+        predicate,
+        theory=theory,
+        max_refinements=max_refinements,
+        jobs=jobs,
+        engine=engine,
+    )

@@ -31,9 +31,9 @@ from itertools import combinations_with_replacement
 from repro.datatypes.multiset import Multiset
 from repro.protocols.protocol import OrderedPartition, PopulationProtocol, Transition
 from repro.protocols.semantics import strongly_connected_components
-from repro.smtlite.formula import Implies, conjunction, disjunction
+from repro.smtlite.formula import Implies, disjunction
 from repro.smtlite.solver import Solver, SolverStatus
-from repro.smtlite.terms import IntVar, LinearExpr
+from repro.smtlite.terms import LinearExpr
 from repro.smtlite.simplex import LinearProgram, LPStatus
 from repro.verification.results import LayerCertificate, LayeredTerminationCertificate
 
@@ -606,7 +606,7 @@ def _check_layered_termination_portfolio(
 # ----------------------------------------------------------------------
 
 
-def check_layered_termination(
+def check_layered_termination_impl(
     protocol: PopulationProtocol,
     strategy: str = "auto",
     max_layers: int | None = None,
@@ -615,7 +615,7 @@ def check_layered_termination(
     jobs: int = 1,
     engine=None,
 ) -> LayeredTerminationResult:
-    """Decide LayeredTermination.
+    """Decide LayeredTermination (implementation; see the deprecated shim below).
 
     ``strategy`` is one of:
 
@@ -701,4 +701,38 @@ def check_layered_termination(
     return finish(
         LayeredTerminationResult(holds=False, reason=f"strategy {strategy!r} found no valid partition"),
         strategy,
+    )
+
+
+def check_layered_termination(
+    protocol: PopulationProtocol,
+    strategy: str = "auto",
+    max_layers: int | None = None,
+    materialize_rankings: bool = False,
+    theory: str = "auto",
+    jobs: int = 1,
+    engine=None,
+) -> LayeredTerminationResult:
+    """Deprecated: use :class:`repro.api.Verifier` instead.
+
+    ``Verifier().check(protocol, properties=["layered_termination"])``
+    returns the same verdict and certificate in report form; this shim
+    delegates to the same implementation, so verdicts are identical.
+    """
+    import warnings
+
+    warnings.warn(
+        "check_layered_termination() is deprecated; use repro.api.Verifier"
+        " (Verifier().check(protocol, properties=['layered_termination']))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return check_layered_termination_impl(
+        protocol,
+        strategy=strategy,
+        max_layers=max_layers,
+        materialize_rankings=materialize_rankings,
+        theory=theory,
+        jobs=jobs,
+        engine=engine,
     )

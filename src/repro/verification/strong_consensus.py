@@ -356,7 +356,7 @@ def find_refinement(
 # ----------------------------------------------------------------------
 
 
-def check_strong_consensus(
+def check_strong_consensus_impl(
     protocol: PopulationProtocol,
     theory: str = "auto",
     strategy: str = "auto",
@@ -421,6 +421,40 @@ def check_strong_consensus(
     if patterns is not None:
         result.statistics["patterns"] = len(patterns)
     return result
+
+
+def check_strong_consensus(
+    protocol: PopulationProtocol,
+    theory: str = "auto",
+    strategy: str = "auto",
+    max_refinements: int = 10_000,
+    max_pattern_pairs: int = 250_000,
+    jobs: int = 1,
+    engine=None,
+) -> StrongConsensusResult:
+    """Deprecated: use :class:`repro.api.Verifier` instead.
+
+    ``Verifier().check(protocol, properties=["strong_consensus"])`` returns
+    the same verdict and counterexample in report form; this shim delegates
+    to the same implementation, so verdicts are identical.
+    """
+    import warnings
+
+    warnings.warn(
+        "check_strong_consensus() is deprecated; use repro.api.Verifier"
+        " (Verifier().check(protocol, properties=['strong_consensus']))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return check_strong_consensus_impl(
+        protocol,
+        theory=theory,
+        strategy=strategy,
+        max_refinements=max_refinements,
+        max_pattern_pairs=max_pattern_pairs,
+        jobs=jobs,
+        engine=engine,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -9,14 +9,18 @@ restricting verification to this class.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 from repro.protocols.protocol import PopulationProtocol
 from repro.verification.layered_termination import (
     LayeredTerminationResult,
-    check_layered_termination,
+    check_layered_termination_impl,
 )
-from repro.verification.strong_consensus import StrongConsensusResult, check_strong_consensus
+from repro.verification.strong_consensus import (
+    StrongConsensusResult,
+    check_strong_consensus_impl,
+)
 
 
 @dataclass
@@ -62,17 +66,24 @@ class WS3Result:
         return "\n".join(lines)
 
 
-def verify_ws3(
+def verify_ws3_impl(
     protocol: PopulationProtocol,
     strategy: str = "auto",
     theory: str = "auto",
     max_layers: int | None = None,
     check_consensus_first: bool = False,
     materialize_rankings: bool = False,
+    consensus_strategy: str = "auto",
+    max_refinements: int = 10_000,
+    max_pattern_pairs: int = 250_000,
     jobs: int = 1,
     engine=None,
 ) -> WS3Result:
-    """Decide membership of a protocol in WS³.
+    """Decide membership of a protocol in WS³ (implementation).
+
+    This is the non-deprecated decision procedure shared by the
+    :class:`repro.api.verifier.Verifier` property checkers and the legacy
+    :func:`verify_ws3` shim.
 
     Parameters
     ----------
@@ -109,28 +120,34 @@ def verify_ws3(
         engine = VerificationEngine(jobs=jobs)
         owned_engine = True
 
+    def run_consensus() -> StrongConsensusResult:
+        return check_strong_consensus_impl(
+            protocol,
+            theory=theory,
+            strategy=consensus_strategy,
+            max_refinements=max_refinements,
+            max_pattern_pairs=max_pattern_pairs,
+            engine=engine,
+        )
+
+    def run_layered() -> LayeredTerminationResult:
+        return check_layered_termination_impl(
+            protocol,
+            strategy=strategy,
+            max_layers=max_layers,
+            theory=theory,
+            materialize_rankings=materialize_rankings,
+            engine=engine,
+        )
+
     try:
         if check_consensus_first:
-            strong_consensus = check_strong_consensus(protocol, theory=theory, engine=engine)
-            layered = check_layered_termination(
-                protocol,
-                strategy=strategy,
-                max_layers=max_layers,
-                theory=theory,
-                materialize_rankings=materialize_rankings,
-                engine=engine,
-            )
+            strong_consensus = run_consensus()
+            layered = run_layered()
         else:
-            layered = check_layered_termination(
-                protocol,
-                strategy=strategy,
-                max_layers=max_layers,
-                theory=theory,
-                materialize_rankings=materialize_rankings,
-                engine=engine,
-            )
+            layered = run_layered()
             if layered.holds:
-                strong_consensus = check_strong_consensus(protocol, theory=theory, engine=engine)
+                strong_consensus = run_consensus()
     finally:
         if owned_engine:
             engine.shutdown()
@@ -152,4 +169,39 @@ def verify_ws3(
         layered_termination=layered,
         strong_consensus=strong_consensus,
         statistics=statistics,
+    )
+
+
+def verify_ws3(
+    protocol: PopulationProtocol,
+    strategy: str = "auto",
+    theory: str = "auto",
+    max_layers: int | None = None,
+    check_consensus_first: bool = False,
+    materialize_rankings: bool = False,
+    jobs: int = 1,
+    engine=None,
+) -> WS3Result:
+    """Deprecated: use :class:`repro.api.Verifier` instead.
+
+    ``Verifier(jobs=...).check(protocol, properties=["ws3"])`` returns a
+    :class:`~repro.api.report.VerificationReport` with the same verdict,
+    certificate and counterexample.  This shim delegates to the same
+    implementation, so verdicts are identical.
+    """
+    warnings.warn(
+        "verify_ws3() is deprecated; use repro.api.Verifier"
+        " (Verifier().check(protocol, properties=['ws3']))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return verify_ws3_impl(
+        protocol,
+        strategy=strategy,
+        theory=theory,
+        max_layers=max_layers,
+        check_consensus_first=check_consensus_first,
+        materialize_rankings=materialize_rankings,
+        jobs=jobs,
+        engine=engine,
     )

@@ -26,12 +26,10 @@ class TestVerifyMany:
             item.protocol_hash for item in serial
         ]
         for serial_item, parallel_item in zip(serial, parallel):
-            serial_sc = serial_item.summary["strong_consensus"]
-            parallel_sc = parallel_item.summary["strong_consensus"]
-            assert (serial_sc is None) == (parallel_sc is None)
-            if serial_sc is not None:
-                assert parallel_sc["holds"] == serial_sc["holds"]
-                assert parallel_sc["counterexample"] == serial_sc["counterexample"]
+            serial_sc = serial_item.report.result_for("strong_consensus")
+            parallel_sc = parallel_item.report.result_for("strong_consensus")
+            assert serial_sc.verdict == parallel_sc.verdict
+            assert serial_sc.counterexample == parallel_sc.counterexample
 
     def test_second_run_is_served_from_cache(self, tmp_path):
         protocols = [majority_protocol(), broadcast_protocol()]
@@ -43,7 +41,7 @@ class TestVerifyMany:
         assert warm.statistics["cache"]["hits"] == 2
         assert warm.statistics["verified"] == 0
         assert all(item.from_cache for item in warm)
-        assert [item.summary for item in warm] == [item.summary for item in cold]
+        assert [item.report for item in warm] == [item.report for item in cold]
         # the warm run does no solving, so it is effectively instant
         assert warm.statistics["time"] < 0.5
 
@@ -51,7 +49,7 @@ class TestVerifyMany:
         batch = verify_many([broadcast_protocol(), broadcast_protocol()])
         assert batch.statistics["verified"] == 1
         assert batch.statistics["duplicates"] == 1
-        assert batch.items[0].summary == batch.items[1].summary
+        assert batch.items[0].report == batch.items[1].report
 
     def test_shared_cache_object(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -61,12 +61,19 @@ class TestCLI:
         assert "WS3 membership check" in output
         assert "simulation of A=2,B=3" in output
 
-    def test_verify_family_json_output(self, capsys):
+    def test_verify_family_json_output_is_a_lossless_report(self, capsys):
+        from repro.api import VerificationReport
+
         exit_code = main(["family", "broadcast", "--json"])
-        payload = json.loads(capsys.readouterr().out)
+        raw = capsys.readouterr().out
+        payload = json.loads(raw)
         assert exit_code == 0
-        assert payload["is_ws3"] is True
-        assert payload["states"] == 2
+        assert payload["protocol"] == "broadcast"
+        assert payload["schema"].startswith("repro-verification-report/")
+        report = VerificationReport.from_json(raw)
+        assert report.is_ws3
+        assert report.holds("layered_termination")
+        assert report.result_for("layered_termination").certificate is not None
 
     def test_verify_family_with_parameter_and_correctness(self, capsys):
         exit_code = main(
@@ -74,7 +81,14 @@ class TestCLI:
         )
         payload = json.loads(capsys.readouterr().out)
         assert exit_code == 0
-        assert payload["computes_documented_predicate"] is True
+        correctness = [p for p in payload["properties"] if p["property"] == "correctness"]
+        assert correctness and correctness[0]["verdict"] == "holds"
+
+    def test_verify_single_property_selection(self, capsys):
+        exit_code = main(["family", "broadcast", "--property", "layered_termination", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert [p["property"] for p in payload["properties"]] == ["layered_termination"]
 
     def test_verify_protocol_from_file(self, tmp_path, capsys, majority_protocol):
         path = tmp_path / "majority.json"
@@ -89,10 +103,12 @@ class TestCLI:
             main(["family", "does-not-exist"])
 
     def test_verify_family_with_jobs(self, capsys):
+        from repro.api import VerificationReport
+
         exit_code = main(["family", "broadcast", "--jobs", "2", "--json"])
-        payload = json.loads(capsys.readouterr().out)
+        report = VerificationReport.from_json(capsys.readouterr().out)
         assert exit_code == 0
-        assert payload["is_ws3"] is True
+        assert report.is_ws3
 
 
 class TestBatchCLI:
@@ -144,6 +160,7 @@ class TestBatchCLI:
         assert exit_code == 1
         assert "NOT PROVEN" in output
 
-    def test_batch_unknown_spec_rejected(self, capsys):
-        with pytest.raises(SystemExit):
-            main(["batch", "no-such-family-or-file", "--no-cache"])
+    def test_batch_unknown_spec_sets_loader_exit_code(self, capsys):
+        exit_code = main(["batch", "no-such-family-or-file", "--no-cache"])
+        assert exit_code == 2
+        assert "unknown protocol family or file" in capsys.readouterr().err

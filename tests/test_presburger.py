@@ -10,7 +10,6 @@ from repro.presburger.compiler import compile_predicate
 from repro.presburger.predicates import (
     AndPredicate,
     FalsePredicate,
-    NotPredicate,
     OrPredicate,
     RemainderPredicate,
     ThresholdPredicate,

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.datatypes.multiset import Multiset
 from repro.protocols.library import (
     PROTOCOL_FAMILIES,
     broadcast_protocol,

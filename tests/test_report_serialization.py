@@ -1,0 +1,210 @@
+"""Lossless round-trip tests for verification reports and artifact codecs.
+
+The acceptance bar of the unified API: ``report == from_json(to_json(report))``
+for passing *and* failing verdicts over the protocol library, with
+certificates (including `Fraction` ranking weights), counterexamples,
+refinement trails and statistics all surviving the trip.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.api import VerificationOptions, VerificationReport, Verifier
+from repro.datatypes.multiset import Multiset
+from repro.io.serialization import (
+    certificate_from_dict,
+    certificate_to_dict,
+    counterexample_from_dict,
+    counterexample_to_dict,
+    decode_flow,
+    decode_fraction,
+    decode_multiset,
+    decode_partition,
+    decode_ranking,
+    encode_flow,
+    encode_fraction,
+    encode_multiset,
+    encode_partition,
+    encode_ranking,
+    refinement_step_from_dict,
+    refinement_step_to_dict,
+)
+from repro.protocols.library import (
+    broadcast_protocol,
+    coin_flip_protocol,
+    exclusive_majority_protocol,
+    flock_of_birds_protocol,
+    majority_protocol,
+    oscillating_majority_protocol,
+    threshold_protocol,
+)
+from repro.protocols.protocol import Transition
+from repro.verification.results import RefinementStep, StrongConsensusCounterexample
+
+
+def round_trip(report: VerificationReport) -> VerificationReport:
+    clone = VerificationReport.from_json(report.to_json())
+    assert clone == report
+    assert clone.to_dict() == report.to_dict()
+    return clone
+
+
+class TestReportRoundTrips:
+    """``report == from_json(to_json(report))`` across the library."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [majority_protocol, broadcast_protocol, lambda: flock_of_birds_protocol(4)],
+        ids=["majority", "broadcast", "flock-of-birds-4"],
+    )
+    def test_passing_ws3_reports_round_trip(self, factory):
+        report = Verifier(materialize_rankings=True).check(factory())
+        assert report.is_ws3
+        clone = round_trip(report)
+        certificate = clone.result_for("layered_termination").certificate
+        assert certificate is not None
+        assert certificate.partition.covers(factory().transitions)
+        # Ranking weights survive as exact rationals.
+        for layer in certificate.layers:
+            assert layer.ranking is not None
+            assert all(isinstance(weight, Fraction) for weight in layer.ranking.values())
+
+    def test_failing_consensus_report_round_trips_with_counterexample(self):
+        report = Verifier().check(coin_flip_protocol())
+        assert not report.is_ws3
+        clone = round_trip(report)
+        counterexample = clone.result_for("strong_consensus").counterexample
+        assert counterexample is not None
+        assert counterexample.initial.size() >= 2
+        assert counterexample.flow_true and counterexample.flow_false
+
+    def test_failing_termination_report_round_trips(self):
+        report = Verifier().check(oscillating_majority_protocol())
+        assert not report.is_ws3
+        clone = round_trip(report)
+        layered = clone.result_for("layered_termination")
+        assert not layered.holds
+        assert "no ordered partition" in layered.reason
+        assert clone.result_for("strong_consensus").verdict.value == "skipped"
+
+    def test_failing_correctness_report_round_trips_with_counterexample(self):
+        wrong_predicate = majority_protocol().metadata["predicate"]
+        report = Verifier().check(
+            exclusive_majority_protocol(), properties=["correctness"], predicate=wrong_predicate
+        )
+        assert not report.ok
+        clone = round_trip(report)
+        counterexample = clone.result_for("correctness").counterexample
+        assert counterexample is not None
+        assert counterexample.expected_output in (0, 1)
+        assert clone.result_for("correctness").details["predicate"] == wrong_predicate.describe()
+
+    def test_refinement_trail_round_trips(self):
+        report = Verifier().check(majority_protocol(), properties=["strong_consensus"])
+        result = report.result_for("strong_consensus")
+        assert result.refinements, "majority needs trap/siphon refinements"
+        clone = round_trip(report)
+        assert clone.result_for("strong_consensus").refinements == result.refinements
+
+    def test_explicit_property_report_round_trips(self):
+        report = Verifier(explicit_max_size=3).check(
+            coin_flip_protocol(), properties=["explicit"]
+        )
+        assert not report.ok
+        clone = round_trip(report)
+        inputs = clone.result_for("explicit").details["inputs"]
+        assert any(not entry["well_specified"] for entry in inputs)
+
+    def test_multi_property_report_round_trips(self):
+        report = Verifier().check(
+            majority_protocol(), properties=["ws3", "correctness", "explicit"]
+        )
+        clone = round_trip(report)
+        assert [p.property for p in clone.properties] == ["ws3", "correctness", "explicit"]
+        assert clone.ok
+
+    def test_unsupported_schema_rejected(self):
+        report = Verifier().check(broadcast_protocol(), properties=["layered_termination"])
+        data = report.to_dict()
+        data["schema"] = "something-else/9"
+        with pytest.raises(ValueError):
+            VerificationReport.from_dict(data)
+
+
+class TestArtifactCodecs:
+    """Unit round trips of the shared codecs, including tuple states."""
+
+    def test_fraction_codec_is_exact(self):
+        for value in (Fraction(1, 3), Fraction(-7, 5), Fraction(2), 4):
+            assert decode_fraction(encode_fraction(value)) == value
+
+    def test_ranking_codec_with_tuple_states(self):
+        ranking = {("q", 0): Fraction(5, 3), ("q", 1): Fraction(0), "r": Fraction(2)}
+        assert decode_ranking(encode_ranking(ranking)) == ranking
+        assert encode_ranking(None) is None and decode_ranking(None) is None
+
+    def test_multiset_and_flow_codecs_with_tuple_states(self):
+        configuration = Multiset({("t", 1): 2, "x": 3})
+        assert decode_multiset(encode_multiset(configuration)) == configuration
+        transition = Transition.make((("t", 1), "x"), (("t", 1), ("t", 1)))
+        flow = {transition: 4}
+        assert decode_flow(encode_flow(flow)) == flow
+
+    def test_certificate_codec_via_partition_hint(self):
+        from repro.verification.layered_termination import check_partition
+
+        protocol = threshold_protocol({"x": 1, "y": -1}, 1)
+        result = check_partition(
+            protocol, protocol.partition_hint, materialize_rankings=True, strategy="hint"
+        )
+        assert result.holds
+        clone = certificate_from_dict(certificate_to_dict(result.certificate))
+        assert clone == result.certificate
+        assert clone.num_layers == result.certificate.num_layers
+
+    def test_partition_codec_preserves_layer_order(self):
+        protocol = majority_protocol()
+        hint = protocol.partition_hint
+        assert decode_partition(encode_partition(hint)) == hint
+
+    def test_counterexample_codec_rejects_unknown_type(self):
+        with pytest.raises(ValueError):
+            counterexample_from_dict({"type": "nonsense"})
+        with pytest.raises(TypeError):
+            counterexample_to_dict(object())
+
+    def test_consensus_counterexample_codec(self):
+        transition = Transition.make(("a", "b"), ("b", "b"))
+        counterexample = StrongConsensusCounterexample(
+            initial=Multiset({"a": 2}),
+            terminal_true=Multiset({"b": 2}),
+            terminal_false=Multiset({"a": 2}),
+            flow_true={transition: 2},
+            flow_false={},
+        )
+        clone = counterexample_from_dict(counterexample_to_dict(counterexample))
+        assert clone == counterexample
+
+    def test_refinement_step_codec(self):
+        step = RefinementStep(kind="trap", states=frozenset({("q", 1), "r"}), iteration=3)
+        assert refinement_step_from_dict(refinement_step_to_dict(step)) == step
+
+
+class TestCacheStoresLosslessReports:
+    def test_cached_batch_reports_keep_artifacts(self, tmp_path):
+        protocols = [majority_protocol(), coin_flip_protocol()]
+        options = VerificationOptions(cache_dir=str(tmp_path))
+        with Verifier(options) as verifier:
+            cold = verifier.check_many(protocols)
+        with Verifier(options) as verifier:
+            warm = verifier.check_many(protocols)
+        assert all(item.from_cache for item in warm)
+        for cold_item, warm_item in zip(cold, warm):
+            assert warm_item.report == cold_item.report
+        # The failing protocol's counterexample survived the disk trip.
+        counterexample = warm.items[1].report.result_for("strong_consensus").counterexample
+        assert counterexample is not None
+        assert counterexample.describe()

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.smtlite.formula import And, BoolVar, Iff, Implies, Not, Or
+from repro.smtlite.formula import BoolVar, Iff, Implies, Not, Or
 from repro.smtlite.scipy_backend import ScipyTheorySolver
 from repro.smtlite.solver import Model, Solver, SolverStatus
 from repro.smtlite.terms import IntVar, LinearExpr

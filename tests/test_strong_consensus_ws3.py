@@ -7,7 +7,6 @@ import pytest
 from repro.datatypes.multiset import Multiset
 from repro.protocols.protocol import PopulationProtocol, Transition
 from repro.smtlite.formula import Formula
-from repro.smtlite.terms import LinearExpr
 from repro.verification.correctness import check_correctness
 from repro.verification.explicit import (
     check_predicate_on_inputs,
