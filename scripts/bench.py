@@ -99,6 +99,8 @@ def _entry_from_report(family: str, parameter: str, protocol, report, elapsed: f
             "refinements": len(strong.refinements),
             "time": None if from_cache else strong.statistics.get("time"),
             "solver": {} if from_cache else strong.statistics.get("solver", {}),
+            # IR simplifier savings: constraints before/after normalisation.
+            "simplifier": None if from_cache else strong.statistics.get("simplifier"),
         }
     return entry
 
@@ -154,6 +156,11 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs", type=int, default=1, help="worker processes for the verification engine"
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        help="solver backend (smtlite, scipy-ilp, portfolio; default: $REPRO_BACKEND or smtlite)",
+    )
+    parser.add_argument(
         "--cache-dir",
         type=Path,
         default=None,
@@ -167,7 +174,10 @@ def main(argv: list[str] | None = None) -> int:
 
         cache = ResultCache(args.cache_dir)
 
-    options = VerificationOptions(jobs=args.jobs)
+    overrides = {"jobs": args.jobs}
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    options = VerificationOptions(**overrides)
     entries = []
     with Verifier(options) as verifier:
         for family, parameter, factory in benchmark_suite(args.large):
@@ -187,6 +197,7 @@ def main(argv: list[str] | None = None) -> int:
         "machine": platform.machine(),
         "large": args.large,
         "jobs": args.jobs,
+        "backend": options.backend,
         "cpu_count": os.cpu_count(),
         "properties": list(PROPERTIES),
         "options": options.to_dict(),

@@ -12,7 +12,7 @@ names exactly the fields allowed to key cached verdicts.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 #: Partition-search strategies for LayeredTermination.
 STRATEGIES = ("auto", "hint", "single", "scc", "smt")
@@ -20,6 +20,19 @@ STRATEGIES = ("auto", "hint", "single", "scc", "smt")
 THEORIES = ("auto", "scipy", "exact")
 #: StrongConsensus solving strategies.
 CONSENSUS_STRATEGIES = ("auto", "patterns", "monolithic")
+
+
+def _default_backend() -> str:
+    """The default solver backend, overridable via ``REPRO_BACKEND``.
+
+    The environment hook is what the CI backend matrix uses: exporting
+    ``REPRO_BACKEND=scipy-ilp`` runs every ``Verifier`` (and every
+    deprecated shim) of a process against that backend without touching a
+    single call site.
+    """
+    from repro.constraints.backends import resolve_backend_name
+
+    return resolve_backend_name(None)
 
 
 @dataclass(frozen=True)
@@ -31,7 +44,14 @@ class VerificationOptions:
     strategy:
         Partition-search strategy for LayeredTermination.
     theory:
-        Constraint-solver backend (``"auto"``, ``"scipy"``, ``"exact"``).
+        Theory-solver preference inside a backend (``"auto"``, ``"scipy"``,
+        ``"exact"``).
+    backend:
+        Solver backend from the registry
+        (:func:`repro.constraints.backends.available_backends`):
+        ``"smtlite"`` (DPLL(T)), ``"scipy-ilp"`` (direct ILP case
+        splitting) or ``"portfolio"``.  Defaults to the ``REPRO_BACKEND``
+        environment variable, falling back to ``"smtlite"``.
     max_layers:
         Layer bound of the exact SMT partition search (``None`` = default).
     materialize_rankings:
@@ -59,6 +79,7 @@ class VerificationOptions:
 
     strategy: str = "auto"
     theory: str = "auto"
+    backend: str = field(default_factory=_default_backend)
     max_layers: int | None = None
     materialize_rankings: bool = False
     check_consensus_first: bool = False
@@ -75,6 +96,12 @@ class VerificationOptions:
             raise ValueError(f"strategy must be one of {STRATEGIES}, got {self.strategy!r}")
         if self.theory not in THEORIES:
             raise ValueError(f"theory must be one of {THEORIES}, got {self.theory!r}")
+        from repro.constraints.backends import available_backends
+
+        if self.backend not in available_backends():
+            raise ValueError(
+                f"backend must be one of {available_backends()}, got {self.backend!r}"
+            )
         if self.consensus_strategy not in CONSENSUS_STRATEGIES:
             raise ValueError(
                 f"consensus_strategy must be one of {CONSENSUS_STRATEGIES}, "

@@ -40,6 +40,7 @@ class PropertyChecker:
         *,
         engine=None,
         predicate=None,
+        context=None,
     ) -> PropertyResult:
         raise NotImplementedError
 
@@ -112,7 +113,7 @@ def ws3_result(result) -> PropertyResult:
 class LayeredTerminationChecker(PropertyChecker):
     name = "layered_termination"
 
-    def check(self, protocol, options, *, engine=None, predicate=None) -> PropertyResult:
+    def check(self, protocol, options, *, engine=None, predicate=None, context=None) -> PropertyResult:
         from repro.verification.layered_termination import check_layered_termination_impl
 
         result = check_layered_termination_impl(
@@ -122,6 +123,8 @@ class LayeredTerminationChecker(PropertyChecker):
             materialize_rankings=options.materialize_rankings,
             theory=options.theory,
             engine=engine,
+            backend=options.backend,
+            context=context,
         )
         return layered_termination_result(result)
 
@@ -129,7 +132,7 @@ class LayeredTerminationChecker(PropertyChecker):
 class StrongConsensusChecker(PropertyChecker):
     name = "strong_consensus"
 
-    def check(self, protocol, options, *, engine=None, predicate=None) -> PropertyResult:
+    def check(self, protocol, options, *, engine=None, predicate=None, context=None) -> PropertyResult:
         from repro.verification.strong_consensus import check_strong_consensus_impl
 
         result = check_strong_consensus_impl(
@@ -139,6 +142,8 @@ class StrongConsensusChecker(PropertyChecker):
             max_refinements=options.max_refinements,
             max_pattern_pairs=options.max_pattern_pairs,
             engine=engine,
+            backend=options.backend,
+            context=context,
         )
         return strong_consensus_result(result)
 
@@ -146,7 +151,7 @@ class StrongConsensusChecker(PropertyChecker):
 class WS3Checker(PropertyChecker):
     name = "ws3"
 
-    def check(self, protocol, options, *, engine=None, predicate=None) -> PropertyResult:
+    def check(self, protocol, options, *, engine=None, predicate=None, context=None) -> PropertyResult:
         from repro.verification.ws3 import verify_ws3_impl
 
         result = verify_ws3_impl(
@@ -160,6 +165,8 @@ class WS3Checker(PropertyChecker):
             max_refinements=options.max_refinements,
             max_pattern_pairs=options.max_pattern_pairs,
             engine=engine,
+            backend=options.backend,
+            context=context,
         )
         return ws3_result(result)
 
@@ -167,7 +174,7 @@ class WS3Checker(PropertyChecker):
 class CorrectnessChecker(PropertyChecker):
     name = "correctness"
 
-    def check(self, protocol, options, *, engine=None, predicate=None) -> PropertyResult:
+    def check(self, protocol, options, *, engine=None, predicate=None, context=None) -> PropertyResult:
         from repro.verification.correctness import check_correctness_impl
 
         if predicate is None:
@@ -184,6 +191,8 @@ class CorrectnessChecker(PropertyChecker):
             theory=options.theory,
             max_refinements=options.max_refinements,
             engine=engine,
+            backend=options.backend,
+            context=context,
         )
         return correctness_result(result, predicate)
 
@@ -193,7 +202,7 @@ class ExplicitChecker(PropertyChecker):
 
     name = "explicit"
 
-    def check(self, protocol, options, *, engine=None, predicate=None) -> PropertyResult:
+    def check(self, protocol, options, *, engine=None, predicate=None, context=None) -> PropertyResult:
         from repro.verification.explicit import verify_inputs_up_to
 
         sweep = verify_inputs_up_to(

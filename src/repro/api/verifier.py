@@ -17,6 +17,7 @@ are thin shims over the same machinery.
 
 from __future__ import annotations
 
+import inspect
 import time
 from collections.abc import Iterable, Sequence
 
@@ -26,6 +27,9 @@ from repro.api.report import VerificationReport
 
 #: The default property set of a bare ``verifier.check(protocol)``.
 DEFAULT_PROPERTIES = ("ws3",)
+
+#: Analysis contexts kept per session (FIFO-bounded by protocol hash).
+_MAX_CONTEXTS = 16
 
 
 def _normalize_properties(properties) -> tuple[str, ...]:
@@ -72,6 +76,11 @@ class Verifier:
         self._owns_engine = False
         self._cache = cache
         self._closed = False
+        #: Per-protocol AnalysisContext shared by every property check of
+        #: the session, so structural artifacts (terminal patterns,
+        #: trap/siphon bases, normal form) are computed at most once per
+        #: protocol — however many checks the session runs.
+        self._contexts: dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Session lifecycle
@@ -121,6 +130,24 @@ class Verifier:
             self._cache = ResultCache(self.options.cache_dir)
         return self._cache
 
+    def analysis_context(self, protocol):
+        """The session's shared :class:`~repro.constraints.context.AnalysisContext`.
+
+        One context per protocol (by content hash), reused across every
+        :meth:`check` call of the session.
+        """
+        from repro.constraints.context import AnalysisContext
+        from repro.engine.cache import protocol_content_hash
+
+        key = protocol_content_hash(protocol)
+        context = self._contexts.get(key)
+        if context is None:
+            context = AnalysisContext(protocol).seed_protocol_key(key)
+            if len(self._contexts) >= _MAX_CONTEXTS:
+                self._contexts.pop(next(iter(self._contexts)))
+            self._contexts[key] = context
+        return context
+
     # ------------------------------------------------------------------
     # Checking
     # ------------------------------------------------------------------
@@ -145,11 +172,10 @@ class Verifier:
         return self._run_checkers(protocol, names, checkers, engine, predicate)
 
     def _run_checkers(self, protocol, names, checkers, engine, predicate) -> VerificationReport:
-        from repro.engine.cache import protocol_content_hash
-
         start = time.perf_counter()
+        context = self.analysis_context(protocol)
         results = [
-            checker.check(protocol, self.options, engine=engine, predicate=predicate)
+            self._run_checker(checker, protocol, engine, predicate, context)
             for checker in checkers
         ]
         statistics = {
@@ -159,11 +185,26 @@ class Verifier:
         }
         return VerificationReport(
             protocol_name=protocol.name,
-            protocol_hash=protocol_content_hash(protocol),
+            protocol_hash=context.protocol_key,
             properties=results,
             options=self.options.to_dict(),
             statistics=statistics,
         )
+
+    def _run_checker(self, checker, protocol, engine, predicate, context):
+        """Invoke one checker, passing the shared context when it accepts one.
+
+        Custom checkers written against the pre-context interface (no
+        ``context`` keyword) keep working unchanged.
+        """
+        kwargs = {"engine": engine, "predicate": predicate}
+        try:
+            accepts_context = "context" in inspect.signature(checker.check).parameters
+        except (TypeError, ValueError):  # pragma: no cover - exotic callables
+            accepts_context = False
+        if accepts_context:
+            kwargs["context"] = context
+        return checker.check(protocol, self.options, **kwargs)
 
     def check_many(
         self,

@@ -40,6 +40,7 @@ import json
 import sys
 
 from repro.api import VerificationOptions, Verifier, available_properties
+from repro.constraints.backends import available_backends
 from repro.io.loading import ProtocolLoadError, load_protocol_file, resolve_protocol_spec
 from repro.protocols.library import PROTOCOL_FAMILIES
 from repro.protocols.simulation import Simulator
@@ -113,7 +114,17 @@ def _add_verifier_options(parser: argparse.ArgumentParser) -> None:
         "--theory",
         default="auto",
         choices=["auto", "scipy", "exact"],
-        help="constraint-solver backend",
+        help="theory-solver preference inside the backend",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=sorted(available_backends()),
+        help=(
+            "solver backend from the registry (default: $REPRO_BACKEND or smtlite); "
+            "smtlite = DPLL(T), scipy-ilp = direct ILP case splitting, "
+            "portfolio = cheapest-first race of the two"
+        ),
     )
     parser.add_argument(
         "--jobs",
@@ -157,7 +168,10 @@ def _parse_input(text: str) -> dict:
 
 
 def _options_from_args(args) -> VerificationOptions:
-    return VerificationOptions(strategy=args.strategy, theory=args.theory, jobs=args.jobs)
+    overrides = {"strategy": args.strategy, "theory": args.theory, "jobs": args.jobs}
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    return VerificationOptions(**overrides)
 
 
 def _properties_from_args(args) -> list[str]:

@@ -1,0 +1,237 @@
+"""Pluggable solver backends behind a single registry.
+
+The verification layer never constructs a concrete solver any more: it asks
+the registry for one (:func:`create_solver`), names travel through
+:class:`~repro.api.options.VerificationOptions` / the CLI ``--backend``
+flag / the engine's subproblem envelopes, and new backends (a z3 adapter,
+say) plug in with :func:`register_backend` without touching a property
+check.
+
+Three backends ship by default:
+
+``smtlite``
+    The lazy DPLL(T) solver of :mod:`repro.smtlite.solver` — CNF + CDCL SAT
+    engine + theory checks on demand.  The right choice for systems with
+    real boolean structure (the monolithic StrongConsensus encoding, the
+    Appendix D.1 partition search).
+``scipy-ilp``
+    The direct-ILP loop of :mod:`repro.constraints.direct`: the few
+    disjunctions of a pattern-factored system are split combinatorially and
+    each case goes straight to integer feasibility (HiGHS MILP via scipy
+    when available, the exact branch-and-bound otherwise).  Falls back to a
+    DPLL(T) mirror if the case product outgrows its budget, so verdicts
+    never depend on the budget.
+``portfolio``
+    A cheapest-first race: a tightly budgeted direct-ILP attempt answers
+    the near-conjunctive queries immediately, and anything structurally
+    heavier is handed to a persistent DPLL(T) solver.  (The two runners
+    share each query sequentially rather than on threads — both are pure
+    Python, so a wall-clock race under the GIL would only add overhead;
+    under the parallel engine each worker process races its own pair.)
+
+Every backend returns objects implementing the :class:`ConstraintSolver`
+protocol, which is exactly the incremental surface the verification layer
+uses; parity across backends is asserted by the cross-backend tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Protocol, runtime_checkable
+
+from repro.constraints.direct import CaseBudgetExceeded, DirectILPSolver
+from repro.smtlite.formula import Formula
+from repro.smtlite.solver import Solver, SolverResult, SolverStatus
+from repro.smtlite.terms import LinearExpr
+
+
+@runtime_checkable
+class ConstraintSolver(Protocol):
+    """The incremental solver surface the verification layer relies on."""
+
+    statistics: dict
+
+    def int_var(
+        self, name: str, lower: int | None = 0, upper: int | None = None
+    ) -> LinearExpr: ...
+
+    def add(self, *formulas: Formula) -> None: ...
+
+    def push(self) -> None: ...
+
+    def pop(self) -> None: ...
+
+    def check(self, assumptions: Sequence[Formula] = ()) -> SolverResult: ...
+
+    def check_conjunction(self, formulas: Iterable[Formula]) -> SolverResult: ...
+
+
+class SolverBackend(Protocol):
+    """A named factory of :class:`ConstraintSolver` instances."""
+
+    name: str
+
+    def create_solver(self, theory: str = "auto") -> ConstraintSolver: ...
+
+
+# ----------------------------------------------------------------------
+# The built-in backends
+# ----------------------------------------------------------------------
+
+
+class SmtliteBackend:
+    """The lazy DPLL(T) solver (CNF + CDCL SAT + theory lemmas on demand)."""
+
+    name = "smtlite"
+
+    def create_solver(self, theory: str = "auto") -> ConstraintSolver:
+        return Solver(theory=theory)
+
+
+class ScipyILPBackend:
+    """Direct ILP case splitting with a DPLL(T) escape hatch."""
+
+    name = "scipy-ilp"
+
+    def __init__(self, max_cases: int = 512):
+        self.max_cases = max_cases
+
+    def create_solver(self, theory: str = "auto") -> ConstraintSolver:
+        return DirectILPSolver(theory=theory, max_cases=self.max_cases, fallback=True)
+
+
+class PortfolioSolver:
+    """Cheapest-first structural race between direct ILP and DPLL(T).
+
+    Assertions are mirrored into both runners; each :meth:`check` first
+    gives the tightly budgeted direct-ILP runner a shot (it answers the
+    near-conjunctive queries of the pattern strategies with a handful of
+    feasibility calls) and hands everything heavier to the persistent
+    DPLL(T) solver, whose learned lemmas accumulate across the session.
+    ``statistics`` records which runner answered each query.
+    """
+
+    def __init__(self, theory: str = "auto", direct_max_cases: int = 64):
+        self._direct = DirectILPSolver(
+            theory=theory, max_cases=direct_max_cases, fallback=False
+        )
+        self._dpllt = Solver(theory=theory)
+        self.statistics = {"checks": 0, "direct_wins": 0, "dpllt_wins": 0}
+
+    def int_var(
+        self, name: str, lower: int | None = 0, upper: int | None = None
+    ) -> LinearExpr:
+        self._dpllt.int_var(name, lower=lower, upper=upper)
+        return self._direct.int_var(name, lower=lower, upper=upper)
+
+    def add(self, *formulas: Formula) -> None:
+        self._direct.add(*formulas)
+        self._dpllt.add(*formulas)
+
+    def push(self) -> None:
+        self._direct.push()
+        self._dpllt.push()
+
+    def pop(self) -> None:
+        self._direct.pop()
+        self._dpllt.pop()
+
+    @property
+    def num_scopes(self) -> int:
+        return self._direct.num_scopes
+
+    def check(self, assumptions: Sequence[Formula] = ()) -> SolverResult:
+        self.statistics["checks"] += 1
+        try:
+            result = self._direct.check(assumptions=assumptions)
+        except CaseBudgetExceeded:
+            self.statistics["dpllt_wins"] += 1
+            return self._dpllt.check(assumptions=assumptions)
+        if result.status is SolverStatus.UNKNOWN:
+            # Theory budget exhausted on the direct path; give the DPLL(T)
+            # runner its shot before reporting UNKNOWN.
+            self.statistics["dpllt_wins"] += 1
+            return self._dpllt.check(assumptions=assumptions)
+        self.statistics["direct_wins"] += 1
+        return result
+
+    def check_conjunction(self, formulas: Iterable[Formula]) -> SolverResult:
+        return self._direct.check_conjunction(formulas)
+
+
+class PortfolioBackend:
+    """The portfolio runner (direct ILP raced against DPLL(T))."""
+
+    name = "portfolio"
+
+    def __init__(self, direct_max_cases: int = 64):
+        self.direct_max_cases = direct_max_cases
+
+    def create_solver(self, theory: str = "auto") -> ConstraintSolver:
+        return PortfolioSolver(theory=theory, direct_max_cases=self.direct_max_cases)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+_REGISTRY: dict[str, SolverBackend] = {}
+
+
+def register_backend(backend: SolverBackend, replace: bool = False) -> SolverBackend:
+    """Register a backend under its ``name``; duplicate names need ``replace=True``."""
+    name = getattr(backend, "name", "")
+    if not name:
+        raise ValueError(f"backend {backend!r} must define a name")
+    if not replace and name in _REGISTRY:
+        raise ValueError(f"backend {name!r} is already registered (pass replace=True)")
+    _REGISTRY[name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (mainly for tests and plugin teardown)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_backend(name: str) -> SolverBackend:
+    """Look up a backend by name; unknown names raise ``ValueError``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown solver backend {name!r}; available: {', '.join(available_backends())}"
+        ) from None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Sorted names of all registered backends."""
+    return tuple(sorted(_REGISTRY))
+
+
+#: The backend used when nothing is specified anywhere.
+DEFAULT_BACKEND = "smtlite"
+
+
+def resolve_backend_name(name: str | None) -> str:
+    """Map ``None`` (and the empty string) to the default backend name.
+
+    The default honours the ``REPRO_BACKEND`` environment variable (the CI
+    backend-matrix hook), so the unified API and the deprecated per-property
+    shims resolve to the same backend in the same process.
+    """
+    if name:
+        return name
+    import os
+
+    return os.environ.get("REPRO_BACKEND") or DEFAULT_BACKEND
+
+
+def create_solver(backend: str | None = None, theory: str = "auto") -> ConstraintSolver:
+    """The one place the verification layer obtains solvers from."""
+    return get_backend(resolve_backend_name(backend)).create_solver(theory=theory)
+
+
+for _backend in (SmtliteBackend(), ScipyILPBackend(), PortfolioBackend()):
+    register_backend(_backend)
+del _backend

@@ -1,0 +1,219 @@
+"""Normalisation and simplification of constraint systems.
+
+The pass is deliberately cheap (one linear sweep plus hashing) and exactly
+satisfiability-preserving — including under *evaluation*: for every total
+integer assignment, the simplified system (bounds plus constraints) is
+satisfied iff the original one is.  That stronger property is what the
+property-based tests check on random systems, and it is what makes the pass
+safe to run in front of *any* backend.
+
+Four rewrites are applied, in order:
+
+1. **constant folding** — boolean constants and constant atoms are folded
+   recursively *without* otherwise rewriting the formula (structure is
+   preserved so the downstream CNF conversion sees the shapes it always
+   saw); a conjunct folding to TRUE disappears, one folding to FALSE
+   collapses the whole system;
+2. **bound tightening** — a top-level single-variable atom ``a*x + c <= 0``
+   is moved into the variable's declared bounds (``x <= floor(-c/a)`` or
+   ``x >= ceil(-c/a)``); contradictory bounds collapse the system.  Skipped
+   with ``tighten_bounds=False``, which callers use when the simplified
+   block is asserted into a retractable solver scope (bounds are not
+   scoped);
+3. **duplicate elimination** — structurally identical conjuncts are kept
+   once (the formula AST is hashable);
+4. **subsumption** — among top-level atoms with identical coefficient
+   vectors only the tightest constant survives (``e + 5 <= 0`` subsumes
+   ``e + 2 <= 0``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.constraints.ir import ConstraintSystem
+from repro.smtlite.formula import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    BoolConst,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    conjunction,
+    disjunction,
+)
+
+
+def fold_constants(formula: Formula) -> Formula:
+    """Recursively fold boolean constants, preserving formula structure."""
+    if isinstance(formula, Atom):
+        if formula.expr.is_constant():
+            return TRUE if formula.expr.constant <= 0 else FALSE
+        return formula
+    if isinstance(formula, Not):
+        inner = fold_constants(formula.operand)
+        if isinstance(inner, BoolConst):
+            return FALSE if inner.value else TRUE
+        return formula if inner is formula.operand else Not(inner)
+    if isinstance(formula, And):
+        return conjunction([fold_constants(operand) for operand in formula.operands])
+    if isinstance(formula, Or):
+        return disjunction([fold_constants(operand) for operand in formula.operands])
+    if isinstance(formula, Implies):
+        antecedent = fold_constants(formula.antecedent)
+        consequent = fold_constants(formula.consequent)
+        if isinstance(antecedent, BoolConst):
+            return consequent if antecedent.value else TRUE
+        if isinstance(consequent, BoolConst):
+            if consequent.value:
+                return TRUE
+            return fold_constants(Not(antecedent))
+        if antecedent is formula.antecedent and consequent is formula.consequent:
+            return formula
+        return Implies(antecedent, consequent)
+    if isinstance(formula, Iff):
+        left = fold_constants(formula.left)
+        right = fold_constants(formula.right)
+        if isinstance(left, BoolConst):
+            return right if left.value else fold_constants(Not(right))
+        if isinstance(right, BoolConst):
+            return left if right.value else fold_constants(Not(left))
+        if left is formula.left and right is formula.right:
+            return formula
+        return Iff(left, right)
+    return formula  # BoolConst, BoolVar
+
+
+@dataclass
+class SimplifyStats:
+    """What one :func:`simplify_system` pass did (and how much it saved)."""
+
+    constraints_before: int = 0
+    constraints_after: int = 0
+    folded: int = 0
+    bounds_tightened: int = 0
+    duplicates_removed: int = 0
+    subsumed_removed: int = 0
+    collapsed_to_false: bool = False
+
+    @property
+    def removed(self) -> int:
+        return self.constraints_before - self.constraints_after
+
+    def merge(self, other: "SimplifyStats") -> None:
+        """Accumulate another pass's counters (used by per-run statistics)."""
+        self.constraints_before += other.constraints_before
+        self.constraints_after += other.constraints_after
+        self.folded += other.folded
+        self.bounds_tightened += other.bounds_tightened
+        self.duplicates_removed += other.duplicates_removed
+        self.subsumed_removed += other.subsumed_removed
+        self.collapsed_to_false = self.collapsed_to_false or other.collapsed_to_false
+
+    def to_dict(self) -> dict:
+        return {
+            "before": self.constraints_before,
+            "after": self.constraints_after,
+            "folded": self.folded,
+            "bounds_tightened": self.bounds_tightened,
+            "duplicates_removed": self.duplicates_removed,
+            "subsumed_removed": self.subsumed_removed,
+        }
+
+
+def _single_variable_bound(atom: Atom) -> tuple[str, int, bool] | None:
+    """Decode ``a*x + c <= 0`` into a bound: ``(x, value, is_upper)``."""
+    coefficients = atom.expr.coefficients
+    if len(coefficients) != 1:
+        return None
+    (name, a), c = next(iter(coefficients.items())), atom.expr.constant
+    if a > 0:  # x <= floor(-c / a)
+        return name, math.floor(Fraction(-c, a)), True
+    return name, math.ceil(Fraction(-c, a)), False  # x >= ceil(-c / a)
+
+
+def simplify_system(
+    system: ConstraintSystem, tighten_bounds: bool = True
+) -> tuple[ConstraintSystem, SimplifyStats]:
+    """Return an equivalent, smaller system plus the savings accounting."""
+    stats = SimplifyStats(constraints_before=len(system.constraints))
+    result = ConstraintSystem(system.name)
+    result.bounds = dict(system.bounds)
+    result.groups = {group: tuple(members) for group, members in system.groups.items()}
+
+    def collapse() -> tuple[ConstraintSystem, SimplifyStats]:
+        stats.collapsed_to_false = True
+        result.constraints = [FALSE]
+        stats.constraints_after = 1
+        return result, stats
+
+    # Pass 1: constant folding, splitting top-level conjunctions.
+    flat: list[Formula] = []
+    for constraint in system.constraints:
+        folded = fold_constants(constraint)
+        if isinstance(folded, BoolConst):
+            if not folded.value:
+                return collapse()
+            stats.folded += 1
+            continue
+        if isinstance(folded, And):
+            flat.extend(folded.operands)
+        else:
+            flat.append(folded)
+
+    # Pass 2: bound tightening on single-variable atoms.
+    remaining: list[Formula] = []
+    if tighten_bounds:
+        for formula in flat:
+            decoded = _single_variable_bound(formula) if isinstance(formula, Atom) else None
+            if decoded is None:
+                remaining.append(formula)
+                continue
+            name, value, is_upper = decoded
+            lower, upper = result.bounds.get(name, (0, None))
+            if is_upper:
+                upper = value if upper is None else min(upper, value)
+            else:
+                lower = value if lower is None else max(lower, value)
+            result.bounds[name] = (lower, upper)
+            stats.bounds_tightened += 1
+            if lower is not None and upper is not None and lower > upper:
+                return collapse()
+    else:
+        remaining = flat
+
+    # Pass 3: duplicate elimination (first occurrence wins, order preserved).
+    seen: set[Formula] = set()
+    deduped: list[Formula] = []
+    for formula in remaining:
+        if formula in seen:
+            stats.duplicates_removed += 1
+            continue
+        seen.add(formula)
+        deduped.append(formula)
+
+    # Pass 4: subsumption among atoms sharing a coefficient vector.  The
+    # atom ``e + c <= 0`` with the largest ``c`` implies all the others.
+    strongest: dict[frozenset, int] = {}
+    for formula in deduped:
+        if isinstance(formula, Atom):
+            key = frozenset(formula.expr.coefficients.items())
+            constant = formula.expr.constant
+            if key not in strongest or constant > strongest[key]:
+                strongest[key] = constant
+    for formula in deduped:
+        if isinstance(formula, Atom):
+            key = frozenset(formula.expr.coefficients.items())
+            if formula.expr.constant < strongest[key]:
+                stats.subsumed_removed += 1
+                continue
+        result.constraints.append(formula)
+
+    stats.constraints_after = len(result.constraints)
+    return result, stats

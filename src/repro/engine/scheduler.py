@@ -32,7 +32,9 @@ from repro.engine.subproblem import Subproblem, SubproblemResult
 #: Bumped whenever a change to the engine or the verification layer can
 #: alter verdicts, certificates or counterexamples; part of every result
 #: cache key, so stale entries from older engines are never served.
-ENGINE_VERSION = "3"
+#: "4": constraint IR + pluggable solver backends (backend lands in the
+#: options snapshot, simplifier normalises asserted systems).
+ENGINE_VERSION = "4"
 
 
 class EngineError(RuntimeError):

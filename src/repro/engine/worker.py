@@ -30,15 +30,37 @@ from repro.io.serialization import protocol_from_dict
 _PROTOCOLS: dict = {}
 _MAX_PROTOCOLS = 64
 
+#: Per-process AnalysisContext cache, keyed the same way.  The coordinator
+#: ships its already-computed portable artifacts inside the subproblem
+#: envelope (``params["context"]``); everything else is computed lazily,
+#: once per protocol per worker process, and shared across all the
+#: subproblems of that protocol the process solves.
+_CONTEXTS: dict = {}
+
 
 def _protocol_for(subproblem: Subproblem):
     protocol = _PROTOCOLS.get(subproblem.protocol_key)
     if protocol is None:
         protocol = protocol_from_dict(subproblem.protocol_data)
         if len(_PROTOCOLS) >= _MAX_PROTOCOLS:
-            _PROTOCOLS.pop(next(iter(_PROTOCOLS)))
+            evicted = next(iter(_PROTOCOLS))
+            _PROTOCOLS.pop(evicted)
+            # Evict the *same* protocol's context: a context must never
+            # outlive the protocol object its artifacts were built from.
+            _CONTEXTS.pop(evicted, None)
         _PROTOCOLS[subproblem.protocol_key] = protocol
     return protocol
+
+
+def _context_for(subproblem: Subproblem, protocol):
+    from repro.constraints.context import AnalysisContext
+
+    context = _CONTEXTS.get(subproblem.protocol_key)
+    if context is None:
+        context = AnalysisContext(protocol).seed_protocol_key(subproblem.protocol_key)
+        _CONTEXTS[subproblem.protocol_key] = context
+    context.hydrate(subproblem.params.get("context"))
+    return context
 
 
 def solve_subproblem(subproblem: Subproblem) -> SubproblemResult:
@@ -71,6 +93,8 @@ def _solve_consensus_pair(subproblem: Subproblem) -> SubproblemResult:
         theory=params.get("theory", "auto"),
         max_refinements=params.get("max_refinements", 10_000),
         protocol_key=subproblem.protocol_key,
+        backend=params.get("backend"),
+        context=_context_for(subproblem, protocol),
     )
     # The counterexample model is deliberately not shipped: on SAT the
     # coordinator re-derives the canonical one via the serial path, so only
@@ -97,6 +121,8 @@ def _solve_correctness_pattern(subproblem: Subproblem) -> SubproblemResult:
         seed_refinements=params["refinements"],
         theory=params.get("theory", "auto"),
         max_refinements=params.get("max_refinements", 10_000),
+        backend=params.get("backend"),
+        context=_context_for(subproblem, protocol),
     )
     return SubproblemResult(
         kind=subproblem.kind,
@@ -117,6 +143,8 @@ def _solve_termination_strategy(subproblem: Subproblem) -> SubproblemResult:
         strategy=params["strategy"],
         max_layers=params.get("max_layers"),
         theory=params.get("theory", "auto"),
+        backend=params.get("backend"),
+        context=_context_for(subproblem, protocol),
     )
     data = {"strategy": params["strategy"], "reason": result.reason}
     if result.holds and result.certificate is not None:

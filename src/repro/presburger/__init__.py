@@ -1,6 +1,12 @@
-"""Presburger predicates and their compilation to WS³ protocols (Section 5)."""
+"""Presburger predicates and their compilations (Section 5).
+
+Two compilation targets: WS³ protocols (:mod:`repro.presburger.compiler`,
+the paper's constructive expressiveness result) and the constraint IR
+(:mod:`repro.presburger.ir`, consumed by the correctness checker).
+"""
 
 from repro.presburger.compiler import compile_predicate
+from repro.presburger.ir import predicate_system
 from repro.presburger.predicates import (
     AndPredicate,
     FalsePredicate,
@@ -22,4 +28,5 @@ __all__ = [
     "TruePredicate",
     "FalsePredicate",
     "compile_predicate",
+    "predicate_system",
 ]

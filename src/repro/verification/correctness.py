@@ -15,6 +15,12 @@ Predicates must offer the small interface implemented by
 * ``negation_formula(input_vars)`` — the same for ¬φ;
 * ``evaluate(input_population)`` — concrete evaluation (used by tests and by
   the explicit-state baseline).
+
+The predicate's formulas are compiled into the constraint IR
+(:func:`repro.presburger.ir.predicate_system`) together with the terminal
+pattern block, simplified, and handed to whichever solver backend the
+registry provides; like the StrongConsensus check, all structural
+artifacts come from the shared :class:`AnalysisContext`.
 """
 
 from __future__ import annotations
@@ -23,17 +29,16 @@ import time
 from dataclasses import dataclass, field
 from typing import Protocol as TypingProtocol
 
+from repro.constraints.backends import create_solver, resolve_backend_name
+from repro.constraints.builders import ConstraintBuilder
+from repro.constraints.context import AnalysisContext
+from repro.constraints.simplify import SimplifyStats, simplify_system
 from repro.datatypes.multiset import Multiset
 from repro.protocols.protocol import PopulationProtocol
 from repro.smtlite.formula import Formula
-from repro.smtlite.solver import Solver, SolverStatus
-from repro.smtlite.terms import LinearExpr
+from repro.smtlite.solver import SolverStatus
 from repro.verification.results import CorrectnessCounterexample, RefinementStep
-from repro.verification.strong_consensus import (
-    _ConstraintBuilder,
-    find_refinement,
-    terminal_support_patterns,
-)
+from repro.verification.strong_consensus import find_refinement
 
 
 class PredicateLike(TypingProtocol):
@@ -60,7 +65,10 @@ class CorrectnessResult:
 
 
 def _assert_correctness_base(
-    protocol: PopulationProtocol, builder: _ConstraintBuilder, solver: Solver
+    protocol: PopulationProtocol,
+    builder: ConstraintBuilder,
+    solver,
+    simplifier: SimplifyStats | None = None,
 ) -> tuple:
     """Declare the shared input/flow variables and assert the base constraints.
 
@@ -68,27 +76,22 @@ def _assert_correctness_base(
     directly over the input variables; the flow equations are likewise
     substituted away (c1 is an expression over the input and the flow).
     """
-    input_vars = {
-        symbol: solver.int_var(f"inp_{index}", lower=0)
-        for index, symbol in enumerate(protocol.input_alphabet)
-    }
-    x1 = builder.flow_vars("x1")
-    solver.add(LinearExpr.sum_of(input_vars.values()) >= 2)
-    c0 = {}
-    for state in builder.states:
-        symbols = [symbol for symbol in protocol.input_alphabet if protocol.input_map[symbol] == state]
-        if symbols:
-            c0[state] = LinearExpr.sum_of(input_vars[symbol] for symbol in symbols)
-        else:
-            c0[state] = LinearExpr.constant_expr(0)
-    c1 = builder.derived_config(c0, x1)
-    solver.add(builder.non_negative(c1))
-    return input_vars, c0, c1, x1
+    variables = builder.correctness_variables()
+    system = builder.correctness_base_system(variables)
+    simplified, stats = simplify_system(system, tighten_bounds=False)
+    if simplifier is not None:
+        simplifier.merge(stats)
+    simplified.assert_into(solver)
+    return variables
 
 
-def correctness_tasks(protocol: PopulationProtocol) -> list[tuple[int, object]]:
+def correctness_tasks(
+    protocol: PopulationProtocol, context: AnalysisContext | None = None
+) -> list[tuple[int, object]]:
     """The deterministic enumeration of (expected output, pattern) tasks."""
-    patterns = terminal_support_patterns(protocol)
+    if context is None:
+        context = AnalysisContext(protocol)
+    patterns = context.terminal_patterns
     tasks = []
     for expected_output in (1, 0):
         wrong_output = 1 - expected_output
@@ -105,6 +108,8 @@ def check_correctness_impl(
     max_refinements: int = 10_000,
     jobs: int = 1,
     engine=None,
+    backend: str | None = None,
+    context: AnalysisContext | None = None,
 ) -> CorrectnessResult:
     """Check that a protocol computes ``predicate``.
 
@@ -120,6 +125,8 @@ def check_correctness_impl(
     """
     if engine is not None and jobs != 1:
         raise ValueError("pass either jobs>1 or an engine, not both")
+    if context is None:
+        context = AnalysisContext(protocol)
     owned_engine = False
     if engine is None and jobs > 1:
         from repro.engine.scheduler import VerificationEngine
@@ -128,13 +135,16 @@ def check_correctness_impl(
         owned_engine = True
     if engine is not None and engine.parallel:
         try:
-            return _check_correctness_engine(protocol, predicate, theory, max_refinements, engine)
+            return _check_correctness_engine(
+                protocol, predicate, theory, max_refinements, engine, backend, context
+            )
         finally:
             if owned_engine:
                 engine.shutdown()
 
     start = time.perf_counter()
     refinements: list[RefinementStep] = []
+    simplifier = SimplifyStats()
     statistics = {"iterations": 0, "traps": 0, "siphons": 0, "solver_instances": 1}
 
     # One persistent solver for both output directions and all terminal
@@ -142,11 +152,11 @@ def check_correctness_impl(
     # flow variables and non-negativity constraints are asserted once, the
     # per-direction/per-pattern constraints live in push/pop scopes, and
     # lemmas learned while refuting one pattern carry over to the next.
-    builder = _ConstraintBuilder(protocol)
-    solver = Solver(theory=theory)
-    input_vars, c0, c1, x1 = _assert_correctness_base(protocol, builder, solver)
+    builder = context.builder
+    solver = create_solver(backend, theory=theory)
+    variables = _assert_correctness_base(protocol, builder, solver, simplifier)
 
-    patterns = terminal_support_patterns(protocol)
+    patterns = context.terminal_patterns
     for expected_output in (1, 0):
         wrong_output = 1 - expected_output
         for pattern in patterns:
@@ -159,18 +169,22 @@ def check_correctness_impl(
                     protocol,
                     builder,
                     solver,
-                    (input_vars, c0, c1, x1),
+                    variables,
                     predicate,
                     expected_output,
                     pattern,
                     max_refinements,
                     refinements,
                     statistics,
+                    context=context,
+                    simplifier=simplifier,
                 )
             finally:
                 solver.pop()
             if outcome is not None:
                 statistics["solver"] = dict(solver.statistics)
+                statistics["simplifier"] = simplifier.to_dict()
+                statistics["backend"] = resolve_backend_name(backend)
                 statistics["time"] = time.perf_counter() - start
                 return CorrectnessResult(
                     holds=False,
@@ -180,14 +194,16 @@ def check_correctness_impl(
                 )
 
     statistics["solver"] = dict(solver.statistics)
+    statistics["simplifier"] = simplifier.to_dict()
+    statistics["backend"] = resolve_backend_name(backend)
     statistics["time"] = time.perf_counter() - start
     return CorrectnessResult(holds=True, refinements=refinements, statistics=statistics)
 
 
 def _solve_pattern(
     protocol: PopulationProtocol,
-    builder: _ConstraintBuilder,
-    solver: Solver,
+    builder: ConstraintBuilder,
+    solver,
     variables: tuple,
     predicate: PredicateLike,
     expected_output: int,
@@ -195,20 +211,30 @@ def _solve_pattern(
     max_refinements: int,
     refinements: list[RefinementStep],
     statistics: dict,
+    context: AnalysisContext | None = None,
+    simplifier: SimplifyStats | None = None,
 ) -> CorrectnessCounterexample | None:
-    """Run the refinement loop for one pattern inside an open solver scope."""
+    """Run the refinement loop for one pattern inside an open solver scope.
+
+    The per-pattern block — the pattern membership, the wrong-output
+    constraint, the compiled predicate (or its negation) and the trap/siphon
+    constraints discovered for earlier patterns (they only reference the
+    shared flow and configurations, so they are valid here too) — is one IR
+    system, simplified without bound tightening (the scope is retractable).
+    """
+    from repro.presburger.ir import predicate_system
+
     input_vars, c0, c1, x1 = variables
-    solver.add(builder.pattern(c1, pattern))
-    # Wrong output: some populated state disagrees with the expected value.
-    solver.add(builder.has_output(c1, 1 - expected_output))
-    if expected_output == 1:
-        solver.add(predicate.formula(input_vars))
-    else:
-        solver.add(predicate.negation_formula(input_vars))
-    # Trap/siphon constraints discovered for earlier patterns are valid here
-    # too (they only reference the shared flow and configurations).
-    for step in refinements:
-        solver.add(builder.refinement_constraint(step, c0, c1, x1, target_support=pattern.allowed))
+    supports = context.transition_supports if context is not None else None
+    system = builder.correctness_pattern_system(variables, expected_output, pattern, refinements)
+    # The predicate block is compiled separately through the presburger->IR
+    # path so fresh existential variables (remainder quotients) land in the
+    # system's variable groups.
+    system.merge(predicate_system(predicate, input_vars, negate=(expected_output == 0)))
+    simplified, stats = simplify_system(system, tighten_bounds=False)
+    if simplifier is not None:
+        simplifier.merge(stats)
+    simplified.assert_into(solver)
 
     for iteration in range(max_refinements):
         statistics["iterations"] += 1
@@ -222,7 +248,7 @@ def _solve_pattern(
         initial = builder.configuration_from_model(model, c0)
         terminal = builder.configuration_from_model(model, c1)
         flow = builder.flow_from_model(model, x1)
-        step = find_refinement(protocol, initial, terminal, flow)
+        step = find_refinement(protocol, initial, terminal, flow, supports=supports)
         if step is None:
             input_population = Multiset(
                 {
@@ -269,6 +295,8 @@ def solve_correctness_pattern_subproblem(
     seed_refinements,
     theory: str = "auto",
     max_refinements: int = 10_000,
+    backend: str | None = None,
+    context: AnalysisContext | None = None,
 ) -> CorrectnessPatternOutcome:
     """Solve one (direction, pattern) subproblem on a fresh solver.
 
@@ -276,8 +304,10 @@ def solve_correctness_pattern_subproblem(
     arguments — never on sibling subproblems solved by the same process —
     which keeps parallel runs reproducible.
     """
-    builder = _ConstraintBuilder(protocol)
-    solver = Solver(theory=theory)
+    if context is None:
+        context = AnalysisContext(protocol)
+    builder = context.builder
+    solver = create_solver(backend, theory=theory)
     variables = _assert_correctness_base(protocol, builder, solver)
     refinements = list(seed_refinements)
     seeded = len(refinements)
@@ -293,6 +323,7 @@ def solve_correctness_pattern_subproblem(
         max_refinements,
         refinements,
         statistics,
+        context=context,
     )
     statistics["solver"] = dict(solver.statistics)
     return CorrectnessPatternOutcome(
@@ -312,6 +343,8 @@ def correctness_pattern_subproblems(
     first_index: int,
     protocol_data: dict,
     protocol_key: str,
+    backend: str | None = None,
+    context_data: dict | None = None,
 ) -> list:
     """Package a slice of the (direction, pattern) enumeration as subproblems."""
     from repro.engine.subproblem import Subproblem
@@ -329,6 +362,8 @@ def correctness_pattern_subproblems(
                 "refinements": tuple(seed_refinements),
                 "theory": theory,
                 "max_refinements": max_refinements,
+                "backend": backend,
+                "context": context_data or {},
             },
         )
         for offset, (expected_output, pattern) in enumerate(tasks)
@@ -341,6 +376,8 @@ def _check_correctness_engine(
     theory: str,
     max_refinements: int,
     engine,
+    backend: str | None = None,
+    context: AnalysisContext | None = None,
 ) -> CorrectnessResult:
     """Fan the (direction, pattern) subproblems over the worker pool.
 
@@ -349,14 +386,16 @@ def _check_correctness_engine(
     merged between waves, and a serial re-run when a wrong-output witness is
     found so the reported counterexample is canonical.
     """
-    from repro.engine.cache import protocol_content_hash
     from repro.engine.scheduler import run_refinement_sweep
     from repro.io.serialization import protocol_to_dict
 
+    if context is None:
+        context = AnalysisContext(protocol)
     start = time.perf_counter()
-    tasks = correctness_tasks(protocol)
+    tasks = correctness_tasks(protocol, context)
     protocol_data = protocol_to_dict(protocol)
-    protocol_key = protocol_content_hash(protocol)
+    protocol_key = context.protocol_key
+    context_data = context.export_data()
     statistics = {
         "iterations": 0,
         "traps": 0,
@@ -379,13 +418,20 @@ def _check_correctness_engine(
             wave_start,
             protocol_data,
             protocol_key,
+            backend,
+            context_data,
         ),
         statistics,
     )
 
     if sat_seen:
         serial = check_correctness_impl(
-            protocol, predicate, theory=theory, max_refinements=max_refinements
+            protocol,
+            predicate,
+            theory=theory,
+            max_refinements=max_refinements,
+            backend=backend,
+            context=context,
         )
         serial.statistics["parallel"] = {
             "jobs": engine.jobs,
@@ -404,6 +450,7 @@ def check_correctness(
     max_refinements: int = 10_000,
     jobs: int = 1,
     engine=None,
+    backend: str | None = None,
 ) -> CorrectnessResult:
     """Deprecated: use :class:`repro.api.Verifier` instead.
 
@@ -426,4 +473,5 @@ def check_correctness(
         max_refinements=max_refinements,
         jobs=jobs,
         engine=engine,
+        backend=backend,
     )

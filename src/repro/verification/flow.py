@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 from repro.datatypes.multiset import Multiset
 from repro.protocols.protocol import Configuration, PopulationProtocol, Transition
-from repro.verification.traps_siphons import (
+from repro.petri.traps_siphons import (
     maximal_trap_with_support_outside,
     maximal_siphon_with_support_outside,
     pre_transitions,

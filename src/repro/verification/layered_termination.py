@@ -28,11 +28,13 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from itertools import combinations_with_replacement
 
+from repro.constraints.backends import create_solver, resolve_backend_name
+from repro.constraints.context import AnalysisContext
 from repro.datatypes.multiset import Multiset
 from repro.protocols.protocol import OrderedPartition, PopulationProtocol, Transition
 from repro.protocols.semantics import strongly_connected_components
 from repro.smtlite.formula import Implies, disjunction
-from repro.smtlite.solver import Solver, SolverStatus
+from repro.smtlite.solver import SolverStatus
 from repro.smtlite.terms import LinearExpr
 from repro.smtlite.simplex import LinearProgram, LPStatus
 from repro.verification.results import LayerCertificate, LayeredTerminationCertificate
@@ -282,7 +284,9 @@ def enabling_graph(protocol: PopulationProtocol) -> dict[Transition, frozenset[T
     return {t: frozenset(successors) for t, successors in edges.items()}
 
 
-def scc_heuristic_partition(protocol: PopulationProtocol) -> OrderedPartition | None:
+def scc_heuristic_partition(
+    protocol: PopulationProtocol, context: AnalysisContext | None = None
+) -> OrderedPartition | None:
     """Layering from the condensation of the enabling graph.
 
     Transitions are grouped by strongly connected components of the
@@ -293,7 +297,7 @@ def scc_heuristic_partition(protocol: PopulationProtocol) -> OrderedPartition | 
     """
     if not protocol.transitions:
         return OrderedPartition(())
-    edges = enabling_graph(protocol)
+    edges = context.enabling_graph if context is not None else enabling_graph(protocol)
     components = strongly_connected_components(edges)
     component_of = {}
     for index, component in enumerate(components):
@@ -331,6 +335,8 @@ def smt_partition_search(
     protocol: PopulationProtocol,
     max_layers: int | None = None,
     theory: str = "auto",
+    backend: str | None = None,
+    context: AnalysisContext | None = None,
 ) -> OrderedPartition | None:
     """Exact partition search via the constraint encoding of Appendix D.1.
 
@@ -356,13 +362,18 @@ def smt_partition_search(
         # exponentially with the bound, so the default is deliberately small
         # and can be raised by the caller.
         max_layers = min(len(transitions), 2)
-    witnesses = _lemma22_witness_sets(transitions)
+    witnesses = (
+        context.lemma22_witnesses if context is not None else _lemma22_witness_sets(transitions)
+    )
 
     # One persistent solver for the whole 1..max_layers sweep: the encoding
     # is built once for the largest bound, and each round k is checked under
     # the assumptions ``b_t <= k``.  Lemmas learned while refuting small
-    # bounds carry over to the larger ones.
-    solver = Solver(theory=theory)
+    # bounds carry over to the larger ones.  (The encoding is deeply
+    # disjunctive, so the direct-ILP backend's case budget overflows and it
+    # answers through its DPLL(T) escape hatch — same verdicts, asserted by
+    # the parity tests.)
+    solver = create_solver(backend, theory=theory)
     layer_var: dict[Transition, LinearExpr] = {}
     for index, transition in enumerate(transitions):
         layer_var[transition] = solver.int_var(f"b{index}", lower=1, upper=max_layers)
@@ -457,6 +468,8 @@ def attempt_strategy(
     max_layers: int | None = None,
     theory: str = "auto",
     materialize_rankings: bool = False,
+    backend: str | None = None,
+    context: AnalysisContext | None = None,
 ) -> LayeredTerminationResult:
     """Run exactly one partition-search strategy, with no fallbacks.
 
@@ -472,10 +485,12 @@ def attempt_strategy(
         partition = single_layer_partition(protocol)
         failure = "the one-layer partition admits a non-silent execution"
     elif strategy == "scc":
-        partition = scc_heuristic_partition(protocol)
+        partition = scc_heuristic_partition(protocol, context=context)
         failure = "the enabling-graph heuristic produced no silent layering"
     elif strategy == "smt":
-        partition = smt_partition_search(protocol, max_layers=max_layers, theory=theory)
+        partition = smt_partition_search(
+            protocol, max_layers=max_layers, theory=theory, backend=backend, context=context
+        )
         failure = "no ordered partition found within the layer bound"
     else:
         raise ValueError(f"unknown LayeredTermination strategy {strategy!r}")
@@ -501,6 +516,8 @@ def termination_strategy_subproblems(
     protocol_data: dict,
     protocol_key: str,
     first_index: int = 0,
+    backend: str | None = None,
+    context_data: dict | None = None,
 ) -> list:
     """Package a strategy portfolio as engine subproblems (priority order)."""
     from repro.engine.subproblem import Subproblem
@@ -511,7 +528,13 @@ def termination_strategy_subproblems(
             index=first_index + offset,
             protocol_key=protocol_key,
             protocol_data=protocol_data,
-            params={"strategy": strategy, "max_layers": max_layers, "theory": theory},
+            params={
+                "strategy": strategy,
+                "max_layers": max_layers,
+                "theory": theory,
+                "backend": backend,
+                "context": context_data or {},
+            },
         )
         for offset, strategy in enumerate(strategies)
     ]
@@ -523,6 +546,8 @@ def _check_layered_termination_portfolio(
     max_layers: int | None,
     materialize_rankings: bool,
     theory: str,
+    backend: str | None = None,
+    context: AnalysisContext | None = None,
 ) -> LayeredTerminationResult:
     """The ``"auto"`` strategy as a parallel portfolio.
 
@@ -534,13 +559,15 @@ def _check_layered_termination_portfolio(
     (and rankings materialised) in the coordinator with the polynomial
     checker, so a returned certificate never depends on trusting a worker.
     """
-    from repro.engine.cache import protocol_content_hash
     from repro.engine.subproblem import decode_partition
     from repro.io.serialization import protocol_to_dict
 
+    if context is None:
+        context = AnalysisContext(protocol)
     start = time.perf_counter()
     protocol_data = protocol_to_dict(protocol)
-    protocol_key = protocol_content_hash(protocol)
+    protocol_key = context.protocol_key
+    context_data = context.export_data()
     statistics: dict = {"strategy": None, "jobs": engine.jobs, "portfolio": True}
 
     def finish(result: LayeredTerminationResult, used_strategy: str) -> LayeredTerminationResult:
@@ -571,7 +598,14 @@ def _check_layered_termination_portfolio(
     ]
     results = engine.run_wave(
         termination_strategy_subproblems(
-            protocol, heuristics, max_layers, theory, protocol_data, protocol_key
+            protocol,
+            heuristics,
+            max_layers,
+            theory,
+            protocol_data,
+            protocol_key,
+            backend=backend,
+            context_data=context_data,
         )
     )
     for result in results:  # input order == priority order
@@ -587,6 +621,8 @@ def _check_layered_termination_portfolio(
             protocol_data,
             protocol_key,
             first_index=len(heuristics),
+            backend=backend,
+            context_data=context_data,
         )
     )
     smt_result = smt_results[0]
@@ -614,6 +650,8 @@ def check_layered_termination_impl(
     theory: str = "auto",
     jobs: int = 1,
     engine=None,
+    backend: str | None = None,
+    context: AnalysisContext | None = None,
 ) -> LayeredTerminationResult:
     """Decide LayeredTermination (implementation; see the deprecated shim below).
 
@@ -637,6 +675,8 @@ def check_layered_termination_impl(
     """
     if engine is not None and jobs != 1:
         raise ValueError("pass either jobs>1 or an engine, not both")
+    if context is None:
+        context = AnalysisContext(protocol)
     owned_engine = False
     if engine is None and jobs > 1:
         from repro.engine.scheduler import VerificationEngine
@@ -646,7 +686,7 @@ def check_layered_termination_impl(
     if engine is not None and engine.parallel and strategy == "auto":
         try:
             return _check_layered_termination_portfolio(
-                protocol, engine, max_layers, materialize_rankings, theory
+                protocol, engine, max_layers, materialize_rankings, theory, backend, context
             )
         finally:
             if owned_engine:
@@ -655,7 +695,7 @@ def check_layered_termination_impl(
         engine.shutdown()
 
     start = time.perf_counter()
-    statistics: dict = {"strategy": None}
+    statistics: dict = {"strategy": None, "backend": resolve_backend_name(backend)}
 
     def finish(result: LayeredTerminationResult, used_strategy: str) -> LayeredTerminationResult:
         statistics["strategy"] = used_strategy
@@ -669,7 +709,7 @@ def check_layered_termination_impl(
     if strategy in ("auto", "single"):
         attempts.append(("single", single_layer_partition(protocol)))
     if strategy in ("auto", "scc"):
-        attempts.append(("scc", scc_heuristic_partition(protocol)))
+        attempts.append(("scc", scc_heuristic_partition(protocol, context=context)))
 
     for used_strategy, partition in attempts:
         if partition is None:
@@ -683,7 +723,9 @@ def check_layered_termination_impl(
             return finish(result, used_strategy)
 
     if strategy in ("auto", "smt"):
-        partition = smt_partition_search(protocol, max_layers=max_layers, theory=theory)
+        partition = smt_partition_search(
+            protocol, max_layers=max_layers, theory=theory, backend=backend, context=context
+        )
         if partition is not None:
             result = check_partition(
                 protocol, partition, materialize_rankings=materialize_rankings, strategy="smt"
@@ -712,6 +754,7 @@ def check_layered_termination(
     theory: str = "auto",
     jobs: int = 1,
     engine=None,
+    backend: str | None = None,
 ) -> LayeredTerminationResult:
     """Deprecated: use :class:`repro.api.Verifier` instead.
 
@@ -735,4 +778,5 @@ def check_layered_termination(
         theory=theory,
         jobs=jobs,
         engine=engine,
+        backend=backend,
     )

@@ -16,12 +16,20 @@ exponentially many); instead we run a counterexample-guided refinement loop:
    corresponding constraint and repeat; otherwise the model is a genuine
    counterexample and StrongConsensus fails.
 
+Constraint blocks are assembled by the shared IR builders
+(:mod:`repro.constraints.builders`), normalised by the simplifier
+(:mod:`repro.constraints.simplify`) and solved by whichever backend the
+registry provides (:mod:`repro.constraints.backends`); structural artifacts
+(terminal patterns, the trap/siphon basis) come from the per-protocol
+:class:`~repro.constraints.context.AnalysisContext` so they are computed at
+most once per protocol, however many properties a session checks.
+
 Solving strategies
 ------------------
 
 The paper hands the whole constraint system — whose only hard boolean
 structure is the big conjunction-of-disjunctions ``Terminal(c)`` — to Z3.
-Our from-scratch solver is far weaker than Z3 at pruning that boolean
+Our from-scratch solvers are far weaker than Z3 at pruning that boolean
 structure, so the default strategy factors it out combinatorially:
 ``Terminal(c)`` only constrains the *support* of ``c`` (it must be an
 independent set of the "interaction conflict graph", with agents of a state
@@ -39,18 +47,24 @@ import time
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
-import networkx as nx
-
-from repro.datatypes.multiset import Multiset
-from repro.protocols.protocol import Configuration, PopulationProtocol, Transition
-from repro.smtlite.formula import Formula, Implies, conjunction, disjunction
-from repro.smtlite.solver import Model, Solver, SolverStatus
-from repro.smtlite.terms import LinearExpr
-from repro.verification.results import RefinementStep, StrongConsensusCounterexample
-from repro.verification.traps_siphons import (
+from repro.constraints.backends import create_solver, resolve_backend_name
+from repro.constraints.builders import (  # noqa: F401  (re-exported legacy surface)
+    ConstraintBuilder,
+    TerminalPattern,
+    terminal_support_patterns,
+)
+from repro.constraints.context import AnalysisContext
+from repro.constraints.simplify import SimplifyStats, simplify_system
+from repro.petri.traps_siphons import (
     maximal_siphon_with_support_outside,
     maximal_trap_with_support_outside,
 )
+from repro.protocols.protocol import Configuration, PopulationProtocol, Transition
+from repro.smtlite.solver import SolverStatus
+from repro.verification.results import RefinementStep, StrongConsensusCounterexample
+
+#: Backwards-compatible alias: the builder used to be a private class here.
+_ConstraintBuilder = ConstraintBuilder
 
 
 @dataclass
@@ -67,256 +81,6 @@ class StrongConsensusResult:
 
 
 # ----------------------------------------------------------------------
-# Terminal support patterns
-# ----------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class TerminalPattern:
-    """A candidate shape for a terminal configuration.
-
-    ``allowed`` is a maximal independent set of the interaction conflict
-    graph: only these states may be populated.  ``capped`` are the allowed
-    states that react with themselves, so they can hold at most one agent.
-    Every terminal configuration matches at least one pattern, and every
-    configuration matching a pattern is terminal.
-    """
-
-    allowed: frozenset
-    capped: frozenset
-
-    def admits_output(self, protocol: PopulationProtocol, output: int) -> bool:
-        return any(protocol.output_map[state] == output for state in self.allowed)
-
-
-def terminal_support_patterns(protocol: PopulationProtocol) -> list[TerminalPattern]:
-    """Enumerate the terminal support patterns of a protocol.
-
-    The *conflict graph* has the protocol's states as vertices and an edge
-    between two distinct states that appear together in the pre of some
-    non-silent transition.  A configuration is terminal iff its support is an
-    independent set of this graph and every state with a non-silent
-    self-interaction holds at most one agent.  Patterns are the maximal
-    independent sets (computed via maximal cliques of the complement graph).
-    """
-    graph = nx.Graph()
-    graph.add_nodes_from(protocol.states)
-    self_forbidden: set = set()
-    for transition in protocol.transitions:
-        support = sorted(transition.pre.support(), key=repr)
-        if len(support) == 1:
-            self_forbidden.add(support[0])
-        else:
-            graph.add_edge(support[0], support[1])
-    complement = nx.complement(graph)
-    patterns = []
-    for clique in nx.find_cliques(complement):
-        allowed = frozenset(clique)
-        patterns.append(TerminalPattern(allowed=allowed, capped=frozenset(allowed & self_forbidden)))
-    patterns.sort(key=lambda pattern: sorted(map(repr, pattern.allowed)))
-    return patterns
-
-
-# ----------------------------------------------------------------------
-# Constraint builder (Appendix D.2)
-# ----------------------------------------------------------------------
-
-
-class _ConstraintBuilder:
-    """Shared naming scheme and constraint templates from Appendix D.2."""
-
-    def __init__(self, protocol: PopulationProtocol):
-        self.protocol = protocol
-        self.states = sorted(protocol.states, key=repr)
-        self.state_index = {state: index for index, state in enumerate(self.states)}
-        self.transitions = list(protocol.transitions)
-        self.transition_index = {t: index for index, t in enumerate(self.transitions)}
-
-    # -- variable families -------------------------------------------------
-
-    def config_vars(self, prefix: str) -> dict:
-        return {state: LinearExpr.variable(f"{prefix}_{self.state_index[state]}") for state in self.states}
-
-    def flow_vars(self, prefix: str) -> dict[Transition, LinearExpr]:
-        return {
-            transition: LinearExpr.variable(f"{prefix}_{self.transition_index[transition]}")
-            for transition in self.transitions
-        }
-
-    def derived_config(self, source: dict, flow: dict[Transition, LinearExpr]) -> dict:
-        """The configuration reached from ``source`` via ``flow``, as expressions.
-
-        Substituting the flow equations away (instead of introducing fresh
-        variables per target state plus equality constraints) keeps the
-        constraint systems handed to the theory solver small.
-        """
-        derived = {}
-        for state in self.states:
-            change = LinearExpr.sum_of(
-                transition.delta_map[state] * flow[transition]
-                for transition in self.transitions
-                if state in transition.delta_map
-            )
-            derived[state] = source[state] + change
-        return derived
-
-    def non_negative(self, config: dict) -> Formula:
-        """Every (derived) state count is non-negative."""
-        return conjunction([config[state] >= 0 for state in self.states])
-
-    # -- constraint templates ----------------------------------------------
-
-    def initial(self, config: dict) -> Formula:
-        """``Initial(c)``: population of size >= 2 located on initial states only."""
-        initial_states = self.protocol.initial_states()
-        on_initial = LinearExpr.sum_of(config[state] for state in self.states if state in initial_states)
-        off_initial = [config[state] <= 0 for state in self.states if state not in initial_states]
-        return conjunction([on_initial >= 2] + off_initial)
-
-    def terminal(self, config: dict) -> Formula:
-        """``Terminal(c)``: every non-silent transition is disabled (monolithic form)."""
-        clauses = []
-        for transition in self.transitions:
-            options = [
-                config[state] <= transition.pre[state] - 1
-                for state in transition.pre.support()
-            ]
-            clauses.append(disjunction(options))
-        return conjunction(clauses)
-
-    def pattern(self, config: dict, pattern: TerminalPattern) -> Formula:
-        """Terminal-ness restricted to one support pattern (conjunctive form)."""
-        constraints = []
-        for state in self.states:
-            if state not in pattern.allowed:
-                constraints.append(config[state] <= 0)
-            elif state in pattern.capped:
-                constraints.append(config[state] <= 1)
-        return conjunction(constraints)
-
-    def has_output(self, config: dict, output: int) -> Formula:
-        """``True(c)`` / ``False(c)``: some populated state has the given output."""
-        states = [state for state in self.states if self.protocol.output_map[state] == output]
-        if not states:
-            from repro.smtlite.formula import FALSE
-
-            return FALSE
-        return LinearExpr.sum_of(config[state] for state in states) >= 1
-
-    def flow_equation(self, source: dict, target: dict, flow: dict[Transition, LinearExpr]) -> Formula:
-        """``FlowEquation(c, c', x)`` for every state (monolithic form)."""
-        constraints = []
-        for state in self.states:
-            change = LinearExpr.sum_of(
-                transition.delta_map[state] * flow[transition]
-                for transition in self.transitions
-                if state in transition.delta_map
-            )
-            constraints.append(target[state].eq(source[state] + change))
-        return conjunction(constraints)
-
-    def trap_constraint(
-        self,
-        states: Iterable,
-        source: dict,
-        target: dict,
-        flow: dict[Transition, LinearExpr],
-        target_support: Iterable | None = None,
-    ) -> Formula:
-        """``UTrap(R, c, c', x)``: if the flow uses •R and R is a trap of its support, R stays marked.
-
-        ``target_support`` may restrict the states that can possibly be
-        populated in the target configuration (e.g. the allowed set of a
-        terminal support pattern); states outside it contribute nothing to
-        the "stays marked" sum, which often turns the consequent into FALSE
-        and the whole constraint into a two-literal clause.
-        """
-        states = set(states)
-        into = [t for t in self.transitions if set(t.post.support()) & states]
-        out_only = [
-            t
-            for t in self.transitions
-            if set(t.pre.support()) & states and not (set(t.post.support()) & states)
-        ]
-        marked_states = states if target_support is None else states & set(target_support)
-        uses_into = LinearExpr.sum_of(flow[t] for t in into) >= 1 if into else None
-        no_escape = LinearExpr.sum_of(flow[t] for t in out_only) <= 0 if out_only else None
-        if marked_states:
-            marked: Formula = LinearExpr.sum_of(target[state] for state in marked_states) >= 1
-        else:
-            from repro.smtlite.formula import FALSE
-
-            marked = FALSE
-        if uses_into is None:
-            return marked if no_escape is None else Implies(no_escape, marked)
-        antecedent = uses_into if no_escape is None else conjunction([uses_into, no_escape])
-        return Implies(antecedent, marked)
-
-    def siphon_constraint(
-        self,
-        states: Iterable,
-        source: dict,
-        target: dict,
-        flow: dict[Transition, LinearExpr],
-        source_support: Iterable | None = None,
-    ) -> Formula:
-        """``USiphon(S, c, c', x)``: if the flow uses S• and S is a siphon of its support, S was marked.
-
-        ``source_support`` restricts the states that can be populated in the
-        source configuration; by default it is the set of initial states
-        (``Initial(c0)`` forces every other state of ``c0`` to zero).
-        """
-        states = set(states)
-        out = [t for t in self.transitions if set(t.pre.support()) & states]
-        in_only = [
-            t
-            for t in self.transitions
-            if set(t.post.support()) & states and not (set(t.pre.support()) & states)
-        ]
-        if source_support is None:
-            source_support = self.protocol.initial_states()
-        marked_states = states & set(source_support)
-        uses_out = LinearExpr.sum_of(flow[t] for t in out) >= 1 if out else None
-        no_refill = LinearExpr.sum_of(flow[t] for t in in_only) <= 0 if in_only else None
-        if marked_states:
-            marked: Formula = LinearExpr.sum_of(source[state] for state in marked_states) >= 1
-        else:
-            from repro.smtlite.formula import FALSE
-
-            marked = FALSE
-        if uses_out is None:
-            return marked if no_refill is None else Implies(no_refill, marked)
-        antecedent = uses_out if no_refill is None else conjunction([uses_out, no_refill])
-        return Implies(antecedent, marked)
-
-    def refinement_constraint(
-        self,
-        step: RefinementStep,
-        source: dict,
-        target: dict,
-        flow: dict[Transition, LinearExpr],
-        target_support: Iterable | None = None,
-    ) -> Formula:
-        if step.kind == "trap":
-            return self.trap_constraint(step.states, source, target, flow, target_support=target_support)
-        return self.siphon_constraint(step.states, source, target, flow)
-
-    # -- model extraction ----------------------------------------------------
-
-    def configuration_from_model(self, model: Model, config: dict) -> Configuration:
-        return Multiset(
-            {state: model.value(config[state]) for state in self.states if model.value(config[state]) > 0}
-        )
-
-    def flow_from_model(self, model: Model, flow: dict[Transition, LinearExpr]) -> dict[Transition, int]:
-        return {
-            transition: model.value(expression)
-            for transition, expression in flow.items()
-            if model.value(expression) > 0
-        }
-
-
-# ----------------------------------------------------------------------
 # Trap/siphon refinement
 # ----------------------------------------------------------------------
 
@@ -326,24 +90,26 @@ def find_refinement(
     source: Configuration,
     target: Configuration,
     flow: dict[Transition, int],
+    supports=None,
 ) -> RefinementStep | None:
     """Find a trap/siphon constraint of Definition 12 violated by a model.
 
     Because traps (siphons) are closed under union it suffices to inspect the
     maximal trap unpopulated in the target (the maximal siphon unpopulated in
-    the source).
+    the source).  ``supports`` is the optional precomputed trap/siphon basis
+    (:attr:`AnalysisContext.transition_supports`).
     """
     support = [t for t, occurrences in flow.items() if occurrences > 0]
     if not support:
         return None
     empty_target = {state for state in protocol.states if target[state] == 0}
-    trap = maximal_trap_with_support_outside(protocol, support, empty_target)
+    trap = maximal_trap_with_support_outside(protocol, support, empty_target, supports=supports)
     if trap:
         feeds_trap = any(set(t.post.support()) & trap for t in support)
         if feeds_trap:
             return RefinementStep(kind="trap", states=frozenset(trap), iteration=-1)
     empty_source = {state for state in protocol.states if source[state] == 0}
-    siphon = maximal_siphon_with_support_outside(protocol, support, empty_source)
+    siphon = maximal_siphon_with_support_outside(protocol, support, empty_source, supports=supports)
     if siphon:
         drains_siphon = any(set(t.pre.support()) & siphon for t in support)
         if drains_siphon:
@@ -364,6 +130,8 @@ def check_strong_consensus_impl(
     max_pattern_pairs: int = 250_000,
     jobs: int = 1,
     engine=None,
+    backend: str | None = None,
+    context: AnalysisContext | None = None,
 ) -> StrongConsensusResult:
     """Decide StrongConsensus with the trap/siphon refinement loop of Section 6.
 
@@ -371,6 +139,12 @@ def check_strong_consensus_impl(
     support patterns, the default for anything non-trivial) or
     ``"monolithic"`` (the paper's single constraint system with the
     ``Terminal`` disjunctions left to the solver).
+
+    ``backend`` names a registered solver backend
+    (:func:`repro.constraints.backends.available_backends`); ``context`` is
+    an optional shared :class:`AnalysisContext` — a
+    :class:`repro.api.Verifier` session passes the same one to every
+    property check of a protocol.
 
     With ``jobs > 1`` (or a parallel ``engine``, a
     :class:`repro.engine.scheduler.VerificationEngine`), the independent
@@ -383,6 +157,8 @@ def check_strong_consensus_impl(
         raise ValueError(f"unknown StrongConsensus strategy {strategy!r}")
     if engine is not None and jobs != 1:
         raise ValueError("pass either jobs>1 or an engine, not both")
+    if context is None:
+        context = AnalysisContext(protocol)
     owned_engine = False
     if engine is None and jobs > 1:
         from repro.engine.scheduler import VerificationEngine
@@ -392,7 +168,7 @@ def check_strong_consensus_impl(
     chosen = strategy
     patterns: list[TerminalPattern] | None = None
     if strategy in ("auto", "patterns"):
-        patterns = terminal_support_patterns(protocol)
+        patterns = context.terminal_patterns
         true_patterns = [p for p in patterns if p.admits_output(protocol, 1)]
         false_patterns = [p for p in patterns if p.admits_output(protocol, 0)]
         num_pairs = len(true_patterns) * len(false_patterns)
@@ -405,18 +181,21 @@ def check_strong_consensus_impl(
         if chosen == "patterns":
             if engine is not None and engine.parallel:
                 result = _check_with_patterns_engine(
-                    protocol, true_patterns, false_patterns, theory, max_refinements, engine
+                    protocol, true_patterns, false_patterns, theory, max_refinements, engine,
+                    backend, context,
                 )
             else:
                 result = _check_with_patterns(
-                    protocol, true_patterns, false_patterns, theory, max_refinements
+                    protocol, true_patterns, false_patterns, theory, max_refinements,
+                    backend, context,
                 )
         else:
-            result = _check_monolithic(protocol, theory, max_refinements)
+            result = _check_monolithic(protocol, theory, max_refinements, backend, context)
     finally:
         if owned_engine:
             engine.shutdown()
     result.statistics["strategy"] = chosen
+    result.statistics["backend"] = resolve_backend_name(backend)
     result.statistics["time"] = time.perf_counter() - start
     if patterns is not None:
         result.statistics["patterns"] = len(patterns)
@@ -431,6 +210,7 @@ def check_strong_consensus(
     max_pattern_pairs: int = 250_000,
     jobs: int = 1,
     engine=None,
+    backend: str | None = None,
 ) -> StrongConsensusResult:
     """Deprecated: use :class:`repro.api.Verifier` instead.
 
@@ -454,6 +234,7 @@ def check_strong_consensus(
         max_pattern_pairs=max_pattern_pairs,
         jobs=jobs,
         engine=engine,
+        backend=backend,
     )
 
 
@@ -462,22 +243,26 @@ def check_strong_consensus(
 # ----------------------------------------------------------------------
 
 
-def _consensus_variables(builder: _ConstraintBuilder) -> tuple:
+def _consensus_variables(builder: ConstraintBuilder) -> tuple:
     """The shared variable families ``(c0, c1, c2, x1, x2)`` of Appendix D.2."""
-    c0 = builder.config_vars("c0")
-    x1 = builder.flow_vars("x1")
-    x2 = builder.flow_vars("x2")
-    c1 = builder.derived_config(c0, x1)
-    c2 = builder.derived_config(c0, x2)
-    return c0, c1, c2, x1, x2
+    return builder.consensus_variables()
 
 
-def _assert_consensus_base(builder: _ConstraintBuilder, solver: Solver, variables: tuple) -> None:
-    """Assert the pair-independent constraints (initial population, non-negativity)."""
-    c0, c1, c2, _x1, _x2 = variables
-    solver.add(builder.initial(c0))
-    solver.add(builder.non_negative(c1))
-    solver.add(builder.non_negative(c2))
+def _assert_consensus_base(
+    builder: ConstraintBuilder, solver, variables: tuple, simplifier: SimplifyStats | None = None
+) -> None:
+    """Assert the pair-independent block (initial population, non-negativity).
+
+    Bound tightening stays off: the persistent solver reuses this block
+    across the whole pattern sweep, and folding the off-initial constraints
+    into bounds would perturb the theory backend's solution trajectory —
+    the refinement sequence must stay reproducible across worker counts.
+    """
+    system = builder.consensus_base_system(variables)
+    simplified, stats = simplify_system(system, tighten_bounds=False)
+    if simplifier is not None:
+        simplifier.merge(stats)
+    simplified.assert_into(solver)
 
 
 def _check_with_patterns(
@@ -486,9 +271,14 @@ def _check_with_patterns(
     false_patterns: list[TerminalPattern],
     theory: str,
     max_refinements: int,
+    backend: str | None = None,
+    context: AnalysisContext | None = None,
 ) -> StrongConsensusResult:
-    builder = _ConstraintBuilder(protocol)
+    if context is None:
+        context = AnalysisContext(protocol)
+    builder = context.builder
     refinements: list[RefinementStep] = []
+    simplifier = SimplifyStats()
     statistics = {"iterations": 0, "traps": 0, "siphons": 0, "pattern_pairs": 0, "solver_instances": 1}
 
     # One persistent solver for all pattern pairs.  The pair-independent
@@ -496,10 +286,10 @@ def _check_with_patterns(
     # once; the per-pair constraints live in a push/pop scope.  Learned
     # lemmas — blocking clauses and memoized theory checks over the shared
     # atoms — survive across pairs, so later pairs start warm.
-    solver = Solver(theory=theory)
-    variables = _consensus_variables(builder)
+    solver = create_solver(backend, theory=theory)
+    variables = builder.consensus_variables()
     c0, c1, c2, x1, x2 = variables
-    _assert_consensus_base(builder, solver, variables)
+    _assert_consensus_base(builder, solver, variables, simplifier)
 
     def side_feasible(flow_config, pattern, output) -> bool:
         """Cheap theory-only pre-check of one side of a pattern pair.
@@ -540,11 +330,14 @@ def _check_with_patterns(
                     max_refinements,
                     refinements,
                     statistics,
+                    context=context,
+                    simplifier=simplifier,
                 )
             finally:
                 solver.pop()
             if outcome is not None:
                 statistics["solver"] = dict(solver.statistics)
+                statistics["simplifier"] = simplifier.to_dict()
                 return StrongConsensusResult(
                     holds=False,
                     counterexample=outcome,
@@ -552,32 +345,39 @@ def _check_with_patterns(
                     statistics=statistics,
                 )
     statistics["solver"] = dict(solver.statistics)
+    statistics["simplifier"] = simplifier.to_dict()
     return StrongConsensusResult(holds=True, refinements=refinements, statistics=statistics)
 
 
 def _solve_pattern_pair(
     protocol: PopulationProtocol,
-    builder: _ConstraintBuilder,
-    solver: Solver,
+    builder: ConstraintBuilder,
+    solver,
     variables: tuple,
     pattern_true: TerminalPattern,
     pattern_false: TerminalPattern,
     max_refinements: int,
     refinements: list[RefinementStep],
     statistics: dict,
+    context: AnalysisContext | None = None,
+    simplifier: SimplifyStats | None = None,
 ) -> StrongConsensusCounterexample | None:
-    """Run the refinement loop for one pattern pair inside an open scope."""
+    """Run the refinement loop for one pattern pair inside an open scope.
+
+    The per-pair block — pattern memberships, output presence and the
+    trap/siphon constraints discovered while solving earlier pairs (they
+    are valid refinements of Definition 12 for any pair and often cut the
+    counterexample space immediately) — is built as one IR system and
+    simplified (without bound tightening: the scope is retractable, bounds
+    are not) before being asserted.
+    """
     c0, c1, c2, x1, x2 = variables
-    solver.add(builder.pattern(c1, pattern_true))
-    solver.add(builder.pattern(c2, pattern_false))
-    solver.add(builder.has_output(c1, 1))
-    solver.add(builder.has_output(c2, 0))
-    # Re-assert the trap/siphon constraints discovered while solving earlier
-    # pairs: they are valid refinements of Definition 12 for any pair and
-    # often cut the counterexample space immediately.
-    for step in refinements:
-        solver.add(builder.refinement_constraint(step, c0, c1, x1, target_support=pattern_true.allowed))
-        solver.add(builder.refinement_constraint(step, c0, c2, x2, target_support=pattern_false.allowed))
+    supports = context.transition_supports if context is not None else None
+    system = builder.consensus_pair_system(variables, pattern_true, pattern_false, refinements)
+    simplified, stats = simplify_system(system, tighten_bounds=False)
+    if simplifier is not None:
+        simplifier.merge(stats)
+    simplified.assert_into(solver)
 
     for _ in range(max_refinements):
         statistics["iterations"] += 1
@@ -594,9 +394,9 @@ def _solve_pattern_pair(
         flow_true = builder.flow_from_model(model, x1)
         flow_false = builder.flow_from_model(model, x2)
 
-        step = find_refinement(protocol, initial, terminal_true, flow_true)
+        step = find_refinement(protocol, initial, terminal_true, flow_true, supports=supports)
         if step is None:
-            step = find_refinement(protocol, initial, terminal_false, flow_false)
+            step = find_refinement(protocol, initial, terminal_false, flow_false, supports=supports)
         if step is None:
             return StrongConsensusCounterexample(
                 initial=initial,
@@ -647,8 +447,8 @@ _MAX_SIDE_FEASIBILITY_CACHE = 4096
 
 
 def _side_is_feasible(
-    builder: _ConstraintBuilder,
-    solver: Solver,
+    builder: ConstraintBuilder,
+    solver,
     c0: dict,
     flow_config: dict,
     pattern: TerminalPattern,
@@ -683,6 +483,8 @@ def solve_pattern_pair_subproblem(
     theory: str = "auto",
     max_refinements: int = 10_000,
     protocol_key: str | None = None,
+    backend: str | None = None,
+    context: AnalysisContext | None = None,
 ) -> PairOutcome:
     """Solve one pattern pair in isolation (the worker-process entry point).
 
@@ -692,14 +494,17 @@ def solve_pattern_pair_subproblem(
     what makes parallel runs reproducible: the coordinator's wave plan fixes
     every seed, so scheduling timing cannot leak into the results.
     """
-    builder = _ConstraintBuilder(protocol)
-    solver = Solver(theory=theory)
-    variables = _consensus_variables(builder)
+    if context is None:
+        context = AnalysisContext(protocol)
+    builder = context.builder
+    solver = create_solver(backend, theory=theory)
+    variables = builder.consensus_variables()
     c0, c1, c2, _x1, _x2 = variables
     statistics = {"iterations": 0, "traps": 0, "siphons": 0}
 
-    true_key = (protocol_key, theory, "true", pattern_true) if protocol_key else None
-    false_key = (protocol_key, theory, "false", pattern_false) if protocol_key else None
+    backend_name = resolve_backend_name(backend)
+    true_key = (protocol_key, backend_name, theory, "true", pattern_true) if protocol_key else None
+    false_key = (protocol_key, backend_name, theory, "false", pattern_false) if protocol_key else None
     if not _side_is_feasible(builder, solver, c0, c1, pattern_true, 1, true_key) or not (
         _side_is_feasible(builder, solver, c0, c2, pattern_false, 0, false_key)
     ):
@@ -718,6 +523,7 @@ def solve_pattern_pair_subproblem(
         max_refinements,
         refinements,
         statistics,
+        context=context,
     )
     statistics["solver"] = dict(solver.statistics)
     new_refinements = refinements[seeded:]
@@ -740,6 +546,8 @@ def consensus_pair_subproblems(
     first_index: int,
     protocol_data: dict,
     protocol_key: str,
+    backend: str | None = None,
+    context_data: dict | None = None,
 ) -> list:
     """Package a slice of the pattern-pair enumeration as engine subproblems."""
     from repro.engine.subproblem import Subproblem
@@ -756,6 +564,8 @@ def consensus_pair_subproblems(
                 "refinements": tuple(seed_refinements),
                 "theory": theory,
                 "max_refinements": max_refinements,
+                "backend": backend,
+                "context": context_data or {},
             },
         )
         for offset, (pattern_true, pattern_false) in enumerate(pairs)
@@ -769,6 +579,8 @@ def _check_with_patterns_engine(
     theory: str,
     max_refinements: int,
     engine,
+    backend: str | None = None,
+    context: AnalysisContext | None = None,
 ) -> StrongConsensusResult:
     """Fan the pattern pairs over the engine's worker pool, wave by wave.
 
@@ -783,14 +595,20 @@ def _check_with_patterns_engine(
     serial re-run stops at its own first SAT pair, so it re-solves only the
     pair prefix up to the counterexample — cheap, since falsified protocols
     fail on an early pair.)
+
+    The coordinator's already-computed analysis artifacts travel to the
+    workers inside the subproblem envelopes (``params["context"]``), so no
+    worker re-enumerates terminal patterns.
     """
-    from repro.engine.cache import protocol_content_hash
     from repro.engine.scheduler import run_refinement_sweep
     from repro.io.serialization import protocol_to_dict
 
+    if context is None:
+        context = AnalysisContext(protocol)
     pairs = [(t, f) for t in true_patterns for f in false_patterns]
     protocol_data = protocol_to_dict(protocol)
-    protocol_key = protocol_content_hash(protocol)
+    protocol_key = context.protocol_key
+    context_data = context.export_data()
     statistics = {
         "iterations": 0,
         "traps": 0,
@@ -812,13 +630,15 @@ def _check_with_patterns_engine(
             start,
             protocol_data,
             protocol_key,
+            backend,
+            context_data,
         ),
         statistics,
     )
 
     if sat_seen:
         serial = _check_with_patterns(
-            protocol, true_patterns, false_patterns, theory, max_refinements
+            protocol, true_patterns, false_patterns, theory, max_refinements, backend, context
         )
         serial.statistics["parallel"] = {
             "jobs": engine.jobs,
@@ -838,35 +658,48 @@ def _check_monolithic(
     protocol: PopulationProtocol,
     theory: str,
     max_refinements: int,
+    backend: str | None = None,
+    context: AnalysisContext | None = None,
 ) -> StrongConsensusResult:
-    builder = _ConstraintBuilder(protocol)
-    solver = Solver(theory=theory)
+    if context is None:
+        context = AnalysisContext(protocol)
+    builder = context.builder
+    supports = context.transition_supports
+    solver = create_solver(backend, theory=theory)
+    simplifier = SimplifyStats()
 
-    c0 = builder.config_vars("c0")
-    x1 = builder.flow_vars("x1")
-    x2 = builder.flow_vars("x2")
+    variables = builder.consensus_variables()
+    c0, c1, c2, x1, x2 = variables
+
     # The flow equations are substituted away: c1 and c2 are expressions over
-    # c0 and the flow vectors rather than fresh variables.
-    c1 = builder.derived_config(c0, x1)
-    c2 = builder.derived_config(c0, x2)
-
-    solver.add(builder.initial(c0))
-    solver.add(builder.non_negative(c1))
-    solver.add(builder.non_negative(c2))
-    solver.add(builder.terminal(c1))
-    solver.add(builder.terminal(c2))
-    solver.add(builder.has_output(c1, 1))
-    solver.add(builder.has_output(c2, 0))
+    # c0 and the flow vectors rather than fresh variables.  The whole
+    # monolithic block benefits from the simplifier: transitions sharing a
+    # pre multiset produce duplicate ``Terminal`` clauses, which are now
+    # asserted once.
+    system = builder.consensus_base_system(variables)
+    system.add(builder.terminal(c1))
+    system.add(builder.terminal(c2))
+    system.add(builder.has_output(c1, 1))
+    system.add(builder.has_output(c2, 0))
+    simplified, stats = simplify_system(system)
+    simplifier.merge(stats)
+    simplified.assert_into(solver)
 
     refinements: list[RefinementStep] = []
     statistics = {"iterations": 0, "traps": 0, "siphons": 0}
+
+    def finish(result: StrongConsensusResult) -> StrongConsensusResult:
+        statistics["solver"] = dict(solver.statistics)
+        statistics["simplifier"] = simplifier.to_dict()
+        return result
 
     for iteration in range(max_refinements):
         statistics["iterations"] = iteration + 1
         result = solver.check()
         if result.status is SolverStatus.UNSAT:
-            statistics["solver"] = dict(solver.statistics)
-            return StrongConsensusResult(holds=True, refinements=refinements, statistics=statistics)
+            return finish(
+                StrongConsensusResult(holds=True, refinements=refinements, statistics=statistics)
+            )
         if result.status is SolverStatus.UNKNOWN:
             raise RuntimeError("the constraint solver could not decide the StrongConsensus query")
 
@@ -877,9 +710,9 @@ def _check_monolithic(
         flow_true = builder.flow_from_model(model, x1)
         flow_false = builder.flow_from_model(model, x2)
 
-        step = find_refinement(protocol, initial, terminal_true, flow_true)
+        step = find_refinement(protocol, initial, terminal_true, flow_true, supports=supports)
         if step is None:
-            step = find_refinement(protocol, initial, terminal_false, flow_false)
+            step = find_refinement(protocol, initial, terminal_false, flow_false, supports=supports)
         if step is None:
             counterexample = StrongConsensusCounterexample(
                 initial=initial,
@@ -888,12 +721,13 @@ def _check_monolithic(
                 flow_true=flow_true,
                 flow_false=flow_false,
             )
-            statistics["solver"] = dict(solver.statistics)
-            return StrongConsensusResult(
-                holds=False,
-                counterexample=counterexample,
-                refinements=refinements,
-                statistics=statistics,
+            return finish(
+                StrongConsensusResult(
+                    holds=False,
+                    counterexample=counterexample,
+                    refinements=refinements,
+                    statistics=statistics,
+                )
             )
 
         step = RefinementStep(kind=step.kind, states=step.states, iteration=iteration)

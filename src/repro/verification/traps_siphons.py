@@ -1,138 +1,41 @@
-"""U-traps and U-siphons of population protocols (Definition 10).
+"""Deprecated import path: traps/siphons live in :mod:`repro.petri.traps_siphons`.
 
-For a subset ``U`` of transitions:
-
-* a set of states ``P`` is a *U-trap* if every transition of ``U`` that takes
-  an agent out of ``P`` also puts an agent into ``P`` (``P• ∩ U ⊆ •P``);
-* a set of states ``P`` is a *U-siphon* if every transition of ``U`` that
-  puts an agent into ``P`` also takes an agent out of ``P`` (``•P ∩ U ⊆ P•``).
-
-Traps, once marked, stay marked; siphons, once empty, stay empty
-(Observation 11).  Because traps (and siphons) are closed under union, the
-*maximal* trap (siphon) inside a given set of states is unique and can be
-computed by a simple greedy fixed point, which is what the CEGAR refinement
-loop of Section 6 uses.
+The protocol-level U-trap/U-siphon functions (Definition 10) and the
+net-level classical ones used to be two near-identical copies; they are now
+one generic implementation in :mod:`repro.petri.traps_siphons`.  This shim
+re-exports the protocol-level surface under its historical names so old
+imports keep working, at the price of a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+import warnings
 
-from repro.protocols.protocol import PopulationProtocol, Transition
+from repro.petri.traps_siphons import (  # noqa: F401  (re-exported surface)
+    all_minimal_siphons,
+    is_siphon,
+    is_trap,
+    maximal_siphon_with_support_outside,
+    maximal_trap_with_support_outside,
+    post_transitions,
+    pre_transitions,
+    transition_supports,
+)
 
+warnings.warn(
+    "repro.verification.traps_siphons is deprecated; import from "
+    "repro.petri.traps_siphons instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-def pre_transitions(
-    protocol: PopulationProtocol, states: Iterable, transitions: Iterable[Transition] | None = None
-) -> frozenset[Transition]:
-    """``•P``: transitions whose *post* multiset intersects ``states``."""
-    state_set = set(states)
-    pool = protocol.transitions if transitions is None else transitions
-    return frozenset(t for t in pool if set(t.post.support()) & state_set)
-
-
-def post_transitions(
-    protocol: PopulationProtocol, states: Iterable, transitions: Iterable[Transition] | None = None
-) -> frozenset[Transition]:
-    """``P•``: transitions whose *pre* multiset intersects ``states``."""
-    state_set = set(states)
-    pool = protocol.transitions if transitions is None else transitions
-    return frozenset(t for t in pool if set(t.pre.support()) & state_set)
-
-
-def is_trap(protocol: PopulationProtocol, states: Iterable, transitions: Iterable[Transition]) -> bool:
-    """Is ``states`` a U-trap for ``U = transitions``?"""
-    state_set = set(states)
-    for transition in transitions:
-        takes_out = bool(set(transition.pre.support()) & state_set)
-        puts_in = bool(set(transition.post.support()) & state_set)
-        if takes_out and not puts_in:
-            return False
-    return True
-
-
-def is_siphon(protocol: PopulationProtocol, states: Iterable, transitions: Iterable[Transition]) -> bool:
-    """Is ``states`` a U-siphon for ``U = transitions``?"""
-    state_set = set(states)
-    for transition in transitions:
-        puts_in = bool(set(transition.post.support()) & state_set)
-        takes_out = bool(set(transition.pre.support()) & state_set)
-        if puts_in and not takes_out:
-            return False
-    return True
-
-
-def maximal_trap_with_support_outside(
-    protocol: PopulationProtocol,
-    transitions: Iterable[Transition],
-    candidate_states: Iterable,
-) -> frozenset:
-    """The unique maximal U-trap contained in ``candidate_states``.
-
-    Greedy fixed point: repeatedly remove a state ``q`` if some transition of
-    ``U`` takes an agent from ``q`` but puts no agent into the current set.
-    Runs in time polynomial in ``|U| * |Q|``.
-    """
-    transitions = list(transitions)
-    current: set = set(candidate_states)
-    changed = True
-    while changed and current:
-        changed = False
-        for transition in transitions:
-            if not set(transition.post.support()) & current:
-                offending = set(transition.pre.support()) & current
-                if offending:
-                    current -= offending
-                    changed = True
-    return frozenset(current)
-
-
-def maximal_siphon_with_support_outside(
-    protocol: PopulationProtocol,
-    transitions: Iterable[Transition],
-    candidate_states: Iterable,
-) -> frozenset:
-    """The unique maximal U-siphon contained in ``candidate_states``."""
-    transitions = list(transitions)
-    current: set = set(candidate_states)
-    changed = True
-    while changed and current:
-        changed = False
-        for transition in transitions:
-            if not set(transition.pre.support()) & current:
-                offending = set(transition.post.support()) & current
-                if offending:
-                    current -= offending
-                    changed = True
-    return frozenset(current)
-
-
-def all_minimal_siphons(
-    protocol: PopulationProtocol, transitions: Iterable[Transition] | None = None, limit: int = 1000
-) -> list[frozenset]:
-    """Enumerate minimal non-empty siphons (small protocols only).
-
-    This is exponential in the worst case and intended for tests, examples
-    and diagnostics; the verification engine itself only ever needs maximal
-    traps/siphons inside a candidate set.
-    """
-    pool = list(protocol.transitions if transitions is None else transitions)
-    states = sorted(protocol.states, key=repr)
-    siphons: list[frozenset] = []
-
-    def is_minimal(candidate: frozenset) -> bool:
-        return not any(existing < candidate for existing in siphons)
-
-    from itertools import combinations
-
-    for size in range(1, len(states) + 1):
-        if len(siphons) >= limit:
-            break
-        for subset in combinations(states, size):
-            candidate = frozenset(subset)
-            if not is_minimal(candidate):
-                continue
-            if is_siphon(protocol, candidate, pool):
-                siphons.append(candidate)
-                if len(siphons) >= limit:
-                    break
-    return [s for s in siphons if not any(other < s for other in siphons)]
+__all__ = [
+    "all_minimal_siphons",
+    "is_siphon",
+    "is_trap",
+    "maximal_siphon_with_support_outside",
+    "maximal_trap_with_support_outside",
+    "post_transitions",
+    "pre_transitions",
+    "transition_supports",
+]

@@ -12,6 +12,7 @@ import time
 import warnings
 from dataclasses import dataclass, field
 
+from repro.constraints.context import AnalysisContext
 from repro.protocols.protocol import PopulationProtocol
 from repro.verification.layered_termination import (
     LayeredTerminationResult,
@@ -78,6 +79,8 @@ def verify_ws3_impl(
     max_pattern_pairs: int = 250_000,
     jobs: int = 1,
     engine=None,
+    backend: str | None = None,
+    context: AnalysisContext | None = None,
 ) -> WS3Result:
     """Decide membership of a protocol in WS³ (implementation).
 
@@ -113,6 +116,8 @@ def verify_ws3_impl(
 
     if engine is not None and jobs != 1:
         raise ValueError("pass either jobs>1 or an engine, not both")
+    if context is None:
+        context = AnalysisContext(protocol)
     owned_engine = False
     if engine is None and jobs > 1:
         from repro.engine.scheduler import VerificationEngine
@@ -128,6 +133,8 @@ def verify_ws3_impl(
             max_refinements=max_refinements,
             max_pattern_pairs=max_pattern_pairs,
             engine=engine,
+            backend=backend,
+            context=context,
         )
 
     def run_layered() -> LayeredTerminationResult:
@@ -138,6 +145,8 @@ def verify_ws3_impl(
             theory=theory,
             materialize_rankings=materialize_rankings,
             engine=engine,
+            backend=backend,
+            context=context,
         )
 
     try:
@@ -181,6 +190,7 @@ def verify_ws3(
     materialize_rankings: bool = False,
     jobs: int = 1,
     engine=None,
+    backend: str | None = None,
 ) -> WS3Result:
     """Deprecated: use :class:`repro.api.Verifier` instead.
 
@@ -204,4 +214,5 @@ def verify_ws3(
         materialize_rankings=materialize_rankings,
         jobs=jobs,
         engine=engine,
+        backend=backend,
     )

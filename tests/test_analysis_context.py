@@ -1,0 +1,123 @@
+"""Tests for the shared per-protocol AnalysisContext.
+
+The central guarantee: a Verifier session verifying all WS³ sub-properties
+of one protocol computes each shared structural artifact — terminal
+patterns, the trap/siphon basis, the normal form — at most once.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import warnings
+
+import pytest
+
+from repro.api import Verifier
+from repro.constraints.context import AnalysisContext
+from repro.protocols.library import majority_protocol, remainder_protocol
+
+
+class TestLaziness:
+    def test_nothing_computed_up_front(self):
+        context = AnalysisContext(majority_protocol())
+        assert context.computes == {}
+
+    def test_each_artifact_computed_once(self):
+        context = AnalysisContext(majority_protocol())
+        for _ in range(3):
+            context.terminal_patterns
+            context.transition_supports
+            context.builder
+            context.normal_form
+            context.enabling_graph
+            context.lemma22_witnesses
+            context.protocol_key
+        assert context.computes == {
+            "terminal_patterns": 1,
+            "trap_siphon_basis": 1,
+            "builder": 1,
+            "petri_net": 1,  # dependency of the normal form
+            "normal_form": 1,
+            "enabling_graph": 1,
+            "lemma22_witnesses": 1,
+            "protocol_key": 1,
+        }
+
+    def test_trap_siphon_basis_matches_transitions(self):
+        protocol = majority_protocol()
+        supports = AnalysisContext(protocol).transition_supports
+        assert set(supports) == set(protocol.transitions)
+        for transition, (pre_support, post_support) in supports.items():
+            assert pre_support == frozenset(transition.pre.support())
+            assert post_support == frozenset(transition.post.support())
+
+
+class TestSessionSharing:
+    def test_all_ws3_subproperties_compute_artifacts_at_most_once(self):
+        """The ISSUE's counting guarantee, across several check() calls."""
+        protocol = remainder_protocol([1], 3, 1)
+        with Verifier() as verifier:
+            verifier.check(protocol, properties=["ws3"])
+            verifier.check(protocol, properties=["strong_consensus"])
+            verifier.check(protocol, properties=["layered_termination", "correctness"])
+            context = verifier.analysis_context(protocol)
+        assert context.computes.get("terminal_patterns", 0) == 1
+        assert context.computes.get("trap_siphon_basis", 0) <= 1
+        assert context.computes.get("normal_form", 0) <= 1
+        assert context.computes.get("builder", 0) == 1
+        assert all(count <= 1 for count in context.computes.values()), context.computes
+        # The content hash was seeded by the session, never recomputed.
+        assert context.computes.get("protocol_key", 0) == 0
+
+    def test_context_is_per_protocol(self):
+        first, second = majority_protocol(), remainder_protocol([1], 3, 1)
+        with Verifier() as verifier:
+            assert verifier.analysis_context(first) is verifier.analysis_context(first)
+            assert verifier.analysis_context(first) is not verifier.analysis_context(second)
+
+    def test_equal_protocols_share_one_context(self):
+        with Verifier() as verifier:
+            context_a = verifier.analysis_context(majority_protocol())
+            context_b = verifier.analysis_context(majority_protocol())
+            assert context_a is context_b  # same content hash
+
+
+class TestExportHydrate:
+    def test_export_ships_only_computed_portables(self):
+        context = AnalysisContext(majority_protocol())
+        assert context.export_data() == {}
+        patterns = context.terminal_patterns
+        context.normal_form  # computed but not portable
+        assert context.export_data() == {"terminal_patterns": patterns}
+
+    def test_hydrate_prevents_recomputation(self):
+        protocol = majority_protocol()
+        source = AnalysisContext(protocol)
+        patterns = source.terminal_patterns
+        target = AnalysisContext(protocol).hydrate(source.export_data())
+        assert target.terminal_patterns is patterns
+        assert target.computes.get("terminal_patterns", 0) == 0
+        assert target.hydrated == {"terminal_patterns": 1}
+
+    def test_hydrate_ignores_unknown_and_tolerates_none(self):
+        context = AnalysisContext(majority_protocol())
+        context.hydrate(None)
+        context.hydrate({"bogus": 1})
+        assert context.computes == {} and context.hydrated == {}
+
+
+class TestDeprecatedTrapsSiphonsShim:
+    def test_old_import_path_warns_and_reexports(self):
+        sys.modules.pop("repro.verification.traps_siphons", None)
+        with pytest.warns(DeprecationWarning, match="repro.petri.traps_siphons"):
+            shim = importlib.import_module("repro.verification.traps_siphons")
+        canonical = importlib.import_module("repro.petri.traps_siphons")
+        assert shim.maximal_trap_with_support_outside is canonical.maximal_trap_with_support_outside
+        assert shim.is_trap is canonical.is_trap
+
+    def test_canonical_import_does_not_warn(self):
+        sys.modules.pop("repro.petri.traps_siphons", None)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            importlib.import_module("repro.petri.traps_siphons")

@@ -89,10 +89,12 @@ class TestWS3Parity:
         # Wave siblings of the threshold-n family discover a few extra (still
         # valid) trap/siphon facts; the serial set must always be contained
         # and the parallel run must be reproducible.
+        # The containment property is empirical for the smtlite trajectory,
+        # so the backend is pinned (the CI backend matrix must not shift it).
         protocol = flock_of_birds_threshold_n_protocol(5)
-        serial = check_strong_consensus(protocol)
-        parallel = check_strong_consensus(protocol, jobs=JOBS)
-        repeat = check_strong_consensus(protocol, jobs=JOBS)
+        serial = check_strong_consensus(protocol, backend="smtlite")
+        parallel = check_strong_consensus(protocol, jobs=JOBS, backend="smtlite")
+        repeat = check_strong_consensus(protocol, jobs=JOBS, backend="smtlite")
         assert parallel.holds == serial.holds
         serial_set = {(s.kind, s.states) for s in serial.refinements}
         parallel_set = {(s.kind, s.states) for s in parallel.refinements}

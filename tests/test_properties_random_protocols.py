@@ -29,7 +29,7 @@ from repro.verification.flow import (
     flow_from_transition_sequence,
     satisfies_flow_equations,
 )
-from repro.verification.traps_siphons import is_siphon, is_trap
+from repro.petri.traps_siphons import is_siphon, is_trap
 
 
 @st.composite

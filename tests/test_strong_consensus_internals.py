@@ -184,14 +184,14 @@ class TestSolverReuse:
         import repro.verification.strong_consensus as sc_module
 
         instances = []
-        original = sc_module.Solver
+        original = sc_module.create_solver
 
         def counting_solver(*args, **kwargs):
             solver = original(*args, **kwargs)
             instances.append(solver)
             return solver
 
-        monkeypatch.setattr(sc_module, "Solver", counting_solver)
+        monkeypatch.setattr(sc_module, "create_solver", counting_solver)
         protocol = remainder_protocol([1], 5, 3)
         result = check_strong_consensus(protocol, strategy="patterns")
         assert result.holds
@@ -200,7 +200,11 @@ class TestSolverReuse:
         assert result.statistics["solver_instances"] == 1
 
     def test_pattern_strategy_reports_solver_statistics(self):
-        result = check_strong_consensus(flock_of_birds_protocol(4), strategy="patterns")
+        # White-box assertions on the smtlite statistics keys, so the
+        # backend is pinned (the CI backend matrix must not redirect it).
+        result = check_strong_consensus(
+            flock_of_birds_protocol(4), strategy="patterns", backend="smtlite"
+        )
         solver_stats = result.statistics["solver"]
         assert solver_stats["theory_checks"] > 0
         assert "theory_cache_hits" in solver_stats
@@ -210,7 +214,7 @@ class TestSolverReuse:
     def test_side_prechecks_hit_theory_cache(self):
         """The per-pair side skeletons recur, so the memo cache must fire."""
         protocol = remainder_protocol([1], 5, 3)
-        result = check_strong_consensus(protocol, strategy="patterns")
+        result = check_strong_consensus(protocol, strategy="patterns", backend="smtlite")
         assert result.holds
         assert result.statistics["solver"]["theory_cache_hits"] > 0
 

@@ -12,7 +12,7 @@ from repro.verification.flow import (
     flow_from_transition_sequence,
     satisfies_flow_equations,
 )
-from repro.verification.traps_siphons import (
+from repro.petri.traps_siphons import (
     all_minimal_siphons,
     is_siphon,
     is_trap,
