@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""CI smoke test of the ``repro-verify serve`` daemon, end to end.
+
+Pipes a submit+events+cancel+result script through a real ``serve``
+subprocess and asserts the acceptance scenario of the service PR: two jobs
+submitted, events streamed for both, one cancelled, the other's report
+received losslessly.  Exits non-zero (with a diagnostic) on any violation —
+suitable for a CI step and for a quick local sanity check::
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+REQUESTS = [
+    {"op": "submit", "spec": "majority", "stream": True, "id": 1},
+    {"op": "submit", "spec": "broadcast", "stream": True, "priority": -1, "id": 2},
+    {"op": "cancel", "job": "job-2", "id": 3},
+    {"op": "result", "job": "job-1", "wait": True, "id": 4},
+    {"op": "wait", "job": "job-2", "id": 5},
+    {"op": "shutdown", "id": 6},
+]
+
+
+def main() -> int:
+    script = "\n".join(json.dumps(request) for request in REQUESTS) + "\n"
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "serve"],
+        input=script,
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    if proc.returncode != 0:
+        print(proc.stderr, file=sys.stderr)
+        print(f"serve exited with {proc.returncode}", file=sys.stderr)
+        return 1
+
+    lines = [json.loads(line) for line in proc.stdout.splitlines()]
+    responses = {line["id"]: line for line in lines if line["type"] == "response" and "id" in line}
+    events = [line for line in lines if line["type"] == "event"]
+
+    failures = []
+    for request_id in (1, 2, 3, 4, 5, 6):
+        if not responses.get(request_id, {}).get("ok"):
+            failures.append(f"request {request_id} did not succeed: {responses.get(request_id)}")
+    streamed_jobs = {line["job"] for line in events}
+    if not {"job-1", "job-2"} <= streamed_jobs:
+        failures.append(f"expected streamed events for both jobs, saw {sorted(streamed_jobs)}")
+
+    report_payload = responses.get(4, {}).get("report")
+    if report_payload is None:
+        failures.append("no report for job-1")
+    else:
+        sys.path.insert(0, env["PYTHONPATH"].split(os.pathsep)[0])
+        from repro.api.report import VerificationReport
+
+        report = VerificationReport.from_dict(report_payload)
+        if report.to_dict() != report_payload:
+            failures.append("job-1 report is not a lossless round trip")
+        if not report.is_ws3:
+            failures.append("majority unexpectedly not WS3")
+        if not report.statistics.get("events"):
+            failures.append("report statistics carry no event trail")
+
+    status_job2 = responses.get(5, {}).get("status")
+    if status_job2 not in ("cancelled", "done"):
+        failures.append(f"job-2 ended in unexpected status {status_job2!r}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"serve smoke OK: {len(lines)} output lines, {len(events)} streamed events, "
+        f"job-2 {status_job2}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,7 @@
 """The unified verification session object.
 
 One :class:`Verifier` owns one :class:`~repro.api.options.VerificationOptions`
-bundle, one (lazily created, reused) parallel engine and one result cache,
-and exposes the whole pipeline of the paper through two methods::
+bundle and exposes the whole pipeline of the paper through two methods::
 
     with Verifier(jobs=4) as verifier:
         report = verifier.check(protocol, properties=["ws3", "correctness"])
@@ -10,15 +9,23 @@ and exposes the whole pipeline of the paper through two methods::
 
 ``check`` returns a lossless :class:`~repro.api.report.VerificationReport`;
 ``check_many`` fans whole protocols over the worker pool and serves repeat
-instances from the content-addressed result cache.  The deprecated
-per-property entry points (``verify_ws3``, ``check_strong_consensus``, ...)
-are thin shims over the same machinery.
+instances from the content-addressed result cache.
+
+Since the service layer landed, both methods are thin **synchronous facades**
+over :class:`~repro.service.service.VerificationService`: ``check`` submits
+one job, waits, and returns its report — so the session API and the job API
+produce identical verdicts by construction (asserted by the parity tests),
+and every report carries the job's progress-event trail in its statistics.
+Callers that want the asynchronous surface (non-blocking submission,
+priorities, streaming events, cancellation) use the service directly.
+
+The deprecated per-property entry points (``verify_ws3``,
+``check_strong_consensus``, ...) remain thin shims over the same underlying
+implementations.
 """
 
 from __future__ import annotations
 
-import inspect
-import time
 from collections.abc import Iterable, Sequence
 
 from repro.api.options import VerificationOptions
@@ -27,20 +34,6 @@ from repro.api.report import VerificationReport
 
 #: The default property set of a bare ``verifier.check(protocol)``.
 DEFAULT_PROPERTIES = ("ws3",)
-
-#: Analysis contexts kept per session (FIFO-bounded by protocol hash).
-_MAX_CONTEXTS = 16
-
-
-def _normalize_properties(properties) -> tuple[str, ...]:
-    if properties is None:
-        return DEFAULT_PROPERTIES
-    if isinstance(properties, str):
-        return (properties,)
-    names = tuple(properties)
-    if not names:
-        raise ValueError("at least one property must be requested")
-    return names
 
 
 class Verifier:
@@ -65,22 +58,14 @@ class Verifier:
     """
 
     def __init__(self, options: VerificationOptions | None = None, *, engine=None, cache=None, **overrides):
-        if options is None:
-            options = VerificationOptions(**overrides)
-        elif overrides:
-            options = options.replace(**overrides)
-        if engine is not None and options.jobs != 1:
-            raise ValueError("pass either jobs>1 in the options or an engine, not both")
-        self.options = options
-        self._engine = engine
-        self._owns_engine = False
-        self._cache = cache
+        from repro.service.service import VerificationService
+
+        # The service validates the options/engine combination and owns the
+        # engine, the cache and the per-protocol analysis contexts; the
+        # session is a synchronous view onto it.
+        self._service = VerificationService(options, engine=engine, cache=cache, **overrides)
+        self.options = self._service.options
         self._closed = False
-        #: Per-protocol AnalysisContext shared by every property check of
-        #: the session, so structural artifacts (terminal patterns,
-        #: trap/siphon bases, normal form) are computed at most once per
-        #: protocol — however many checks the session runs.
-        self._contexts: dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Session lifecycle
@@ -88,10 +73,7 @@ class Verifier:
 
     def close(self) -> None:
         """Shut down the session's own worker pool (if one was created)."""
-        if self._owns_engine and self._engine is not None:
-            self._engine.shutdown()
-            self._engine = None
-            self._owns_engine = False
+        self._service.close()
         self._closed = True
 
     def __enter__(self) -> "Verifier":
@@ -109,26 +91,32 @@ class Verifier:
             pass
 
     @property
+    def service(self):
+        """The underlying :class:`~repro.service.service.VerificationService`.
+
+        The asynchronous surface of the same session: ``submit`` returns a
+        :class:`~repro.service.jobs.JobHandle` with streaming events and
+        cooperative cancellation, sharing this session's engine, cache and
+        analysis contexts.
+        """
+        return self._service
+
+    @property
     def engine(self):
         """The session's engine (``None`` until a parallel check runs)."""
-        return self._engine
+        return self._service.engine
 
-    def _engine_for_call(self):
-        if self._closed:
-            raise RuntimeError("this Verifier session is closed")
-        if self._engine is None and self.options.jobs > 1:
-            from repro.engine.scheduler import VerificationEngine
+    @property
+    def _owns_engine(self) -> bool:
+        return self._service._owns_engine
 
-            self._engine = VerificationEngine(jobs=self.options.jobs)
-            self._owns_engine = True
-        return self._engine
+    @property
+    def _engine(self):
+        return self._service._engine
 
-    def _cache_for_call(self):
-        if self._cache is None and self.options.cache_dir is not None:
-            from repro.engine.cache import ResultCache
-
-            self._cache = ResultCache(self.options.cache_dir)
-        return self._cache
+    @property
+    def _cache(self):
+        return self._service._cache
 
     def analysis_context(self, protocol):
         """The session's shared :class:`~repro.constraints.context.AnalysisContext`.
@@ -136,17 +124,7 @@ class Verifier:
         One context per protocol (by content hash), reused across every
         :meth:`check` call of the session.
         """
-        from repro.constraints.context import AnalysisContext
-        from repro.engine.cache import protocol_content_hash
-
-        key = protocol_content_hash(protocol)
-        context = self._contexts.get(key)
-        if context is None:
-            context = AnalysisContext(protocol).seed_protocol_key(key)
-            if len(self._contexts) >= _MAX_CONTEXTS:
-                self._contexts.pop(next(iter(self._contexts)))
-            self._contexts[key] = context
-        return context
+        return self._service.analysis_context(protocol)
 
     # ------------------------------------------------------------------
     # Checking
@@ -158,58 +136,30 @@ class Verifier:
         properties: Sequence[str] | str | None = None,
         *,
         predicate=None,
+        on_event=None,
     ) -> VerificationReport:
-        """Check the requested properties of one protocol.
+        """Check the requested properties of one protocol (synchronously).
 
         ``properties`` names come from the registry
         (:func:`repro.api.properties.available_properties`); the default is
         ``["ws3"]``.  ``predicate`` overrides the protocol's documented
         ``metadata["predicate"]`` for the ``"correctness"`` property.
+        ``on_event`` receives each :class:`~repro.service.events.ProgressEvent`
+        of the underlying job as it happens (the CLI's ``--progress``).
         """
-        names = _normalize_properties(properties)
-        checkers = [property_checker(name) for name in names]  # fail fast on unknown names
-        engine = self._engine_for_call()
-        return self._run_checkers(protocol, names, checkers, engine, predicate)
-
-    def _run_checkers(self, protocol, names, checkers, engine, predicate) -> VerificationReport:
-        start = time.perf_counter()
-        context = self.analysis_context(protocol)
-        results = [
-            self._run_checker(checker, protocol, engine, predicate, context)
-            for checker in checkers
-        ]
-        statistics = {
-            "time": time.perf_counter() - start,
-            "jobs": engine.jobs if engine is not None else 1,
-            "properties": list(names),
-        }
-        return VerificationReport(
-            protocol_name=protocol.name,
-            protocol_hash=context.protocol_key,
-            properties=results,
-            options=self.options.to_dict(),
-            statistics=statistics,
+        if self._closed:
+            raise RuntimeError("this Verifier session is closed")
+        handle = self._service.submit(
+            protocol, properties=properties, predicate=predicate, subscriber=on_event
         )
-
-    def _run_checker(self, checker, protocol, engine, predicate, context):
-        """Invoke one checker, passing the shared context when it accepts one.
-
-        Custom checkers written against the pre-context interface (no
-        ``context`` keyword) keep working unchanged.
-        """
-        kwargs = {"engine": engine, "predicate": predicate}
-        try:
-            accepts_context = "context" in inspect.signature(checker.check).parameters
-        except (TypeError, ValueError):  # pragma: no cover - exotic callables
-            accepts_context = False
-        if accepts_context:
-            kwargs["context"] = context
-        return checker.check(protocol, self.options, **kwargs)
+        return self._synchronous_result(handle)
 
     def check_many(
         self,
         protocols: Iterable,
         properties: Sequence[str] | str | None = None,
+        *,
+        on_event=None,
     ):
         """Check many protocols, with across-protocol fan-out and caching.
 
@@ -218,18 +168,34 @@ class Verifier:
         than once (by content hash) are verified once; with a cache
         configured, known verdicts are served from disk.
         """
-        from repro.engine.batch import run_batch
+        if self._closed:
+            raise RuntimeError("this Verifier session is closed")
+        handle = self._service.submit_batch(protocols, properties=properties, subscriber=on_event)
+        return self._synchronous_result(handle)
 
-        names = _normalize_properties(properties)
-        for name in names:
-            property_checker(name)  # fail fast on unknown names
-        return run_batch(
-            list(protocols),
-            names,
-            self.options,
-            engine=self._engine_for_call(),
-            cache=self._cache_for_call(),
-            check_one=lambda protocol, engine: self._run_checkers(
-                protocol, names, [property_checker(name) for name in names], engine, None
-            ),
-        )
+    @staticmethod
+    def _synchronous_result(handle):
+        """Wait for a facade job and surface its outcome exactly as serial code would.
+
+        A failed job re-raises the *original* exception (not a wrapper), so
+        error behaviour is indistinguishable from the pre-service sessions.
+        An interrupt while waiting (Ctrl-C) cancels the job before
+        propagating, so the session's ``close()`` — which drains pending
+        jobs — returns at the next cooperative checkpoint instead of
+        blocking for the remainder of the check.
+        """
+        from repro.service.jobs import JobStatus
+
+        try:
+            handle.wait()
+        except BaseException:
+            handle.cancel()
+            raise
+        if handle.status() is JobStatus.FAILED:
+            raise handle._job.error
+        return handle.result()
+
+
+# Re-exported for backwards compatibility: property name validation happens
+# in the service layer now, but callers imported this from here.
+__all__ = ["DEFAULT_PROPERTIES", "Verifier", "property_checker"]

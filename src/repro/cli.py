@@ -23,6 +23,17 @@ Verify a whole batch on four worker processes, with the result cache::
     repro-verify batch majority broadcast flock-of-birds:6 my_protocol.json \
         --jobs 4 --cache-dir .repro-cache
 
+Stream progress events while a check runs (``--progress`` writes one line
+per event to stderr; add ``--progress-json`` for machine-readable events)::
+
+    repro-verify family majority --progress
+
+Run the JSON-lines verification daemon (submit/status/events/cancel/result
+requests on stdin, responses and streamed events on stdout — the protocol
+reference is in :mod:`repro.service.serve`)::
+
+    repro-verify serve --jobs 4 --workers 2
+
 List the available families::
 
     repro-verify list
@@ -97,7 +108,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="verify everything, touching no cache"
     )
     _add_verifier_options(batch_parser)
+    _add_progress_options(batch_parser)
     batch_parser.add_argument("--json", action="store_true", help="print the verdicts as JSON")
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the JSON-lines verification daemon on stdin/stdout",
+    )
+    _add_verifier_options(serve_parser)
+    serve_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="jobs allowed to run concurrently (dispatcher threads; default: 1)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory of the content-addressed result cache (default: no cache)",
+    )
 
     return parser
 
@@ -143,8 +172,22 @@ def _add_verifier_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_progress_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream progress events (one human-readable line each) to stderr",
+    )
+    parser.add_argument(
+        "--progress-json",
+        action="store_true",
+        help="stream progress events as JSON lines to stderr (implies --progress)",
+    )
+
+
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
     _add_verifier_options(parser)
+    _add_progress_options(parser)
     parser.add_argument(
         "--check-correctness",
         action="store_true",
@@ -190,6 +233,17 @@ def _load_protocol(args):
     return load_protocol_file(args.path)
 
 
+def _event_printer(args):
+    """The ``--progress`` subscriber: one line per event on stderr, or None."""
+    if not (getattr(args, "progress", False) or getattr(args, "progress_json", False)):
+        return None
+    from repro.service.events import describe_event
+
+    if getattr(args, "progress_json", False):
+        return lambda event: print(json.dumps(event.to_dict(), sort_keys=True), file=sys.stderr)
+    return lambda event: print(describe_event(event), file=sys.stderr)
+
+
 def _run_single(args) -> int:
     protocol = _load_protocol(args)
     properties = _properties_from_args(args)
@@ -197,7 +251,7 @@ def _run_single(args) -> int:
     # verdict in the report itself, so no ad-hoc message is printed here
     # (it would also pollute --json output).
     with Verifier(_options_from_args(args)) as verifier:
-        report = verifier.check(protocol, properties=properties)
+        report = verifier.check(protocol, properties=properties, on_event=_event_printer(args))
 
     if args.json:
         print(report.to_json())
@@ -222,7 +276,7 @@ def _run_batch(args) -> int:
     if not args.no_cache:
         options = options.replace(cache_dir=args.cache_dir)
     with Verifier(options) as verifier:
-        batch = verifier.check_many(protocols, properties=properties)
+        batch = verifier.check_many(protocols, properties=properties, on_event=_event_printer(args))
     cache_stats = batch.statistics.get("cache") or {"hits": 0, "misses": 0}
     ws3_requested = "ws3" in properties
     if args.json:
@@ -258,6 +312,16 @@ def _run_batch(args) -> int:
     return 0 if batch.all_ok else 1
 
 
+def _run_serve(args) -> int:
+    from repro.service import ServeSession, VerificationService
+
+    options = _options_from_args(args)
+    if args.cache_dir is not None:
+        options = options.replace(cache_dir=args.cache_dir)
+    service = VerificationService(options, workers=args.workers)
+    return ServeSession(service, sys.stdin, sys.stdout).run()
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``repro-verify`` command."""
     parser = build_parser()
@@ -272,6 +336,10 @@ def main(argv: list[str] | None = None) -> int:
         for name in available_properties():
             print(name)
         return 0
+
+    if args.command == "serve":
+        # The daemon answers loader failures as error responses, not exits.
+        return _run_serve(args)
 
     # Loader failures are library exceptions (ProtocolLoadError); only here,
     # at the process boundary, do they become exit codes.

@@ -235,3 +235,13 @@ def create_solver(backend: str | None = None, theory: str = "auto") -> Constrain
 for _backend in (SmtliteBackend(), ScipyILPBackend(), PortfolioBackend()):
     register_backend(_backend)
 del _backend
+
+# The z3 adapter is registered only when its optional dependency imports —
+# gated exactly like the scipy theory backend.  With z3 absent, "z3" is
+# simply not an available backend name (VerificationOptions rejects it with
+# the standard unknown-backend message); with z3 present, the cross-backend
+# parity tests pick it up automatically.
+from repro.constraints.z3_backend import Z3Backend, z3_available  # noqa: E402
+
+if z3_available():  # pragma: no cover - depends on the optional dependency
+    register_backend(Z3Backend())

@@ -88,16 +88,54 @@ def terminal_support_patterns(protocol: PopulationProtocol) -> list[TerminalPatt
 # ----------------------------------------------------------------------
 
 
-class ConstraintBuilder:
-    """Shared naming scheme and constraint templates from Appendix D.2."""
+def state_delta_rows(protocol: PopulationProtocol) -> dict:
+    """The flow-equation basis: ``state -> ((transition, delta), ...)``.
 
-    def __init__(self, protocol: PopulationProtocol):
+    One row per state, in the builder's deterministic orders (states sorted
+    by ``repr``, transitions in protocol order) — exactly the sums the state
+    equation ``C' = C + Δ·x`` iterates over.  The single source of this
+    derivation: both :class:`ConstraintBuilder` and
+    :attr:`repro.constraints.context.AnalysisContext.state_deltas` (which
+    also ships it to engine workers) call here, so the row order can never
+    drift between a hydrated basis and a locally derived one.
+    """
+    transitions = list(protocol.transitions)
+    return {
+        state: tuple(
+            (transition, transition.delta_map[state])
+            for transition in transitions
+            if state in transition.delta_map
+        )
+        for state in sorted(protocol.states, key=repr)
+    }
+
+
+class ConstraintBuilder:
+    """Shared naming scheme and constraint templates from Appendix D.2.
+
+    ``state_deltas`` is the optional precomputed flow-equation basis
+    (:attr:`repro.constraints.context.AnalysisContext.state_deltas`):
+    ``state -> ((transition, delta), ...)`` in enumeration order.  When the
+    builder comes from a shared analysis context the basis is derived once
+    per protocol (and shipped to engine workers); a standalone builder
+    derives it lazily on first use.
+    """
+
+    def __init__(self, protocol: PopulationProtocol, state_deltas: dict | None = None):
         self.protocol = protocol
         self.states = sorted(protocol.states, key=repr)
         self.state_index = {state: index for index, state in enumerate(self.states)}
         self.transitions = list(protocol.transitions)
         self.transition_index = {t: index for index, t in enumerate(self.transitions)}
         self.initial_states = protocol.initial_states()
+        self._state_deltas = state_deltas
+
+    @property
+    def state_deltas(self) -> dict:
+        """The per-state flow-equation rows (see :func:`state_delta_rows`)."""
+        if self._state_deltas is None:
+            self._state_deltas = state_delta_rows(self.protocol)
+        return self._state_deltas
 
     # -- variable families -------------------------------------------------
 
@@ -117,13 +155,10 @@ class ConstraintBuilder:
         variables per target state plus equality constraints) keeps the
         constraint systems handed to the theory solver small.
         """
+        rows = self.state_deltas
         derived = {}
         for state in self.states:
-            change = LinearExpr.sum_of(
-                transition.delta_map[state] * flow[transition]
-                for transition in self.transitions
-                if state in transition.delta_map
-            )
+            change = LinearExpr.sum_of(delta * flow[transition] for transition, delta in rows[state])
             derived[state] = source[state] + change
         return derived
 
@@ -170,13 +205,10 @@ class ConstraintBuilder:
 
     def flow_equation(self, source: dict, target: dict, flow: dict[Transition, LinearExpr]) -> Formula:
         """``FlowEquation(c, c', x)`` for every state (monolithic form)."""
+        rows = self.state_deltas
         constraints = []
         for state in self.states:
-            change = LinearExpr.sum_of(
-                transition.delta_map[state] * flow[transition]
-                for transition in self.transitions
-                if state in transition.delta_map
-            )
+            change = LinearExpr.sum_of(delta * flow[transition] for transition, delta in rows[state])
             constraints.append(target[state].eq(source[state] + change))
         return conjunction(constraints)
 

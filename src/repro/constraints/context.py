@@ -50,8 +50,15 @@ class AnalysisContext:
 
     @property
     def builder(self) -> ConstraintBuilder:
-        """The shared constraint builder (state/transition indices)."""
-        return self._get("builder", lambda: ConstraintBuilder(self.protocol))
+        """The shared constraint builder (state/transition indices).
+
+        The builder consumes the context's :attr:`state_deltas` basis, so
+        the flow-equation rows are derived once per protocol no matter how
+        many properties a session checks.
+        """
+        return self._get(
+            "builder", lambda: ConstraintBuilder(self.protocol, state_deltas=self.state_deltas)
+        )
 
     @property
     def terminal_patterns(self) -> list[TerminalPattern]:
@@ -119,6 +126,39 @@ class AnalysisContext:
         return self._get("lemma22_witnesses", compute)
 
     @property
+    def state_deltas(self) -> dict:
+        """The reachability over-approximation basis: per-state flow-equation rows.
+
+        ``state -> ((transition, delta), ...)`` in the builder's deterministic
+        order — exactly the sums the flow equations ``C' = C + Δ·x`` (the
+        state-equation over-approximation of reachability) iterate over.
+        The :class:`ConstraintBuilder` consumes this instead of re-deriving
+        the rows per property check, and the engine ships it to workers.
+        Derived by :func:`repro.constraints.builders.state_delta_rows`, the
+        one source of the row ordering.
+        """
+        from repro.constraints.builders import state_delta_rows
+
+        return self._get("state_deltas", lambda: state_delta_rows(self.protocol))
+
+    @property
+    def place_invariants(self) -> list[dict]:
+        """A basis of rational place invariants of the underlying Petri net.
+
+        Each invariant maps protocol states (= net places) to ``Fraction``
+        weights with ``y^T·Δ = 0``: every invariant value is conserved by
+        every transition, so ``y·C = y·C0`` along any run — the classical
+        linear over-approximation companion to :attr:`state_deltas`.
+        """
+
+        def compute():
+            from repro.petri.analysis import place_invariants
+
+            return place_invariants(self.petri_net)
+
+        return self._get("place_invariants", compute)
+
+    @property
     def protocol_key(self) -> str:
         """The content-addressed protocol hash (engine cache key component)."""
 
@@ -139,7 +179,9 @@ class AnalysisContext:
     # ------------------------------------------------------------------
 
     #: Artifacts cheap to pickle and worth shipping to worker processes.
-    PORTABLE = ("terminal_patterns",)
+    #: (States, transitions and Fractions all cross the wire already; the
+    #: trap/siphon basis is cheaper to recompute than to ship.)
+    PORTABLE = ("terminal_patterns", "state_deltas", "place_invariants")
 
     def export_data(self) -> dict:
         """The picklable, already-computed artifacts for a subproblem envelope.

@@ -1,0 +1,204 @@
+"""Content-hash keyed cache of simplified constraint systems.
+
+The simplifier (:mod:`repro.constraints.simplify`) is pure: the simplified
+form of a system depends only on the system's content and the
+``tighten_bounds`` flag.  The verification layer, however, re-poses
+byte-identical blocks constantly — the consensus/correctness base blocks per
+solver instance, the recurring pattern blocks of a sweep, whole protocols
+revisited by ``check_many`` — and re-simplified each one from scratch.
+
+:func:`simplify_system_cached` keys each pass by a SHA-256 digest of the
+system's canonical form (name, bounds, groups, constraint reprs — the
+``LinearExpr``/``Formula`` reprs are deterministic) and serves repeats from
+
+1. a bounded in-process memo (always on), and
+2. an optional on-disk layer inside the result-cache directory
+   (``<cache_dir>/simplified/``), configured by the service whenever a
+   session has ``options.cache_dir`` set, so repeated batch runs skip the
+   simplifier across processes too.
+
+Entries store the simplified system *and* the pass statistics, and hits
+merge the stored statistics into the caller's accumulator — a warm run
+reports exactly the per-run simplifier savings a cold run would, so cached
+and uncached reports stay comparable.  Returned systems are defensive
+copies: callers may mutate their copy without poisoning the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import threading
+from pathlib import Path
+
+from repro.constraints.ir import ConstraintSystem
+from repro.constraints.simplify import SimplifyStats, simplify_system
+
+#: Part of every cache key: bump when the simplifier's output can change.
+SIMPLIFY_CACHE_VERSION = "1"
+
+#: Bound of the in-process memo (FIFO eviction).
+_MAX_MEMORY_ENTRIES = 512
+
+
+def system_content_key(system: ConstraintSystem, tighten_bounds: bool) -> str:
+    """SHA-256 digest of a system's canonical content (hex, 64 chars)."""
+    payload = "\x1f".join(
+        (
+            SIMPLIFY_CACHE_VERSION,
+            repr(tighten_bounds),
+            system.name,
+            repr(sorted(system.bounds.items())),
+            repr(sorted(system.groups.items())),
+            "\x1e".join(repr(constraint) for constraint in system.constraints),
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _copy_system(system: ConstraintSystem) -> ConstraintSystem:
+    """A shallow copy sharing the (immutable) formulas but no containers."""
+    copy = ConstraintSystem(system.name)
+    copy.bounds = dict(system.bounds)
+    copy.groups = {group: tuple(members) for group, members in system.groups.items()}
+    copy.constraints = list(system.constraints)
+    return copy
+
+
+class SimplifyCache:
+    """Bounded in-memory memo with an optional on-disk layer."""
+
+    def __init__(self, directory: str | Path | None = None):
+        self._lock = threading.Lock()
+        self._memory: dict[str, tuple[ConstraintSystem, SimplifyStats]] = {}
+        self._directory: Path | None = None
+        self.statistics = {"hits": 0, "disk_hits": 0, "misses": 0, "stores": 0}
+        if directory is not None:
+            self.attach_directory(directory)
+
+    def attach_directory(self, directory: str | Path) -> None:
+        """Enable (or move) the on-disk layer; entries are pickle files."""
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            self._directory = path
+
+    def detach_directory(self) -> None:
+        with self._lock:
+            self._directory = None
+
+    @property
+    def directory(self) -> Path | None:
+        return self._directory
+
+    def _count(self, counter: str) -> None:
+        # The process-global cache is shared by concurrent dispatcher
+        # threads; counter updates are read-modify-write.
+        with self._lock:
+            self.statistics[counter] += 1
+
+    def get(self, key: str) -> tuple[ConstraintSystem, SimplifyStats] | None:
+        with self._lock:
+            entry = self._memory.get(key)
+            directory = self._directory
+        if entry is not None:
+            self._count("hits")
+            return entry
+        if directory is None:
+            self._count("misses")
+            return None
+        try:
+            payload = (directory / f"{key}.pkl").read_bytes()
+            entry = pickle.loads(payload)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            self._count("misses")
+            return None
+        with self._lock:
+            self.statistics["disk_hits"] += 1
+            self._remember(key, entry)
+        return entry
+
+    def put(self, key: str, system: ConstraintSystem, stats: SimplifyStats) -> None:
+        entry = (system, stats)
+        with self._lock:
+            self._remember(key, entry)
+            self.statistics["stores"] += 1
+            directory = self._directory
+        if directory is None:
+            return
+        # Atomic publication, mirroring the result cache: concurrent batch
+        # runs sharing a cache directory must never read a torn pickle.  The
+        # disk layer is strictly best-effort — a vanished directory or a
+        # full disk must never break a verification run.
+        import os
+        import tempfile
+
+        try:
+            handle = tempfile.NamedTemporaryFile(dir=directory, suffix=".tmp", delete=False)
+            try:
+                with handle:
+                    handle.write(pickle.dumps(entry))
+                os.replace(handle.name, directory / f"{key}.pkl")
+            except OSError:
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+        except OSError:  # pragma: no cover - directory gone / unwritable
+            pass
+
+    def _remember(self, key: str, entry) -> None:
+        if len(self._memory) >= _MAX_MEMORY_ENTRIES:
+            self._memory.pop(next(iter(self._memory)))
+        self._memory[key] = entry
+
+    def clear(self) -> None:
+        with self._lock:
+            self._memory.clear()
+
+
+#: The process-wide cache every ``simplify_system_cached`` call goes through.
+_CACHE = SimplifyCache()
+
+
+def active_cache() -> SimplifyCache:
+    return _CACHE
+
+
+def configure_simplify_cache(directory: str | Path | None) -> SimplifyCache:
+    """Point the on-disk layer at ``directory`` (``None`` detaches it).
+
+    The service calls this with ``<options.cache_dir>/simplified`` whenever a
+    session is configured with a result cache, fulfilling the ROADMAP item:
+    simplified systems are keyed by content hash in the result-cache
+    directory.
+    """
+    if directory is None:
+        _CACHE.detach_directory()
+    else:
+        _CACHE.attach_directory(directory)
+    return _CACHE
+
+
+def simplify_system_cached(
+    system: ConstraintSystem,
+    tighten_bounds: bool = True,
+    simplifier: SimplifyStats | None = None,
+) -> ConstraintSystem:
+    """Like :func:`simplify_system`, but content-hash memoized.
+
+    ``simplifier`` (when given) accumulates the pass statistics exactly as
+    the uncached call sites did — on a hit the *stored* statistics are
+    merged, so per-run savings accounting is independent of cache warmth.
+    """
+    key = system_content_key(system, tighten_bounds)
+    entry = _CACHE.get(key)
+    if entry is None:
+        simplified, stats = simplify_system(system, tighten_bounds=tighten_bounds)
+        _CACHE.put(key, _copy_system(simplified), stats)
+    else:
+        simplified, stats = entry
+        simplified = _copy_system(simplified)
+    if simplifier is not None:
+        simplifier.merge(stats)
+    return simplified

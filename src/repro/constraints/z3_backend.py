@@ -1,0 +1,220 @@
+"""A z3-backed solver behind the backend registry (optional dependency).
+
+The adapter translates the project's formula AST
+(:mod:`repro.smtlite.formula`: atoms ``expr <= 0`` over
+:class:`~repro.smtlite.terms.LinearExpr`, boolean connectives, boolean
+variables) into z3 terms and exposes z3's solver through the
+:class:`~repro.constraints.backends.ConstraintSolver` protocol — the same
+incremental surface (``int_var``/``add``/``push``/``pop``/``check``/
+``check_conjunction``) the verification layer already uses, returning the
+project's own :class:`~repro.smtlite.solver.SolverResult`/``Model`` objects.
+
+The import is gated exactly like the scipy theory backend: when ``z3`` is
+not installed this module still imports cleanly, :func:`z3_available`
+returns ``False`` and the backend is simply absent from the registry —
+nothing else in the system changes.  When z3 *is* available, the backend is
+registered as ``"z3"`` at :mod:`repro.constraints.backends` import time and
+the cross-backend parity tests (which enumerate the registry) validate it
+with no further wiring.
+
+Variable-bound semantics match the smtlite solver: bounds declared with
+``int_var`` are *not* scoped by push/pop and may be re-declared at any time,
+so they are attached per :meth:`check` call as assumptions rather than
+asserted into the z3 context; every variable that z3 has seen carries the
+default natural-number lower bound unless declared otherwise.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+try:  # pragma: no cover - exercised only when z3 is installed
+    import z3 as _z3
+except ImportError:  # pragma: no cover - the no-z3 path is the CI default
+    _z3 = None
+
+from repro.smtlite.formula import And, Atom, BoolConst, BoolVar, Formula, Iff, Implies, Not, Or
+from repro.smtlite.solver import Model, SolverResult, SolverStatus
+
+
+def z3_available() -> bool:
+    """True iff the optional z3 dependency is importable."""
+    return _z3 is not None
+
+
+class Z3Solver:
+    """z3 behind the :class:`~repro.constraints.backends.ConstraintSolver` protocol."""
+
+    def __init__(self, theory: str = "auto"):
+        if _z3 is None:  # pragma: no cover - guarded by the registry gating
+            raise ImportError("the z3 backend requires the z3-solver package")
+        # ``theory`` selects between this project's theory solvers; z3 is its
+        # own theory solver, so the knob is accepted and ignored.
+        self.theory = theory
+        self._solver = _z3.Solver()
+        self._int_vars: dict[str, object] = {}
+        self._bool_vars: dict[str, object] = {}
+        self._bounds: dict[str, tuple[int | None, int | None]] = {}
+        self._scopes = 0
+        self.statistics = {"checks": 0, "sat": 0, "unsat": 0, "unknown": 0}
+
+    # ------------------------------------------------------------------
+    # Translation
+    # ------------------------------------------------------------------
+
+    def _z3_int(self, name: str):
+        variable = self._int_vars.get(name)
+        if variable is None:
+            variable = _z3.Int(name)
+            self._int_vars[name] = variable
+        return variable
+
+    def _z3_bool(self, name: str):
+        variable = self._bool_vars.get(name)
+        if variable is None:
+            variable = _z3.Bool(name)
+            self._bool_vars[name] = variable
+        return variable
+
+    def _translate_expr(self, expr):
+        terms = [coefficient * self._z3_int(name) for name, coefficient in expr.coefficients.items()]
+        terms.append(_z3.IntVal(expr.constant))
+        return _z3.Sum(terms)
+
+    def _translate(self, formula: Formula):
+        if isinstance(formula, BoolConst):
+            return _z3.BoolVal(formula.value)
+        if isinstance(formula, Atom):
+            return self._translate_expr(formula.expr) <= 0
+        if isinstance(formula, BoolVar):
+            return self._z3_bool(formula.name)
+        if isinstance(formula, Not):
+            return _z3.Not(self._translate(formula.operand))
+        if isinstance(formula, And):
+            return _z3.And([self._translate(operand) for operand in formula.operands])
+        if isinstance(formula, Or):
+            return _z3.Or([self._translate(operand) for operand in formula.operands])
+        if isinstance(formula, Implies):
+            return _z3.Implies(
+                self._translate(formula.antecedent), self._translate(formula.consequent)
+            )
+        if isinstance(formula, Iff):
+            return self._translate(formula.left) == self._translate(formula.right)
+        raise TypeError(f"cannot translate formula {formula!r} to z3")
+
+    def _bound_terms(self) -> list:
+        """Bound assumptions for every variable z3 has seen (defaults included)."""
+        terms = []
+        for name, variable in self._int_vars.items():
+            lower, upper = self._bounds.get(name, (0, None))
+            if lower is not None:
+                terms.append(variable >= lower)
+            if upper is not None:
+                terms.append(variable <= upper)
+        return terms
+
+    # ------------------------------------------------------------------
+    # ConstraintSolver protocol
+    # ------------------------------------------------------------------
+
+    def int_var(self, name: str, lower: int | None = 0, upper: int | None = None):
+        """Declare (or re-declare) an integer variable with bounds."""
+        from repro.smtlite.terms import IntVar
+
+        self._bounds[name] = (lower, upper)
+        self._z3_int(name)
+        return IntVar(name)
+
+    def add(self, *formulas: Formula) -> None:
+        for formula in formulas:
+            if not isinstance(formula, Formula):
+                raise TypeError(f"expected a Formula, got {formula!r}")
+            self._solver.add(self._translate(formula))
+
+    def push(self) -> None:
+        self._solver.push()
+        self._scopes += 1
+
+    def pop(self) -> None:
+        if self._scopes == 0:
+            raise RuntimeError("pop() without a matching push()")
+        self._solver.pop()
+        self._scopes -= 1
+
+    @property
+    def num_scopes(self) -> int:
+        return self._scopes
+
+    def check(self, assumptions: Sequence[Formula] = ()) -> SolverResult:
+        self.statistics["checks"] += 1
+        terms = [self._translate(formula) for formula in assumptions]
+        terms.extend(self._bound_terms())
+        answer = self._solver.check(*terms)
+        if answer == _z3.sat:
+            self.statistics["sat"] += 1
+            return SolverResult(
+                SolverStatus.SAT, model=self._model(), statistics=dict(self.statistics)
+            )
+        if answer == _z3.unsat:
+            self.statistics["unsat"] += 1
+            return SolverResult(SolverStatus.UNSAT, statistics=dict(self.statistics))
+        self.statistics["unknown"] += 1
+        return SolverResult(SolverStatus.UNKNOWN, statistics=dict(self.statistics))
+
+    def check_conjunction(self, formulas: Iterable[Formula]) -> SolverResult:
+        """Decide a conjunction in isolation (asserted state is ignored)."""
+        self.statistics["checks"] += 1
+        solver = _z3.Solver()
+        for formula in formulas:
+            solver.add(self._translate(formula))
+        for term in self._bound_terms():
+            solver.add(term)
+        answer = solver.check()
+        if answer == _z3.sat:
+            self.statistics["sat"] += 1
+            return SolverResult(
+                SolverStatus.SAT,
+                model=self._model(solver.model()),
+                statistics=dict(self.statistics),
+            )
+        if answer == _z3.unsat:
+            self.statistics["unsat"] += 1
+            return SolverResult(SolverStatus.UNSAT, statistics=dict(self.statistics))
+        self.statistics["unknown"] += 1
+        return SolverResult(SolverStatus.UNKNOWN, statistics=dict(self.statistics))
+
+    # ------------------------------------------------------------------
+    # Model extraction
+    # ------------------------------------------------------------------
+
+    def _model(self, z3_model=None) -> Model:
+        model = self._solver.model() if z3_model is None else z3_model
+        ints = {}
+        for name, variable in self._int_vars.items():
+            value = model.eval(variable, model_completion=False)
+            if _z3.is_int_value(value):
+                ints[name] = value.as_long()
+            else:
+                # Unconstrained variable: any in-bounds value satisfies; pick
+                # the lower bound (matching the smtlite model completion).
+                lower, upper = self._bounds.get(name, (0, None))
+                if lower is not None:
+                    ints[name] = int(lower)
+                elif upper is not None and upper < 0:
+                    ints[name] = int(upper)
+                else:
+                    ints[name] = 0
+        bools = {}
+        for name, variable in self._bool_vars.items():
+            value = model.eval(variable, model_completion=False)
+            bools[name] = bool(_z3.is_true(value))
+        return Model(ints, bools)
+
+
+class Z3Backend:
+    """The registered factory (name ``"z3"``) of :class:`Z3Solver` instances."""
+
+    name = "z3"
+
+    def create_solver(self, theory: str = "auto") -> Z3Solver:
+        return Z3Solver(theory=theory)

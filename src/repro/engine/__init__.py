@@ -16,6 +16,10 @@ worker processes:
   via the coordinator, early cancellation, and a serial in-process fallback;
 * :mod:`repro.engine.cache` — the content-addressed protocol hash and the
   on-disk result cache keyed by it;
+* :mod:`repro.engine.monitor` — thread-local job instrumentation: progress
+  events and cooperative cancellation for the verification service (wave
+  boundaries are the engine's cancellation checkpoints, and envelopes carry
+  the job id of the thread that built them);
 * :mod:`repro.engine.batch` — ``run_batch``: fan a set of protocols over
   the pool, with verified instances served from the result cache as
   lossless :class:`~repro.api.report.VerificationReport` payloads (the
@@ -24,6 +28,7 @@ worker processes:
 """
 
 from repro.engine.cache import ResultCache, canonical_protocol_dict, protocol_content_hash
+from repro.engine.monitor import JobCancelledError
 from repro.engine.scheduler import ENGINE_VERSION, EngineError, VerificationEngine
 from repro.engine.subproblem import Subproblem, SubproblemResult
 from repro.engine.batch import BatchItem, BatchResult, batch_cache_options, run_batch, verify_many
@@ -33,6 +38,7 @@ __all__ = [
     "BatchResult",
     "ENGINE_VERSION",
     "EngineError",
+    "JobCancelledError",
     "ResultCache",
     "Subproblem",
     "SubproblemResult",

@@ -26,7 +26,9 @@ from dataclasses import dataclass, field
 
 from repro.api.options import VerificationOptions
 from repro.api.report import VerificationReport
+from repro.engine import monitor
 from repro.engine.cache import ResultCache, protocol_content_hash
+from repro.service.events import CacheHit
 from repro.engine.scheduler import ENGINE_VERSION, VerificationEngine
 from repro.engine.subproblem import Subproblem
 from repro.io.serialization import protocol_to_dict
@@ -146,6 +148,13 @@ def run_batch(
         first_occurrence[key] = index
         cached = cache.get(key) if cache is not None else None
         if cached is not None:
+            monitor.emit(
+                lambda job_id, protocol=protocol, content_hash=content_hash: CacheHit(
+                    job_id=job_id,
+                    protocol_name=protocol.name,
+                    protocol_hash=content_hash,
+                )
+            )
             items[index] = BatchItem(
                 index=index,
                 protocol_name=protocol.name,

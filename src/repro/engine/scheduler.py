@@ -24,17 +24,21 @@ surfaces as a clean :class:`EngineError` instead of a hang or a bare
 from __future__ import annotations
 
 import concurrent.futures
+import threading
 import time
 from collections.abc import Callable, Sequence
 
+from repro.engine import monitor
 from repro.engine.subproblem import Subproblem, SubproblemResult
+from repro.service.events import SubproblemCompleted, SubproblemDispatched
 
 #: Bumped whenever a change to the engine or the verification layer can
 #: alter verdicts, certificates or counterexamples; part of every result
 #: cache key, so stale entries from older engines are never served.
-#: "4": constraint IR + pluggable solver backends (backend lands in the
-#: options snapshot, simplifier normalises asserted systems).
-ENGINE_VERSION = "4"
+#: "5": job-oriented service — envelopes carry job ids, reports embed the
+#: progress-event trail in their statistics, AnalysisContext ships the
+#: state-delta basis to workers.
+ENGINE_VERSION = "5"
 
 
 class EngineError(RuntimeError):
@@ -60,6 +64,11 @@ class VerificationEngine:
         self.jobs = int(jobs)
         self.wave_timeout = wave_timeout
         self._executor: concurrent.futures.ProcessPoolExecutor | None = None
+        # Concurrent service jobs share one engine from different dispatcher
+        # threads; pool creation must not race (a lost pool would leak its
+        # worker processes) and the statistics counters are read-modify-write.
+        self._executor_lock = threading.Lock()
+        self._statistics_lock = threading.Lock()
         self.statistics = {"waves": 0, "subproblems": 0, "cancelled": 0, "failed_after_stop": 0}
 
     # ------------------------------------------------------------------
@@ -70,10 +79,16 @@ class VerificationEngine:
     def parallel(self) -> bool:
         return self.jobs > 1
 
+    def _count(self, counter: str, amount: int = 1) -> None:
+        """Thread-safe statistics increment (dispatcher threads share engines)."""
+        with self._statistics_lock:
+            self.statistics[counter] += amount
+
     def _ensure_executor(self) -> concurrent.futures.ProcessPoolExecutor:
-        if self._executor is None:
-            self._executor = concurrent.futures.ProcessPoolExecutor(max_workers=self.jobs)
-        return self._executor
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = concurrent.futures.ProcessPoolExecutor(max_workers=self.jobs)
+            return self._executor
 
     def shutdown(self, kill: bool = False) -> None:
         """Tear down the pool; ``kill`` also terminates the worker processes.
@@ -84,9 +99,10 @@ class VerificationEngine:
         outright (reaching into the executor's process table is the only way
         ProcessPoolExecutor offers).
         """
-        if self._executor is not None:
+        with self._executor_lock:
             executor = self._executor
             self._executor = None
+        if executor is not None:
             processes = list(getattr(executor, "_processes", {}).values()) if kill else []
             executor.shutdown(wait=False, cancel_futures=True)
             for process in processes:
@@ -121,10 +137,19 @@ class VerificationEngine:
         """
         if not subproblems:
             return []
-        self.statistics["waves"] += 1
-        self.statistics["subproblems"] += len(subproblems)
+        # Wave boundary: the one place the engine honours cooperative job
+        # cancellation.  A cancelled job never dispatches another wave, so
+        # its share of the pool frees up for concurrently scheduled jobs.
+        monitor.check_cancelled()
+        with self._statistics_lock:
+            self.statistics["waves"] += 1
+            self.statistics["subproblems"] += len(subproblems)
+            engine_wave = self.statistics["waves"]
+        # Event streams number waves per *job* (the engine-global counter
+        # interleaves concurrent jobs); plain engine use keeps the global.
+        wave = monitor.next_wave_index(fallback=engine_wave)
         if not self.parallel:
-            return self._run_inline(subproblems, stop_on)
+            return self._run_inline(subproblems, stop_on, wave)
 
         from repro.engine.worker import solve_subproblem
 
@@ -133,6 +158,8 @@ class VerificationEngine:
             futures = [executor.submit(solve_subproblem, sub) for sub in subproblems]
         except RuntimeError as error:  # pool already broken/shut down
             raise EngineError(f"could not dispatch subproblems: {error}") from error
+        for subproblem in subproblems:
+            self._emit_dispatched(subproblem, wave)
 
         results: list[SubproblemResult | None] = [None] * len(subproblems)
         pending = dict(enumerate(futures))
@@ -141,14 +168,25 @@ class VerificationEngine:
         try:
             for position, future in enumerate(futures):
                 if stopping and not future.running() and future.cancel():
-                    self.statistics["cancelled"] += 1
+                    self._count("cancelled")
                     pending.pop(position, None)
                     continue
                 remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
                 try:
                     results[position] = future.result(timeout=remaining)
-                except concurrent.futures.CancelledError:
-                    self.statistics["cancelled"] += 1
+                except concurrent.futures.CancelledError as error:
+                    # The engine only cancels futures itself once ``stopping``
+                    # is set.  Any other cancellation is external — a sibling
+                    # job's EngineError tore the shared pool down — and a
+                    # silent ``None`` here would read as "skipped after a
+                    # decisive result", letting a refinement sweep claim
+                    # success over pairs that were never solved.
+                    if not stopping:
+                        raise EngineError(
+                            f"{subproblems[position].label} was cancelled externally "
+                            "(the shared worker pool was shut down mid-wave)"
+                        ) from error
+                    self._count("cancelled")
                 except concurrent.futures.TimeoutError as error:
                     if stopping:
                         self._drop_failed_peer(teardown=True)
@@ -178,6 +216,8 @@ class VerificationEngine:
                     raise
                 pending.pop(position, None)
                 result = results[position]
+                if result is not None:
+                    self._emit_completed(subproblems[position], result)
                 if stop_on is not None and result is not None and stop_on(result):
                     stopping = True
         except EngineError:
@@ -198,7 +238,7 @@ class VerificationEngine:
         longer trustworthy); an ordinary in-task exception leaves the pool
         usable for the next wave.
         """
-        self.statistics["failed_after_stop"] += 1
+        self._count("failed_after_stop")
         if teardown:
             self.shutdown(kill=True)
 
@@ -206,16 +246,46 @@ class VerificationEngine:
         self,
         subproblems: Sequence[Subproblem],
         stop_on: Callable[[SubproblemResult], bool] | None,
+        wave: int,
     ) -> list[SubproblemResult | None]:
         from repro.engine.worker import solve_subproblem
 
         results: list[SubproblemResult | None] = [None] * len(subproblems)
         for position, subproblem in enumerate(subproblems):
+            if position:
+                # Inline, each subproblem is its own wave boundary: serial
+                # jobs observe cancellation between subproblems.
+                monitor.check_cancelled()
+            self._emit_dispatched(subproblem, wave)
             results[position] = solve_subproblem(subproblem)
+            self._emit_completed(subproblem, results[position])
             if stop_on is not None and stop_on(results[position]):
-                self.statistics["cancelled"] += len(subproblems) - position - 1
+                self._count("cancelled", len(subproblems) - position - 1)
                 break
         return results
+
+    @staticmethod
+    def _emit_dispatched(subproblem: Subproblem, wave: int) -> None:
+        monitor.emit(
+            lambda job_id: SubproblemDispatched(
+                job_id=subproblem.job_id or job_id,
+                kind=subproblem.kind,
+                index=subproblem.index,
+                wave=wave,
+            )
+        )
+
+    @staticmethod
+    def _emit_completed(subproblem: Subproblem, result: SubproblemResult) -> None:
+        monitor.emit(
+            lambda job_id: SubproblemCompleted(
+                job_id=subproblem.job_id or job_id,
+                kind=subproblem.kind,
+                index=subproblem.index,
+                verdict=result.verdict,
+                time_seconds=float(result.statistics.get("time", 0.0)),
+            )
+        )
 
 
 # ----------------------------------------------------------------------
@@ -287,6 +357,7 @@ def run_refinement_sweep(
                     seen.add(key)
                     refinements.append(step)
                     statistics["traps" if step.kind == "trap" else "siphons"] += 1
+                    monitor.emit_refinement_found(step.kind, step.states, step.iteration)
             if result.verdict == "sat":
                 sat_seen = True
         if sat_seen:

@@ -48,6 +48,12 @@ class Subproblem:
     ``index`` is the subproblem's position in the deterministic enumeration
     order of its producer; the coordinator uses it to merge results (and
     pick winners) independently of completion timing.
+
+    ``job_id`` names the verification-service job the envelope belongs to.
+    It is stamped automatically from the thread's job binding when the
+    envelope is built by a bound coordinator (and stays ``None`` for plain
+    library use), so engine traffic — and the progress events derived from
+    it — can always be attributed to a job.
     """
 
     kind: str
@@ -55,10 +61,15 @@ class Subproblem:
     protocol_key: str
     protocol_data: dict
     params: dict = field(default_factory=dict)
+    job_id: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise ValueError(f"unknown subproblem kind {self.kind!r}")
+        if self.job_id is None:
+            from repro.engine.monitor import current_job_id
+
+            object.__setattr__(self, "job_id", current_job_id())
 
     @property
     def label(self) -> str:

@@ -1,0 +1,315 @@
+"""``repro-verify serve``: a stdin/stdout JSON-lines verification daemon.
+
+The serve session speaks a line protocol: every request is one JSON object
+on stdin, every output line is one JSON object on stdout.  Output lines are
+tagged ``"type": "response"`` (the answer to a request, echoing its optional
+``"id"``) or ``"type": "event"`` (a streamed progress event of a job
+submitted with ``"stream": true``); the two may interleave, but each line is
+self-contained, so clients dispatch on the tag.
+
+Requests
+--------
+
+``{"op": "submit", "spec": "majority", "properties": ["ws3"],
+"priority": 0, "stream": true}``
+    Submit one protocol.  The protocol is named by a ``spec`` (a family
+    name, ``family:parameter`` or a JSON file path) or supplied inline as a
+    ``protocol`` dictionary (the ``repro.io.serialization`` wire format).
+    Responds with the job id immediately; with ``"stream": true`` every
+    progress event of the job is pushed as an event line.
+
+``{"op": "submit", "specs": ["majority", "flock-of-birds:6"]}``
+    Submit a whole batch as one job (the ``check_many`` semantics: dedup,
+    result cache, across-protocol fan-out).
+
+``{"op": "status", "job": "job-1"}``
+    Non-blocking status plus the number of events recorded so far.
+
+``{"op": "events", "job": "job-1", "since": 0}``
+    Drain the job's event log from sequence number ``since`` (polling
+    alternative to ``stream``); responds with the events and the next
+    sequence number.
+
+``{"op": "cancel", "job": "job-1"}``
+    Request cooperative cancellation.
+
+``{"op": "wait", "job": "job-1", "timeout": 5.0}``
+    Block until the job finishes (or the timeout elapses).
+
+``{"op": "result", "job": "job-1", "wait": true}``
+    The job's lossless result: ``"report"``
+    (:meth:`~repro.api.report.VerificationReport.to_dict`) for single
+    checks, ``"batch"`` for batch jobs.  Cancelled and failed jobs produce
+    an error response instead.
+
+``{"op": "jobs"}`` / ``{"op": "shutdown"}``
+    List every job of the session; end the session.
+
+EOF on stdin ends the session too; like ``shutdown``, it cancels every job
+that has not finished (nobody is left to read the results).  Malformed
+lines and unknown ops yield
+``{"type": "response", "ok": false, "error": ...}`` — the daemon never dies
+on bad input.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.engine.monitor import JobCancelledError
+from repro.io.loading import ProtocolLoadError, resolve_protocol_spec
+from repro.io.serialization import protocol_from_dict
+from repro.service.jobs import JobHandle, JobNotFinished
+from repro.service.service import VerificationService
+
+
+class ServeError(ValueError):
+    """A request that cannot be served (bad op, unknown job, bad protocol)."""
+
+
+def batch_to_payload(batch) -> dict:
+    """The lossless JSON payload of a :class:`~repro.engine.batch.BatchResult`."""
+    return {
+        "items": [
+            {
+                "protocol": item.protocol_name,
+                "hash": item.protocol_hash,
+                "ok": item.ok,
+                "from_cache": item.from_cache,
+                "time_seconds": item.time_seconds,
+                "report": item.report.to_dict(),
+            }
+            for item in batch
+        ],
+        "statistics": batch.statistics,
+    }
+
+
+class ServeSession:
+    """One JSON-lines session over a verification service.
+
+    The request loop runs on the calling thread; streamed events arrive from
+    dispatcher threads, so every output line goes through one lock and is
+    flushed immediately (clients block on complete lines).
+    """
+
+    def __init__(self, service: VerificationService, input_stream, output_stream):
+        self.service = service
+        self._input = input_stream
+        self._output = output_stream
+        self._output_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Output framing
+    # ------------------------------------------------------------------
+
+    def _write(self, payload: dict) -> None:
+        line = json.dumps(payload, sort_keys=True)
+        with self._output_lock:
+            self._output.write(line + "\n")
+            self._output.flush()
+
+    def _respond(self, request_id, **payload) -> None:
+        response = {"type": "response", "ok": True, **payload}
+        if request_id is not None:
+            response["id"] = request_id
+        self._write(response)
+
+    def _fail(self, request_id, error: str) -> None:
+        response = {"type": "response", "ok": False, "error": error}
+        if request_id is not None:
+            response["id"] = request_id
+        self._write(response)
+
+    def _stream_event(self, event) -> None:
+        self._write({"type": "event", "job": event.job_id, "event": event.to_dict()})
+
+    # ------------------------------------------------------------------
+    # The request loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> int:
+        """Serve until EOF or a ``shutdown`` request; returns an exit code."""
+        try:
+            for line in self._input:
+                line = line.strip()
+                if not line:
+                    continue
+                request_id = None
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ServeError("each request must be a JSON object")
+                    request_id = request.get("id")
+                    op = request.get("op")
+                    handler = self._HANDLERS.get(op)
+                    if handler is None:
+                        known = ", ".join(sorted(self._HANDLERS))
+                        raise ServeError(f"unknown op {op!r}; known ops: {known}")
+                    if handler(self, request, request_id):
+                        break
+                # TypeError covers wrongly-typed request fields (e.g. a
+                # number where a property list belongs): bad input of any
+                # shape yields an error response, never a dead daemon.
+                except (
+                    ServeError,
+                    ProtocolLoadError,
+                    json.JSONDecodeError,
+                    ValueError,
+                    TypeError,
+                ) as error:
+                    self._fail(request_id, str(error))
+        finally:
+            # However the session ends (EOF, shutdown op, a crashed client),
+            # nobody is reading results any more: cancel whatever has not
+            # started rather than verifying a dead client's backlog.
+            self._cancel_pending()
+            self.service.close()
+        return 0
+
+    def _cancel_pending(self) -> None:
+        for handle in self.service.jobs():
+            if not handle.status().finished:
+                handle.cancel()
+
+    # ------------------------------------------------------------------
+    # Handlers (returning True ends the session)
+    # ------------------------------------------------------------------
+
+    def _handle_submit(self, request: dict, request_id) -> bool:
+        properties = request.get("properties")
+        priority = int(request.get("priority", 0))
+        subscriber = self._stream_event if request.get("stream") else None
+        if "specs" in request:
+            protocols = [resolve_protocol_spec(spec) for spec in request["specs"]]
+            handle = self.service.submit_batch(
+                protocols, properties=properties, priority=priority, subscriber=subscriber
+            )
+        else:
+            handle = self.service.submit(
+                self._load_protocol(request),
+                properties=properties,
+                priority=priority,
+                subscriber=subscriber,
+            )
+        self._respond(request_id, op="submit", job=handle.job_id, kind=handle.kind)
+        return False
+
+    def _load_protocol(self, request: dict):
+        if "protocol" in request:
+            try:
+                return protocol_from_dict(request["protocol"])
+            except Exception as error:
+                raise ServeError(f"bad inline protocol: {error}") from error
+        spec = request.get("spec")
+        if not spec:
+            raise ServeError("submit needs a 'spec', 'specs' or an inline 'protocol'")
+        return resolve_protocol_spec(spec)
+
+    def _handle(self, request: dict) -> JobHandle:
+        job_id = request.get("job")
+        if not job_id:
+            raise ServeError("this op needs a 'job' id")
+        try:
+            return self.service.job(job_id)
+        except KeyError:
+            raise ServeError(f"unknown job {job_id!r}") from None
+
+    def _handle_status(self, request: dict, request_id) -> bool:
+        handle = self._handle(request)
+        self._respond(
+            request_id,
+            op="status",
+            job=handle.job_id,
+            status=handle.status().value,
+            events=len(handle.events_so_far()),
+        )
+        return False
+
+    def _handle_events(self, request: dict, request_id) -> bool:
+        handle = self._handle(request)
+        since = int(request.get("since", 0))
+        events = [event.to_dict() for event in handle.events_so_far()[since:]]
+        self._respond(
+            request_id,
+            op="events",
+            job=handle.job_id,
+            events=events,
+            next=since + len(events),
+            status=handle.status().value,
+        )
+        return False
+
+    def _handle_cancel(self, request: dict, request_id) -> bool:
+        handle = self._handle(request)
+        cancelled = handle.cancel()
+        self._respond(request_id, op="cancel", job=handle.job_id, cancelled=cancelled)
+        return False
+
+    def _handle_wait(self, request: dict, request_id) -> bool:
+        handle = self._handle(request)
+        timeout = request.get("timeout")
+        finished = handle.wait(timeout=None if timeout is None else float(timeout))
+        self._respond(
+            request_id, op="wait", job=handle.job_id, finished=finished, status=handle.status().value
+        )
+        return False
+
+    def _handle_result(self, request: dict, request_id) -> bool:
+        handle = self._handle(request)
+        if request.get("wait", True):
+            timeout = request.get("timeout")
+            handle.wait(timeout=None if timeout is None else float(timeout))
+        try:
+            result = handle.result()
+        except JobNotFinished:
+            self._fail(request_id, f"job {handle.job_id!r} is still {handle.status().value}")
+            return False
+        except JobCancelledError:
+            self._fail(request_id, f"job {handle.job_id!r} was cancelled")
+            return False
+        except Exception as error:
+            self._fail(request_id, f"job {handle.job_id!r} failed: {error}")
+            return False
+        payload = {"op": "result", "job": handle.job_id, "status": handle.status().value}
+        if handle.kind == "batch":
+            payload["batch"] = batch_to_payload(result)
+        else:
+            payload["report"] = result.to_dict()
+        self._respond(request_id, **payload)
+        return False
+
+    def _handle_jobs(self, request: dict, request_id) -> bool:
+        self._respond(
+            request_id,
+            op="jobs",
+            jobs=[
+                {
+                    "job": handle.job_id,
+                    "kind": handle.kind,
+                    "status": handle.status().value,
+                    "priority": handle.priority,
+                }
+                for handle in self.service.jobs()
+            ],
+        )
+        return False
+
+    def _handle_shutdown(self, request: dict, request_id) -> bool:
+        # Cancel whatever is still pending: a shutdown must not hang on a
+        # long queue (running jobs stop at their next checkpoint).
+        self._cancel_pending()
+        self._respond(request_id, op="shutdown")
+        return True
+
+    _HANDLERS = {
+        "submit": _handle_submit,
+        "status": _handle_status,
+        "events": _handle_events,
+        "cancel": _handle_cancel,
+        "wait": _handle_wait,
+        "result": _handle_result,
+        "jobs": _handle_jobs,
+        "shutdown": _handle_shutdown,
+    }

@@ -1,0 +1,564 @@
+"""The verification service: priority-scheduled jobs over one shared engine.
+
+:class:`VerificationService` owns the machinery a
+:class:`~repro.api.verifier.Verifier` session used to own directly — one
+validated options bundle, one lazily created (and reused) parallel engine,
+one result cache, the per-protocol analysis contexts — and exposes it as an
+asynchronous job API:
+
+* :meth:`submit` / :meth:`submit_batch` enqueue work and return a
+  :class:`~repro.service.jobs.JobHandle` immediately;
+* ``workers`` dispatcher threads drain the queue **priority-first** (higher
+  ``priority`` values run earlier; FIFO within a priority), all sharing the
+  service's engine worker pool and result cache;
+* every stage emits a typed
+  :class:`~repro.service.events.ProgressEvent`, recorded per job, delivered
+  to subscribers and iterators, and stamped into the finished report's
+  statistics as the ``"events"`` trail;
+* cancellation is cooperative: a cancelled queued job never starts, a
+  cancelled running job stops at the next checkpoint (engine wave boundary,
+  pattern/strategy iteration) and frees its workers for later jobs.
+
+``Verifier.check``/``check_many`` are synchronous facades over this class,
+so the two surfaces produce identical verdicts by construction.
+"""
+
+from __future__ import annotations
+
+import heapq
+import inspect
+import itertools
+import threading
+import time
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.api.options import VerificationOptions
+from repro.api.properties import property_checker
+from repro.api.report import VerificationReport
+from repro.engine import monitor
+from repro.engine.monitor import JobBinding, JobCancelledError
+from repro.service.events import (
+    JobFinished,
+    JobStarted,
+    ProgressEvent,
+    PropertyFinished,
+    PropertyStarted,
+)
+from repro.service.jobs import Job, JobHandle, JobStatus, queued_event
+
+#: The default property set of a bare ``service.submit(protocol)``.
+DEFAULT_PROPERTIES = ("ws3",)
+
+#: Analysis contexts kept per service (FIFO-bounded by protocol hash).
+_MAX_CONTEXTS = 16
+
+#: Finished jobs (with their event logs) retained for later lookup.  A
+#: long-running serve daemon must not accumulate every job it ever ran:
+#: once the bound is exceeded the oldest *finished* jobs are evicted
+#: (queued/running jobs are never evicted) and ``service.job(id)`` starts
+#: answering ``KeyError`` for them.  Callers holding a ``JobHandle`` keep
+#: their job alive regardless — eviction only drops the service's index.
+_MAX_FINISHED_JOBS = 256
+
+
+def _normalize_properties(properties) -> tuple[str, ...]:
+    if properties is None:
+        return DEFAULT_PROPERTIES
+    if isinstance(properties, str):
+        return (properties,)
+    names = tuple(properties)
+    if not names:
+        raise ValueError("at least one property must be requested")
+    return names
+
+
+class VerificationService:
+    """Asynchronous verification jobs over one shared engine and cache.
+
+    Parameters
+    ----------
+    options:
+        A :class:`VerificationOptions` bundle (defaults apply when omitted);
+        keyword overrides are applied on top, mirroring ``Verifier``.
+    workers:
+        Dispatcher threads, i.e. how many jobs may *run* concurrently.  The
+        default of 1 serialises jobs (each still fans its subproblems over
+        ``options.jobs`` worker processes); raise it to overlap independent
+        jobs on the same pool.
+    engine:
+        An existing :class:`~repro.engine.scheduler.VerificationEngine` to
+        schedule on (left running on :meth:`close`); mutually exclusive
+        with ``jobs > 1`` in the options, which makes the service create —
+        and own — a pool lazily on first use.
+    cache:
+        An existing :class:`~repro.engine.cache.ResultCache`; by default a
+        cache is opened at ``options.cache_dir`` (if set) on first use.
+    """
+
+    def __init__(
+        self,
+        options: VerificationOptions | None = None,
+        *,
+        workers: int = 1,
+        engine=None,
+        cache=None,
+        **overrides,
+    ):
+        if options is None:
+            options = VerificationOptions(**overrides)
+        elif overrides:
+            options = options.replace(**overrides)
+        if engine is not None and options.jobs != 1:
+            raise ValueError("pass either jobs>1 in the options or an engine, not both")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.options = options
+        self.workers = int(workers)
+        self._engine = engine
+        self._owns_engine = False
+        self._cache = cache
+        self._closed = False
+        self._lock = threading.Lock()
+        self._queue_condition = threading.Condition(self._lock)
+        self._queue: list[tuple[int, int, Job]] = []  # heap of (-priority, seq, job)
+        self._seq = itertools.count()
+        self._job_seq = itertools.count(1)
+        self._jobs: dict[str, Job] = {}
+        self._threads: list[threading.Thread] = []
+        self._contexts: dict[str, object] = {}
+        self._contexts_lock = threading.Lock()
+        self.statistics = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "subscriber_errors": 0,
+        }
+        #: The simplify-cache directory this service attached (see
+        #: :meth:`_cache_for_call`); detached again on :meth:`close`.
+        self._simplify_dir: str | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "VerificationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC-timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting jobs, drain the queue, shut down an owned engine.
+
+        Pending jobs still run to completion (they were accepted); pass
+        ``wait=False`` to return without joining the dispatcher threads.
+        """
+        with self._lock:
+            if self._closed:
+                threads = []
+            else:
+                self._closed = True
+                threads = list(self._threads)
+            self._queue_condition.notify_all()
+        if wait:
+            for thread in threads:
+                thread.join()
+        with self._lock:
+            if self._owns_engine and self._engine is not None:
+                self._engine.shutdown()
+                self._engine = None
+                self._owns_engine = False
+            simplify_dir = self._simplify_dir
+            self._simplify_dir = None
+        if simplify_dir is not None:
+            from pathlib import Path
+
+            from repro.constraints.simplify_cache import active_cache, configure_simplify_cache
+
+            # Detach the disk layer — unless another session re-pointed it
+            # at its own directory in the meantime (last one wins).
+            if active_cache().directory == Path(simplify_dir):
+                configure_simplify_cache(None)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def engine(self):
+        """The shared engine (``None`` until a parallel job runs)."""
+        return self._engine
+
+    def _engine_for_call(self):
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("this VerificationService is closed")
+            if self._engine is None and self.options.jobs > 1:
+                from repro.engine.scheduler import VerificationEngine
+
+                self._engine = VerificationEngine(jobs=self.options.jobs)
+                self._owns_engine = True
+            return self._engine
+
+    def _cache_for_call(self):
+        with self._lock:
+            if self._cache is None and self.options.cache_dir is not None:
+                from repro.engine.cache import ResultCache
+
+                self._cache = ResultCache(self.options.cache_dir)
+                # Sessions with a result cache also persist simplified
+                # constraint systems (keyed by content hash) under the same
+                # directory, so repeated batch runs skip the simplifier
+                # across processes.  The disk layer is process-global (the
+                # call sites live deep in the verification layer): the most
+                # recently opened cache wins, and close() detaches it again.
+                import os
+
+                from repro.constraints.simplify_cache import configure_simplify_cache
+
+                self._simplify_dir = os.path.join(self.options.cache_dir, "simplified")
+                configure_simplify_cache(self._simplify_dir)
+            return self._cache
+
+    def analysis_context(self, protocol):
+        """The shared per-protocol :class:`~repro.constraints.context.AnalysisContext`.
+
+        One context per protocol (by content hash), reused across every job
+        of the service.
+        """
+        from repro.constraints.context import AnalysisContext
+        from repro.engine.cache import protocol_content_hash
+
+        key = protocol_content_hash(protocol)
+        with self._contexts_lock:
+            context = self._contexts.get(key)
+            if context is None:
+                context = AnalysisContext(protocol).seed_protocol_key(key)
+                if len(self._contexts) >= _MAX_CONTEXTS:
+                    self._contexts.pop(next(iter(self._contexts)))
+                self._contexts[key] = context
+            return context
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        protocol,
+        properties: Sequence[str] | str | None = None,
+        *,
+        predicate=None,
+        priority: int = 0,
+        subscriber: Callable[[ProgressEvent], None] | None = None,
+    ) -> JobHandle:
+        """Enqueue one protocol check; returns without blocking.
+
+        ``priority`` orders the queue (higher runs earlier); ``subscriber``
+        is a convenience for registering an event callback atomically with
+        submission, so the ``job_queued`` event is never missed.
+        """
+        names = _normalize_properties(properties)
+        for name in names:
+            property_checker(name)  # fail fast on unknown names, in the caller
+        job = Job(
+            job_id=f"job-{next(self._job_seq)}",
+            kind="check",
+            payload={"protocol": protocol, "properties": names, "predicate": predicate},
+            priority=int(priority),
+            protocol_name=getattr(protocol, "name", ""),
+            properties=names,
+        )
+        return self._enqueue(job, subscriber)
+
+    def submit_batch(
+        self,
+        protocols: Iterable,
+        properties: Sequence[str] | str | None = None,
+        *,
+        priority: int = 0,
+        subscriber: Callable[[ProgressEvent], None] | None = None,
+    ) -> JobHandle:
+        """Enqueue a whole batch (the ``check_many`` semantics) as one job.
+
+        The job's result is a :class:`~repro.engine.batch.BatchResult`:
+        duplicate protocols are verified once, known verdicts are served
+        from the result cache (emitting ``cache_hit`` events), and with a
+        parallel engine the pending protocols fan out across the pool.
+        """
+        protocols = list(protocols)
+        names = _normalize_properties(properties)
+        for name in names:
+            property_checker(name)
+        job = Job(
+            job_id=f"job-{next(self._job_seq)}",
+            kind="batch",
+            payload={"protocols": protocols, "properties": names},
+            priority=int(priority),
+            protocol_name=f"{len(protocols)} protocol(s)",
+            properties=names,
+        )
+        return self._enqueue(job, subscriber)
+
+    def _enqueue(self, job: Job, subscriber) -> JobHandle:
+        handle = JobHandle(job)
+        if subscriber is not None:
+            handle.subscribe(subscriber)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("this VerificationService is closed")
+            self._jobs[job.id] = job
+            self.statistics["submitted"] += 1
+        # The queued event is recorded *before* the job becomes poppable, so
+        # every trail starts with job_queued (seq 0) — and subscribers run
+        # outside the service lock, so a callback touching the service
+        # cannot deadlock.
+        job.record_event(queued_event(job))
+        with self._lock:
+            if self._closed:
+                # Closed in the window above: the job can never run.
+                self._jobs.pop(job.id, None)
+                self.statistics["submitted"] -= 1
+                raise RuntimeError("this VerificationService is closed")
+            heapq.heappush(self._queue, (-job.priority, next(self._seq), job))
+            self._ensure_workers_locked()
+            self._queue_condition.notify()
+        return handle
+
+    def _ensure_workers_locked(self) -> None:
+        while len(self._threads) < self.workers:
+            thread = threading.Thread(
+                target=self._dispatch_loop,
+                name=f"repro-service-worker-{len(self._threads)}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Job lookup
+    # ------------------------------------------------------------------
+
+    def job(self, job_id: str) -> JobHandle:
+        """The handle for a submitted job id; unknown ids raise ``KeyError``."""
+        return JobHandle(self._jobs[job_id])
+
+    def jobs(self) -> list[JobHandle]:
+        """Handles for every job the service has seen, in submission order."""
+        with self._lock:
+            return [JobHandle(job) for job in self._jobs.values()]
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._queue_condition:
+                while not self._queue and not self._closed:
+                    self._queue_condition.wait()
+                if not self._queue:
+                    return  # closed and drained
+                _, _, job = heapq.heappop(self._queue)
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        if not job.mark_running():
+            # Cancelled while queued: it never starts, never touches a worker.
+            self._finish(job, JobStatus.CANCELLED, outcome="cancelled")
+            return
+        start = time.perf_counter()
+        binding = JobBinding(
+            job.id,
+            record=job.record_event,
+            should_cancel=lambda: job.cancel_requested,
+        )
+        with monitor.bound_to_job(binding):
+            job.record_event(JobStarted(job_id=job.id))
+            try:
+                if job.kind == "batch":
+                    result = self._run_batch_job(job)
+                else:
+                    result = self._run_check_job(job)
+            except JobCancelledError:
+                self._finish(job, JobStatus.CANCELLED, outcome="cancelled", start=start)
+            except BaseException as error:
+                self._finish(job, JobStatus.FAILED, error=error, start=start)
+            else:
+                self._finish(job, JobStatus.DONE, result=result, start=start)
+
+    def _finish(
+        self,
+        job: Job,
+        status: JobStatus,
+        *,
+        result=None,
+        error: BaseException | None = None,
+        outcome: str | None = None,
+        start: float | None = None,
+    ) -> None:
+        elapsed = 0.0 if start is None else time.perf_counter() - start
+        if outcome is None:
+            outcome = {JobStatus.DONE: "done", JobStatus.FAILED: "error"}.get(status, "cancelled")
+        ok = None
+        if status is JobStatus.DONE and result is not None:
+            ok = bool(getattr(result, "ok", getattr(result, "all_ok", None)))
+        # The terminal event, the status flip and the event-trail stamping
+        # into the result's statistics happen atomically inside the job (see
+        # Job.finish), so completion subscribers observe a finished job.
+        job.finish(
+            status,
+            result=result,
+            error=error,
+            final_event=JobFinished(
+                job_id=job.id,
+                outcome=outcome,
+                ok=ok,
+                error="" if error is None else f"{type(error).__name__}: {error}",
+                time_seconds=elapsed,
+            ),
+        )
+        counter = {
+            JobStatus.DONE: "completed",
+            JobStatus.FAILED: "failed",
+            JobStatus.CANCELLED: "cancelled",
+        }[status]
+        with self._lock:
+            self.statistics[counter] += 1
+            self.statistics["subscriber_errors"] += job.subscriber_errors
+            job.subscriber_errors = 0
+            self._evict_finished_locked()
+
+    def _evict_finished_locked(self) -> None:
+        finished = [job_id for job_id, job in self._jobs.items() if job.status.finished]
+        excess = len(finished) - _MAX_FINISHED_JOBS
+        if excess > 0:
+            # Dict order is submission order, so the oldest finished go first.
+            for job_id in finished[:excess]:
+                self._jobs.pop(job_id, None)
+
+    # ------------------------------------------------------------------
+    # The actual checking (shared with the Verifier facade)
+    # ------------------------------------------------------------------
+
+    def _run_check_job(self, job: Job) -> VerificationReport:
+        """One submit job: the check, served from the result cache when possible.
+
+        Single jobs share the batch path's cache keying exactly
+        (:func:`~repro.engine.batch.batch_cache_options`), so a daemon's
+        ``submit`` traffic, ``check_many`` batches and earlier runs all hit
+        the same entries.
+        """
+        payload = job.payload
+        protocol = payload["protocol"]
+        names = payload["properties"]
+        predicate = payload["predicate"]
+        cache = self._cache_for_call()
+        key = None
+        if cache is not None:
+            from repro.engine.batch import batch_cache_options
+            from repro.engine.cache import ResultCache, protocol_content_hash
+            from repro.engine.scheduler import ENGINE_VERSION
+            from repro.service.events import CacheHit
+
+            effective = predicate
+            if effective is None and "correctness" in names:
+                effective = protocol.metadata.get("predicate")
+            content_hash = protocol_content_hash(protocol)
+            key = ResultCache.entry_key(
+                content_hash,
+                ENGINE_VERSION,
+                batch_cache_options(names, self.options, effective),
+            )
+            cached = cache.get(key)
+            if cached is not None:
+                job.record_event(
+                    CacheHit(job_id=job.id, protocol_name=protocol.name, protocol_hash=content_hash)
+                )
+                report = VerificationReport.from_dict(cached)
+                report.statistics["from_cache"] = True
+                return report
+        report = self.run_check(protocol, names, predicate=predicate)
+        if cache is not None:
+            cache.put(key, report.to_dict())
+        return report
+
+    def run_check(self, protocol, names: Sequence[str], *, predicate=None) -> VerificationReport:
+        """Check ``names`` on one protocol, emitting property-stage events.
+
+        This is the synchronous core used both by dispatcher threads and by
+        ``run_batch``'s serial fallback; it must run under a job binding to
+        produce events (without one it degrades to the plain check).
+        """
+        start = time.perf_counter()
+        names = tuple(names)
+        context = self.analysis_context(protocol)
+        engine = self._engine_for_call()
+        monitor.emit_backend_selected(self.options.backend, scope="options")
+        results = []
+        for name in names:
+            checker = property_checker(name)
+            monitor.check_cancelled()
+            monitor.emit(
+                lambda job_id, name=name: PropertyStarted(
+                    job_id=job_id, property=name, protocol_name=protocol.name
+                )
+            )
+            result = self._run_checker(checker, protocol, engine, predicate, context)
+            monitor.emit(
+                lambda job_id, name=name, result=result: PropertyFinished(
+                    job_id=job_id,
+                    property=name,
+                    protocol_name=protocol.name,
+                    verdict=result.verdict.value,
+                )
+            )
+            results.append(result)
+        statistics = {
+            "time": time.perf_counter() - start,
+            "jobs": engine.jobs if engine is not None else 1,
+            "properties": list(names),
+        }
+        return VerificationReport(
+            protocol_name=protocol.name,
+            protocol_hash=context.protocol_key,
+            properties=results,
+            options=self.options.to_dict(),
+            statistics=statistics,
+        )
+
+    def _run_checker(self, checker, protocol, engine, predicate, context):
+        """Invoke one checker, passing the shared context when it accepts one.
+
+        Custom checkers written against the pre-context interface (no
+        ``context`` keyword) keep working unchanged.
+        """
+        kwargs = {"engine": engine, "predicate": predicate}
+        try:
+            accepts_context = "context" in inspect.signature(checker.check).parameters
+        except (TypeError, ValueError):  # pragma: no cover - exotic callables
+            accepts_context = False
+        if accepts_context:
+            kwargs["context"] = context
+        return checker.check(protocol, self.options, **kwargs)
+
+    def _run_batch_job(self, job: Job):
+        from repro.engine.batch import run_batch
+
+        payload = job.payload
+        names = payload["properties"]
+        return run_batch(
+            payload["protocols"],
+            names,
+            self.options,
+            engine=self._engine_for_call(),
+            cache=self._cache_for_call(),
+            check_one=lambda protocol, engine: self.run_check(protocol, names),
+        )

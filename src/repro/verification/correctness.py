@@ -32,8 +32,10 @@ from typing import Protocol as TypingProtocol
 from repro.constraints.backends import create_solver, resolve_backend_name
 from repro.constraints.builders import ConstraintBuilder
 from repro.constraints.context import AnalysisContext
-from repro.constraints.simplify import SimplifyStats, simplify_system
+from repro.constraints.simplify import SimplifyStats
+from repro.constraints.simplify_cache import simplify_system_cached
 from repro.datatypes.multiset import Multiset
+from repro.engine import monitor
 from repro.protocols.protocol import PopulationProtocol
 from repro.smtlite.formula import Formula
 from repro.smtlite.solver import SolverStatus
@@ -78,10 +80,7 @@ def _assert_correctness_base(
     """
     variables = builder.correctness_variables()
     system = builder.correctness_base_system(variables)
-    simplified, stats = simplify_system(system, tighten_bounds=False)
-    if simplifier is not None:
-        simplifier.merge(stats)
-    simplified.assert_into(solver)
+    simplify_system_cached(system, tighten_bounds=False, simplifier=simplifier).assert_into(solver)
     return variables
 
 
@@ -162,6 +161,8 @@ def check_correctness_impl(
         for pattern in patterns:
             if not pattern.admits_output(protocol, wrong_output):
                 continue
+            # Cooperative checkpoint of the serial sweep (service jobs).
+            monitor.check_cancelled()
             statistics["pattern_pairs"] = statistics.get("pattern_pairs", 0) + 1
             solver.push()
             try:
@@ -231,10 +232,7 @@ def _solve_pattern(
     # path so fresh existential variables (remainder quotients) land in the
     # system's variable groups.
     system.merge(predicate_system(predicate, input_vars, negate=(expected_output == 0)))
-    simplified, stats = simplify_system(system, tighten_bounds=False)
-    if simplifier is not None:
-        simplifier.merge(stats)
-    simplified.assert_into(solver)
+    simplify_system_cached(system, tighten_bounds=False, simplifier=simplifier).assert_into(solver)
 
     for iteration in range(max_refinements):
         statistics["iterations"] += 1
@@ -267,6 +265,7 @@ def _solve_pattern(
         step = RefinementStep(kind=step.kind, states=step.states, iteration=iteration)
         refinements.append(step)
         statistics["traps" if step.kind == "trap" else "siphons"] += 1
+        monitor.emit_refinement_found(step.kind, step.states, step.iteration)
         solver.add(builder.refinement_constraint(step, c0, c1, x1, target_support=pattern.allowed))
     raise RuntimeError(
         f"correctness refinement did not converge within {max_refinements} iterations"

@@ -31,6 +31,7 @@ from itertools import combinations_with_replacement
 from repro.constraints.backends import create_solver, resolve_backend_name
 from repro.constraints.context import AnalysisContext
 from repro.datatypes.multiset import Multiset
+from repro.engine import monitor
 from repro.protocols.protocol import OrderedPartition, PopulationProtocol, Transition
 from repro.protocols.semantics import strongly_connected_components
 from repro.smtlite.formula import Implies, disjunction
@@ -714,6 +715,8 @@ def check_layered_termination_impl(
     for used_strategy, partition in attempts:
         if partition is None:
             continue
+        # Cooperative checkpoint between strategy attempts (service jobs).
+        monitor.check_cancelled()
         result = check_partition(
             protocol, partition, materialize_rankings=materialize_rankings, strategy=used_strategy
         )

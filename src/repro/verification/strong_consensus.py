@@ -54,7 +54,9 @@ from repro.constraints.builders import (  # noqa: F401  (re-exported legacy surf
     terminal_support_patterns,
 )
 from repro.constraints.context import AnalysisContext
-from repro.constraints.simplify import SimplifyStats, simplify_system
+from repro.constraints.simplify import SimplifyStats
+from repro.constraints.simplify_cache import simplify_system_cached
+from repro.engine import monitor
 from repro.petri.traps_siphons import (
     maximal_siphon_with_support_outside,
     maximal_trap_with_support_outside,
@@ -259,10 +261,7 @@ def _assert_consensus_base(
     the refinement sequence must stay reproducible across worker counts.
     """
     system = builder.consensus_base_system(variables)
-    simplified, stats = simplify_system(system, tighten_bounds=False)
-    if simplifier is not None:
-        simplifier.merge(stats)
-    simplified.assert_into(solver)
+    simplify_system_cached(system, tighten_bounds=False, simplifier=simplifier).assert_into(solver)
 
 
 def _check_with_patterns(
@@ -314,6 +313,9 @@ def _check_with_patterns(
     for pattern_true in true_patterns:
         true_side_ok = side_feasible(c1, pattern_true, 1)
         for pattern_false in false_patterns:
+            # Cooperative checkpoint of the serial sweep: a cancelled
+            # service job stops between pattern pairs.
+            monitor.check_cancelled()
             statistics["pattern_pairs"] += 1
             if not true_side_ok or not side_feasible(c2, pattern_false, 0):
                 statistics["pruned_pairs"] = statistics.get("pruned_pairs", 0) + 1
@@ -374,10 +376,7 @@ def _solve_pattern_pair(
     c0, c1, c2, x1, x2 = variables
     supports = context.transition_supports if context is not None else None
     system = builder.consensus_pair_system(variables, pattern_true, pattern_false, refinements)
-    simplified, stats = simplify_system(system, tighten_bounds=False)
-    if simplifier is not None:
-        simplifier.merge(stats)
-    simplified.assert_into(solver)
+    simplify_system_cached(system, tighten_bounds=False, simplifier=simplifier).assert_into(solver)
 
     for _ in range(max_refinements):
         statistics["iterations"] += 1
@@ -408,6 +407,7 @@ def _solve_pattern_pair(
         step = RefinementStep(kind=step.kind, states=step.states, iteration=statistics["iterations"])
         refinements.append(step)
         statistics["traps" if step.kind == "trap" else "siphons"] += 1
+        monitor.emit_refinement_found(step.kind, step.states, step.iteration)
         solver.add(builder.refinement_constraint(step, c0, c1, x1, target_support=pattern_true.allowed))
         solver.add(builder.refinement_constraint(step, c0, c2, x2, target_support=pattern_false.allowed))
     raise RuntimeError(
@@ -681,9 +681,7 @@ def _check_monolithic(
     system.add(builder.terminal(c2))
     system.add(builder.has_output(c1, 1))
     system.add(builder.has_output(c2, 0))
-    simplified, stats = simplify_system(system)
-    simplifier.merge(stats)
-    simplified.assert_into(solver)
+    simplify_system_cached(system, simplifier=simplifier).assert_into(solver)
 
     refinements: list[RefinementStep] = []
     statistics = {"iterations": 0, "traps": 0, "siphons": 0}
@@ -694,6 +692,7 @@ def _check_monolithic(
         return result
 
     for iteration in range(max_refinements):
+        monitor.check_cancelled()
         statistics["iterations"] = iteration + 1
         result = solver.check()
         if result.status is SolverStatus.UNSAT:
@@ -733,6 +732,7 @@ def _check_monolithic(
         step = RefinementStep(kind=step.kind, states=step.states, iteration=iteration)
         refinements.append(step)
         statistics["traps" if step.kind == "trap" else "siphons"] += 1
+        monitor.emit_refinement_found(step.kind, step.states, step.iteration)
         solver.add(builder.refinement_constraint(step, c0, c1, x1))
         solver.add(builder.refinement_constraint(step, c0, c2, x2))
 

@@ -37,6 +37,7 @@ class TestLaziness:
             "terminal_patterns": 1,
             "trap_siphon_basis": 1,
             "builder": 1,
+            "state_deltas": 1,  # dependency of the builder
             "petri_net": 1,  # dependency of the normal form
             "normal_form": 1,
             "enabling_graph": 1,
@@ -105,6 +106,68 @@ class TestExportHydrate:
         context.hydrate(None)
         context.hydrate({"bogus": 1})
         assert context.computes == {} and context.hydrated == {}
+
+
+class TestLinearArtifacts:
+    """Place invariants and the flow-equation basis (ISSUE 5 satellite)."""
+
+    def test_state_deltas_match_the_transition_effects(self):
+        protocol = majority_protocol()
+        rows = AnalysisContext(protocol).state_deltas
+        assert set(rows) == set(protocol.states)
+        for state, entries in rows.items():
+            for transition, delta in entries:
+                assert transition.delta_map[state] == delta
+        # Every non-silent effect appears exactly once.
+        total = sum(len(entries) for entries in rows.values())
+        expected = sum(len(t.delta_map) for t in protocol.transitions)
+        assert total == expected
+
+    def test_builder_reuses_the_context_basis(self):
+        context = AnalysisContext(majority_protocol())
+        builder = context.builder
+        assert builder.state_deltas is context.state_deltas
+        assert context.computes.get("state_deltas", 0) == 1
+
+    def test_place_invariants_are_conserved_by_every_transition(self):
+        from fractions import Fraction
+
+        protocol = majority_protocol()
+        context = AnalysisContext(protocol)
+        invariants = context.place_invariants
+        assert invariants, "a conservative protocol net has invariants"
+        for invariant in invariants:
+            for transition in protocol.transitions:
+                change = sum(
+                    (
+                        Fraction(weight) * transition.delta_map.get(state, 0)
+                        for state, weight in invariant.items()
+                    ),
+                    Fraction(0),
+                )
+                assert change == 0
+        # The agent-count invariant is in the span; at minimum the net is
+        # recognised as conservative through the memoized Petri net.
+        assert context.computes.get("petri_net", 0) == 1
+
+    def test_linear_artifacts_are_portable(self):
+        import pickle
+
+        context = AnalysisContext(majority_protocol())
+        context.state_deltas
+        context.place_invariants
+        context.terminal_patterns
+        exported = context.export_data()
+        assert set(exported) == {"terminal_patterns", "state_deltas", "place_invariants"}
+        # Envelope round trip: what workers receive equals what was shipped.
+        revived = pickle.loads(pickle.dumps(exported))
+        assert revived["state_deltas"] == exported["state_deltas"]
+        assert revived["place_invariants"] == exported["place_invariants"]
+        target = AnalysisContext(majority_protocol()).hydrate(revived)
+        assert target.computes == {}
+        assert target.state_deltas == context.state_deltas
+        assert target.place_invariants == context.place_invariants
+        assert target.computes.get("state_deltas", 0) == 0
 
 
 class TestDeprecatedTrapsSiphonsShim:

@@ -1,0 +1,205 @@
+"""End-to-end tests of the ``repro-verify serve`` JSON-lines daemon.
+
+The acceptance scenario of the service PR: a serve session submits two
+jobs, streams events for both, cancels one, and receives the other's
+lossless JSON report — all over stdin/stdout of a real subprocess.  The
+in-process tests below drive :class:`ServeSession` directly for the
+protocol details (polling, error handling, batch submits).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.api.report import VerificationReport
+from repro.service import ServeSession, VerificationService
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+
+def run_session(requests, **service_kwargs):
+    """Drive one ServeSession in-process; returns the parsed output lines."""
+    stdin = io.StringIO("\n".join(json.dumps(request) for request in requests) + "\n")
+    stdout = io.StringIO()
+    service = VerificationService(**service_kwargs)
+    exit_code = ServeSession(service, stdin, stdout).run()
+    assert exit_code == 0
+    return [json.loads(line) for line in stdout.getvalue().splitlines()]
+
+
+def responses_by_id(lines):
+    return {line["id"]: line for line in lines if line["type"] == "response" and "id" in line}
+
+
+class TestServeSession:
+    def test_submit_stream_cancel_and_lossless_result(self):
+        """The acceptance scenario, against the in-process session."""
+        lines = run_session(
+            [
+                {"op": "submit", "spec": "majority", "stream": True, "id": 1},
+                # Lower priority, so it stays queued behind job-1 on the one
+                # dispatcher — cancellation hits it before it starts.
+                {"op": "submit", "spec": "broadcast", "stream": True, "priority": -1, "id": 2},
+                {"op": "cancel", "job": "job-2", "id": 3},
+                {"op": "result", "job": "job-1", "wait": True, "id": 4},
+                {"op": "wait", "job": "job-2", "id": 5},
+                {"op": "status", "job": "job-2", "id": 6},
+                {"op": "shutdown", "id": 7},
+            ]
+        )
+        responses = responses_by_id(lines)
+        assert all(response["ok"] for response in responses.values())
+        assert responses[1]["job"] == "job-1" and responses[2]["job"] == "job-2"
+        assert responses[3]["cancelled"] is True
+        assert responses[6]["status"] == "cancelled"
+
+        # Both jobs streamed events.
+        streamed = {"job-1": [], "job-2": []}
+        for line in lines:
+            if line["type"] == "event":
+                streamed[line["job"]].append(line["event"]["event"])
+        assert streamed["job-1"][0] == "job_queued" and streamed["job-1"][-1] == "job_finished"
+        assert "property_finished" in streamed["job-1"]
+        assert streamed["job-2"] == ["job_queued", "job_finished"]
+
+        # The surviving job's report is lossless.
+        report = VerificationReport.from_dict(responses[4]["report"])
+        assert report.is_ws3
+        assert report.to_dict() == responses[4]["report"]
+
+    def test_events_polling_and_status(self):
+        lines = run_session(
+            [
+                {"op": "submit", "spec": "broadcast", "properties": ["layered_termination"], "id": 1},
+                {"op": "wait", "job": "job-1", "id": 2},
+                {"op": "events", "job": "job-1", "since": 0, "id": 3},
+                {"op": "events", "job": "job-1", "since": 2, "id": 4},
+                {"op": "status", "job": "job-1", "id": 5},
+                {"op": "jobs", "id": 6},
+                {"op": "shutdown", "id": 7},
+            ]
+        )
+        responses = responses_by_id(lines)
+        full = responses[3]["events"]
+        assert [event["event"] for event in full][0] == "job_queued"
+        assert full[-1]["event"] == "job_finished"
+        assert responses[4]["events"] == full[2:]
+        assert responses[4]["next"] == len(full)
+        assert responses[5]["status"] == "done"
+        assert responses[6]["jobs"][0]["job"] == "job-1"
+
+    def test_batch_submit_over_serve(self):
+        lines = run_session(
+            [
+                {
+                    "op": "submit",
+                    "specs": ["majority", "majority", "broadcast"],
+                    "properties": ["layered_termination"],
+                    "id": 1,
+                },
+                {"op": "result", "job": "job-1", "wait": True, "id": 2},
+                {"op": "shutdown", "id": 3},
+            ]
+        )
+        responses = responses_by_id(lines)
+        assert responses[1]["kind"] == "batch"
+        batch = responses[2]["batch"]
+        assert len(batch["items"]) == 3
+        assert batch["statistics"]["duplicates"] == 1
+        for item in batch["items"]:
+            VerificationReport.from_dict(item["report"])  # lossless payloads
+
+    def test_bad_requests_yield_error_responses_not_crashes(self):
+        lines = run_session(
+            [
+                {"op": "submit", "id": 1},  # no spec/protocol
+                {"op": "submit", "spec": "no-such-family", "id": 2},
+                {"op": "status", "job": "job-99", "id": 3},
+                {"op": "no-such-op", "id": 4},
+                "not json at all",
+                # Wrongly *typed* fields must yield error responses too.
+                {"op": "submit", "spec": "majority", "properties": 5, "id": 8},
+                {"op": "submit", "spec": "majority", "priority": {}, "id": 9},
+                {"op": "submit", "spec": "broadcast", "properties": ["layered_termination"], "id": 5},
+                {"op": "result", "job": "job-1", "id": 6},
+                {"op": "shutdown", "id": 7},
+            ]
+        )
+        responses = responses_by_id(lines)
+        for request_id in (1, 2, 3, 4, 8, 9):
+            assert responses[request_id]["ok"] is False
+        # The bad line produced an un-id'd error response...
+        anonymous = [
+            line for line in lines if line["type"] == "response" and not line.get("ok") and "id" not in line
+        ]
+        assert anonymous
+        # ...and the session kept serving afterwards.
+        assert responses[6]["ok"] and responses[6]["report"]["protocol"] == "broadcast"
+
+    def test_inline_protocol_submission(self):
+        from repro.io.serialization import protocol_to_dict
+        from repro.protocols.library import broadcast_protocol
+
+        lines = run_session(
+            [
+                {
+                    "op": "submit",
+                    "protocol": protocol_to_dict(broadcast_protocol()),
+                    "properties": ["layered_termination"],
+                    "id": 1,
+                },
+                {"op": "result", "job": "job-1", "id": 2},
+                {"op": "shutdown", "id": 3},
+            ]
+        )
+        responses = responses_by_id(lines)
+        report = VerificationReport.from_dict(responses[2]["report"])
+        assert report.holds("layered_termination")
+
+    def test_eof_ends_the_session(self):
+        lines = run_session([{"op": "submit", "spec": "broadcast", "id": 1}])
+        assert responses_by_id(lines)[1]["ok"]
+
+
+@pytest.mark.parametrize("extra_args", [[], ["--workers", "2"]])
+def test_serve_subprocess_end_to_end(extra_args, tmp_path):
+    """The real daemon: ``python -m repro.cli serve`` over pipes."""
+    script = "\n".join(
+        json.dumps(request)
+        for request in [
+            {"op": "submit", "spec": "majority", "stream": True, "id": 1},
+            {"op": "submit", "spec": "broadcast", "stream": True, "priority": -1, "id": 2},
+            {"op": "cancel", "job": "job-2", "id": 3},
+            {"op": "result", "job": "job-1", "wait": True, "id": 4},
+            {"op": "wait", "job": "job-2", "id": 5},
+            {"op": "shutdown", "id": 6},
+        ]
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "serve", *extra_args],
+        input=script + "\n",
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    lines = [json.loads(line) for line in proc.stdout.splitlines()]
+    responses = responses_by_id(lines)
+    assert responses[1]["ok"] and responses[4]["ok"]
+    report = VerificationReport.from_dict(responses[4]["report"])
+    assert report.is_ws3 and report.to_dict() == responses[4]["report"]
+    events = [line for line in lines if line["type"] == "event"]
+    assert {line["job"] for line in events} >= {"job-1"}
+    # With one worker the low-priority job is cancelled while queued; with
+    # two workers it may have started (or even finished) first — any
+    # terminal status is acceptable, the session must just answer.
+    assert responses[5]["finished"] is True

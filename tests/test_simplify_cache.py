@@ -1,0 +1,154 @@
+"""The content-hash keyed cache of simplified constraint systems.
+
+The ROADMAP item: batch runs re-simplified identical blocks per protocol;
+now identical systems are simplified once per process (in-memory memo) and,
+with a result-cache directory configured, once per *machine* (pickled in
+``<cache_dir>/simplified/``).  Correctness bar: a cached result must be
+indistinguishable from a fresh pass — same system, same statistics, and no
+shared mutable state with the caller.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints.ir import ConstraintSystem
+from repro.constraints.simplify import SimplifyStats, simplify_system
+from repro.constraints.simplify_cache import (
+    SimplifyCache,
+    active_cache,
+    configure_simplify_cache,
+    simplify_system_cached,
+    system_content_key,
+)
+from repro.smtlite.terms import IntVar
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Isolate each test from the process-wide memo (entries *and* counters)."""
+    cache = active_cache()
+    cache.clear()
+    cache.detach_directory()
+    saved = dict(cache.statistics)
+    for key in cache.statistics:
+        cache.statistics[key] = 0
+    yield cache
+    cache.clear()
+    cache.detach_directory()
+    cache.statistics.update(saved)
+
+
+def build_system() -> ConstraintSystem:
+    system = ConstraintSystem("test-block")
+    x = system.declare("x", group="vars")
+    y = system.declare("y", group="vars")
+    system.add(x + y >= 2)
+    system.add(x + y >= 2)  # duplicate, removed by the simplifier
+    system.add(x <= 5)
+    return system
+
+
+class TestContentKey:
+    def test_identical_systems_share_a_key(self):
+        assert system_content_key(build_system(), True) == system_content_key(build_system(), True)
+
+    def test_key_distinguishes_content_and_flags(self):
+        base = system_content_key(build_system(), True)
+        assert system_content_key(build_system(), False) != base
+        changed = build_system()
+        changed.add(IntVar("x") >= 1)
+        assert system_content_key(changed, True) != base
+        renamed = build_system()
+        renamed.name = "other-block"
+        assert system_content_key(renamed, True) != base
+
+
+class TestMemoization:
+    def test_second_pass_is_a_hit_with_identical_output(self, fresh_cache):
+        first = simplify_system_cached(build_system())
+        assert fresh_cache.statistics["misses"] == 1
+        second = simplify_system_cached(build_system())
+        assert fresh_cache.statistics["hits"] == 1
+        assert second.constraints == first.constraints
+        assert second.bounds == first.bounds
+        assert second.groups == first.groups
+        reference, _ = simplify_system(build_system())
+        assert second.constraints == reference.constraints
+
+    def test_hit_merges_the_original_statistics(self, fresh_cache):
+        cold_stats = SimplifyStats()
+        simplify_system_cached(build_system(), simplifier=cold_stats)
+        warm_stats = SimplifyStats()
+        simplify_system_cached(build_system(), simplifier=warm_stats)
+        assert warm_stats.to_dict() == cold_stats.to_dict()
+        assert warm_stats.duplicates_removed >= 1
+
+    def test_cached_system_is_a_defensive_copy(self, fresh_cache):
+        first = simplify_system_cached(build_system())
+        first.constraints.append(IntVar("x") >= 3)
+        first.bounds["x"] = (1, 1)
+        second = simplify_system_cached(build_system())
+        assert second.constraints != first.constraints
+        # The default pass tightened ``x <= 5`` into the bounds; the
+        # caller's later mutation to (1, 1) must not leak into the cache.
+        assert second.bounds["x"] == (0, 5)
+
+
+class TestDiskLayer:
+    def test_round_trips_through_the_result_cache_directory(self, tmp_path):
+        directory = tmp_path / "cache" / "simplified"
+        configure_simplify_cache(directory)
+        simplify_system_cached(build_system())
+        assert list(directory.glob("*.pkl")), "expected a pickled entry on disk"
+
+        # A fresh process is simulated by a fresh cache reading the same dir.
+        fresh = SimplifyCache(directory)
+        key = system_content_key(build_system(), True)
+        entry = fresh.get(key)
+        assert entry is not None
+        system, stats = entry
+        reference, reference_stats = simplify_system(build_system())
+        assert system.constraints == reference.constraints
+        assert stats.to_dict() == reference_stats.to_dict()
+        assert fresh.statistics["disk_hits"] == 1
+        configure_simplify_cache(None)
+
+    def test_torn_entries_are_treated_as_misses(self, tmp_path):
+        cache = SimplifyCache(tmp_path)
+        key = system_content_key(build_system(), True)
+        (tmp_path / f"{key}.pkl").write_bytes(b"definitely not a pickle")
+        assert cache.get(key) is None
+        assert cache.statistics["misses"] == 1
+
+
+class TestServiceWiring:
+    def test_cache_dir_sessions_configure_the_disk_layer(self, tmp_path):
+        from repro.protocols.library import majority_protocol
+        from repro.service import VerificationService
+
+        cache_dir = tmp_path / "results"
+        with VerificationService(cache_dir=str(cache_dir)) as service:
+            handle = service.submit_batch([majority_protocol()], properties=["strong_consensus"])
+            handle.wait(timeout=240)
+            assert handle.result().all_ok
+        simplified = cache_dir / "simplified"
+        assert simplified.is_dir() and list(simplified.glob("*.pkl"))
+        configure_simplify_cache(None)
+
+    def test_verification_verdicts_survive_a_warm_cache(self):
+        """Cold vs warm simplifier cache: identical verdicts and statistics."""
+        from repro.api import Verifier
+        from repro.protocols.library import majority_protocol
+
+        with Verifier() as verifier:
+            cold = verifier.check(majority_protocol(), properties=["strong_consensus"])
+        assert active_cache().statistics["stores"] > 0
+        with Verifier() as verifier:
+            warm = verifier.check(majority_protocol(), properties=["strong_consensus"])
+        assert active_cache().statistics["hits"] > 0
+        cold_sc = cold.result_for("strong_consensus")
+        warm_sc = warm.result_for("strong_consensus")
+        assert warm_sc.verdict == cold_sc.verdict
+        assert warm_sc.refinements == cold_sc.refinements
+        assert warm_sc.statistics["simplifier"] == cold_sc.statistics["simplifier"]

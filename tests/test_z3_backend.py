@@ -1,0 +1,94 @@
+"""The gated z3 solver adapter.
+
+Without z3 installed (the CI default), the backend must be cleanly absent:
+the module imports, the registry does not list ``"z3"`` and the options
+validation rejects it with the standard message.  With z3 installed, the
+adapter must honour the ConstraintSolver protocol — and the cross-backend
+parity suite (:mod:`tests.test_backend_parity`) then exercises it against
+every library protocol for free, because it enumerates the registry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import VerificationOptions
+from repro.constraints.backends import available_backends, create_solver
+from repro.constraints.z3_backend import Z3Backend, z3_available
+from repro.smtlite.solver import SolverStatus
+from repro.smtlite.terms import IntVar
+
+
+class TestGating:
+    def test_module_imports_without_z3(self):
+        # Imported at the top of this file: reaching here is the test.
+        assert isinstance(z3_available(), bool)
+
+    def test_registry_matches_availability(self):
+        assert ("z3" in available_backends()) == z3_available()
+
+    @pytest.mark.skipif(z3_available(), reason="z3 is installed here")
+    def test_unavailable_backend_rejected_by_options(self):
+        with pytest.raises(ValueError, match="backend must be one of"):
+            VerificationOptions(backend="z3")
+
+    @pytest.mark.skipif(z3_available(), reason="z3 is installed here")
+    def test_solver_construction_requires_z3(self):
+        with pytest.raises(ImportError):
+            Z3Backend().create_solver()
+
+
+@pytest.mark.skipif(not z3_available(), reason="z3 is not installed")
+class TestZ3Solver:
+    def _solver(self):
+        return create_solver("z3")
+
+    def test_sat_with_model_and_default_bounds(self):
+        solver = self._solver()
+        x, y = IntVar("x"), IntVar("y")
+        solver.add(x + y >= 5, x <= 2)
+        result = solver.check()
+        assert result.status is SolverStatus.SAT
+        model = result.model
+        assert model.value(x) + model.value(y) >= 5
+        assert model.value(x) >= 0 and model.value(y) >= 0  # natural domain
+
+    def test_unsat_under_declared_bounds(self):
+        solver = self._solver()
+        x = solver.int_var("x", lower=0, upper=3)
+        solver.add(x >= 4)
+        assert solver.check().status is SolverStatus.UNSAT
+
+    def test_push_pop_retracts_assertions(self):
+        solver = self._solver()
+        x = IntVar("x")
+        solver.add(x >= 1)
+        solver.push()
+        solver.add(x <= 0)
+        assert solver.check().status is SolverStatus.UNSAT
+        solver.pop()
+        assert solver.check().status is SolverStatus.SAT
+
+    def test_assumptions_do_not_stick(self):
+        solver = self._solver()
+        x = IntVar("x")
+        solver.add(x >= 1)
+        assert solver.check(assumptions=[x <= 0]).status is SolverStatus.UNSAT
+        assert solver.check().status is SolverStatus.SAT
+
+    def test_check_conjunction_ignores_asserted_state(self):
+        solver = self._solver()
+        x = IntVar("x")
+        solver.add(x >= 10)
+        result = solver.check_conjunction([x <= 5])
+        assert result.status is SolverStatus.SAT
+
+    def test_ws3_verdict_matches_the_default_backend(self):
+        from repro.api import Verifier
+        from repro.protocols.library import majority_protocol
+
+        with Verifier(VerificationOptions(backend="z3")) as verifier:
+            via_z3 = verifier.check(majority_protocol())
+        with Verifier() as verifier:
+            reference = verifier.check(majority_protocol())
+        assert via_z3.is_ws3 == reference.is_ws3
