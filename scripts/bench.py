@@ -190,6 +190,21 @@ def main(argv: list[str] | None = None) -> int:
                 flush=True,
             )
             entries.append(entry)
+        # Fault-tolerance counters of the run: retries/worker deaths/timeouts
+        # absorbed by the engine, plus any backend demotions.  All zero on a
+        # healthy machine — a nonzero diff between snapshots flags flaky
+        # infrastructure before it flags a perf regression.
+        from repro.constraints.backends import health_statistics
+
+        engine = verifier.engine
+        engine_stats = dict(engine.statistics) if engine is not None else {}
+        fault_tolerance = {
+            "retries": engine_stats.get("retries", 0),
+            "worker_deaths": engine_stats.get("worker_deaths", 0),
+            "timeouts": engine_stats.get("timeouts", 0),
+            "backend_health": health_statistics(),
+            "retry_policy": options.retry.to_dict(),
+        }
 
     snapshot = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -202,6 +217,7 @@ def main(argv: list[str] | None = None) -> int:
         "properties": list(PROPERTIES),
         "options": options.to_dict(),
         "engine_cache": dict(cache.statistics) if cache is not None else None,
+        "fault_tolerance": fault_tolerance,
         "total_seconds": round(sum(entry["wall_clock_seconds"] for entry in entries), 4),
         "benchmarks": entries,
     }

@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""CI chaos test: the verification service survives crashes and fault injection.
+
+Three scenarios, each end to end against real subprocesses:
+
+1. **Fault-free baseline** — a journalled ``repro-verify serve`` daemon runs
+   a batch to completion; its lossless batch payload is the reference.
+2. **SIGKILL + recovery** — a second journalled daemon is killed with
+   ``SIGKILL`` right after the batch submission is acknowledged (so the job
+   is journalled but almost certainly unfinished); a third daemon restarted
+   on the same journal must resume the job and produce a final payload that
+   is byte-identical to the baseline after stripping volatile fields
+   (timings, event trails).
+3. **Poisoned worker** — a parallel batch runs under a deterministic
+   ``REPRO_FAULT_PLAN`` that SIGKILLs the first worker process touching a
+   subproblem; the engine's retry policy must absorb the death and the run
+   must still exit 0 with the right verdicts.
+
+Exits non-zero with a diagnostic on any violation::
+
+    PYTHONPATH=src python scripts/chaos_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+SPECS = ["majority", "broadcast", "flock-of-birds:4"]
+
+#: Fields whose values legitimately differ between two runs of the same job.
+VOLATILE_KEYS = {"time", "timestamp", "events", "seq"}
+
+
+def _volatile(key: str) -> bool:
+    return key in VOLATILE_KEYS or key.endswith("_time") or key.endswith("_seconds")
+
+
+def normalize(value):
+    """Strip volatile fields (timings, event trails) recursively.
+
+    Everything that remains — verdicts, certificates, counterexamples,
+    refinement counts, protocol hashes — must be bit-for-bit reproducible
+    between a fault-free run and a crash-recovered one.
+    """
+    if isinstance(value, dict):
+        return {key: normalize(item) for key, item in value.items() if not _volatile(key)}
+    if isinstance(value, list):
+        return [normalize(item) for item in value]
+    return value
+
+
+def canonical(value) -> str:
+    return json.dumps(normalize(value), sort_keys=True, separators=(",", ":"))
+
+
+def serve_env() -> dict:
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+    env.pop("REPRO_FAULT_PLAN", None)
+    return env
+
+
+def serve_command(journal_dir: str) -> list:
+    return [sys.executable, "-m", "repro.cli", "serve", "--journal-dir", journal_dir]
+
+
+def run_requests(journal_dir: str, requests: list, timeout: float = 600) -> dict:
+    """One full serve session; returns the responses keyed by request id."""
+    script = "\n".join(json.dumps(request) for request in requests) + "\n"
+    proc = subprocess.run(
+        serve_command(journal_dir),
+        input=script,
+        capture_output=True,
+        text=True,
+        env=serve_env(),
+        timeout=timeout,
+    )
+    if proc.returncode != 0:
+        print(proc.stderr, file=sys.stderr)
+        raise RuntimeError(f"serve exited with {proc.returncode}")
+    responses = {}
+    for line in proc.stdout.splitlines():
+        payload = json.loads(line)
+        if payload.get("type") == "response" and "id" in payload:
+            responses[payload["id"]] = payload
+    return responses
+
+
+def scenario_baseline(journal_dir: str) -> str:
+    responses = run_requests(
+        journal_dir,
+        [
+            {"op": "submit", "specs": SPECS, "id": 1},
+            {"op": "result", "job": "job-1", "wait": True, "id": 2},
+            {"op": "shutdown", "id": 3},
+        ],
+    )
+    result = responses.get(2, {})
+    if not result.get("ok") or "batch" not in result:
+        raise RuntimeError(f"baseline batch did not complete: {result}")
+    return canonical(result["batch"])
+
+
+def scenario_crash_recovery(journal_dir: str, reference: str) -> list:
+    """Kill a daemon right after submission; a restart must finish the job."""
+    failures = []
+    proc = subprocess.Popen(
+        serve_command(journal_dir),
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=serve_env(),
+    )
+    try:
+        proc.stdin.write(json.dumps({"op": "submit", "specs": SPECS, "id": 1}) + "\n")
+        proc.stdin.flush()
+        # The submit response is written only after the journal append is
+        # fsynced, so once we read it the job is durable — kill away.
+        acknowledged = json.loads(proc.stdout.readline())
+        if not acknowledged.get("ok"):
+            failures.append(f"crash-scenario submit failed: {acknowledged}")
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=60)
+    if proc.returncode == 0:
+        failures.append("the SIGKILLed daemon exited 0; the kill did not land")
+
+    responses = run_requests(
+        journal_dir,
+        [
+            {"op": "result", "job": "job-1", "wait": True, "id": 1},
+            {"op": "shutdown", "id": 2},
+        ],
+    )
+    result = responses.get(1, {})
+    if not result.get("ok") or "batch" not in result:
+        failures.append(f"recovered daemon did not serve job-1: {result}")
+        return failures
+    recovered = canonical(result["batch"])
+    if recovered != reference:
+        failures.append(
+            "recovered batch payload differs from the fault-free baseline "
+            f"after normalization:\n  baseline:  {reference[:400]}\n  recovered: {recovered[:400]}"
+        )
+    return failures
+
+
+def scenario_poisoned_worker(state_dir: str) -> list:
+    """A worker SIGKILLed mid-subproblem must be absorbed by the retry policy."""
+    failures = []
+    plan = {
+        "seed": 7,
+        "state_dir": state_dir,
+        "faults": [{"site": "worker.solve", "action": "kill", "at": 1}],
+    }
+    env = serve_env()
+    env["REPRO_FAULT_PLAN"] = json.dumps(plan)
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "batch",
+            "majority",
+            "broadcast",
+            "--jobs",
+            "2",
+            "--no-cache",
+            "--json",
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    if proc.returncode != 0:
+        print(proc.stderr, file=sys.stderr)
+        failures.append(f"poisoned-worker batch exited {proc.returncode}")
+        return failures
+    payload = json.loads(proc.stdout)
+    items = {item["protocol"]: item for item in payload["protocols"]}
+    if not items.get("majority", {}).get("is_ws3"):
+        failures.append("majority unexpectedly not WS3 under fault injection")
+    if not items.get("broadcast", {}).get("is_ws3"):
+        failures.append("broadcast unexpectedly not WS3 under fault injection")
+    # The fault plan's cross-process counter file proves the kill fired.
+    fired = any(os.scandir(state_dir))
+    if not fired:
+        failures.append("the kill fault never fired (no occurrence counters written)")
+    return failures
+
+
+def main() -> int:
+    start = time.perf_counter()
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        baseline_dir = os.path.join(tmp, "journal-baseline")
+        crash_dir = os.path.join(tmp, "journal-crash")
+        state_dir = os.path.join(tmp, "fault-state")
+        os.makedirs(state_dir)
+
+        try:
+            reference = scenario_baseline(baseline_dir)
+            print("chaos 1/3: fault-free journalled baseline OK")
+        except Exception as error:
+            print(f"FAIL: baseline scenario: {error}", file=sys.stderr)
+            return 1
+
+        crash_failures = scenario_crash_recovery(crash_dir, reference)
+        failures.extend(crash_failures)
+        if not crash_failures:
+            print("chaos 2/3: SIGKILL + journal recovery OK (byte-identical payload)")
+
+        poison_failures = scenario_poisoned_worker(state_dir)
+        failures.extend(poison_failures)
+        if not poison_failures:
+            print("chaos 3/3: poisoned-worker retry OK")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"chaos smoke OK in {time.perf_counter() - start:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,17 @@ def _default_backend() -> str:
     return resolve_backend_name(None)
 
 
+def _default_retry():
+    """The service-tier retry/timeout policy (see :mod:`repro.engine.retry`).
+
+    Imported lazily: ``repro.engine`` itself imports this module at package
+    init, so a top-level import would be circular.
+    """
+    from repro.engine.retry import DEFAULT_RETRY
+
+    return DEFAULT_RETRY
+
+
 @dataclass(frozen=True)
 class VerificationOptions:
     """Configuration of a :class:`~repro.api.verifier.Verifier` session.
@@ -72,6 +83,12 @@ class VerificationOptions:
         Reachability-graph size bound of the explicit-state baseline.
     jobs:
         Worker processes for the parallel engine (1 = serial).
+    retry:
+        A :class:`~repro.engine.retry.RetryPolicy`: how lost subproblems
+        (worker deaths, per-subproblem deadlines) are retried and what the
+        whole-job wall-clock budget is.  Accepts a plain dictionary (the
+        ``to_dict`` form) for convenience.  Execution-only — excluded from
+        cache keys like ``jobs``.
     cache_dir:
         Directory of the content-addressed result cache used by
         ``check_many`` (``None`` disables caching).
@@ -89,9 +106,18 @@ class VerificationOptions:
     explicit_max_size: int = 4
     explicit_max_configurations: int = 200_000
     jobs: int = 1
+    retry: object = field(default_factory=_default_retry)
     cache_dir: str | None = None
 
     def __post_init__(self) -> None:
+        from repro.engine.retry import RetryPolicy
+
+        if isinstance(self.retry, dict):
+            object.__setattr__(self, "retry", RetryPolicy.from_dict(self.retry))
+        if not isinstance(self.retry, RetryPolicy):
+            raise ValueError(
+                f"retry must be a RetryPolicy (or its dict form), got {self.retry!r}"
+            )
         if self.strategy not in STRATEGIES:
             raise ValueError(f"strategy must be one of {STRATEGIES}, got {self.strategy!r}")
         if self.theory not in THEORIES:
@@ -150,5 +176,6 @@ class VerificationOptions:
         """
         snapshot = self.to_dict()
         snapshot.pop("jobs")
+        snapshot.pop("retry")
         snapshot.pop("cache_dir")
         return snapshot

@@ -34,11 +34,19 @@ REPORT_SCHEMA = "repro-verification-report/1"
 
 
 class Verdict(str, Enum):
-    """Outcome of checking one property."""
+    """Outcome of checking one property.
+
+    ``PARTIAL`` marks a property the run did not get to decide — typically
+    because the job exhausted its wall-clock budget (``retry.job_timeout``)
+    after earlier properties completed.  It claims nothing in either
+    direction: a partial report is never cached, and ``report.ok`` treats
+    it like ``SKIPPED`` (only ``FAILS`` refutes).
+    """
 
     HOLDS = "holds"
     FAILS = "fails"
     SKIPPED = "skipped"
+    PARTIAL = "partial"
 
     @property
     def holds(self) -> bool:
@@ -153,7 +161,13 @@ class PropertyResult:
     def describe(self, indent: str = "  ") -> list[str]:
         """Human-readable lines for :meth:`VerificationReport.summary`."""
         lines: list[str] = []
-        if self.property == "ws3":
+        if self.verdict is Verdict.PARTIAL:
+            # Budget exhaustion reads the same for every property.
+            lines.append(
+                f"{indent}{self.property}: PARTIAL"
+                + (f" ({self.reason})" if self.reason else "")
+            )
+        elif self.property == "ws3":
             lines.append(f"{indent}WS3 membership: {_verdict_word(self.verdict)}")
         elif self.property == "layered_termination":
             detail = ""
@@ -194,7 +208,12 @@ class PropertyResult:
 
 
 def _verdict_word(verdict: Verdict) -> str:
-    return {"holds": "YES", "fails": "NOT PROVEN", "skipped": "skipped"}[verdict.value]
+    return {
+        "holds": "YES",
+        "fails": "NOT PROVEN",
+        "skipped": "skipped",
+        "partial": "PARTIAL",
+    }[verdict.value]
 
 
 @dataclass
@@ -218,6 +237,18 @@ class VerificationReport:
     def ok(self) -> bool:
         """True iff no requested property failed (skipped ones are fine)."""
         return all(result.verdict is not Verdict.FAILS for result in self.properties)
+
+    @property
+    def partial(self) -> bool:
+        """True iff any property (or sub-part) carries a ``partial`` verdict."""
+
+        def any_partial(results) -> bool:
+            return any(
+                result.verdict is Verdict.PARTIAL or any_partial(result.parts)
+                for result in results
+            )
+
+        return any_partial(self.properties)
 
     @property
     def is_ws3(self) -> bool:

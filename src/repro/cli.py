@@ -127,6 +127,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory of the content-addressed result cache (default: no cache)",
     )
+    serve_parser.add_argument(
+        "--journal-dir",
+        default=None,
+        help=(
+            "directory of the durable job journal; a daemon restarted on the "
+            "same journal resumes its unfinished jobs and still serves its "
+            "finished results (default: no journal)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="with --journal-dir: restore finished results but do not re-enqueue unfinished jobs",
+    )
 
     return parser
 
@@ -169,6 +183,33 @@ def _add_verifier_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="NAME",
         help="property to check (repeatable; default: ws3)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "resubmissions of a subproblem whose worker died or timed out "
+            "(default: 2; 0 disables retries)"
+        ),
+    )
+    parser.add_argument(
+        "--subproblem-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline per subproblem; exceeding it counts as a retryable failure",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock budget per verification job; when it runs out the "
+            "unfinished properties are reported as PARTIAL"
+        ),
     )
 
 
@@ -214,6 +255,17 @@ def _options_from_args(args) -> VerificationOptions:
     overrides = {"strategy": args.strategy, "theory": args.theory, "jobs": args.jobs}
     if args.backend is not None:
         overrides["backend"] = args.backend
+    retry_overrides = {}
+    if getattr(args, "max_retries", None) is not None:
+        retry_overrides["max_retries"] = args.max_retries
+    if getattr(args, "subproblem_timeout", None) is not None:
+        retry_overrides["subproblem_timeout"] = args.subproblem_timeout
+    if getattr(args, "job_timeout", None) is not None:
+        retry_overrides["job_timeout"] = args.job_timeout
+    if retry_overrides:
+        from repro.engine.retry import DEFAULT_RETRY
+
+        overrides["retry"] = DEFAULT_RETRY.replace(**retry_overrides)
     return VerificationOptions(**overrides)
 
 
@@ -318,7 +370,12 @@ def _run_serve(args) -> int:
     options = _options_from_args(args)
     if args.cache_dir is not None:
         options = options.replace(cache_dir=args.cache_dir)
-    service = VerificationService(options, workers=args.workers)
+    service = VerificationService(
+        options,
+        workers=args.workers,
+        journal_dir=args.journal_dir,
+        resume=not args.no_resume,
+    )
     return ServeSession(service, sys.stdin, sys.stdout).run()
 
 

@@ -32,10 +32,24 @@ Three backends ship by default:
 Every backend returns objects implementing the :class:`ConstraintSolver`
 protocol, which is exactly the incremental surface the verification layer
 uses; parity across backends is asserted by the cross-backend tests.
+
+Graceful degradation.  :func:`create_solver` wraps every solver in a
+:class:`ResilientSolver`: a backend crashing mid-check (a segfaulting
+native library, an injected fault) *demotes* that backend for the rest of
+the process and the crashed query — together with the solver's entire
+assertion state, replayed from an operation log — moves to the next backend
+of :data:`FALLBACK_CHAIN`.  Formulas and linear expressions are
+solver-agnostic symbolic objects, so the replay reproduces the exact
+constraint store and the fallback verdict is the verdict.  Demotions are
+session-wide (new solvers skip demoted backends), observable through
+:func:`demoted_backends` / :func:`health_statistics`, reported once per
+demotion as a ``backend_degraded`` progress event, and reversible with
+:func:`reset_backend_health`.
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Sequence
 from typing import Protocol, runtime_checkable
 
@@ -227,9 +241,211 @@ def resolve_backend_name(name: str | None) -> str:
     return os.environ.get("REPRO_BACKEND") or DEFAULT_BACKEND
 
 
+# ----------------------------------------------------------------------
+# Graceful degradation
+# ----------------------------------------------------------------------
+
+#: Where a crashed backend's work moves: each backend names its fallback
+#: (``None`` terminates the chain).  Backends registered by plugins default
+#: to falling back on ``smtlite``.
+FALLBACK_CHAIN: dict[str, str | None] = {
+    "z3": "smtlite",
+    "portfolio": "smtlite",
+    "smtlite": "scipy-ilp",
+    "scipy-ilp": None,
+}
+
+_HEALTH_LOCK = threading.Lock()
+_DEMOTED: dict[str, str] = {}  # backend name -> reason of first crash
+_HEALTH_STATS = {"demotions": 0, "failed_checks": 0, "replays": 0}
+
+
+def _next_healthy(name: str) -> str | None:
+    """The first registered, non-demoted backend down ``name``'s chain."""
+    seen = {name}
+    current = FALLBACK_CHAIN.get(name, DEFAULT_BACKEND)
+    while current is not None and current not in seen:
+        seen.add(current)
+        if current not in _DEMOTED and current in _REGISTRY:
+            return current
+        current = FALLBACK_CHAIN.get(current)
+    return None
+
+
+def demote_backend(name: str, reason: str) -> str | None:
+    """Mark ``name`` crashed for the rest of the process; return its fallback.
+
+    Idempotent: a backend already demoted (by a sibling solver) keeps its
+    first recorded reason and is not double counted.  The first demotion of
+    each backend emits a ``backend_degraded`` progress event when the
+    calling thread is bound to a job.  Returns ``None`` when nothing
+    healthy is left down the chain.
+    """
+    with _HEALTH_LOCK:
+        fresh = name not in _DEMOTED
+        if fresh:
+            _DEMOTED[name] = reason
+            _HEALTH_STATS["demotions"] += 1
+        fallback = _next_healthy(name)
+    if fresh:
+        from repro.engine import monitor
+
+        monitor.emit_backend_degraded(name, fallback or "", reason)
+    return fallback
+
+
+def effective_backend(name: str) -> str:
+    """Map a requested backend to the one actually serving it.
+
+    Healthy (or unknown — the registry raises its standard error later)
+    names pass through; demoted names resolve down the fallback chain.
+    """
+    with _HEALTH_LOCK:
+        if name not in _DEMOTED:
+            return name
+        fallback = _next_healthy(name)
+    if fallback is None:
+        raise RuntimeError(
+            f"solver backend {name!r} is demoted ({_DEMOTED[name]}) "
+            "and no healthy fallback remains"
+        )
+    return fallback
+
+
+def demoted_backends() -> dict[str, str]:
+    """The demoted backends of this process, with the reason of each."""
+    with _HEALTH_LOCK:
+        return dict(_DEMOTED)
+
+
+def reset_backend_health() -> None:
+    """Forget all demotions and zero the health counters (tests, REPLs)."""
+    with _HEALTH_LOCK:
+        _DEMOTED.clear()
+        for key in _HEALTH_STATS:
+            _HEALTH_STATS[key] = 0
+
+
+def health_statistics() -> dict:
+    """Process-wide degradation counters plus the current demotion map."""
+    with _HEALTH_LOCK:
+        return {**_HEALTH_STATS, "demoted": dict(_DEMOTED)}
+
+
+class ResilientSolver:
+    """A :class:`ConstraintSolver` that survives its backend crashing.
+
+    Every state-changing operation (``int_var``/``add``/``push``/``pop``)
+    is recorded in an operation log before being forwarded.  When a
+    ``check`` raises — a genuinely crashed backend, not a
+    :class:`~repro.constraints.direct.CaseBudgetExceeded` control-flow
+    signal — the backend is demoted process-wide, the log is replayed into
+    a fresh solver from the fallback chain (formulas are solver-agnostic
+    symbolic objects, so the replayed constraint store is identical) and
+    the crashed query is re-asked there.  Callers never see the crash
+    unless the whole chain is exhausted.
+    """
+
+    def __init__(self, backend: str | None = None, theory: str = "auto"):
+        self.requested = resolve_backend_name(backend)
+        self.theory = theory
+        self._log: list[tuple[str, tuple]] = []
+        self.backend_name = effective_backend(self.requested)
+        self._solver = get_backend(self.backend_name).create_solver(theory=theory)
+
+    # -- logged state changes ---------------------------------------------
+
+    def int_var(
+        self, name: str, lower: int | None = 0, upper: int | None = None
+    ) -> LinearExpr:
+        self._log.append(("int_var", (name, lower, upper)))
+        return self._solver.int_var(name, lower=lower, upper=upper)
+
+    def add(self, *formulas: Formula) -> None:
+        self._log.append(("add", formulas))
+        self._solver.add(*formulas)
+
+    def push(self) -> None:
+        self._log.append(("push", ()))
+        self._solver.push()
+
+    def pop(self) -> None:
+        self._log.append(("pop", ()))
+        self._solver.pop()
+
+    # -- guarded queries ---------------------------------------------------
+
+    def check(self, assumptions: Sequence[Formula] = ()) -> SolverResult:
+        return self._guarded(lambda solver: solver.check(assumptions=assumptions))
+
+    def check_conjunction(self, formulas: Iterable[Formula]) -> SolverResult:
+        materialized = list(formulas)
+        return self._guarded(lambda solver: solver.check_conjunction(materialized))
+
+    def _guarded(self, query):
+        from repro.engine.monitor import JobCancelledError
+        from repro.testing import faults
+
+        while True:
+            try:
+                faults.apply_fault(
+                    faults.fire("backend.check", backend=self.backend_name),
+                    site="backend.check",
+                )
+                return query(self._solver)
+            except (CaseBudgetExceeded, JobCancelledError):
+                # Control flow, not a crash: budget escapes are a documented
+                # part of the solver surface, cancellation belongs to the job.
+                raise
+            except Exception as error:
+                with _HEALTH_LOCK:
+                    _HEALTH_STATS["failed_checks"] += 1
+                fallback = demote_backend(
+                    self.backend_name, f"{type(error).__name__}: {error}"
+                )
+                if fallback is None:
+                    raise
+                self._rebuild(fallback)
+
+    def _rebuild(self, name: str) -> None:
+        solver = get_backend(name).create_solver(theory=self.theory)
+        for op, args in self._log:
+            if op == "int_var":
+                solver.int_var(args[0], lower=args[1], upper=args[2])
+            elif op == "add":
+                solver.add(*args)
+            elif op == "push":
+                solver.push()
+            else:
+                solver.pop()
+        self.backend_name = name
+        self._solver = solver
+        with _HEALTH_LOCK:
+            _HEALTH_STATS["replays"] += 1
+
+    # -- delegation --------------------------------------------------------
+
+    @property
+    def statistics(self) -> dict:
+        return self._solver.statistics
+
+    @property
+    def num_scopes(self) -> int:
+        return self._solver.num_scopes
+
+    def __getattr__(self, name: str):
+        # Backend-specific extras (model extraction helpers, ...) pass through.
+        return getattr(self._solver, name)
+
+
 def create_solver(backend: str | None = None, theory: str = "auto") -> ConstraintSolver:
-    """The one place the verification layer obtains solvers from."""
-    return get_backend(resolve_backend_name(backend)).create_solver(theory=theory)
+    """The one place the verification layer obtains solvers from.
+
+    The returned solver is wrapped for graceful degradation (see
+    :class:`ResilientSolver`): a backend crash demotes the backend and the
+    query continues on the fallback chain.
+    """
+    return ResilientSolver(backend=backend, theory=theory)
 
 
 for _backend in (SmtliteBackend(), ScipyILPBackend(), PortfolioBackend()):

@@ -27,12 +27,15 @@ copies: callers may mutate their copy without poisoning the cache.
 from __future__ import annotations
 
 import hashlib
+import logging
 import pickle
 import threading
 from pathlib import Path
 
 from repro.constraints.ir import ConstraintSystem
 from repro.constraints.simplify import SimplifyStats, simplify_system
+
+logger = logging.getLogger(__name__)
 
 #: Part of every cache key: bump when the simplifier's output can change.
 SIMPLIFY_CACHE_VERSION = "1"
@@ -72,7 +75,7 @@ class SimplifyCache:
         self._lock = threading.Lock()
         self._memory: dict[str, tuple[ConstraintSystem, SimplifyStats]] = {}
         self._directory: Path | None = None
-        self.statistics = {"hits": 0, "disk_hits": 0, "misses": 0, "stores": 0}
+        self.statistics = {"hits": 0, "disk_hits": 0, "misses": 0, "stores": 0, "corrupt": 0}
         if directory is not None:
             self.attach_directory(directory)
 
@@ -107,10 +110,27 @@ class SimplifyCache:
         if directory is None:
             self._count("misses")
             return None
+        path = directory / f"{key}.pkl"
         try:
-            payload = (directory / f"{key}.pkl").read_bytes()
-            entry = pickle.loads(payload)
-        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            entry = pickle.loads(path.read_bytes())
+        except FileNotFoundError:
+            self._count("misses")
+            return None
+        except (OSError, pickle.PickleError, EOFError, AttributeError) as error:
+            # A present-but-undecodable pickle is corruption, not a cold
+            # cache: quarantine it so the next run re-simplifies once instead
+            # of tripping over the same bad bytes forever.
+            self._count("corrupt")
+            logger.warning(
+                "quarantining corrupt simplify-cache entry %s (%s: %s)",
+                path.name,
+                type(error).__name__,
+                error,
+            )
+            try:
+                path.replace(path.with_suffix(".corrupt"))
+            except OSError:
+                pass
             self._count("misses")
             return None
         with self._lock:
@@ -144,7 +164,7 @@ class SimplifyCache:
                     os.unlink(handle.name)
                 except OSError:
                     pass
-        except OSError:  # pragma: no cover - directory gone / unwritable
+        except (OSError, pickle.PicklingError):  # pragma: no cover - unwritable / unpicklable
             pass
 
     def _remember(self, key: str, entry) -> None:

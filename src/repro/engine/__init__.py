@@ -14,6 +14,9 @@ worker processes:
 * :mod:`repro.engine.scheduler` — the process-pool scheduler: deterministic
   wave execution, cross-worker sharing of learned trap/siphon refinements
   via the coordinator, early cancellation, and a serial in-process fallback;
+* :mod:`repro.engine.retry` — the :class:`RetryPolicy` knobs (retries,
+  exponential backoff, per-subproblem and per-job deadlines) that make wave
+  execution survive worker deaths and hung solvers;
 * :mod:`repro.engine.cache` — the content-addressed protocol hash and the
   on-disk result cache keyed by it;
 * :mod:`repro.engine.monitor` — thread-local job instrumentation: progress
@@ -28,7 +31,8 @@ worker processes:
 """
 
 from repro.engine.cache import ResultCache, canonical_protocol_dict, protocol_content_hash
-from repro.engine.monitor import JobCancelledError
+from repro.engine.monitor import JobCancelledError, JobDeadlineExceeded
+from repro.engine.retry import DEFAULT_RETRY, NO_RETRY, RetryPolicy
 from repro.engine.scheduler import ENGINE_VERSION, EngineError, VerificationEngine
 from repro.engine.subproblem import Subproblem, SubproblemResult
 from repro.engine.batch import BatchItem, BatchResult, batch_cache_options, run_batch, verify_many
@@ -36,10 +40,14 @@ from repro.engine.batch import BatchItem, BatchResult, batch_cache_options, run_
 __all__ = [
     "BatchItem",
     "BatchResult",
+    "DEFAULT_RETRY",
     "ENGINE_VERSION",
     "EngineError",
     "JobCancelledError",
+    "JobDeadlineExceeded",
+    "NO_RETRY",
     "ResultCache",
+    "RetryPolicy",
     "Subproblem",
     "SubproblemResult",
     "VerificationEngine",

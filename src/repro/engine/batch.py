@@ -104,6 +104,49 @@ class BatchResult:
         return len(self.items)
 
 
+def batch_result_to_dict(batch: BatchResult) -> dict:
+    """Lossless plain-dictionary form of a batch outcome (JSON-clean).
+
+    The serve daemon's batch payloads and the journal's finished records
+    both ship this shape; :func:`batch_result_from_dict` reverses it, which
+    is what lets a restarted service hand out finished batch results it
+    never computed itself.
+    """
+    return {
+        "items": [
+            {
+                "index": item.index,
+                "protocol": item.protocol_name,
+                "protocol_hash": item.protocol_hash,
+                "ok": item.ok,
+                "from_cache": item.from_cache,
+                "time_seconds": item.time_seconds,
+                "report": item.report.to_dict(),
+            }
+            for item in batch.items
+        ],
+        "statistics": batch.statistics,
+    }
+
+
+def batch_result_from_dict(data: dict) -> BatchResult:
+    """Inverse of :func:`batch_result_to_dict`."""
+    return BatchResult(
+        items=[
+            BatchItem(
+                index=entry["index"],
+                protocol_name=entry["protocol"],
+                protocol_hash=entry["protocol_hash"],
+                report=VerificationReport.from_dict(entry["report"]),
+                from_cache=entry.get("from_cache", False),
+                time_seconds=entry.get("time_seconds", 0.0),
+            )
+            for entry in data.get("items", [])
+        ],
+        statistics=data.get("statistics", {}),
+    )
+
+
 def run_batch(
     protocols: Sequence[PopulationProtocol],
     properties: Sequence[str],
@@ -195,7 +238,11 @@ def run_batch(
                 )
         if cache is not None:
             for index, _protocol, _content_hash, key, _predicate in pending:
-                cache.put(key, items[index].report.to_dict())
+                # A partial report (job budget ran out mid-batch) decided
+                # nothing for its unfinished properties; caching it would
+                # serve the indecision forever.
+                if not items[index].report.partial:
+                    cache.put(key, items[index].report.to_dict())
 
     for index, original in duplicates:
         source = items[original]

@@ -19,12 +19,15 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
 
 from repro.io.serialization import _encode_state, protocol_to_dict
 from repro.protocols.protocol import PopulationProtocol
+
+logger = logging.getLogger(__name__)
 
 
 def canonical_protocol_dict(protocol: PopulationProtocol) -> dict:
@@ -81,13 +84,18 @@ class ResultCache:
     Entries are JSON files named ``<protocol-hash>-<engine-version>-
     <options-digest>.json``; writes go through a temporary file and an
     atomic rename, so concurrent writers (parallel batch runs sharing a
-    cache directory) cannot leave a torn entry behind.
+    cache directory) cannot leave a torn entry behind.  An entry that is
+    present but undecodable — external corruption: a crashed filesystem, a
+    truncating copy, an injected fault — is *quarantined* (renamed to
+    ``*.corrupt``), logged, counted under ``statistics["corrupt"]`` and
+    treated as a miss, so one bad file degrades a single lookup instead of
+    wedging every future run against the same key.
     """
 
     def __init__(self, directory: str | os.PathLike):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
-        self.statistics = {"hits": 0, "misses": 0, "stores": 0}
+        self.statistics = {"hits": 0, "misses": 0, "stores": 0, "corrupt": 0}
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
@@ -97,15 +105,33 @@ class ResultCache:
         return f"{protocol_hash}-{engine_version}-{options_digest(options)}"
 
     def get(self, key: str) -> dict | None:
-        """Look up an entry; counts a hit or a miss."""
+        """Look up an entry; counts a hit, a miss, or a quarantined corruption."""
         path = self._path(key)
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
+        except FileNotFoundError:
+            self.statistics["misses"] += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as error:
+            self._quarantine(path, error)
             self.statistics["misses"] += 1
             return None
         self.statistics["hits"] += 1
         return payload
+
+    def _quarantine(self, path: Path, error: Exception) -> None:
+        """Move an undecodable entry aside so it is re-verified, not re-hit."""
+        self.statistics["corrupt"] += 1
+        logger.warning(
+            "quarantining corrupt result-cache entry %s (%s: %s)",
+            path.name,
+            type(error).__name__,
+            error,
+        )
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            pass  # unreadable *and* unmovable: the miss already re-verifies
 
     def put(self, key: str, value: dict) -> None:
         """Store an entry atomically."""
@@ -124,6 +150,15 @@ class ResultCache:
                 pass
             raise
         self.statistics["stores"] += 1
+        self._fault_corrupt(path)
+
+    def _fault_corrupt(self, path: Path) -> None:
+        """Chaos hook: truncate the entry just written when a plan says so."""
+        from repro.testing import faults
+
+        fault = faults.fire("cache.corrupt", key=path.stem)
+        if fault is not None and fault.action == "corrupt":
+            path.write_text('{"torn', encoding="utf-8")
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.json"))

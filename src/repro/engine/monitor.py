@@ -22,6 +22,7 @@ the envelope's ``job_id`` and the emitting thread always agree.
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Callable
 from contextlib import contextmanager
 
@@ -29,9 +30,25 @@ from contextlib import contextmanager
 class JobCancelledError(RuntimeError):
     """Raised at a cooperative checkpoint after a job's cancellation was requested."""
 
-    def __init__(self, job_id: str):
-        super().__init__(f"verification job {job_id!r} was cancelled")
+    def __init__(self, job_id: str, message: str | None = None):
+        super().__init__(message or f"verification job {job_id!r} was cancelled")
         self.job_id = job_id
+
+
+class JobDeadlineExceeded(JobCancelledError):
+    """Raised at a cooperative checkpoint once the job's wall-clock budget is spent.
+
+    A subclass of :class:`JobCancelledError` so every existing cancellation
+    checkpoint doubles as a deadline checkpoint; the service catches it
+    *before* the generic handler and converts the remaining properties to
+    ``partial`` verdicts instead of cancelling the job.
+    """
+
+    def __init__(self, job_id: str, budget: float):
+        super().__init__(
+            job_id, f"verification job {job_id!r} exceeded its {budget}s budget"
+        )
+        self.budget = budget
 
 
 class JobBinding:
@@ -43,17 +60,22 @@ class JobBinding:
     cooperative checkpoints.
     """
 
-    __slots__ = ("job_id", "record", "should_cancel", "_backends_seen", "_waves")
+    __slots__ = ("job_id", "record", "should_cancel", "deadline", "budget", "_backends_seen", "_waves")
 
     def __init__(
         self,
         job_id: str,
         record: Callable[[object], None],
         should_cancel: Callable[[], bool] = lambda: False,
+        budget: float | None = None,
     ):
         self.job_id = job_id
         self.record = record
         self.should_cancel = should_cancel
+        # Whole-job wall-clock budget (options.retry.job_timeout): the
+        # monotonic deadline is fixed at binding time, before any work runs.
+        self.budget = budget
+        self.deadline = None if budget is None else time.monotonic() + budget
         self._backends_seen: set[tuple[str, str]] = set()
         self._waves = 0
 
@@ -114,6 +136,20 @@ def emit_backend_selected(backend: str, scope: str) -> None:
     binding.record(BackendSelected(job_id=binding.job_id, backend=backend, scope=scope))
 
 
+def emit_backend_degraded(backend: str, fallback: str, reason: str) -> None:
+    """Emit a :class:`~repro.service.events.BackendDegraded` for a solver crash."""
+    binding = current_binding()
+    if binding is None:
+        return
+    from repro.service.events import BackendDegraded
+
+    binding.record(
+        BackendDegraded(
+            job_id=binding.job_id, backend=backend, fallback=fallback, reason=reason
+        )
+    )
+
+
 def next_wave_index(fallback: int) -> int:
     """The bound job's own 1-based wave counter (``fallback`` when unbound).
 
@@ -152,5 +188,9 @@ def check_cancelled() -> None:
     behaves identically when used without the service.
     """
     binding = current_binding()
-    if binding is not None and binding.should_cancel():
+    if binding is None:
+        return
+    if binding.should_cancel():
         raise JobCancelledError(binding.job_id)
+    if binding.deadline is not None and time.monotonic() >= binding.deadline:
+        raise JobDeadlineExceeded(binding.job_id, binding.budget)

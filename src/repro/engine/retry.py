@@ -1,0 +1,112 @@
+"""Retry, timeout and backoff policy of the verification engine.
+
+"The Complexity of Verifying Population Protocols" shows single instances
+can be intractably expensive, and a production service additionally loses
+workers to OOM kills and pre-emption — so deadlines, bounded retries and
+partial results are correctness features of the service tier, not
+conveniences.  :class:`RetryPolicy` is the one validated bundle of those
+knobs; it rides on :class:`~repro.api.options.VerificationOptions` (and
+therefore through ``Verifier``/``VerificationService``/the CLI) and is
+consumed by :class:`~repro.engine.scheduler.VerificationEngine`.
+
+The policy is deliberately execution-only: retrying a subproblem or
+bounding its wall clock never changes a verdict (a timed-out check either
+completes on retry with the same deterministic answer, or surfaces as a
+``partial`` verdict that claims nothing), so the policy is excluded from
+result-cache keys exactly like the worker count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the engine treats lost subproblems and runaway wall clocks.
+
+    Parameters
+    ----------
+    max_retries:
+        How often a subproblem lost to a worker death (or to its own
+        deadline) is resubmitted before the engine gives up with an
+        :class:`~repro.engine.scheduler.EngineError`.  ``0`` disables
+        retrying — the pre-policy behaviour.
+    backoff_seconds:
+        Base delay before the first resubmission; each further attempt
+        multiplies it by ``backoff_factor`` (bounded exponential backoff),
+        capped at ``max_backoff_seconds``.
+    subproblem_timeout:
+        Per-subproblem wall-clock deadline in seconds (measured from
+        dispatch).  A subproblem exceeding it is killed with its worker and
+        counts as lost (i.e. it is retried, then surfaced).  ``None``
+        disables the deadline.
+    job_timeout:
+        Whole-job wall-clock budget in seconds, enforced at the cooperative
+        checkpoints.  A job exhausting it reports the properties completed
+        so far and a ``partial`` verdict for the rest instead of crashing.
+    """
+
+    max_retries: int = 2
+    backoff_seconds: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_seconds: float = 2.0
+    subproblem_timeout: float | None = None
+    job_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_seconds < 0:
+            raise ValueError(f"backoff_seconds must be >= 0, got {self.backoff_seconds}")
+        if self.backoff_factor < 1:
+            raise ValueError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if self.max_backoff_seconds < 0:
+            raise ValueError(
+                f"max_backoff_seconds must be >= 0, got {self.max_backoff_seconds}"
+            )
+        if self.subproblem_timeout is not None and self.subproblem_timeout <= 0:
+            raise ValueError(
+                f"subproblem_timeout must be > 0 or None, got {self.subproblem_timeout}"
+            )
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ValueError(f"job_timeout must be > 0 or None, got {self.job_timeout}")
+
+    @property
+    def enabled(self) -> bool:
+        """True iff lost subproblems are resubmitted at all."""
+        return self.max_retries > 0
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Quarantine delay before resubmission number ``attempt`` (1-based)."""
+        if attempt < 1 or self.backoff_seconds <= 0:
+            return 0.0
+        delay = self.backoff_seconds * self.backoff_factor ** (attempt - 1)
+        return min(delay, self.max_backoff_seconds)
+
+    def replace(self, **overrides) -> "RetryPolicy":
+        """A copy with the given fields replaced (and re-validated)."""
+        return dataclasses.replace(self, **overrides)
+
+    def to_dict(self) -> dict:
+        """Lossless plain-dictionary form (JSON-clean)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RetryPolicy":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown retry-policy fields: {sorted(unknown)}")
+        return cls(**data)
+
+
+#: The pre-policy behaviour: no retries, no deadlines.  Bare engines
+#: (constructed without an explicit policy) default to this, so library use
+#: of :class:`~repro.engine.scheduler.VerificationEngine` is unchanged.
+NO_RETRY = RetryPolicy(max_retries=0)
+
+#: The service-tier default carried by ``VerificationOptions``.
+DEFAULT_RETRY = RetryPolicy()

@@ -16,9 +16,17 @@ cost), and later waves are never dispatched.
 coordinator process, so the serial behaviour (and failure modes) of the
 pre-engine code are preserved exactly.
 
-A worker process dying mid-subproblem (OOM kill, segfault, ``os._exit``)
-surfaces as a clean :class:`EngineError` instead of a hang or a bare
-``BrokenProcessPool`` traceback.
+Fault tolerance.  A worker process dying mid-subproblem (OOM kill,
+segfault, ``os._exit``), a subproblem exceeding its per-subproblem deadline
+or an external teardown of the shared pool marks the affected positions
+*lost*.  With a :class:`~repro.engine.retry.RetryPolicy` the lost positions
+are quarantined for a bounded exponential backoff and resubmitted to a
+fresh pool — already-collected sibling results are kept, so only the lost
+work repeats; retrying never changes a verdict because subproblems are
+deterministic.  Once a position exhausts its retry budget (and always, with
+the default no-retry policy of bare engines) the failure surfaces as a
+clean :class:`EngineError` instead of a hang or a bare ``BrokenProcessPool``
+traceback.
 """
 
 from __future__ import annotations
@@ -29,20 +37,41 @@ import time
 from collections.abc import Callable, Sequence
 
 from repro.engine import monitor
+from repro.engine.retry import NO_RETRY, RetryPolicy
 from repro.engine.subproblem import Subproblem, SubproblemResult
-from repro.service.events import SubproblemCompleted, SubproblemDispatched
+from repro.service.events import SubproblemCompleted, SubproblemDispatched, SubproblemRetried
 
 #: Bumped whenever a change to the engine or the verification layer can
 #: alter verdicts, certificates or counterexamples; part of every result
 #: cache key, so stale entries from older engines are never served.
 #: "5": job-oriented service — envelopes carry job ids, reports embed the
 #: progress-event trail in their statistics, AnalysisContext ships the
-#: state-delta basis to workers.
+#: state-delta basis to workers.  (Retry/timeout handling is execution-only
+#: and deliberately does not bump the version: a retried run returns the
+#: same verdicts and artifacts as an undisturbed one.)
 ENGINE_VERSION = "5"
 
 
 class EngineError(RuntimeError):
     """A subproblem could not be completed (worker death, timeout, ...)."""
+
+
+class _RoundOutcome:
+    """What one dispatch round of a wave left behind."""
+
+    __slots__ = ("lost", "reasons", "culprits", "stopping")
+
+    def __init__(self):
+        self.lost: list[int] = []
+        self.reasons: dict[int, str] = {}
+        self.culprits: set[int] = set()
+        self.stopping = False
+
+    def mark_lost(self, position: int, reason: str, culprit: bool) -> None:
+        self.lost.append(position)
+        self.reasons[position] = reason
+        if culprit:
+            self.culprits.add(position)
 
 
 class VerificationEngine:
@@ -55,21 +84,40 @@ class VerificationEngine:
         current process (no pool, no pickling) — the exact serial code path.
     wave_timeout:
         Optional per-wave timeout in seconds; a wave that exceeds it raises
-        :class:`EngineError` instead of blocking forever.
+        :class:`EngineError` instead of blocking forever.  The wave budget
+        spans retries (a retried wave does not get a fresh clock).
+    retry:
+        A :class:`~repro.engine.retry.RetryPolicy`.  Bare engines default
+        to :data:`~repro.engine.retry.NO_RETRY` (the historical fail-fast
+        behaviour); the service passes ``options.retry``.
     """
 
-    def __init__(self, jobs: int = 1, wave_timeout: float | None = None):
+    def __init__(
+        self,
+        jobs: int = 1,
+        wave_timeout: float | None = None,
+        retry: RetryPolicy | None = None,
+    ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = int(jobs)
         self.wave_timeout = wave_timeout
+        self.retry = NO_RETRY if retry is None else retry
         self._executor: concurrent.futures.ProcessPoolExecutor | None = None
         # Concurrent service jobs share one engine from different dispatcher
         # threads; pool creation must not race (a lost pool would leak its
         # worker processes) and the statistics counters are read-modify-write.
         self._executor_lock = threading.Lock()
         self._statistics_lock = threading.Lock()
-        self.statistics = {"waves": 0, "subproblems": 0, "cancelled": 0, "failed_after_stop": 0}
+        self.statistics = {
+            "waves": 0,
+            "subproblems": 0,
+            "cancelled": 0,
+            "failed_after_stop": 0,
+            "retries": 0,
+            "worker_deaths": 0,
+            "timeouts": 0,
+        }
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -151,67 +199,183 @@ class VerificationEngine:
         if not self.parallel:
             return self._run_inline(subproblems, stop_on, wave)
 
+        results: list[SubproblemResult | None] = [None] * len(subproblems)
+        outstanding = list(range(len(subproblems)))
+        attempts = dict.fromkeys(outstanding, 1)
+        wave_deadline = (
+            None if self.wave_timeout is None else time.monotonic() + self.wave_timeout
+        )
+        while True:
+            outcome = self._run_round(subproblems, outstanding, results, stop_on, wave, wave_deadline)
+            if not outcome.lost:
+                return results
+            if outcome.stopping:
+                # A decisive result was already collected; the lost peers sit
+                # past the serial stopping point, so they are dropped exactly
+                # like any other post-decision failure.
+                self._count("failed_after_stop", len(outcome.lost))
+                return results
+            # Only the culprit of a teardown burns retry budget; peers that
+            # were merely caught in the pool teardown are resubmitted free
+            # (every faulty round has at least one culprit, so the loop
+            # still terminates).
+            for position in outcome.culprits:
+                attempts[position] += 1
+            exhausted = sorted(
+                position
+                for position in outcome.culprits
+                if attempts[position] > self.retry.max_retries + 1
+            )
+            if exhausted:
+                position = exhausted[0]
+                reason = outcome.reasons[position]
+                if self.retry.enabled:
+                    raise EngineError(
+                        f"{reason}; retries exhausted after {attempts[position] - 1} attempt(s)"
+                    )
+                raise EngineError(reason)
+            outstanding = sorted(outcome.lost)
+            self._count("retries", len(outstanding))
+            delay = max(self.retry.backoff_delay(attempts[p] - 1) for p in outstanding)
+            for position in outstanding:
+                self._emit_retried(
+                    subproblems[position],
+                    attempts[position],
+                    delay,
+                    outcome.reasons[position],
+                )
+            if delay > 0:
+                # Quarantine: give a transiently sick host (OOM pressure, a
+                # dying sibling) room to recover before the fresh pool spawns.
+                time.sleep(delay)
+
+    def _run_round(
+        self,
+        subproblems: Sequence[Subproblem],
+        positions: Sequence[int],
+        results: list,
+        stop_on: Callable[[SubproblemResult], bool] | None,
+        wave: int,
+        wave_deadline: float | None,
+    ) -> _RoundOutcome:
+        """Dispatch ``positions`` once and collect in order; losses are recorded.
+
+        On the first worker death / deadline overrun / external cancellation
+        the pool is torn down and the round switches to *harvest* mode:
+        already-completed siblings keep their results, everything else joins
+        the lost set (as non-culprits) for the caller to resubmit.
+        """
         from repro.engine.worker import solve_subproblem
 
         executor = self._ensure_executor()
         try:
-            futures = [executor.submit(solve_subproblem, sub) for sub in subproblems]
+            futures = {
+                position: executor.submit(solve_subproblem, subproblems[position])
+                for position in positions
+            }
         except RuntimeError as error:  # pool already broken/shut down
+            self.shutdown()
             raise EngineError(f"could not dispatch subproblems: {error}") from error
-        for subproblem in subproblems:
-            self._emit_dispatched(subproblem, wave)
+        dispatched_at = time.monotonic()
+        for position in positions:
+            self._emit_dispatched(subproblems[position], wave)
 
-        results: list[SubproblemResult | None] = [None] * len(subproblems)
-        pending = dict(enumerate(futures))
-        stopping = False
-        deadline = None if self.wave_timeout is None else time.monotonic() + self.wave_timeout
+        outcome = _RoundOutcome()
+        pending = dict(futures)
+        subproblem_timeout = self.retry.subproblem_timeout
+        teardown_reason = "{label} was abandoned when the worker pool was torn down mid-wave"
         try:
-            for position, future in enumerate(futures):
-                if stopping and not future.running() and future.cancel():
+            for position in positions:
+                future = futures[position]
+                label = subproblems[position].label
+                if outcome.lost:
+                    # Harvest mode: the pool is gone; keep whatever finished
+                    # cleanly, requeue the rest as teardown victims.
+                    pending.pop(position, None)
+                    if future.done() and not future.cancelled() and future.exception() is None:
+                        results[position] = future.result()
+                        self._emit_completed(subproblems[position], results[position])
+                    else:
+                        outcome.mark_lost(
+                            position, teardown_reason.format(label=label), culprit=False
+                        )
+                    continue
+                if outcome.stopping and not future.running() and future.cancel():
                     self._count("cancelled")
                     pending.pop(position, None)
                     continue
+                deadline = wave_deadline
+                if subproblem_timeout is not None:
+                    own_deadline = dispatched_at + subproblem_timeout
+                    deadline = own_deadline if deadline is None else min(deadline, own_deadline)
                 remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
                 try:
                     results[position] = future.result(timeout=remaining)
-                except concurrent.futures.CancelledError as error:
+                except concurrent.futures.CancelledError:
                     # The engine only cancels futures itself once ``stopping``
                     # is set.  Any other cancellation is external — a sibling
-                    # job's EngineError tore the shared pool down — and a
-                    # silent ``None`` here would read as "skipped after a
-                    # decisive result", letting a refinement sweep claim
-                    # success over pairs that were never solved.
-                    if not stopping:
-                        raise EngineError(
-                            f"{subproblems[position].label} was cancelled externally "
-                            "(the shared worker pool was shut down mid-wave)"
-                        ) from error
+                    # job's failure tore the shared pool down — and a silent
+                    # ``None`` here would read as "skipped after a decisive
+                    # result", letting a refinement sweep claim success over
+                    # pairs that were never solved.  The position is lost
+                    # (and, under a retry policy, resubmitted to a fresh pool).
+                    if not outcome.stopping:
+                        self.shutdown()
+                        outcome.mark_lost(
+                            position,
+                            f"{label} was cancelled externally "
+                            "(the shared worker pool was shut down mid-wave)",
+                            culprit=True,
+                        )
+                        pending.pop(position, None)
+                        continue
                     self._count("cancelled")
                 except concurrent.futures.TimeoutError as error:
-                    if stopping:
+                    if outcome.stopping:
                         self._drop_failed_peer(teardown=True)
+                        pending.pop(position, None)
                         continue
                     self.shutdown(kill=True)
-                    raise EngineError(
-                        f"wave exceeded its {self.wave_timeout}s budget while waiting on "
-                        f"{subproblems[position].label}"
-                    ) from error
-                except concurrent.futures.process.BrokenProcessPool as error:
-                    if stopping:
+                    pending.pop(position, None)
+                    if wave_deadline is not None and time.monotonic() >= wave_deadline:
+                        # The whole-wave budget is spent; retrying would
+                        # overdraw it, so this surfaces immediately.
+                        raise EngineError(
+                            f"wave exceeded its {self.wave_timeout}s budget while waiting on "
+                            f"{label}"
+                        ) from error
+                    self._count("timeouts")
+                    outcome.mark_lost(
+                        position,
+                        f"{label} exceeded its {subproblem_timeout}s deadline "
+                        "(the worker was killed)",
+                        culprit=True,
+                    )
+                    continue
+                except concurrent.futures.process.BrokenProcessPool:
+                    if outcome.stopping:
                         self._drop_failed_peer(teardown=True)
+                        pending.pop(position, None)
                         continue
-                    raise EngineError(
-                        f"a worker process died while solving {subproblems[position].label}; "
-                        "the remaining subproblems of this wave were abandoned"
-                    ) from error
+                    self._count("worker_deaths")
+                    self.shutdown(kill=True)
+                    pending.pop(position, None)
+                    outcome.mark_lost(
+                        position,
+                        f"a worker process died while solving {label}; "
+                        "the remaining subproblems of this wave were abandoned",
+                        culprit=True,
+                    )
+                    continue
                 except Exception:
-                    # A peer that failed *after* a decisive result was
-                    # collected sits past the serial stopping point — the
-                    # serial sweep would never have solved it, so its error
-                    # must not mask the verdict.  Failures before any
-                    # decisive result propagate, exactly as in serial order.
-                    if stopping:
+                    # A deterministic in-task exception: retrying cannot help,
+                    # so it propagates exactly as in serial order — unless a
+                    # decisive result was already collected, in which case the
+                    # failed peer sits past the serial stopping point and its
+                    # error must not mask the verdict.
+                    if outcome.stopping:
                         self._drop_failed_peer(teardown=False)
+                        pending.pop(position, None)
                         continue
                     raise
                 pending.pop(position, None)
@@ -219,17 +383,15 @@ class VerificationEngine:
                 if result is not None:
                     self._emit_completed(subproblems[position], result)
                 if stop_on is not None and result is not None and stop_on(result):
-                    stopping = True
+                    outcome.stopping = True
         except EngineError:
-            # The pool is unusable; make sure nothing queued keeps running
-            # and that the next wave gets a fresh pool.
             self.shutdown()
             raise
         except BaseException:
             for future in pending.values():
                 future.cancel()
             raise
-        return results
+        return outcome
 
     def _drop_failed_peer(self, teardown: bool) -> None:
         """Discard a wave peer that failed after a decisive result arrived.
@@ -284,6 +446,21 @@ class VerificationEngine:
                 index=subproblem.index,
                 verdict=result.verdict,
                 time_seconds=float(result.statistics.get("time", 0.0)),
+            )
+        )
+
+    @staticmethod
+    def _emit_retried(
+        subproblem: Subproblem, attempt: int, delay: float, reason: str
+    ) -> None:
+        monitor.emit(
+            lambda job_id: SubproblemRetried(
+                job_id=subproblem.job_id or job_id,
+                kind=subproblem.kind,
+                index=subproblem.index,
+                attempt=attempt,
+                delay_seconds=delay,
+                reason=reason,
             )
         )
 

@@ -65,6 +65,16 @@ def _context_for(subproblem: Subproblem, protocol):
 
 def solve_subproblem(subproblem: Subproblem) -> SubproblemResult:
     """Solve one subproblem and return a picklable result envelope."""
+    from repro.testing import faults
+
+    # The chaos suite's main injection site: a plan shipped through the
+    # inherited environment (or installed in-process for the inline path)
+    # can kill this worker, delay the subproblem past its deadline or raise
+    # — before any real work starts, so a killed attempt loses nothing.
+    faults.apply_fault(
+        faults.fire("worker.solve", kind=subproblem.kind, index=subproblem.index),
+        site="worker.solve",
+    )
     start = time.perf_counter()
     if subproblem.kind == "poison":
         _poison(subproblem)

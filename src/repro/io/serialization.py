@@ -324,3 +324,89 @@ def refinement_step_from_dict(data: dict):
         states=frozenset(_decode_state(state) for state in data["states"]),
         iteration=data["iteration"],
     )
+
+
+def predicate_to_dict(predicate) -> dict:
+    """Losslessly encode a Presburger predicate tree.
+
+    The journal needs this: a submitted correctness job carries its
+    predicate, and a recovered service must rebuild an *equivalent* one
+    (same ``describe()``, same formulas) to re-run — or cache-key — the
+    job exactly as the original submission would have.
+    """
+    from repro.presburger.predicates import (
+        AndPredicate,
+        FalsePredicate,
+        NotPredicate,
+        OrPredicate,
+        RemainderPredicate,
+        ThresholdPredicate,
+        TruePredicate,
+    )
+
+    def coefficients(predicate) -> list:
+        return sorted(
+            ([_encode_state(symbol), value] for symbol, value in predicate.coefficients.items()),
+            key=repr,
+        )
+
+    if isinstance(predicate, ThresholdPredicate):
+        return {"kind": "threshold", "coefficients": coefficients(predicate), "c": predicate.c}
+    if isinstance(predicate, RemainderPredicate):
+        return {
+            "kind": "remainder",
+            "coefficients": coefficients(predicate),
+            "m": predicate.m,
+            "c": predicate.c,
+        }
+    if isinstance(predicate, NotPredicate):
+        return {"kind": "not", "operand": predicate_to_dict(predicate.operand)}
+    if isinstance(predicate, (AndPredicate, OrPredicate)):
+        return {
+            "kind": "and" if isinstance(predicate, AndPredicate) else "or",
+            "left": predicate_to_dict(predicate.left),
+            "right": predicate_to_dict(predicate.right),
+        }
+    if isinstance(predicate, (TruePredicate, FalsePredicate)):
+        return {
+            "kind": "true" if isinstance(predicate, TruePredicate) else "false",
+            "variables": sorted(
+                (_encode_state(symbol) for symbol in predicate.variables()), key=repr
+            ),
+        }
+    raise ValueError(f"unknown predicate type {type(predicate).__name__!r}")
+
+
+def predicate_from_dict(data: dict):
+    """Inverse of :func:`predicate_to_dict`."""
+    from repro.presburger.predicates import (
+        AndPredicate,
+        FalsePredicate,
+        NotPredicate,
+        OrPredicate,
+        RemainderPredicate,
+        ThresholdPredicate,
+        TruePredicate,
+    )
+
+    kind = data.get("kind")
+    if kind == "threshold":
+        return ThresholdPredicate(
+            {_decode_state(symbol): value for symbol, value in data["coefficients"]},
+            data["c"],
+        )
+    if kind == "remainder":
+        return RemainderPredicate(
+            {_decode_state(symbol): value for symbol, value in data["coefficients"]},
+            data["m"],
+            data["c"],
+        )
+    if kind == "not":
+        return NotPredicate(predicate_from_dict(data["operand"]))
+    if kind in ("and", "or"):
+        variant = AndPredicate if kind == "and" else OrPredicate
+        return variant(predicate_from_dict(data["left"]), predicate_from_dict(data["right"]))
+    if kind in ("true", "false"):
+        variant = TruePredicate if kind == "true" else FalsePredicate
+        return variant(_decode_state(symbol) for symbol in data["variables"])
+    raise ValueError(f"unknown predicate kind {kind!r}")

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 _EXPORTS = {
     "VerificationService": "repro.service.service",
+    "JobJournal": "repro.service.journal",
     "JobHandle": "repro.service.jobs",
     "JobStatus": "repro.service.jobs",
     "JobFailedError": "repro.service.jobs",

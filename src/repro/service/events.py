@@ -145,6 +145,52 @@ class BackendSelected(ProgressEvent):
 
 
 @dataclass(frozen=True)
+class BackendDegraded(ProgressEvent):
+    """A solver backend crashed mid-check and was demoted for the session.
+
+    Work continues on ``fallback`` (the next backend of the declared
+    degradation chain); new solver instances skip the demoted backend
+    entirely until :func:`~repro.constraints.backends.reset_backend_health`.
+    """
+
+    backend: str = ""
+    fallback: str = ""
+    reason: str = ""
+
+    TYPE = "backend_degraded"
+
+
+@dataclass(frozen=True)
+class SubproblemRetried(ProgressEvent):
+    """A lost subproblem (worker death, deadline) was resubmitted.
+
+    ``attempt`` is the upcoming attempt number (2 for the first retry);
+    ``delay_seconds`` is the backoff quarantine that preceded resubmission.
+    """
+
+    kind: str = ""
+    index: int = 0
+    attempt: int = 0
+    delay_seconds: float = 0.0
+    reason: str = ""
+
+    TYPE = "subproblem_retried"
+
+
+@dataclass(frozen=True)
+class JobRecovered(ProgressEvent):
+    """A journalled job was re-enqueued after a service restart.
+
+    ``had_started`` distinguishes jobs interrupted mid-run from jobs that
+    never left the queue before the previous process died.
+    """
+
+    had_started: bool = False
+
+    TYPE = "job_recovered"
+
+
+@dataclass(frozen=True)
 class CacheHit(ProgressEvent):
     """A verdict was served from the content-addressed result cache."""
 
@@ -180,9 +226,12 @@ EVENT_TYPES: dict[str, type[ProgressEvent]] = {
         PropertyFinished,
         SubproblemDispatched,
         SubproblemCompleted,
+        SubproblemRetried,
         RefinementFound,
         BackendSelected,
+        BackendDegraded,
         CacheHit,
+        JobRecovered,
         JobFinished,
     )
 }
@@ -212,12 +261,22 @@ def describe_event(event: ProgressEvent) -> str:
         return f"{prefix} dispatched {event.kind}[{event.index}] (wave {event.wave})"
     if isinstance(event, SubproblemCompleted):
         return f"{prefix} completed {event.kind}[{event.index}]: {event.verdict}"
+    if isinstance(event, SubproblemRetried):
+        return (
+            f"{prefix} retrying {event.kind}[{event.index}] "
+            f"(attempt {event.attempt}): {event.reason}"
+        )
     if isinstance(event, RefinementFound):
         return f"{prefix} refinement: {event.refinement} over {{{', '.join(event.states)}}}"
     if isinstance(event, BackendSelected):
         return f"{prefix} backend {event.backend} ({event.scope})"
+    if isinstance(event, BackendDegraded):
+        return f"{prefix} backend {event.backend} degraded to {event.fallback}: {event.reason}"
     if isinstance(event, CacheHit):
         return f"{prefix} cache hit for {event.protocol_name}"
+    if isinstance(event, JobRecovered):
+        detail = "interrupted mid-run" if event.had_started else "still queued"
+        return f"{prefix} recovered from journal ({detail})"
     if isinstance(event, JobFinished):
         suffix = f" in {event.time_seconds:.3f}s" if event.time_seconds else ""
         return f"{prefix} finished: {event.outcome}{suffix}"

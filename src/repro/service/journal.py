@@ -1,0 +1,145 @@
+"""Durable write-ahead journal of verification jobs.
+
+The journal is the crash-safety backbone of the service: every externally
+visible job transition is appended to ``journal.jsonl`` — one JSON object
+per line — *before* the in-memory state changes, and each append is
+flushed and fsynced, so a service killed at any instant (``kill -9``, OOM,
+power loss) can reconstruct its queue on restart:
+
+``submitted``
+    The full job payload: kind, priority, properties, the protocol(s)
+    themselves (serialised losslessly) and the documented predicate, so a
+    recovered service can re-run the job without the original caller.
+``started``
+    A dispatcher picked the job up.  Purely informational for recovery —
+    a started-but-unfinished job is re-enqueued exactly like a queued one
+    (verification is deterministic and side-effect-free, so re-running
+    from scratch is always sound) — but it lets operators distinguish
+    jobs that were interrupted mid-run from jobs that never ran.
+``finished``
+    The terminal status plus the lossless result payload (report or batch
+    dictionary) or the error string.  Recovery serves these from the
+    journal without re-verifying anything.
+
+Replay (:meth:`JobJournal.load`) folds the lines last-wins into one state
+per job id, preserving submission order.  A torn final line — the process
+died mid-append — is counted and skipped: by write-ahead ordering the torn
+record's job is simply in its previous state, which is exactly the
+conservative answer.
+
+The journal is append-only and single-writer (the owning service); it is
+*not* a cache — results are keyed by job id, not by protocol content, and
+a fresh journal directory starts a fresh history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+
+#: Version tag of the journal line format; bumped on schema changes.
+JOURNAL_SCHEMA = "repro-job-journal/1"
+
+#: The record kinds a line may carry.
+RECORD_KINDS = ("submitted", "started", "finished")
+
+
+class JobJournal:
+    """Append-only JSON-lines journal of job transitions, with replay."""
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / "journal.jsonl"
+        self._lock = threading.Lock()
+        self.statistics = {"appended": 0, "replayed": 0, "torn": 0}
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (flush + fsync before returning).
+
+        The fsync is what makes SIGKILL recovery byte-exact: a record the
+        caller saw acknowledged is on stable storage, not in a page cache
+        the dying process takes with it.
+        """
+        if record.get("record") not in RECORD_KINDS:
+            raise ValueError(
+                f"journal records need a 'record' kind from {RECORD_KINDS}, got {record!r}"
+            )
+        if not record.get("job"):
+            raise ValueError(f"journal records need a 'job' id, got {record!r}")
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            self.statistics["appended"] += 1
+
+    def load(self) -> dict[str, dict]:
+        """Replay the journal into one merged state per job id.
+
+        Returns ``{job_id: state}`` in submission order, where each state
+        is the ``submitted`` record augmented with ``"started": bool`` and,
+        when a ``finished`` record exists, its ``status`` / ``error`` /
+        result payload.  Records for job ids that were never submitted
+        (impossible under write-ahead ordering, tolerated anyway) are
+        dropped.
+        """
+        states: dict[str, dict] = {}
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except FileNotFoundError:
+            return states
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # A torn append: the previous state of that job stands.
+                self.statistics["torn"] += 1
+                continue
+            if not isinstance(record, dict):
+                self.statistics["torn"] += 1
+                continue
+            kind = record.get("record")
+            job_id = record.get("job")
+            if not job_id or kind not in RECORD_KINDS:
+                self.statistics["torn"] += 1
+                continue
+            self.statistics["replayed"] += 1
+            if kind == "submitted":
+                state = dict(record)
+                state["started"] = False
+                states[job_id] = state
+                continue
+            state = states.get(job_id)
+            if state is None:
+                continue
+            if kind == "started":
+                state["started"] = True
+            else:  # finished
+                for key, value in record.items():
+                    if key != "record":
+                        state[key] = value
+                state["finished"] = True
+        return states
+
+    def __len__(self) -> int:
+        """Number of decodable records currently on disk."""
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return 0
+        count = 0
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            count += 1
+        return count

@@ -46,15 +46,19 @@ Requests
     List every job of the session; end the session.
 
 EOF on stdin ends the session too; like ``shutdown``, it cancels every job
-that has not finished (nobody is left to read the results).  Malformed
-lines and unknown ops yield
-``{"type": "response", "ok": false, "error": ...}`` — the daemon never dies
-on bad input.
+that has not finished (nobody is left to read the results) — *unless* the
+service runs on a durable journal (``repro-verify serve --journal-dir``), in
+which case unfinished jobs are deliberately left queued: they are already
+journalled, and the next daemon started on the same journal re-enqueues and
+finishes them (see :mod:`repro.service.journal`).  Malformed lines and
+unknown ops yield ``{"type": "response", "ok": false, "error": ...}`` — the
+daemon never dies on bad input.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import threading
 
 from repro.engine.monitor import JobCancelledError
@@ -62,6 +66,8 @@ from repro.io.loading import ProtocolLoadError, resolve_protocol_spec
 from repro.io.serialization import protocol_from_dict
 from repro.service.jobs import JobHandle, JobNotFinished
 from repro.service.service import VerificationService
+
+logger = logging.getLogger(__name__)
 
 
 class ServeError(ValueError):
@@ -161,11 +167,25 @@ class ServeSession:
                 ) as error:
                     self._fail(request_id, str(error))
         finally:
-            # However the session ends (EOF, shutdown op, a crashed client),
-            # nobody is reading results any more: cancel whatever has not
-            # started rather than verifying a dead client's backlog.
-            self._cancel_pending()
-            self.service.close()
+            if self.service.journal is not None:
+                # Durable mode: the backlog is journalled, so ending the
+                # session must not throw it away — leave unfinished jobs
+                # queued (close without draining) and let the next daemon on
+                # this journal resume them.
+                resumable = self.service.pending_count()
+                self.service.close(drain=False)
+                if resumable:
+                    logger.info(
+                        "serve session ended with %d job(s) left journalled and resumable",
+                        resumable,
+                    )
+            else:
+                # However the session ends (EOF, shutdown op, a crashed
+                # client), nobody is reading results any more: cancel
+                # whatever has not started rather than verifying a dead
+                # client's backlog.
+                self._cancel_pending()
+                self.service.close()
         return 0
 
     def _cancel_pending(self) -> None:
@@ -298,8 +318,11 @@ class ServeSession:
 
     def _handle_shutdown(self, request: dict, request_id) -> bool:
         # Cancel whatever is still pending: a shutdown must not hang on a
-        # long queue (running jobs stop at their next checkpoint).
-        self._cancel_pending()
+        # long queue (running jobs stop at their next checkpoint).  With a
+        # journal the queue is durable instead — run()'s cleanup leaves it
+        # for the next daemon rather than cancelling.
+        if self.service.journal is None:
+            self._cancel_pending()
         self._respond(request_id, op="shutdown")
         return True
 

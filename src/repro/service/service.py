@@ -28,23 +28,28 @@ from __future__ import annotations
 import heapq
 import inspect
 import itertools
+import logging
+import re
 import threading
 import time
 from collections.abc import Callable, Iterable, Sequence
 
 from repro.api.options import VerificationOptions
 from repro.api.properties import property_checker
-from repro.api.report import VerificationReport
+from repro.api.report import PropertyResult, Verdict, VerificationReport
 from repro.engine import monitor
-from repro.engine.monitor import JobBinding, JobCancelledError
+from repro.engine.monitor import JobBinding, JobCancelledError, JobDeadlineExceeded
 from repro.service.events import (
     JobFinished,
+    JobRecovered,
     JobStarted,
     ProgressEvent,
     PropertyFinished,
     PropertyStarted,
 )
 from repro.service.jobs import Job, JobHandle, JobStatus, queued_event
+
+logger = logging.getLogger(__name__)
 
 #: The default property set of a bare ``service.submit(protocol)``.
 DEFAULT_PROPERTIES = ("ws3",)
@@ -93,6 +98,15 @@ class VerificationService:
     cache:
         An existing :class:`~repro.engine.cache.ResultCache`; by default a
         cache is opened at ``options.cache_dir`` (if set) on first use.
+    journal_dir:
+        Directory of the durable :class:`~repro.service.journal.JobJournal`.
+        When set, every submit / start / finish is journalled write-ahead,
+        and construction *recovers* the journal: finished jobs become
+        servable results again, unfinished jobs are re-enqueued (unless
+        ``resume=False``) and run as if the crash never happened.
+    resume:
+        With a journal: whether to re-enqueue unfinished journalled jobs at
+        construction (finished results are always restored).
     """
 
     def __init__(
@@ -102,6 +116,8 @@ class VerificationService:
         workers: int = 1,
         engine=None,
         cache=None,
+        journal_dir=None,
+        resume: bool = True,
         **overrides,
     ):
         if options is None:
@@ -133,10 +149,21 @@ class VerificationService:
             "failed": 0,
             "cancelled": 0,
             "subscriber_errors": 0,
+            "recovered": 0,
+            "resumed": 0,
         }
         #: The simplify-cache directory this service attached (see
         #: :meth:`_cache_for_call`); detached again on :meth:`close`.
         self._simplify_dir: str | None = None
+        #: Whether dispatcher threads drain the queue after close() (the
+        #: default) or leave queued jobs for the journal to resume.
+        self._drain_on_close = True
+        self.journal = None
+        if journal_dir is not None:
+            from repro.service.journal import JobJournal
+
+            self.journal = JobJournal(journal_dir)
+            self._recover_journal(resume)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -154,17 +181,21 @@ class VerificationService:
         except Exception:
             pass
 
-    def close(self, wait: bool = True) -> None:
+    def close(self, wait: bool = True, drain: bool = True) -> None:
         """Stop accepting jobs, drain the queue, shut down an owned engine.
 
         Pending jobs still run to completion (they were accepted); pass
         ``wait=False`` to return without joining the dispatcher threads.
+        With ``drain=False`` queued jobs are *left queued* instead of run —
+        the journal shutdown path: a journalled service closes fast and the
+        undrained jobs are resumed by the next process from the journal.
         """
         with self._lock:
             if self._closed:
                 threads = []
             else:
                 self._closed = True
+                self._drain_on_close = drain
                 threads = list(self._threads)
             self._queue_condition.notify_all()
         if wait:
@@ -198,12 +229,18 @@ class VerificationService:
 
     def _engine_for_call(self):
         with self._lock:
-            if self._closed:
+            # Refuse new outside callers once closed — but a dispatcher
+            # thread finishing its in-flight job during the close() drain is
+            # internal and must keep its engine access (otherwise every job
+            # caught mid-run by a shutdown would fail instead of finishing).
+            if self._closed and threading.current_thread() not in self._threads:
                 raise RuntimeError("this VerificationService is closed")
             if self._engine is None and self.options.jobs > 1:
                 from repro.engine.scheduler import VerificationEngine
 
-                self._engine = VerificationEngine(jobs=self.options.jobs)
+                self._engine = VerificationEngine(
+                    jobs=self.options.jobs, retry=self.options.retry
+                )
                 self._owns_engine = True
             return self._engine
 
@@ -316,6 +353,18 @@ class VerificationService:
                 raise RuntimeError("this VerificationService is closed")
             self._jobs[job.id] = job
             self.statistics["submitted"] += 1
+        if self.journal is not None:
+            # Write-ahead: the submission is durable before the job becomes
+            # poppable.  A failing journal fails the submit — accepting a
+            # job the journal cannot recover would break the durability
+            # contract the caller opted into.
+            try:
+                self.journal.append(self._submitted_record(job))
+            except BaseException:
+                with self._lock:
+                    self._jobs.pop(job.id, None)
+                    self.statistics["submitted"] -= 1
+                raise
         # The queued event is recorded *before* the job becomes poppable, so
         # every trail starts with job_queued (seq 0) — and subscribers run
         # outside the service lock, so a callback touching the service
@@ -364,6 +413,8 @@ class VerificationService:
             with self._queue_condition:
                 while not self._queue and not self._closed:
                     self._queue_condition.wait()
+                if self._closed and not self._drain_on_close:
+                    return  # closed without draining: queued jobs stay journalled
                 if not self._queue:
                     return  # closed and drained
                 _, _, job = heapq.heappop(self._queue)
@@ -374,11 +425,19 @@ class VerificationService:
             # Cancelled while queued: it never starts, never touches a worker.
             self._finish(job, JobStatus.CANCELLED, outcome="cancelled")
             return
+        if self.journal is not None:
+            # Best-effort: a failed "started" append only loses the
+            # interrupted-mid-run distinction, never the job itself.
+            try:
+                self.journal.append({"record": "started", "job": job.id})
+            except OSError as error:  # pragma: no cover - disk failure
+                logger.warning("could not journal start of %s: %s", job.id, error)
         start = time.perf_counter()
         binding = JobBinding(
             job.id,
             record=job.record_event,
             should_cancel=lambda: job.cancel_requested,
+            budget=self.options.retry.job_timeout,
         )
         with monitor.bound_to_job(binding):
             job.record_event(JobStarted(job_id=job.id))
@@ -410,6 +469,15 @@ class VerificationService:
         ok = None
         if status is JobStatus.DONE and result is not None:
             ok = bool(getattr(result, "ok", getattr(result, "all_ok", None)))
+        if self.journal is not None:
+            # Write-ahead relative to the in-memory flip: once job.finish
+            # makes the result visible, it is already durable.  Best-effort
+            # beyond that — the caller still gets the in-memory result even
+            # if the disk is gone.
+            try:
+                self.journal.append(self._finished_record(job, status, result, error))
+            except (OSError, ValueError) as journal_error:  # pragma: no cover - disk failure
+                logger.warning("could not journal finish of %s: %s", job.id, journal_error)
         # The terminal event, the status flip and the event-trail stamping
         # into the result's statistics happen atomically inside the job (see
         # Job.finish), so completion subscribers observe a finished job.
@@ -443,6 +511,174 @@ class VerificationService:
             # Dict order is submission order, so the oldest finished go first.
             for job_id in finished[:excess]:
                 self._jobs.pop(job_id, None)
+
+    # ------------------------------------------------------------------
+    # Journal: durable records and crash recovery
+    # ------------------------------------------------------------------
+
+    def pending_count(self) -> int:
+        """Jobs accepted but not yet picked up by a dispatcher."""
+        with self._lock:
+            return len(self._queue)
+
+    def _submitted_record(self, job: Job) -> dict:
+        """The journal line that makes a submission recoverable.
+
+        Protocols are serialised losslessly; the documented predicate (both
+        an explicit ``predicate=`` argument and one riding in
+        ``protocol.metadata`` — which :func:`protocol_to_dict` drops) is
+        captured separately so a recovered correctness check sees exactly
+        what the original caller passed.
+        """
+        from repro.io.serialization import predicate_to_dict, protocol_to_dict
+
+        record = {
+            "record": "submitted",
+            "job": job.id,
+            "kind": job.kind,
+            "priority": job.priority,
+            "properties": list(job.properties),
+            "protocol_name": job.protocol_name,
+        }
+        if job.kind == "batch":
+            protocols = job.payload["protocols"]
+            record["protocols"] = [protocol_to_dict(protocol) for protocol in protocols]
+            metadata = [
+                None
+                if getattr(protocol, "metadata", {}).get("predicate") is None
+                else predicate_to_dict(protocol.metadata["predicate"])
+                for protocol in protocols
+            ]
+            if any(entry is not None for entry in metadata):
+                record["metadata_predicates"] = metadata
+        else:
+            protocol = job.payload["protocol"]
+            record["protocol"] = protocol_to_dict(protocol)
+            if job.payload.get("predicate") is not None:
+                record["predicate"] = predicate_to_dict(job.payload["predicate"])
+            documented = getattr(protocol, "metadata", {}).get("predicate")
+            if documented is not None:
+                record["metadata_predicate"] = predicate_to_dict(documented)
+        return record
+
+    def _finished_record(self, job: Job, status: JobStatus, result, error) -> dict:
+        record = {
+            "record": "finished",
+            "job": job.id,
+            "status": status.value,
+            "error": "" if error is None else f"{type(error).__name__}: {error}",
+        }
+        if isinstance(result, VerificationReport):
+            record["report"] = result.to_dict()
+        elif result is not None:
+            from repro.engine.batch import BatchResult, batch_result_to_dict
+
+            if isinstance(result, BatchResult):
+                record["batch"] = batch_result_to_dict(result)
+        return record
+
+    def _recover_journal(self, resume: bool) -> None:
+        """Replay the journal: restore finished results, re-enqueue the rest.
+
+        Recovery never re-appends ``submitted`` records — the existing lines
+        already make the jobs durable, and replay is last-wins, so restarting
+        twice in a row is idempotent.
+        """
+        states = self.journal.load()
+        if not states:
+            return
+        highest = 0
+        for job_id in states:
+            match = re.fullmatch(r"job-(\d+)", job_id)
+            if match:
+                highest = max(highest, int(match.group(1)))
+        # Fresh submissions must never collide with journalled ids.
+        self._job_seq = itertools.count(highest + 1)
+        for job_id, state in states.items():
+            try:
+                if state.get("finished"):
+                    self._restore_finished(job_id, state)
+                elif resume:
+                    self._resume_unfinished(job_id, state)
+            except Exception as error:
+                # One undecodable job must not take down recovery of the rest.
+                logger.warning("could not recover journalled job %s: %s", job_id, error)
+        with self._lock:
+            if self._queue:
+                self._ensure_workers_locked()
+                self._queue_condition.notify_all()
+
+    def _rebuild_job(self, job_id: str, state: dict) -> Job:
+        from repro.io.serialization import predicate_from_dict, protocol_from_dict
+
+        kind = state.get("kind", "check")
+        properties = tuple(state.get("properties") or DEFAULT_PROPERTIES)
+        if kind == "batch":
+            protocols = [protocol_from_dict(entry) for entry in state.get("protocols", [])]
+            for protocol, predicate in zip(protocols, state.get("metadata_predicates", [])):
+                if predicate is not None:
+                    protocol.metadata["predicate"] = predicate_from_dict(predicate)
+            payload = {"protocols": protocols, "properties": properties}
+        else:
+            protocol = protocol_from_dict(state["protocol"])
+            if state.get("metadata_predicate") is not None:
+                protocol.metadata["predicate"] = predicate_from_dict(state["metadata_predicate"])
+            predicate = None
+            if state.get("predicate") is not None:
+                predicate = predicate_from_dict(state["predicate"])
+            payload = {"protocol": protocol, "properties": properties, "predicate": predicate}
+        return Job(
+            job_id=job_id,
+            kind=kind,
+            payload=payload,
+            priority=int(state.get("priority", 0)),
+            protocol_name=state.get("protocol_name", ""),
+            properties=properties,
+        )
+
+    def _restore_finished(self, job_id: str, state: dict) -> None:
+        """A journalled terminal job becomes a servable finished handle again."""
+        job = self._rebuild_job(job_id, state)
+        status = JobStatus(state.get("status", JobStatus.DONE.value))
+        result = None
+        if state.get("report") is not None:
+            result = VerificationReport.from_dict(state["report"])
+        elif state.get("batch") is not None:
+            from repro.engine.batch import batch_result_from_dict
+
+            result = batch_result_from_dict(state["batch"])
+        error_text = state.get("error", "")
+        error = None
+        if status is JobStatus.FAILED:
+            # The original exception type is gone; a RuntimeError carrying
+            # the journalled message keeps JobHandle.result() raising.
+            error = RuntimeError(error_text or "job failed (recovered from journal)")
+        outcome = {JobStatus.DONE: "done", JobStatus.FAILED: "error"}.get(status, "cancelled")
+        ok = None
+        if status is JobStatus.DONE and result is not None:
+            ok = bool(getattr(result, "ok", getattr(result, "all_ok", None)))
+        job.record_event(queued_event(job))
+        job.finish(
+            status,
+            result=result,
+            error=error,
+            final_event=JobFinished(job_id=job.id, outcome=outcome, ok=ok, error=error_text),
+        )
+        with self._lock:
+            self._jobs[job.id] = job
+            self.statistics["recovered"] += 1
+
+    def _resume_unfinished(self, job_id: str, state: dict) -> None:
+        """Re-enqueue a journalled job the previous process never finished."""
+        job = self._rebuild_job(job_id, state)
+        with self._lock:
+            self._jobs[job.id] = job
+            self.statistics["submitted"] += 1
+            self.statistics["resumed"] += 1
+        job.record_event(queued_event(job))
+        job.record_event(JobRecovered(job_id=job.id, had_started=bool(state.get("started"))))
+        with self._lock:
+            heapq.heappush(self._queue, (-job.priority, next(self._seq), job))
 
     # ------------------------------------------------------------------
     # The actual checking (shared with the Verifier facade)
@@ -486,7 +722,9 @@ class VerificationService:
                 report.statistics["from_cache"] = True
                 return report
         report = self.run_check(protocol, names, predicate=predicate)
-        if cache is not None:
+        if cache is not None and not report.partial:
+            # A partial report decided nothing for its unfinished properties;
+            # caching it would serve the indecision forever.
             cache.put(key, report.to_dict())
         return report
 
@@ -503,15 +741,33 @@ class VerificationService:
         engine = self._engine_for_call()
         monitor.emit_backend_selected(self.options.backend, scope="options")
         results = []
+        deadline_error: JobDeadlineExceeded | None = None
         for name in names:
             checker = property_checker(name)
-            monitor.check_cancelled()
-            monitor.emit(
-                lambda job_id, name=name: PropertyStarted(
-                    job_id=job_id, property=name, protocol_name=protocol.name
+            if deadline_error is not None:
+                # Job budget already gone: the remaining properties are
+                # reported PARTIAL rather than silently dropped, so the
+                # caller sees exactly which verdicts are missing.
+                result = PropertyResult(
+                    property=name, verdict=Verdict.PARTIAL, reason=str(deadline_error)
                 )
-            )
-            result = self._run_checker(checker, protocol, engine, predicate, context)
+            else:
+                try:
+                    monitor.check_cancelled()
+                    monitor.emit(
+                        lambda job_id, name=name: PropertyStarted(
+                            job_id=job_id, property=name, protocol_name=protocol.name
+                        )
+                    )
+                    result = self._run_checker(checker, protocol, engine, predicate, context)
+                except JobDeadlineExceeded as error:
+                    # A plain cancellation still propagates (JobCancelledError
+                    # is the parent class); only the budget expiry degrades to
+                    # a partial report.
+                    deadline_error = error
+                    result = PropertyResult(
+                        property=name, verdict=Verdict.PARTIAL, reason=str(error)
+                    )
             monitor.emit(
                 lambda job_id, name=name, result=result: PropertyFinished(
                     job_id=job_id,
@@ -526,6 +782,8 @@ class VerificationService:
             "jobs": engine.jobs if engine is not None else 1,
             "properties": list(names),
         }
+        if deadline_error is not None:
+            statistics["partial"] = True
         return VerificationReport(
             protocol_name=protocol.name,
             protocol_hash=context.protocol_key,

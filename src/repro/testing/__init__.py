@@ -1,0 +1,31 @@
+"""Test-support machinery shipped with the library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection harness
+behind the chaos test suite and ``scripts/chaos_smoke.py``: seeded fault
+plans (activated in-process or through the ``REPRO_FAULT_PLAN`` environment
+variable, which worker processes inherit) kill workers, delay subproblems
+past their deadlines, corrupt cache entries and crash solver backends at
+named injection sites.
+"""
+
+from repro.testing.faults import (
+    ENV_VAR,
+    Fault,
+    FaultInjected,
+    FaultPlan,
+    active_plan,
+    clear_plan,
+    fire,
+    install_plan,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "Fault",
+    "FaultInjected",
+    "FaultPlan",
+    "active_plan",
+    "clear_plan",
+    "fire",
+    "install_plan",
+]

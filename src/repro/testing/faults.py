@@ -1,0 +1,279 @@
+"""Deterministic fault injection for the chaos test suite.
+
+A *fault plan* is a small JSON document describing which injection sites
+misbehave, how, and on which occurrence::
+
+    {
+      "seed": 1234,
+      "state_dir": "/tmp/faults",
+      "faults": [
+        {"site": "worker.solve", "action": "kill", "at": 1},
+        {"site": "backend.check", "action": "raise", "match": {"backend": "smtlite"}},
+        {"site": "cache.corrupt", "action": "corrupt", "times": 1}
+      ]
+    }
+
+Plans activate two ways:
+
+* :func:`install_plan` — process-local, for in-process tests;
+* the ``REPRO_FAULT_PLAN`` environment variable — either inline JSON or a
+  path to a JSON file.  Worker processes inherit the environment, so a plan
+  installed before the pool spawns fires inside workers too.
+
+Sites call :func:`fire` with their context (``fire("worker.solve",
+kind=..., index=...)``); the call is close to free when no plan is active
+(one environment lookup).  Occurrence counting is per fault: ``"at": n``
+fires exactly on the n-th matching call, ``"times": k`` on the first ``k``.
+With a ``state_dir`` the counters live in files shared **across
+processes** (atomic ``O_APPEND`` writes), so "kill the first worker solve"
+means the first solve anywhere in the pool — and, crucially, the *retried*
+subproblem does not re-trigger the fault, which is what lets the chaos
+suite assert that retry actually recovers.  Without a ``state_dir``
+counters are per-process.
+
+The harness stays purely declarative: :func:`fire` only *reports* the
+matching fault.  Each site applies the action itself
+(:func:`apply_fault` covers the common ones), so a site can never be
+broken by an action that makes no sense there.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Environment variable carrying an active plan (inline JSON or a file path).
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: Exit code of a worker killed by the ``"kill"`` action (distinguishable
+#: from the poison subproblem's 17 in postmortems).
+KILL_EXIT_CODE = 23
+
+#: The actions a fault may declare.
+ACTIONS = ("kill", "raise", "delay", "corrupt")
+
+
+class FaultInjected(RuntimeError):
+    """Raised by the ``"raise"`` action (a deliberately crashed component)."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One declared fault: where, what, and on which occurrence."""
+
+    site: str
+    action: str
+    at: int | None = None
+    times: int | None = None
+    match: dict = field(default_factory=dict)
+    seconds: float = 0.0
+    probability: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.site:
+            raise ValueError("a fault needs a site name")
+        if self.action not in ACTIONS:
+            raise ValueError(f"fault action must be one of {ACTIONS}, got {self.action!r}")
+        if self.at is not None and self.at < 1:
+            raise ValueError(f"'at' is a 1-based occurrence number, got {self.at}")
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"'times' must be >= 1, got {self.times}")
+        if self.probability is not None and not (0.0 <= self.probability <= 1.0):
+            raise ValueError(f"'probability' must be in [0, 1], got {self.probability}")
+
+    def matches(self, context: dict) -> bool:
+        """True iff every ``match`` key equals the site's context value."""
+        return all(context.get(key) == value for key, value in self.match.items())
+
+    def should_fire(self, occurrence: int, seed: int) -> bool:
+        """Decide for the ``occurrence``-th matching call (deterministic)."""
+        if self.at is not None:
+            if occurrence != self.at:
+                return False
+        elif self.times is not None:
+            if occurrence > self.times:
+                return False
+        if self.probability is None:
+            return True
+        # Seeded per-occurrence coin flip: the same plan replays the same
+        # fault sequence run after run, process after process.
+        import random
+
+        return random.Random(f"{seed}:{self.site}:{occurrence}").random() < self.probability
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Fault":
+        known = {"site", "action", "at", "times", "match", "seconds", "probability"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown fault fields: {sorted(unknown)}")
+        return cls(
+            site=data.get("site", ""),
+            action=data.get("action", ""),
+            at=data.get("at"),
+            times=data.get("times"),
+            match=dict(data.get("match", {})),
+            seconds=float(data.get("seconds", 0.0)),
+            probability=data.get("probability"),
+        )
+
+    def to_dict(self) -> dict:
+        payload: dict = {"site": self.site, "action": self.action}
+        if self.at is not None:
+            payload["at"] = self.at
+        if self.times is not None:
+            payload["times"] = self.times
+        if self.match:
+            payload["match"] = dict(self.match)
+        if self.seconds:
+            payload["seconds"] = self.seconds
+        if self.probability is not None:
+            payload["probability"] = self.probability
+        return payload
+
+
+class FaultPlan:
+    """A seeded set of faults with deterministic occurrence counters."""
+
+    def __init__(self, faults: list[Fault], seed: int = 0, state_dir: str | None = None):
+        self.faults = list(faults)
+        self.seed = int(seed)
+        self.state_dir = None if state_dir is None else str(state_dir)
+        self._sites = {fault.site for fault in self.faults}
+        self._lock = threading.Lock()
+        self._local_counters: dict[str, int] = {}
+        if self.state_dir is not None:
+            Path(self.state_dir).mkdir(parents=True, exist_ok=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        known = {"faults", "seed", "state_dir"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown fault-plan fields: {sorted(unknown)}")
+        faults = [Fault.from_dict(entry) for entry in data.get("faults", [])]
+        return cls(faults, seed=int(data.get("seed", 0)), state_dir=data.get("state_dir"))
+
+    def to_dict(self) -> dict:
+        payload: dict = {"faults": [fault.to_dict() for fault in self.faults]}
+        if self.seed:
+            payload["seed"] = self.seed
+        if self.state_dir is not None:
+            payload["state_dir"] = self.state_dir
+        return payload
+
+    @classmethod
+    def from_text(cls, text: str) -> "FaultPlan":
+        """Parse inline JSON, or read the file the text points at."""
+        text = text.strip()
+        if not text.startswith("{"):
+            text = Path(text).read_text(encoding="utf-8")
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Occurrence counters
+    # ------------------------------------------------------------------
+
+    def _next_occurrence(self, counter: str) -> int:
+        """The 1-based occurrence number of this matching call.
+
+        With a ``state_dir`` the counter is one shared file per fault:
+        every claim appends one byte with ``O_APPEND`` (atomic at this
+        size on POSIX), and the file size after the write is this call's
+        occurrence number — a cross-process atomic counter with no locks.
+        """
+        if self.state_dir is None:
+            with self._lock:
+                value = self._local_counters.get(counter, 0) + 1
+                self._local_counters[counter] = value
+                return value
+        path = os.path.join(self.state_dir, f"{counter}.count")
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, b".")
+            return os.fstat(fd).st_size
+        finally:
+            os.close(fd)
+
+    def fire(self, site: str, **context) -> Fault | None:
+        """The fault to apply at this call of ``site``, or ``None``."""
+        if site not in self._sites:
+            return None
+        for index, fault in enumerate(self.faults):
+            if fault.site != site or not fault.matches(context):
+                continue
+            occurrence = self._next_occurrence(f"{site.replace('/', '_')}-{index}")
+            if fault.should_fire(occurrence, self.seed):
+                return fault
+        return None
+
+
+# ----------------------------------------------------------------------
+# Activation
+# ----------------------------------------------------------------------
+
+_INSTALLED: FaultPlan | None = None
+_ENV_CACHE: tuple[str, FaultPlan] | None = None
+
+
+def install_plan(plan: FaultPlan | dict | None) -> FaultPlan | None:
+    """Install a process-local plan (tests); ``None`` uninstalls."""
+    global _INSTALLED
+    if isinstance(plan, dict):
+        plan = FaultPlan.from_dict(plan)
+    _INSTALLED = plan
+    return plan
+
+
+def clear_plan() -> None:
+    """Uninstall the process-local plan and drop the env-plan cache."""
+    global _INSTALLED, _ENV_CACHE
+    _INSTALLED = None
+    _ENV_CACHE = None
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan in effect: the installed one, else ``REPRO_FAULT_PLAN``."""
+    global _ENV_CACHE
+    if _INSTALLED is not None:
+        return _INSTALLED
+    text = os.environ.get(ENV_VAR)
+    if not text:
+        return None
+    if _ENV_CACHE is None or _ENV_CACHE[0] != text:
+        _ENV_CACHE = (text, FaultPlan.from_text(text))
+    return _ENV_CACHE[1]
+
+
+def fire(site: str, **context) -> Fault | None:
+    """The fault to apply at this call of ``site`` (``None`` without a plan)."""
+    plan = active_plan()
+    if plan is None:
+        return None
+    return plan.fire(site, **context)
+
+
+def apply_fault(fault: Fault | None, site: str = "") -> None:
+    """Apply the common actions: ``kill``, ``raise`` and ``delay``.
+
+    ``kill`` terminates the process like an OOM killer would (no cleanup,
+    no exception) — but only inside a worker process: the coordinator is
+    never collateral damage of a plan meant for its pool.  ``corrupt`` is
+    site-specific (only cache sites know what to damage) and ignored here.
+    """
+    if fault is None:
+        return
+    if fault.action == "kill":
+        import multiprocessing
+
+        if multiprocessing.parent_process() is not None:
+            os._exit(KILL_EXIT_CODE)
+        return
+    if fault.action == "raise":
+        raise FaultInjected(f"fault injected at {site or fault.site}")
+    if fault.action == "delay":
+        time.sleep(fault.seconds)

@@ -34,7 +34,7 @@ class TestVerifyMany:
     def test_second_run_is_served_from_cache(self, tmp_path):
         protocols = [majority_protocol(), broadcast_protocol()]
         cold = verify_many(protocols, cache_dir=tmp_path)
-        assert cold.statistics["cache"] == {"hits": 0, "misses": 2, "stores": 2}
+        assert cold.statistics["cache"] == {"hits": 0, "misses": 2, "stores": 2, "corrupt": 0}
         assert not any(item.from_cache for item in cold)
 
         warm = verify_many(protocols, cache_dir=tmp_path)

@@ -95,7 +95,7 @@ class TestResultCache:
         assert cache.get(key) is None
         cache.put(key, {"is_ws3": True})
         assert cache.get(key) == {"is_ws3": True}
-        assert cache.statistics == {"hits": 1, "misses": 1, "stores": 1}
+        assert cache.statistics == {"hits": 1, "misses": 1, "stores": 1, "corrupt": 0}
 
     def test_engine_version_partitions_the_cache(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -113,6 +113,19 @@ class TestResultCache:
         key = ResultCache.entry_key("abc", "1", {})
         (tmp_path / f"{key}.json").write_text("{not json", encoding="utf-8")
         assert cache.get(key) is None
+
+    def test_torn_entry_is_quarantined_and_counted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = ResultCache.entry_key("abc", "1", {})
+        (tmp_path / f"{key}.json").write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+        assert cache.statistics["corrupt"] == 1
+        # The corrupt entry is moved aside (kept for postmortems), so the
+        # slot is writable again and the next get is a clean miss.
+        assert not (tmp_path / f"{key}.json").exists()
+        assert (tmp_path / f"{key}.corrupt").exists()
+        cache.put(key, {"is_ws3": True})
+        assert cache.get(key) == {"is_ws3": True}
 
     def test_entries_are_valid_json_files(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -1,0 +1,143 @@
+"""Unit tests of the deterministic fault-injection harness."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.testing import (
+    ENV_VAR,
+    Fault,
+    FaultInjected,
+    FaultPlan,
+    active_plan,
+    clear_plan,
+    fire,
+    install_plan,
+)
+from repro.testing.faults import apply_fault
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    yield
+    clear_plan()
+
+
+class TestFaultValidation:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="action"):
+            Fault(site="worker.solve", action="explode")
+
+    def test_site_required(self):
+        with pytest.raises(ValueError, match="site"):
+            Fault(site="", action="kill")
+
+    def test_at_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            Fault(site="s", action="kill", at=0)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError, match="probability"):
+            Fault(site="s", action="kill", probability=1.5)
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault fields"):
+            Fault.from_dict({"site": "s", "action": "kill", "when": 3})
+        with pytest.raises(ValueError, match="unknown fault-plan fields"):
+            FaultPlan.from_dict({"faults": [], "sites": []})
+
+    def test_round_trip(self):
+        fault = Fault(site="backend.check", action="raise", at=2, match={"backend": "z3"})
+        assert Fault.from_dict(fault.to_dict()) == fault
+        plan = FaultPlan([fault], seed=11)
+        rebuilt = FaultPlan.from_dict(plan.to_dict())
+        assert rebuilt.seed == 11
+        assert rebuilt.faults == [fault]
+
+
+class TestOccurrenceSemantics:
+    def test_at_fires_exactly_once(self):
+        plan = FaultPlan([Fault(site="s", action="raise", at=2)])
+        assert [plan.fire("s") is not None for _ in range(4)] == [False, True, False, False]
+
+    def test_times_fires_first_k(self):
+        plan = FaultPlan([Fault(site="s", action="raise", times=2)])
+        assert [plan.fire("s") is not None for _ in range(4)] == [True, True, False, False]
+
+    def test_match_filters_context(self):
+        plan = FaultPlan([Fault(site="s", action="raise", match={"backend": "z3"})])
+        assert plan.fire("s", backend="smtlite") is None
+        assert plan.fire("s", backend="z3") is not None
+
+    def test_non_matching_calls_do_not_consume_occurrences(self):
+        plan = FaultPlan([Fault(site="s", action="raise", at=1, match={"key": "x"})])
+        assert plan.fire("s", key="other") is None
+        assert plan.fire("s", key="x") is not None
+
+    def test_probability_is_deterministic_per_seed(self):
+        fault = Fault(site="s", action="raise", probability=0.5)
+        decisions_a = [fault.should_fire(n, seed=42) for n in range(1, 50)]
+        decisions_b = [fault.should_fire(n, seed=42) for n in range(1, 50)]
+        assert decisions_a == decisions_b
+        assert True in decisions_a and False in decisions_a
+
+    def test_state_dir_counters_are_shared(self, tmp_path):
+        """Two plan instances (stand-ins for two processes) share counters."""
+        spec = {"faults": [{"site": "s", "action": "raise", "at": 2}], "state_dir": str(tmp_path)}
+        first = FaultPlan.from_dict(spec)
+        second = FaultPlan.from_dict(spec)
+        assert first.fire("s") is None  # occurrence 1
+        assert second.fire("s") is not None  # occurrence 2, counted across instances
+        assert first.fire("s") is None  # occurrence 3
+
+
+class TestActivation:
+    def test_no_plan_is_free(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        clear_plan()
+        assert fire("anything") is None
+
+    def test_install_plan_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, json.dumps({"faults": []}))
+        installed = install_plan({"faults": [{"site": "s", "action": "raise", "times": 1}]})
+        assert active_plan() is installed
+        assert fire("s") is not None
+
+    def test_env_plan_inline_json(self, monkeypatch):
+        monkeypatch.setenv(
+            ENV_VAR, json.dumps({"faults": [{"site": "s", "action": "raise", "times": 1}]})
+        )
+        clear_plan()
+        assert fire("s") is not None
+
+    def test_env_plan_from_file(self, monkeypatch, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(
+            json.dumps({"faults": [{"site": "s", "action": "delay", "seconds": 0.0}]}),
+            encoding="utf-8",
+        )
+        monkeypatch.setenv(ENV_VAR, str(path))
+        clear_plan()
+        plan = active_plan()
+        assert plan is not None and plan.faults[0].action == "delay"
+
+
+class TestApplyFault:
+    def test_raise_action(self):
+        with pytest.raises(FaultInjected, match="worker.solve"):
+            apply_fault(Fault(site="worker.solve", action="raise"))
+
+    def test_none_is_a_no_op(self):
+        apply_fault(None)
+
+    def test_kill_is_inert_in_the_coordinator(self):
+        # The coordinator (this test process) must never be collateral
+        # damage of a plan meant for worker processes.
+        apply_fault(Fault(site="s", action="kill"))
+        assert os.getpid() > 0  # still alive
+
+    def test_delay_action_sleeps(self):
+        apply_fault(Fault(site="s", action="delay", seconds=0.0))

@@ -14,10 +14,12 @@ import pytest
 
 from repro.service.events import (
     EVENT_TYPES,
+    BackendDegraded,
     BackendSelected,
     CacheHit,
     JobFinished,
     JobQueued,
+    JobRecovered,
     JobStarted,
     ProgressEvent,
     PropertyFinished,
@@ -25,6 +27,7 @@ from repro.service.events import (
     RefinementFound,
     SubproblemCompleted,
     SubproblemDispatched,
+    SubproblemRetried,
     describe_event,
     event_from_dict,
 )
@@ -56,10 +59,29 @@ SAMPLES = [
         verdict="unsat",
         time_seconds=0.25,
     ),
+    SubproblemRetried(
+        job_id="job-1",
+        seq=6,
+        timestamp=1235.05,
+        kind="consensus-pair",
+        index=3,
+        attempt=2,
+        delay_seconds=0.05,
+        reason="a worker process died while solving consensus-pair[3]",
+    ),
     RefinementFound(
         job_id="job-1", seq=6, timestamp=1235.1, refinement="trap", states=["'A'", "'B'"], iteration=4
     ),
     BackendSelected(job_id="job-1", seq=7, timestamp=1235.2, backend="smtlite", scope="options"),
+    BackendDegraded(
+        job_id="job-1",
+        seq=7,
+        timestamp=1235.25,
+        backend="z3",
+        fallback="smtlite",
+        reason="FaultInjected: fault injected at backend.check",
+    ),
+    JobRecovered(job_id="job-1", seq=8, timestamp=1235.28, had_started=True),
     CacheHit(job_id="job-1", seq=8, timestamp=1235.3, protocol_name="majority", protocol_hash="ab" * 32),
     JobFinished(
         job_id="job-1",
