@@ -50,6 +50,31 @@ from repro.protocols.library import (  # noqa: E402
 PROPERTIES = ("ws3",)
 
 
+def network_serving_block(jobs: int) -> dict:
+    """Serving-tier throughput/latency: the load harness against an
+    in-process :class:`~repro.service.net.NetworkServer`.
+
+    Reuses :func:`serve_smoke.run_load` (N concurrent TCP clients × M
+    submit→wait→result jobs), so the bench snapshot and the CI load smoke
+    measure exactly the same path: client retry loop, JSON-lines framing,
+    admission control, the service queue and the verification engine.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "scripts"))
+    from serve_smoke import run_load
+
+    from repro.service import NetworkServer, VerificationService
+
+    service = VerificationService(workers=max(2, jobs))
+    server = NetworkServer(service)
+    host, port = server.start()
+    try:
+        summary = run_load(host, port, clients=4, jobs=2)
+    finally:
+        server.drain(timeout=60)
+    summary["server_statistics"] = dict(server.statistics)
+    return summary
+
+
 def benchmark_suite(large: bool):
     """The fixed subset: (family, parameter label, protocol factory)."""
     rows = [
@@ -166,6 +191,11 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="use (and record traffic of) the engine result cache in this directory",
     )
+    parser.add_argument(
+        "--no-network",
+        action="store_true",
+        help="skip the network-serving throughput/latency block",
+    )
     args = parser.parse_args(argv)
 
     cache = None
@@ -206,6 +236,17 @@ def main(argv: list[str] | None = None) -> int:
             "retry_policy": options.retry.to_dict(),
         }
 
+    network_serving = None
+    if not args.no_network:
+        print("running network serving load ...", flush=True)
+        network_serving = network_serving_block(args.jobs)
+        print(
+            f"  {network_serving['completed']}/{network_serving['jobs_total']} jobs at "
+            f"{network_serving['throughput_jobs_per_second']} jobs/s "
+            f"(p95={network_serving.get('latency_seconds', {}).get('p95')}s)",
+            flush=True,
+        )
+
     snapshot = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
@@ -218,6 +259,7 @@ def main(argv: list[str] | None = None) -> int:
         "options": options.to_dict(),
         "engine_cache": dict(cache.statistics) if cache is not None else None,
         "fault_tolerance": fault_tolerance,
+        "network_serving": network_serving,
         "total_seconds": round(sum(entry["wall_clock_seconds"] for entry in entries), 4),
         "benchmarks": entries,
     }

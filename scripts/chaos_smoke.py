@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI chaos test: the verification service survives crashes and fault injection.
 
-Three scenarios, each end to end against real subprocesses:
+Four scenarios, each end to end against real subprocesses:
 
 1. **Fault-free baseline** — a journalled ``repro-verify serve`` daemon runs
    a batch to completion; its lossless batch payload is the reference.
@@ -15,6 +15,13 @@ Three scenarios, each end to end against real subprocesses:
    ``REPRO_FAULT_PLAN`` that SIGKILLs the first worker process touching a
    subproblem; the engine's retry policy must absorb the death and the run
    must still exit 0 with the right verdicts.
+4. **Chaos over TCP** — a journalled ``serve --tcp`` daemon runs under a
+   wire-fault plan (truncated and dropped response frames); concurrent
+   retrying clients submit the same specs over TCP, the daemon is
+   SIGTERMed mid-batch (drain), and a clean restart on the same journal
+   must finish every acknowledged job with reports matching the baseline
+   after normalization.  At-least-once submits may create duplicate jobs;
+   every duplicate must still be completed-and-correct.
 
 Exits non-zero with a diagnostic on any violation::
 
@@ -29,7 +36,10 @@ import signal
 import subprocess
 import sys
 import tempfile
+import threading
 import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
 SPECS = ["majority", "broadcast", "flock-of-birds:4"]
 
@@ -92,7 +102,8 @@ def run_requests(journal_dir: str, requests: list, timeout: float = 600) -> dict
     return responses
 
 
-def scenario_baseline(journal_dir: str) -> str:
+def scenario_baseline(journal_dir: str) -> tuple[str, dict]:
+    """Returns the canonical batch payload plus per-protocol canonical reports."""
     responses = run_requests(
         journal_dir,
         [
@@ -104,7 +115,10 @@ def scenario_baseline(journal_dir: str) -> str:
     result = responses.get(2, {})
     if not result.get("ok") or "batch" not in result:
         raise RuntimeError(f"baseline batch did not complete: {result}")
-    return canonical(result["batch"])
+    per_protocol = {
+        item["protocol"]: canonical(item["report"]) for item in result["batch"]["items"]
+    }
+    return canonical(result["batch"]), per_protocol
 
 
 def scenario_crash_recovery(journal_dir: str, reference: str) -> list:
@@ -197,18 +211,119 @@ def scenario_poisoned_worker(state_dir: str) -> list:
     return failures
 
 
+def tcp_daemon(journal_dir: str, fault_plan: dict | None = None) -> tuple:
+    """Start ``serve --tcp 127.0.0.1:0 --journal-dir ...``; returns (proc, host, port)."""
+    env = serve_env()
+    if fault_plan is not None:
+        env["REPRO_FAULT_PLAN"] = json.dumps(fault_plan)
+    proc = subprocess.Popen(
+        serve_command(journal_dir) + ["--tcp", "127.0.0.1:0", "--drain-timeout", "20"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    line = proc.stdout.readline()
+    if not line:
+        proc.kill()
+        raise RuntimeError(f"TCP daemon died before announcing a port: {proc.stderr.read()}")
+    announced = json.loads(line)
+    return proc, announced["host"], announced["port"]
+
+
+def scenario_tcp_chaos(journal_dir: str, per_protocol: dict) -> list:
+    """Wire faults + SIGTERM mid-batch over TCP: nothing lost, nothing wrong.
+
+    Every job a client got an acknowledgement for (at-least-once: retried
+    submits may create duplicates) must, after a drain and a clean restart
+    on the same journal, finish ``done`` with a report identical to the
+    fault-free baseline after normalization.
+    """
+    from repro.service.client import VerificationClient
+
+    failures: list = []
+    plan = {
+        "seed": 11,
+        "faults": [
+            {"site": "net.send", "action": "truncate", "at": 3, "match": {"kind": "response"}},
+            {"site": "net.send", "action": "drop", "at": 7, "match": {"kind": "response"}},
+        ],
+    }
+    proc, host, port = tcp_daemon(journal_dir, fault_plan=plan)
+    acknowledged: list = []  # (spec, job_id)
+    lock = threading.Lock()
+
+    def submitter(index: int) -> None:
+        try:
+            with VerificationClient(host, port, timeout=10, seed=index) as client:
+                for spec in SPECS:
+                    job = client.submit(spec)
+                    with lock:
+                        acknowledged.append((spec, job))
+        except Exception as error:  # noqa: BLE001 - recorded as a failure
+            with lock:
+                failures.append(f"TCP submitter {index}: {type(error).__name__}: {error}")
+
+    try:
+        threads = [threading.Thread(target=submitter, args=(index,)) for index in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+    finally:
+        # SIGTERM lands while most of the backlog is still queued: the drain
+        # must journal it and exit 0.
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=120)
+    if code != 0:
+        failures.append(f"TCP daemon exited {code} on SIGTERM (expected 0)")
+    if not acknowledged:
+        failures.append("no TCP submit was acknowledged under the fault plan")
+        return failures
+
+    # Clean restart on the same journal: every acknowledged job must finish
+    # with the baseline report.
+    proc2, host2, port2 = tcp_daemon(journal_dir)
+    try:
+        with VerificationClient(host2, port2, timeout=60) as client:
+            for spec, job in acknowledged:
+                status = client.wait(job, timeout=300)
+                if status != "done":
+                    failures.append(f"recovered job {job} ({spec}) ended {status!r}")
+                    continue
+                report = client.result(job).get("report")
+                if report is None:
+                    failures.append(f"recovered job {job} ({spec}) has no report")
+                    continue
+                protocol = report.get("protocol")
+                reference = per_protocol.get(protocol)
+                if reference is None:
+                    failures.append(f"job {job}: no baseline report for protocol {protocol!r}")
+                elif canonical(report) != reference:
+                    failures.append(
+                        f"job {job} ({spec}): recovered report differs from the "
+                        "fault-free baseline after normalization"
+                    )
+    finally:
+        proc2.send_signal(signal.SIGTERM)
+        if proc2.wait(timeout=120) != 0:
+            failures.append("restarted TCP daemon did not drain cleanly")
+    return failures
+
+
 def main() -> int:
     start = time.perf_counter()
     failures = []
     with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
         baseline_dir = os.path.join(tmp, "journal-baseline")
         crash_dir = os.path.join(tmp, "journal-crash")
+        tcp_dir = os.path.join(tmp, "journal-tcp")
         state_dir = os.path.join(tmp, "fault-state")
         os.makedirs(state_dir)
 
         try:
-            reference = scenario_baseline(baseline_dir)
-            print("chaos 1/3: fault-free journalled baseline OK")
+            reference, per_protocol = scenario_baseline(baseline_dir)
+            print("chaos 1/4: fault-free journalled baseline OK")
         except Exception as error:
             print(f"FAIL: baseline scenario: {error}", file=sys.stderr)
             return 1
@@ -216,12 +331,17 @@ def main() -> int:
         crash_failures = scenario_crash_recovery(crash_dir, reference)
         failures.extend(crash_failures)
         if not crash_failures:
-            print("chaos 2/3: SIGKILL + journal recovery OK (byte-identical payload)")
+            print("chaos 2/4: SIGKILL + journal recovery OK (byte-identical payload)")
 
         poison_failures = scenario_poisoned_worker(state_dir)
         failures.extend(poison_failures)
         if not poison_failures:
-            print("chaos 3/3: poisoned-worker retry OK")
+            print("chaos 3/4: poisoned-worker retry OK")
+
+        tcp_failures = scenario_tcp_chaos(tcp_dir, per_protocol)
+        failures.extend(tcp_failures)
+        if not tcp_failures:
+            print("chaos 4/4: wire faults + SIGTERM drain + TCP recovery OK")
 
     if failures:
         for failure in failures:

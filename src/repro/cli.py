@@ -141,6 +141,75 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --journal-dir: restore finished results but do not re-enqueue unfinished jobs",
     )
+    serve_parser.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        default=None,
+        help=(
+            "serve over TCP instead of stdin/stdout; port 0 picks a free port "
+            "(the bound address is announced as a {\"type\": \"listening\"} line "
+            "on stdout).  The listener also answers HTTP on the same port."
+        ),
+    )
+    serve_parser.add_argument(
+        "--http",
+        metavar="HOST:PORT",
+        default=None,
+        help=(
+            "serve the HTTP adapter (POST /jobs, GET /jobs/<id>, "
+            "GET /jobs/<id>/events, /healthz, /readyz); the listener also "
+            "speaks the JSON-lines protocol — with --tcp both must name the "
+            "same address (one dual-protocol listener)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--max-connections",
+        type=_positive_int,
+        default=None,
+        help="live connections before new ones are shed with 'overloaded' (default: 64)",
+    )
+    serve_parser.add_argument(
+        "--max-pending-jobs",
+        type=_positive_int,
+        default=None,
+        help="queued jobs before submits are shed with 'overloaded' (default: 256)",
+    )
+    serve_parser.add_argument(
+        "--max-frame-bytes",
+        type=_positive_int,
+        default=None,
+        help="largest accepted request frame/body in bytes (default: 1 MiB)",
+    )
+    serve_parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="reap connections idle longer than this (default: 300)",
+    )
+    serve_parser.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="FRAMES_PER_SECOND",
+        help="per-connection request rate limit (default: unlimited)",
+    )
+    serve_parser.add_argument(
+        "--event-buffer",
+        type=_positive_int,
+        default=None,
+        help=(
+            "buffered event lines per connection; a slower client loses the "
+            "oldest with an explicit 'dropped' marker (default: 256)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="graceful-drain window on SIGTERM/SIGINT (default: 30)",
+    )
 
     return parser
 
@@ -376,6 +445,47 @@ def _run_serve(args) -> int:
         journal_dir=args.journal_dir,
         resume=not args.no_resume,
     )
+    if args.tcp or args.http:
+        from repro.service.net import NetworkServer, ServerLimits, parse_address
+
+        if args.tcp and args.http and args.tcp != args.http:
+            print(
+                "repro-verify: --tcp and --http share one dual-protocol listener; "
+                "give them the same address (or only one of them)",
+                file=sys.stderr,
+            )
+            service.close(wait=False)
+            return 2
+        host, port = parse_address(args.tcp or args.http)
+        overrides = {
+            name: value
+            for name, value in (
+                ("max_connections", args.max_connections),
+                ("max_pending_jobs", args.max_pending_jobs),
+                ("max_frame_bytes", args.max_frame_bytes),
+                ("idle_timeout", args.idle_timeout),
+                ("rate_limit", args.rate_limit),
+                ("event_buffer", args.event_buffer),
+                ("drain_timeout", args.drain_timeout),
+            )
+            if value is not None
+        }
+        server = NetworkServer(service, host, port, limits=ServerLimits(**overrides))
+        bound_host, bound_port = server.start()
+        # Announced on stdout so wrappers (tests, the load harness) learn
+        # the ephemeral port of a --tcp HOST:0 daemon.
+        print(
+            json.dumps(
+                {
+                    "type": "listening",
+                    "host": bound_host,
+                    "port": bound_port,
+                    "protocols": ["jsonl", "http"],
+                }
+            ),
+            flush=True,
+        )
+        return server.serve_forever()
     return ServeSession(service, sys.stdin, sys.stdout).run()
 
 

@@ -42,6 +42,11 @@ _EXPORTS = {
     "event_from_dict": "repro.service.events",
     "describe_event": "repro.service.events",
     "ServeSession": "repro.service.serve",
+    "OverloadedError": "repro.service.serve",
+    "NetworkServer": "repro.service.net",
+    "ServerLimits": "repro.service.net",
+    "VerificationClient": "repro.service.client",
+    "ClientRetryPolicy": "repro.service.client",
 }
 
 __all__ = sorted(_EXPORTS)

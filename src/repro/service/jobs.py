@@ -243,6 +243,20 @@ class Job:
             self._condition.wait_for(lambda: self.status.finished, timeout=timeout)
             return self.status.finished
 
+    def wait_for_event(self, position: int, timeout: float | None = None) -> bool:
+        """Block until an event past ``position`` exists (or the job finished).
+
+        The long-poll primitive of the ``events`` op: returns True iff at
+        least one event with ``seq >= position`` is available.  A finished
+        job never emits again, so the wait also ends (possibly returning
+        False) once the job is terminal.
+        """
+        with self._condition:
+            self._condition.wait_for(
+                lambda: len(self._events) > position or self.status.finished, timeout=timeout
+            )
+            return len(self._events) > position
+
 
 class JobHandle:
     """Public, non-blocking facade over one submitted job.
@@ -317,6 +331,10 @@ class JobHandle:
     def events_so_far(self) -> list[ProgressEvent]:
         """A snapshot of the events recorded up to now (never blocks)."""
         return self._job.events_snapshot()
+
+    def wait_for_events(self, since: int, timeout: float | None = None) -> bool:
+        """Block until an event with ``seq >= since`` exists; see :meth:`Job.wait_for_event`."""
+        return self._job.wait_for_event(since, timeout=timeout)
 
     def __repr__(self) -> str:  # pragma: no cover - display convenience
         return f"JobHandle({self.job_id!r}, {self._job.status.value})"

@@ -30,6 +30,11 @@ conservative answer.
 The journal is append-only and single-writer (the owning service); it is
 *not* a cache — results are keyed by job id, not by protocol content, and
 a fresh journal directory starts a fresh history.
+
+Append-only logs grow without bound under sustained traffic, so
+:meth:`JobJournal.compact` rewrites the file to its last-wins minimum
+(atomic tmp-write + rename); construction does this automatically once the
+log exceeds :data:`COMPACT_THRESHOLD_BYTES`.
 """
 
 from __future__ import annotations
@@ -45,16 +50,32 @@ JOURNAL_SCHEMA = "repro-job-journal/1"
 #: The record kinds a line may carry.
 RECORD_KINDS = ("submitted", "started", "finished")
 
+#: Journal size past which construction compacts the log automatically.
+#: Under sustained traffic the append-only log grows without bound (every
+#: job leaves at least three records, finished ones a full result payload);
+#: compaction at startup rewrites it to the last-wins minimum.
+COMPACT_THRESHOLD_BYTES = 8 * 1024 * 1024
+
+#: Keys a ``finished`` record contributes on top of the submitted payload.
+_FINISHED_KEYS = ("status", "error", "report", "batch")
+
 
 class JobJournal:
     """Append-only JSON-lines journal of job transitions, with replay."""
 
-    def __init__(self, directory: str | os.PathLike):
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        compact_threshold_bytes: int | None = COMPACT_THRESHOLD_BYTES,
+    ):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.path = self.directory / "journal.jsonl"
         self._lock = threading.Lock()
-        self.statistics = {"appended": 0, "replayed": 0, "torn": 0}
+        self.statistics = {"appended": 0, "replayed": 0, "torn": 0, "compacted": 0}
+        if compact_threshold_bytes is not None and self.size_bytes() > compact_threshold_bytes:
+            self.compact()
 
     def append(self, record: dict) -> None:
         """Durably append one record (flush + fsync before returning).
@@ -87,6 +108,9 @@ class JobJournal:
         (impossible under write-ahead ordering, tolerated anyway) are
         dropped.
         """
+        return self._replay()
+
+    def _replay(self) -> dict[str, dict]:
         states: dict[str, dict] = {}
         try:
             lines = self.path.read_text(encoding="utf-8").splitlines()
@@ -126,6 +150,75 @@ class JobJournal:
                         state[key] = value
                 state["finished"] = True
         return states
+
+    def size_bytes(self) -> int:
+        """Current on-disk size of the journal file (0 when absent)."""
+        try:
+            return self.path.stat().st_size
+        except FileNotFoundError:
+            return 0
+
+    def compact(self) -> dict:
+        """Rewrite the log to one last-wins record set per job, atomically.
+
+        Superseded records vanish: a finished job keeps exactly its
+        ``submitted`` and ``finished`` lines (plus ``started`` where it
+        applies), torn lines are dropped, and replay of the compacted log
+        yields the same states as replay of the original — that equivalence
+        is what makes compaction safe to run at any quiescent moment.  The
+        rewrite goes through a temporary file in the same directory,
+        fsynced, then atomically renamed over the log, so a crash mid-compact
+        leaves either the old log or the new one, never a mix.
+
+        Returns ``{"before_bytes", "after_bytes", "jobs"}``.
+        """
+        with self._lock:
+            before = self.size_bytes()
+            states = self._replay()
+            tmp_path = self.path.with_name(self.path.name + ".compact-tmp")
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                for job_id, state in states.items():
+                    submitted = {
+                        key: value
+                        for key, value in state.items()
+                        if key not in ("started", "finished", *_FINISHED_KEYS)
+                    }
+                    submitted["record"] = "submitted"
+                    handle.write(json.dumps(submitted, sort_keys=True, separators=(",", ":")) + "\n")
+                    if state.get("started"):
+                        handle.write(
+                            json.dumps(
+                                {"record": "started", "job": job_id},
+                                sort_keys=True,
+                                separators=(",", ":"),
+                            )
+                            + "\n"
+                        )
+                    if state.get("finished"):
+                        finished = {"record": "finished", "job": job_id}
+                        for key in _FINISHED_KEYS:
+                            if key in state:
+                                finished[key] = state[key]
+                        handle.write(
+                            json.dumps(finished, sort_keys=True, separators=(",", ":")) + "\n"
+                        )
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.path)
+            self._fsync_directory()
+            self.statistics["compacted"] += 1
+            return {"before_bytes": before, "after_bytes": self.size_bytes(), "jobs": len(states)}
+
+    def _fsync_directory(self) -> None:
+        """Make the rename durable (the directory entry itself)."""
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - exotic filesystems
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
     def __len__(self) -> int:
         """Number of decodable records currently on disk."""

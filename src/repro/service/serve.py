@@ -28,7 +28,10 @@ Requests
 ``{"op": "events", "job": "job-1", "since": 0}``
     Drain the job's event log from sequence number ``since`` (polling
     alternative to ``stream``); responds with the events and the next
-    sequence number.
+    sequence number.  Add ``"wait": true`` (and an optional ``"timeout"``
+    in seconds) to long-poll: the response is deferred until at least one
+    event past ``since`` exists or the job finishes — this is what makes
+    client-side event streams resumable without busy-polling.
 
 ``{"op": "cancel", "job": "job-1"}``
     Request cooperative cancellation.
@@ -53,6 +56,10 @@ journalled, and the next daemon started on the same journal re-enqueues and
 finishes them (see :mod:`repro.service.journal`).  Malformed lines and
 unknown ops yield ``{"type": "response", "ok": false, "error": ...}`` — the
 daemon never dies on bad input.
+
+The same line protocol is served over TCP (and a sibling HTTP adapter) by
+:mod:`repro.service.net`, which runs one non-owning :class:`ServeSession`
+per connection over a shared service.
 """
 
 from __future__ import annotations
@@ -72,6 +79,20 @@ logger = logging.getLogger(__name__)
 
 class ServeError(ValueError):
     """A request that cannot be served (bad op, unknown job, bad protocol)."""
+
+
+class OverloadedError(ServeError):
+    """The server is at capacity; the request was shed and may be retried.
+
+    Raised by admission control (see :meth:`ServeSession._admit_job` and the
+    network tier in :mod:`repro.service.net`); rendered as an error response
+    carrying ``"overloaded": true``, ``"retryable": true`` and a
+    ``"retry_after"`` hint, so clients back off instead of hammering.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 def batch_to_payload(batch) -> dict:
@@ -98,13 +119,31 @@ class ServeSession:
     The request loop runs on the calling thread; streamed events arrive from
     dispatcher threads, so every output line goes through one lock and is
     flushed immediately (clients block on complete lines).
+
+    ``owns_service=True`` (the stdio daemon) means the session's end is the
+    daemon's end: the service is closed and — without a journal — every
+    unfinished job is cancelled.  With ``owns_service=False`` (one network
+    connection of a shared daemon, see :mod:`repro.service.net`) the service
+    keeps running; only the jobs *this* session submitted are cancelled when
+    the connection goes away (journalled services keep even those: they are
+    durable and pollable from other connections).
     """
 
-    def __init__(self, service: VerificationService, input_stream, output_stream):
+    def __init__(
+        self,
+        service: VerificationService,
+        input_stream,
+        output_stream,
+        *,
+        owns_service: bool = True,
+    ):
         self.service = service
+        self.owns_service = owns_service
         self._input = input_stream
         self._output = output_stream
         self._output_lock = threading.Lock()
+        self._session_jobs: list[str] = []
+        self._session_closed = False
 
     # ------------------------------------------------------------------
     # Output framing
@@ -122,8 +161,8 @@ class ServeSession:
             response["id"] = request_id
         self._write(response)
 
-    def _fail(self, request_id, error: str) -> None:
-        response = {"type": "response", "ok": False, "error": error}
+    def _fail(self, request_id, error: str, **extra) -> None:
+        response = {"type": "response", "ok": False, "error": error, **extra}
         if request_id is not None:
             response["id"] = request_id
         self._write(response)
@@ -139,54 +178,103 @@ class ServeSession:
         """Serve until EOF or a ``shutdown`` request; returns an exit code."""
         try:
             for line in self._input:
-                line = line.strip()
-                if not line:
-                    continue
-                request_id = None
-                try:
-                    request = json.loads(line)
-                    if not isinstance(request, dict):
-                        raise ServeError("each request must be a JSON object")
-                    request_id = request.get("id")
-                    op = request.get("op")
-                    handler = self._HANDLERS.get(op)
-                    if handler is None:
-                        known = ", ".join(sorted(self._HANDLERS))
-                        raise ServeError(f"unknown op {op!r}; known ops: {known}")
-                    if handler(self, request, request_id):
-                        break
-                # TypeError covers wrongly-typed request fields (e.g. a
-                # number where a property list belongs): bad input of any
-                # shape yields an error response, never a dead daemon.
-                except (
-                    ServeError,
-                    ProtocolLoadError,
-                    json.JSONDecodeError,
-                    ValueError,
-                    TypeError,
-                ) as error:
-                    self._fail(request_id, str(error))
+                if self.handle_line(line):
+                    break
         finally:
-            if self.service.journal is not None:
-                # Durable mode: the backlog is journalled, so ending the
-                # session must not throw it away — leave unfinished jobs
-                # queued (close without draining) and let the next daemon on
-                # this journal resume them.
-                resumable = self.service.pending_count()
-                self.service.close(drain=False)
-                if resumable:
-                    logger.info(
-                        "serve session ended with %d job(s) left journalled and resumable",
-                        resumable,
-                    )
-            else:
-                # However the session ends (EOF, shutdown op, a crashed
-                # client), nobody is reading results any more: cancel
-                # whatever has not started rather than verifying a dead
-                # client's backlog.
-                self._cancel_pending()
-                self.service.close()
+            self.close_session()
         return 0
+
+    def handle_line(self, line: str) -> bool:
+        """Serve one raw request line; True when the session should end.
+
+        This is the transport-agnostic core of the session: the stdio loop
+        in :meth:`run` and each network connection of
+        :class:`~repro.service.net.NetworkServer` both feed it complete
+        lines.  It never raises on bad input — every failure becomes an
+        error response.
+        """
+        line = line.strip()
+        if not line:
+            return False
+        request_id = None
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ServeError("each request must be a JSON object")
+            request_id = request.get("id")
+            op = request.get("op")
+            handler = self._HANDLERS.get(op)
+            if handler is None:
+                known = ", ".join(sorted(self._HANDLERS))
+                raise ServeError(f"unknown op {op!r}; known ops: {known}")
+            return bool(handler(self, request, request_id))
+        except OverloadedError as error:
+            # Load shedding is explicit and retryable: the client learns it
+            # was turned away (not that its request was malformed) and when
+            # to come back.
+            self._fail(
+                request_id,
+                str(error),
+                overloaded=True,
+                retryable=True,
+                retry_after=error.retry_after,
+            )
+        # TypeError covers wrongly-typed request fields (e.g. a
+        # number where a property list belongs): bad input of any
+        # shape yields an error response, never a dead daemon.
+        except (
+            ServeError,
+            ProtocolLoadError,
+            json.JSONDecodeError,
+            ValueError,
+            TypeError,
+        ) as error:
+            self._fail(request_id, str(error))
+        return False
+
+    def close_session(self) -> None:
+        """End the session exactly once (idempotent).
+
+        Owning sessions close the service; shared-service sessions only
+        withdraw their own jobs.  Either way a journalled backlog survives —
+        durability beats cancellation.
+        """
+        if self._session_closed:
+            return
+        self._session_closed = True
+        if not self.owns_service:
+            # One connection of a shared daemon went away.  Without a
+            # journal its unread jobs are garbage (nobody can fetch the
+            # results; other sessions never learned the ids) — cancel them.
+            # Other sessions' jobs are untouched.
+            if self.service.journal is None:
+                for job_id in self._session_jobs:
+                    try:
+                        handle = self.service.job(job_id)
+                    except KeyError:
+                        continue
+                    if not handle.status().finished:
+                        handle.cancel()
+            return
+        if self.service.journal is not None:
+            # Durable mode: the backlog is journalled, so ending the
+            # session must not throw it away — leave unfinished jobs
+            # queued (close without draining) and let the next daemon on
+            # this journal resume them.
+            resumable = self.service.pending_count()
+            self.service.close(drain=False)
+            if resumable:
+                logger.info(
+                    "serve session ended with %d job(s) left journalled and resumable",
+                    resumable,
+                )
+        else:
+            # However the session ends (EOF, shutdown op, a crashed
+            # client), nobody is reading results any more: cancel
+            # whatever has not started rather than verifying a dead
+            # client's backlog.
+            self._cancel_pending()
+            self.service.close()
 
     def _cancel_pending(self) -> None:
         for handle in self.service.jobs():
@@ -197,7 +285,17 @@ class ServeSession:
     # Handlers (returning True ends the session)
     # ------------------------------------------------------------------
 
+    def _admit_job(self, request: dict) -> None:
+        """Admission-control hook, called before a submit touches the service.
+
+        The base session admits everything (a pipe has exactly one client);
+        network sessions raise :class:`OverloadedError` here when the job
+        queue is at capacity, shedding load instead of growing without
+        bound.
+        """
+
     def _handle_submit(self, request: dict, request_id) -> bool:
+        self._admit_job(request)
         properties = request.get("properties")
         priority = int(request.get("priority", 0))
         subscriber = self._stream_event if request.get("stream") else None
@@ -213,6 +311,7 @@ class ServeSession:
                 priority=priority,
                 subscriber=subscriber,
             )
+        self._session_jobs.append(handle.job_id)
         self._respond(request_id, op="submit", job=handle.job_id, kind=handle.kind)
         return False
 
@@ -250,6 +349,12 @@ class ServeSession:
     def _handle_events(self, request: dict, request_id) -> bool:
         handle = self._handle(request)
         since = int(request.get("since", 0))
+        if request.get("wait"):
+            # Long poll: block until something past `since` exists (or the
+            # job finished, or the timeout ran out) instead of making the
+            # client busy-poll an unchanged log.
+            timeout = request.get("timeout")
+            handle.wait_for_events(since, timeout=None if timeout is None else float(timeout))
         events = [event.to_dict() for event in handle.events_so_far()[since:]]
         self._respond(
             request_id,
@@ -319,9 +424,11 @@ class ServeSession:
     def _handle_shutdown(self, request: dict, request_id) -> bool:
         # Cancel whatever is still pending: a shutdown must not hang on a
         # long queue (running jobs stop at their next checkpoint).  With a
-        # journal the queue is durable instead — run()'s cleanup leaves it
-        # for the next daemon rather than cancelling.
-        if self.service.journal is None:
+        # journal the queue is durable instead — close_session() leaves it
+        # for the next daemon rather than cancelling.  Shared-service
+        # sessions only end their own connection (close_session withdraws
+        # their jobs); daemon shutdown is the drain path's job.
+        if self.owns_service and self.service.journal is None:
             self._cancel_pending()
         self._respond(request_id, op="shutdown")
         return True

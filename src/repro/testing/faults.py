@@ -53,8 +53,11 @@ ENV_VAR = "REPRO_FAULT_PLAN"
 #: from the poison subproblem's 17 in postmortems).
 KILL_EXIT_CODE = 23
 
-#: The actions a fault may declare.
-ACTIONS = ("kill", "raise", "delay", "corrupt")
+#: The actions a fault may declare.  ``drop`` and ``truncate`` are
+#: transport-level actions (a frame silently not sent; a frame cut short
+#: with the connection torn down) applied by the network sites in
+#: :mod:`repro.service.net`, like ``corrupt`` is applied by the cache sites.
+ACTIONS = ("kill", "raise", "delay", "corrupt", "drop", "truncate")
 
 
 class FaultInjected(RuntimeError):
@@ -262,8 +265,9 @@ def apply_fault(fault: Fault | None, site: str = "") -> None:
 
     ``kill`` terminates the process like an OOM killer would (no cleanup,
     no exception) — but only inside a worker process: the coordinator is
-    never collateral damage of a plan meant for its pool.  ``corrupt`` is
-    site-specific (only cache sites know what to damage) and ignored here.
+    never collateral damage of a plan meant for its pool.  ``corrupt``,
+    ``drop`` and ``truncate`` are site-specific (only cache sites know what
+    to damage, only transport sites own a frame to lose) and ignored here.
     """
     if fault is None:
         return

@@ -1,11 +1,45 @@
-"""Shared pytest fixtures: small protocols used across the test suite."""
+"""Shared pytest fixtures: small protocols, plus a thread/fd leak detector."""
 
 from __future__ import annotations
+
+import os
+import threading
+import time
 
 import pytest
 
 from repro.datatypes.multiset import Multiset
 from repro.protocols.protocol import PopulationProtocol, Transition
+
+
+def _open_fd_count() -> int:
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:  # pragma: no cover - non-Linux
+        return 0
+
+
+@pytest.fixture
+def no_leaks():
+    """Assert the test returns thread and fd counts to their baseline.
+
+    Server teardown is asynchronous (handler threads notice a closed socket,
+    pump threads flush), so the check retries until a deadline before
+    failing.  File descriptors get a small slack: the interpreter itself
+    opens and caches a few (e.g. imports) independent of the code under
+    test.
+    """
+    thread_baseline = threading.active_count()
+    fd_baseline = _open_fd_count()
+    yield
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        if threading.active_count() <= thread_baseline and _open_fd_count() <= fd_baseline + 4:
+            return
+        time.sleep(0.05)
+    leaked = [thread.name for thread in threading.enumerate()]
+    assert threading.active_count() <= thread_baseline, f"leaked threads: {leaked}"
+    assert _open_fd_count() <= fd_baseline + 4, "leaked file descriptors"
 
 
 def build_majority_protocol() -> PopulationProtocol:

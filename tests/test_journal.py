@@ -186,3 +186,105 @@ class TestServiceReplay:
             assert handle.status().value == "failed"
             with pytest.raises(JobFailedError, match="solver exploded"):
                 handle.result()
+
+
+class TestCompaction:
+    def fill(self, journal, jobs=5, finishes=3):
+        for index in range(jobs):
+            job = f"job-{index + 1}"
+            journal.append({"record": "submitted", "job": job, "kind": "check", "priority": index})
+            journal.append({"record": "started", "job": job})
+            for _ in range(finishes):
+                # Superseded finishes (e.g. re-runs after recovery): only
+                # the last one matters.
+                journal.append({"record": "finished", "job": job, "status": "failed", "error": "old"})
+            journal.append({"record": "finished", "job": job, "status": "done", "error": ""})
+
+    def test_compact_preserves_replay_exactly(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        self.fill(journal)
+        before = journal.load()
+        result = journal.compact()
+        assert journal.load() == before
+        assert result["jobs"] == 5
+        assert result["after_bytes"] < result["before_bytes"]
+        assert journal.statistics["compacted"] == 1
+
+    def test_compact_drops_superseded_and_torn_lines(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        self.fill(journal, jobs=2)
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"record": "submitted", "job": "job-9", "ki')  # torn tail
+        journal.compact()
+        lines = journal.path.read_text(encoding="utf-8").splitlines()
+        # Exactly submitted + started + finished per job, nothing else.
+        assert len(lines) == 2 * 3
+        records = [json.loads(line) for line in lines]
+        assert all(record["record"] in ("submitted", "started", "finished") for record in records)
+        assert {record["job"] for record in records} == {"job-1", "job-2"}
+
+    def test_compact_keeps_unfinished_jobs_resumable(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        from repro.io.serialization import protocol_to_dict
+
+        journal.append(
+            {
+                "record": "submitted",
+                "job": "job-1",
+                "kind": "check",
+                "properties": ["ws3"],
+                "protocol": protocol_to_dict(majority_protocol()),
+                "priority": 0,
+                "predicate": None,
+            }
+        )
+        journal.append({"record": "started", "job": "job-1"})
+        journal.compact()
+        with VerificationService(journal_dir=tmp_path) as service:
+            assert service.statistics["resumed"] == 1
+            handle = service.job("job-1")
+            assert handle.wait(timeout=300)
+            assert handle.result().is_ws3
+
+    def test_auto_compaction_at_startup_threshold(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        self.fill(journal, jobs=3, finishes=20)
+        size = journal.size_bytes()
+        # Reopening with a threshold below the current size compacts; the
+        # default (8 MiB) leaves this small file alone.
+        untouched = JobJournal(tmp_path)
+        assert untouched.size_bytes() == size
+        compacted = JobJournal(tmp_path, compact_threshold_bytes=100)
+        assert compacted.size_bytes() < size
+        assert compacted.statistics["compacted"] == 1
+        assert compacted.load() == journal.load()
+
+    def test_compaction_disabled_with_none(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        self.fill(journal, jobs=1, finishes=10)
+        size = journal.size_bytes()
+        reopened = JobJournal(tmp_path, compact_threshold_bytes=None)
+        assert reopened.size_bytes() == size
+
+    def test_compact_empty_journal_is_a_noop(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        result = journal.compact()
+        assert result["jobs"] == 0
+
+    def test_service_survives_compaction_between_runs(self, tmp_path):
+        def normalized(report_dict):
+            # Recovery re-stamps statistics["events"] with the restart's
+            # own (synthetic) trail even without compaction; everything
+            # else must survive byte-identically.
+            clone = json.loads(json.dumps(report_dict))
+            clone.get("statistics", {}).pop("events", None)
+            return clone
+
+        with VerificationService(journal_dir=tmp_path) as service:
+            handle = service.submit(broadcast_protocol(), ["ws3"])
+            assert handle.wait(timeout=300)
+            original = handle.result().to_dict()
+        JobJournal(tmp_path).compact()
+        with VerificationService(journal_dir=tmp_path) as restarted:
+            recovered = restarted.job(handle.job_id).result().to_dict()
+            assert normalized(recovered) == normalized(original)
