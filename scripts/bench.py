@@ -69,6 +69,15 @@ def network_serving_block(jobs: int) -> dict:
     host, port = server.start()
     try:
         summary = run_load(host, port, clients=4, jobs=2)
+        # The stats op the router's fleet aggregation is built on: per-server
+        # counters (connections accepted/shed, frames discarded, jobs
+        # admitted/finished, event-pump drops) plus service/cache/journal
+        # counters, snapshotted over the wire after the load.
+        from repro.service import VerificationClient
+
+        with VerificationClient(host, port, timeout=60) as client:
+            response = client.call({"op": "stats"})
+        summary["statsz"] = response.get("stats") if response.get("ok") else None
     finally:
         server.drain(timeout=60)
     summary["server_statistics"] = dict(server.statistics)

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI chaos test: the verification service survives crashes and fault injection.
 
-Four scenarios, each end to end against real subprocesses:
+Five scenarios, each end to end against real subprocesses:
 
 1. **Fault-free baseline** — a journalled ``repro-verify serve`` daemon runs
    a batch to completion; its lossless batch payload is the reference.
@@ -22,6 +22,13 @@ Four scenarios, each end to end against real subprocesses:
    must finish every acknowledged job with reports matching the baseline
    after normalization.  At-least-once submits may create duplicate jobs;
    every duplicate must still be completed-and-correct.
+5. **Replica SIGKILL behind the router** — a 2-shard routing tier
+   (:mod:`repro.service.router`) accepts a batch of submits, then the
+   replica owning most of them is SIGKILLed mid-batch.  The supervisor
+   must restart it with backoff, journal recovery must re-attach its
+   acknowledged jobs, and every job must finish with a report identical
+   to the fault-free baseline after normalization — the router's lossless
+   failover contract.
 
 Exits non-zero with a diagnostic on any violation::
 
@@ -44,7 +51,10 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(
 SPECS = ["majority", "broadcast", "flock-of-birds:4"]
 
 #: Fields whose values legitimately differ between two runs of the same job.
-VOLATILE_KEYS = {"time", "timestamp", "events", "seq"}
+#: ``cache_dir`` and ``from_cache`` are deployment details (router replicas
+#: get per-shard result caches; the baseline daemon runs uncached) — cache
+#: placement and warmth are not part of the verification result.
+VOLATILE_KEYS = {"time", "timestamp", "events", "seq", "cache_dir", "from_cache"}
 
 
 def _volatile(key: str) -> bool:
@@ -311,6 +321,62 @@ def scenario_tcp_chaos(journal_dir: str, per_protocol: dict) -> list:
     return failures
 
 
+def scenario_router_failover(state_dir: str, per_protocol: dict) -> list:
+    """SIGKILL one replica of a 2-shard router mid-batch: nothing lost.
+
+    The replicas are real ``serve --tcp`` subprocesses on per-shard
+    journals; the router runs in-process so the scenario can pick its
+    victim (the shard owning most of the acknowledged jobs) and observe
+    the supervisor's restart counters directly.
+    """
+    from repro.service.client import VerificationClient
+    from repro.service.replicas import ReplicaSupervisor
+    from repro.service.router import JobRouter, RouterServer
+
+    failures: list = []
+    supervisor = ReplicaSupervisor(2, state_dir, workers=1, probe_interval=0.2)
+    supervisor.start()
+    router = JobRouter(supervisor)
+    server = RouterServer(router)
+    host, port = server.start()
+    try:
+        with VerificationClient(host, port, timeout=300) as client:
+            acknowledged = [(spec, client.submit(spec)) for spec in SPECS * 2]
+            by_shard: dict = {}
+            for _, job in acknowledged:
+                by_shard.setdefault(job.split(":", 1)[0], []).append(job)
+            victim = max(by_shard, key=lambda shard: len(by_shard[shard]))
+            pid = supervisor.kill(victim)
+            if pid is None:
+                failures.append(f"victim shard {victim} was not running")
+
+            for spec, job in acknowledged:
+                status = client.wait(job, timeout=300)
+                if status != "done":
+                    failures.append(f"failover job {job} ({spec}) ended {status!r}")
+                    continue
+                report = client.result(job).get("report")
+                if report is None:
+                    failures.append(f"failover job {job} ({spec}) has no report")
+                    continue
+                reference = per_protocol.get(report.get("protocol"))
+                if reference is None:
+                    failures.append(f"job {job}: no baseline for {report.get('protocol')!r}")
+                elif canonical(report) != reference:
+                    failures.append(
+                        f"job {job} ({spec}): post-failover report differs from the "
+                        "fault-free baseline after normalization"
+                    )
+
+            restarts = supervisor.fleet_status().get(victim, {}).get("restarts", 0)
+            if restarts < 1:
+                failures.append(f"the supervisor never restarted SIGKILLed shard {victim}")
+    finally:
+        if not server.drain():
+            failures.append("router fleet did not drain gracefully")
+    return failures
+
+
 def main() -> int:
     start = time.perf_counter()
     failures = []
@@ -323,7 +389,7 @@ def main() -> int:
 
         try:
             reference, per_protocol = scenario_baseline(baseline_dir)
-            print("chaos 1/4: fault-free journalled baseline OK")
+            print("chaos 1/5: fault-free journalled baseline OK")
         except Exception as error:
             print(f"FAIL: baseline scenario: {error}", file=sys.stderr)
             return 1
@@ -331,17 +397,22 @@ def main() -> int:
         crash_failures = scenario_crash_recovery(crash_dir, reference)
         failures.extend(crash_failures)
         if not crash_failures:
-            print("chaos 2/4: SIGKILL + journal recovery OK (byte-identical payload)")
+            print("chaos 2/5: SIGKILL + journal recovery OK (byte-identical payload)")
 
         poison_failures = scenario_poisoned_worker(state_dir)
         failures.extend(poison_failures)
         if not poison_failures:
-            print("chaos 3/4: poisoned-worker retry OK")
+            print("chaos 3/5: poisoned-worker retry OK")
 
         tcp_failures = scenario_tcp_chaos(tcp_dir, per_protocol)
         failures.extend(tcp_failures)
         if not tcp_failures:
-            print("chaos 4/4: wire faults + SIGTERM drain + TCP recovery OK")
+            print("chaos 4/5: wire faults + SIGTERM drain + TCP recovery OK")
+
+        router_failures = scenario_router_failover(os.path.join(tmp, "fleet"), per_protocol)
+        failures.extend(router_failures)
+        if not router_failures:
+            print("chaos 5/5: router replica SIGKILL failover OK (lossless)")
 
     if failures:
         for failure in failures:

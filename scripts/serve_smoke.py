@@ -22,6 +22,12 @@ existing CI step keeps its meaning):
   every request either completes or is *explicitly shed* with a retryable
   ``overloaded`` answer — no hangs, no crash — and the daemon still serves
   normally afterwards.
+* ``--router`` — spawns ``repro-verify route --replicas 2`` (the sharded
+  routing tier) and asserts its acceptance contract: deterministic
+  sharding (the same protocol always lands on the same shard, proven by
+  that shard's cache hits), scatter-gathered ``jobs``/``stats``, and a
+  fleet-wide SIGTERM drain that exits 0.  Combine with ``--load N`` to run
+  the load harness through the router instead of a single daemon.
 
 Exits non-zero (with a diagnostic) on any violation::
 
@@ -29,6 +35,7 @@ Exits non-zero (with a diagnostic) on any violation::
     PYTHONPATH=src python scripts/serve_smoke.py --network
     PYTHONPATH=src python scripts/serve_smoke.py --load 4 --jobs 2
     PYTHONPATH=src python scripts/serve_smoke.py --overload
+    PYTHONPATH=src python scripts/serve_smoke.py --router --load 4 --jobs 2
 """
 
 from __future__ import annotations
@@ -77,6 +84,40 @@ def spawn_tcp_daemon(*extra_args: str) -> tuple[subprocess.Popen, str, int]:
     if not line:
         proc.kill()
         raise RuntimeError(f"daemon died before announcing a port: {proc.stderr.read()}")
+    announced = json.loads(line)
+    if announced.get("type") != "listening":
+        proc.kill()
+        raise RuntimeError(f"unexpected announcement: {announced}")
+    return proc, announced["host"], announced["port"]
+
+
+def spawn_router(
+    state_dir: str, *extra_args: str, replicas: int = 2
+) -> tuple[subprocess.Popen, str, int]:
+    """Start ``route --replicas N --tcp 127.0.0.1:0`` and return (proc, host, port)."""
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "route",
+            "--replicas",
+            str(replicas),
+            "--tcp",
+            "127.0.0.1:0",
+            "--state-dir",
+            state_dir,
+            *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=serve_env(),
+    )
+    line = proc.stdout.readline()
+    if not line:
+        proc.kill()
+        raise RuntimeError(f"router died before announcing a port: {proc.stderr.read()}")
     announced = json.loads(line)
     if announced.get("type") != "listening":
         proc.kill()
@@ -419,6 +460,86 @@ def scenario_overload() -> list[str]:
     return failures
 
 
+def scenario_router(load_clients: int | None, jobs: int) -> list[str]:
+    """The sharded routing tier, end to end: deterministic sharding (proven
+    via per-shard cache hits), scatter-gather, and a fleet-wide drain."""
+    import tempfile
+
+    from repro.service.client import VerificationClient
+
+    failures = []
+    summary = None
+    with tempfile.TemporaryDirectory(prefix="repro-router-smoke-") as state_dir:
+        proc, host, port = spawn_router(state_dir)
+        try:
+            with VerificationClient(host, port, timeout=300) as client:
+                first = client.submit("majority")
+                second = client.submit("broadcast")
+                owner = first.split(":", 1)[0]
+                for job in (first, second):
+                    if ":" not in job:
+                        failures.append(f"job id {job!r} is not shard-namespaced")
+                    if client.wait(job, timeout=300) != "done":
+                        failures.append(f"router job {job} did not finish")
+                    elif "report" not in client.result(job):
+                        failures.append(f"router job {job} returned no report")
+
+                # Shard stability: the same protocol must land on the same
+                # shard, where its first run is already cached.
+                repeat = client.submit("majority")
+                if repeat.split(":", 1)[0] != owner:
+                    failures.append(
+                        f"majority moved shards: {first} then {repeat} — sharding not deterministic"
+                    )
+                if client.wait(repeat, timeout=300) != "done":
+                    failures.append(f"repeat job {repeat} did not finish")
+                stats = client.call({"op": "stats"}).get("stats", {})
+                shard_stats = stats.get("shards", {})
+                hits = ((shard_stats.get(owner) or {}).get("cache") or {}).get("hits", 0)
+                if hits < 1:
+                    failures.append(
+                        f"owning shard {owner} shows no cache hit for the repeat submit"
+                    )
+                if len(shard_stats) != 2:
+                    failures.append(f"stats gathered {len(shard_stats)} shards, expected 2")
+
+                listed = client.jobs()
+                if len(listed) < 3:
+                    failures.append(f"fleet-wide jobs listed only {len(listed)} jobs")
+
+            # HTTP aggregates on the same listener.
+            status, _, body = _http(host, port, "GET", "/readyz")
+            if status != 200:
+                failures.append(f"router GET /readyz returned {status}")
+            status, _, body = _http(host, port, "GET", "/statsz")
+            payload = json.loads(body) if status == 200 else {}
+            if status != 200 or len(payload.get("stats", {}).get("shards", {})) != 2:
+                failures.append(f"router GET /statsz returned {status}: {body[:200]!r}")
+
+            if load_clients:
+                summary = run_load(host, port, clients=load_clients, jobs=jobs)
+                if summary["failed"]:
+                    failures.extend(summary["failures"])
+                if summary["completed"] + summary["shed"] != summary["jobs_total"]:
+                    failures.append(
+                        f"router load: {summary['jobs_total']} jobs in, "
+                        f"{summary['completed']} completed + {summary['shed']} shed out"
+                    )
+        finally:
+            code = terminate(proc)
+            if code != 0:
+                failures.append(f"router exited {code} on SIGTERM (fleet drain must exit 0)")
+    if not failures:
+        print("router smoke OK: 2 shards, deterministic sharding, fleet drained cleanly")
+        if summary is not None:
+            print(
+                f"router load OK: {summary['completed']}/{summary['jobs_total']} jobs at "
+                f"{summary['throughput_jobs_per_second']} jobs/s"
+            )
+            print(json.dumps(summary, indent=2))
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--network", action="store_true", help="run the TCP+HTTP smoke")
@@ -427,6 +548,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--overload", action="store_true", help="run the overload (shed-not-crash) scenario"
     )
+    parser.add_argument(
+        "--router",
+        action="store_true",
+        help="run the sharded-router smoke (with --load N: route the load harness through it)",
+    )
     args = parser.parse_args(argv)
 
     failures = []
@@ -434,7 +560,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.network:
         ran_any = True
         failures.extend(scenario_network())
-    if args.load is not None:
+    if args.router:
+        ran_any = True
+        failures.extend(scenario_router(args.load, args.jobs))
+    if args.load is not None and not args.router:
         ran_any = True
         failures.extend(scenario_load(args.load, args.jobs))
     if args.overload:

@@ -142,6 +142,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --journal-dir: restore finished results but do not re-enqueue unfinished jobs",
     )
     serve_parser.add_argument(
+        "--compact-threshold",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "with --journal-dir: journal size that triggers auto-compaction "
+            "(default: 8 MiB; 0 disables auto-compaction)"
+        ),
+    )
+    serve_parser.add_argument(
         "--tcp",
         metavar="HOST:PORT",
         default=None,
@@ -209,6 +219,70 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SECONDS",
         help="graceful-drain window on SIGTERM/SIGINT (default: 30)",
+    )
+
+    route_parser = subparsers.add_parser(
+        "route",
+        help=(
+            "run the sharded routing tier: N supervised serve replicas "
+            "behind one content-hash job router"
+        ),
+    )
+    route_parser.add_argument(
+        "--replicas",
+        type=_positive_int,
+        default=2,
+        help="daemon replicas to spawn and shard over (default: 2)",
+    )
+    route_parser.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        default="127.0.0.1:0",
+        help=(
+            "the router's bind address; port 0 picks a free port "
+            "(announced as a {\"type\": \"listening\"} line on stdout)"
+        ),
+    )
+    route_parser.add_argument(
+        "--state-dir",
+        default=".repro-fleet",
+        help=(
+            "fleet state root: shard i keeps its journal, cache and log under "
+            "STATE_DIR/s<i>/ (default: .repro-fleet); restarting the router on "
+            "the same directory resumes every shard's journalled backlog"
+        ),
+    )
+    route_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="dispatcher threads per replica (default: 1)",
+    )
+    route_parser.add_argument(
+        "--compact-threshold",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="per-shard journal auto-compaction threshold (default: 8 MiB; 0 disables)",
+    )
+    route_parser.add_argument(
+        "--max-connections",
+        type=_positive_int,
+        default=None,
+        help="live router connections before new ones are shed (default: 64)",
+    )
+    route_parser.add_argument(
+        "--max-pending-jobs",
+        type=_positive_int,
+        default=None,
+        help="pending jobs per shard before submits are shed (default: 256)",
+    )
+    route_parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="graceful fleet-drain window on SIGTERM/SIGINT (default: 30)",
     )
 
     return parser
@@ -444,6 +518,7 @@ def _run_serve(args) -> int:
         workers=args.workers,
         journal_dir=args.journal_dir,
         resume=not args.no_resume,
+        journal_compact_threshold=args.compact_threshold,
     )
     if args.tcp or args.http:
         from repro.service.net import NetworkServer, ServerLimits, parse_address
@@ -472,21 +547,62 @@ def _run_serve(args) -> int:
         }
         server = NetworkServer(service, host, port, limits=ServerLimits(**overrides))
         bound_host, bound_port = server.start()
-        # Announced on stdout so wrappers (tests, the load harness) learn
-        # the ephemeral port of a --tcp HOST:0 daemon.
-        print(
-            json.dumps(
-                {
-                    "type": "listening",
-                    "host": bound_host,
-                    "port": bound_port,
-                    "protocols": ["jsonl", "http"],
-                }
-            ),
-            flush=True,
-        )
-        return server.serve_forever()
+
+        # Announced on stdout so wrappers (tests, the supervisor, the load
+        # harness) learn the ephemeral port of a --tcp HOST:0 daemon.  The
+        # announcement runs via on_ready — after the SIGTERM handler is in
+        # place — so a wrapper may drain us the instant it reads the line.
+        def announce_listening():
+            print(
+                json.dumps(
+                    {
+                        "type": "listening",
+                        "host": bound_host,
+                        "port": bound_port,
+                        "protocols": ["jsonl", "http"],
+                    }
+                ),
+                flush=True,
+            )
+
+        return server.serve_forever(on_ready=announce_listening)
     return ServeSession(service, sys.stdin, sys.stdout).run()
+
+
+def _run_route(args) -> int:
+    from repro.service.net import ServerLimits, parse_address
+    from repro.service.replicas import ReplicaError, ReplicaSupervisor
+    from repro.service.router import JobRouter, RouterServer, announce
+
+    host, port = parse_address(args.tcp)
+    serve_args: tuple[str, ...] = ()
+    if args.compact_threshold is not None:
+        serve_args = ("--compact-threshold", str(args.compact_threshold))
+    supervisor = ReplicaSupervisor(
+        args.replicas,
+        args.state_dir,
+        workers=args.workers,
+        serve_args=serve_args,
+    )
+    try:
+        supervisor.start()
+    except ReplicaError as error:
+        print(f"repro-verify: {error}", file=sys.stderr)
+        supervisor.drain(timeout=10.0)
+        return 2
+    overrides = {
+        name: value
+        for name, value in (
+            ("max_connections", args.max_connections),
+            ("max_pending_jobs", args.max_pending_jobs),
+            ("drain_timeout", args.drain_timeout),
+        )
+        if value is not None
+    }
+    router = JobRouter(supervisor)
+    server = RouterServer(router, host, port, limits=ServerLimits(**overrides))
+    server.start()
+    return server.serve_forever(on_ready=lambda: print(announce(server), flush=True))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -507,6 +623,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "serve":
         # The daemon answers loader failures as error responses, not exits.
         return _run_serve(args)
+
+    if args.command == "route":
+        return _run_route(args)
 
     # Loader failures are library exceptions (ProtocolLoadError); only here,
     # at the process boundary, do they become exit codes.

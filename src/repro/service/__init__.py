@@ -47,6 +47,12 @@ _EXPORTS = {
     "ServerLimits": "repro.service.net",
     "VerificationClient": "repro.service.client",
     "ClientRetryPolicy": "repro.service.client",
+    "JobRouter": "repro.service.router",
+    "RouterServer": "repro.service.router",
+    "rendezvous_shard": "repro.service.router",
+    "split_job_id": "repro.service.router",
+    "ReplicaSupervisor": "repro.service.replicas",
+    "ReplicaError": "repro.service.replicas",
 }
 
 __all__ = sorted(_EXPORTS)

@@ -166,13 +166,29 @@ class VerificationClient:
     # The retry loop
     # ------------------------------------------------------------------
 
-    def _request(self, payload: dict, read_timeout: float | None = None) -> dict:
+    def call(self, payload: dict, *, read_timeout: float | None = None) -> dict:
+        """Send one raw op and return its response dictionary, ok or not.
+
+        The proxying primitive (used by the sharded router): transport
+        failures are retried exactly like :meth:`_request`, but the first
+        response that arrives — success, explicit overload, or any error —
+        is returned verbatim instead of being retried or raised, so a relay
+        can forward the server's own answer (including ``retry_after``
+        hints) to its caller unchanged.
+        """
+        return self._request(payload, read_timeout, raw=True)
+
+    def _request(
+        self, payload: dict, read_timeout: float | None = None, *, raw: bool = False
+    ) -> dict:
         """Send one op and return its ``ok`` response, retrying as needed.
 
         Retries cover transport failures (refused/loss/torn line — the
         connection is rebuilt) and explicit ``overloaded`` responses
         (honouring ``retry_after``).  Non-retryable error responses raise
-        :class:`RequestError` immediately.
+        :class:`RequestError` immediately.  With ``raw=True`` only
+        transport failures are retried and whatever response arrives is
+        returned as-is (see :meth:`call`).
         """
         last_error: Exception | None = None
         for attempt in range(1, self.retry.max_attempts + 1):
@@ -190,7 +206,7 @@ class VerificationClient:
                 with self._lock:
                     self._disconnect()
                 continue
-            if response.get("ok"):
+            if raw or response.get("ok"):
                 return response
             if response.get("overloaded") or response.get("retryable"):
                 self.statistics["overloaded"] += 1

@@ -77,6 +77,9 @@ _HTTP_REASONS = {
 
 _HTTP_PREFIX = re.compile(rb"^[A-Z]{3,8}\s")
 
+#: Terminal job statuses (mirrors :class:`~repro.service.jobs.JobStatus`).
+_TERMINAL_STATUSES = ("done", "failed", "cancelled")
+
 #: Upper bound on HTTP request-line + header bytes (headers are tiny; a
 #: "header" growing past this is an attack or a bug, not a request).
 _MAX_HTTP_HEAD_BYTES = 16 * 1024
@@ -314,29 +317,29 @@ class _NetSession(ServeSession):
     def _admit_job(self, request: dict) -> None:
         self._server.check_job_admission()
 
+    def _stats_payload(self) -> dict:
+        payload = super()._stats_payload()
+        payload["server"] = self._server.statsz_payload()
+        return payload
 
-class _CaptureSession(ServeSession):
-    """A session whose responses are collected, not written (HTTP adapter).
+
+class _CaptureMixin:
+    """Collect responses instead of writing them (the HTTP adapters).
 
     The HTTP routes reuse the line protocol's handlers — request loading,
     validation, admission control, error mapping — by feeding one op per
-    HTTP request through :meth:`handle_line` and translating the captured
-    response into a status code.
+    HTTP request through ``handle_line`` and translating the captured
+    response into a status code.  Mixed into both the direct serve session
+    and the router's proxying session.
     """
 
-    def __init__(self, server: "NetworkServer"):
-        super().__init__(server.service, None, None, owns_service=False)
-        self._server = server
-        self.responses: list[dict] = []
+    responses: list
 
     def _write(self, payload: dict) -> None:
         self.responses.append(payload)
 
     def _stream_event(self, event) -> None:  # pragma: no cover - HTTP never streams inline
         pass
-
-    def _admit_job(self, request: dict) -> None:
-        self._server.check_job_admission()
 
     def call(self, request: dict) -> dict:
         """Run one op; returns its (single) response payload."""
@@ -345,6 +348,23 @@ class _CaptureSession(ServeSession):
         if not self.responses:  # pragma: no cover - every op responds
             return {"ok": False, "error": "no response"}
         return self.responses[-1]
+
+
+class _CaptureSession(_CaptureMixin, ServeSession):
+    """A session whose responses are collected, not written (HTTP adapter)."""
+
+    def __init__(self, server: "NetworkServer"):
+        super().__init__(server.service, None, None, owns_service=False)
+        self._server = server
+        self.responses = []
+
+    def _admit_job(self, request: dict) -> None:
+        self._server.check_job_admission()
+
+    def _stats_payload(self) -> dict:
+        payload = super()._stats_payload()
+        payload["server"] = self._server.statsz_payload()
+        return payload
 
 
 class NetworkServer:
@@ -438,7 +458,7 @@ class NetworkServer:
         """Request :meth:`serve_forever` to drain and return."""
         self._shutdown_requested.set()
 
-    def serve_forever(self, *, handle_signals: bool = True) -> int:
+    def serve_forever(self, *, handle_signals: bool = True, on_ready=None) -> int:
         """Serve until SIGTERM/SIGINT (graceful drain) or :meth:`stop`.
 
         The signal handler only sets a flag; the drain itself — stop
@@ -446,6 +466,11 @@ class NetworkServer:
         runs on this thread, so a second signal cannot interleave two
         drains.  Returns 0 (the drain is best-effort by design; anything
         it could not finish is journalled).
+
+        ``on_ready`` (if given) runs after the signal handlers are
+        installed.  Announce the bound address there, not before this
+        call: a supervisor that reads the announcement and SIGTERMs
+        immediately must hit the graceful handler, never the default one.
         """
         self.start()
         previous: dict[int, object] = {}
@@ -456,6 +481,8 @@ class NetworkServer:
 
             for signum in (signal.SIGTERM, signal.SIGINT):
                 previous[signum] = signal.signal(signum, request_shutdown)
+        if on_ready is not None:
+            on_ready()
         try:
             while not self._shutdown_requested.wait(timeout=0.2):
                 pass
@@ -575,6 +602,26 @@ class NetworkServer:
             "pending_jobs": self.service.pending_count(),
         }
 
+    def statsz_payload(self) -> dict:
+        """The per-server counters (connections, frames, shedding, drops)."""
+        with self._lock:
+            stats = dict(self.statistics)
+            stats["open_connections"] = len(self._connections)
+        stats["accepting"] = not self._draining.is_set()
+        return stats
+
+    # ------------------------------------------------------------------
+    # Session factories (overridden by the sharded router)
+    # ------------------------------------------------------------------
+
+    def _make_session(self, writer: _ConnectionWriter, pump: _EventPump) -> ServeSession:
+        """The JSON-lines session of one TCP connection."""
+        return _NetSession(self, writer, pump)
+
+    def _make_capture(self):
+        """A response-capturing session (one HTTP request's op)."""
+        return _CaptureSession(self)
+
     # ------------------------------------------------------------------
     # Accepting and sniffing
     # ------------------------------------------------------------------
@@ -690,7 +737,7 @@ class NetworkServer:
     def _serve_tcp(self, connection: socket.socket, peer: str) -> None:
         writer = _ConnectionWriter(connection, peer)
         pump = _EventPump(writer, self.limits.event_buffer, on_drop=self._count_dropped_event)
-        session = _NetSession(self, writer, pump)
+        session = self._make_session(writer, pump)
         bucket = None
         if self.limits.rate_limit > 0:
             bucket = _TokenBucket(self.limits.rate_limit, self.limits.rate_burst)
@@ -886,28 +933,37 @@ class NetworkServer:
         if close_hint:
             writer.kill()
 
+    def _healthz_payload(self) -> dict:
+        """Liveness: the process answers, full stop (even mid-drain)."""
+        return {"ok": True, "status": "alive"}
+
+    def _readyz_payload(self) -> tuple[int, dict]:
+        """Readiness as ``(status_code, payload)`` (503 while draining)."""
+        if self._draining.is_set():
+            return 503, {"ok": False, "status": "draining"}
+        return 200, {"ok": True, "status": "ready", **self._ping_payload()}
+
     def _route_http(self, writer: _ConnectionWriter, request: dict) -> None:
         method, path, query = request["method"], request["path"], request["query"]
         if path == "/healthz":
-            # Liveness: the process answers, full stop (even mid-drain).
-            self._http_respond(writer, 200, {"ok": True, "status": "alive"})
+            self._http_respond(writer, 200, self._healthz_payload())
             return
         if path == "/readyz":
-            if self._draining.is_set():
-                self._http_respond(
-                    writer,
-                    503,
-                    {"ok": False, "status": "draining"},
-                    extra_headers={"retry-after": str(math.ceil(self.limits.retry_after_seconds))},
-                )
-            else:
-                self._http_respond(writer, 200, {"ok": True, "status": "ready", **self._ping_payload()})
+            status, payload = self._readyz_payload()
+            headers = None
+            if status != 200:
+                headers = {"retry-after": str(math.ceil(self.limits.retry_after_seconds))}
+            self._http_respond(writer, status, payload, extra_headers=headers)
+            return
+        if path == "/statsz" and method == "GET":
+            response = self._make_capture().call({"op": "stats"})
+            self._http_respond(writer, 200 if response.get("ok") else 400, response)
             return
         if path == "/jobs" and method == "POST":
             self._http_submit(writer, request)
             return
         if path == "/jobs" and method == "GET":
-            response = _CaptureSession(self).call({"op": "jobs"})
+            response = self._make_capture().call({"op": "jobs"})
             self._http_respond(writer, 200 if response.get("ok") else 400, response)
             return
         match = re.fullmatch(r"/jobs/([^/]+)", path)
@@ -930,7 +986,7 @@ class NetworkServer:
             return
         body.pop("stream", None)  # inline streaming is the TCP protocol's job
         body.pop("op", None)
-        response = _CaptureSession(self).call({"op": "submit", **body})
+        response = self._make_capture().call({"op": "submit", **body})
         if response.get("ok"):
             self._http_respond(writer, 202, response)
         elif response.get("overloaded"):
@@ -945,34 +1001,33 @@ class NetworkServer:
 
     def _http_job(self, writer: _ConnectionWriter, method: str, job_id: str, query: dict) -> None:
         if method == "DELETE":
-            response = _CaptureSession(self).call({"op": "cancel", "job": job_id})
+            response = self._make_capture().call({"op": "cancel", "job": job_id})
             self._http_respond(writer, 200 if response.get("ok") else 404, response)
             return
         if method != "GET":
             self._http_respond(writer, 405, {"ok": False, "error": f"method {method} not allowed"})
-            return
-        try:
-            handle = self.service.job(job_id)
-        except KeyError:
-            self._http_respond(writer, 404, {"ok": False, "error": f"unknown job {job_id!r}"})
             return
         wait_text = (query.get("wait") or ["0"])[0]
         try:
             wait_seconds = float(wait_text)
         except ValueError:
             wait_seconds = 0.0
+        capture = self._make_capture()
         if wait_seconds > 0:
-            handle.wait(timeout=wait_seconds)
-        status = handle.status()
+            capture.call({"op": "wait", "job": job_id, "timeout": wait_seconds})
+        status_response = capture.call({"op": "status", "job": job_id})
+        if not status_response.get("ok"):
+            self._http_respond(writer, 404, {"ok": False, "error": f"unknown job {job_id!r}"})
+            return
         payload: dict = {
             "ok": True,
-            "job": handle.job_id,
-            "kind": handle.kind,
-            "status": status.value,
-            "events": len(handle.events_so_far()),
+            "job": status_response.get("job", job_id),
+            "kind": status_response.get("kind"),
+            "status": status_response.get("status"),
+            "events": status_response.get("events", 0),
         }
-        if status.finished:
-            response = _CaptureSession(self).call({"op": "result", "job": job_id, "wait": False})
+        if payload["status"] in _TERMINAL_STATUSES:
+            response = capture.call({"op": "result", "job": job_id, "wait": False})
             if response.get("ok"):
                 for key in ("report", "batch"):
                     if key in response:
@@ -983,9 +1038,9 @@ class NetworkServer:
 
     def _http_events(self, writer: _ConnectionWriter, job_id: str, query: dict) -> None:
         """Chunked NDJSON event stream, resumable via ``?since=<seq>``."""
-        try:
-            handle = self.service.job(job_id)
-        except KeyError:
+        capture = self._make_capture()
+        probe = capture.call({"op": "status", "job": job_id})
+        if not probe.get("ok"):
             self._http_respond(writer, 404, {"ok": False, "error": f"unknown job {job_id!r}"})
             return
         try:
@@ -1000,14 +1055,30 @@ class NetworkServer:
             "connection: close\r\n\r\n"
         ).encode("utf-8")
         writer.write_bytes(head, kind="http")
-        if follow:
-            # Pull-based: this connection's thread blocks on the job's
-            # event log, so a slow reader backpressures only itself.
-            events = handle.events(start=since, timeout=self.limits.idle_timeout)
-        else:
-            events = iter(handle.events_so_far()[since:])
-        for event in events:
-            line = (json.dumps(event.to_dict(), sort_keys=True) + "\n").encode("utf-8")
-            chunk = f"{len(line):x}\r\n".encode("ascii") + line + b"\r\n"
-            writer.write_bytes(chunk, kind="event")
+        # Pull-based: this connection's thread polls the job's event log in
+        # bounded long-poll slices, so a slow reader backpressures only
+        # itself.  Stops once the job is terminal and the log is drained (or
+        # immediately after one pass when ``follow`` is off).
+        deadline = time.monotonic() + self.limits.idle_timeout
+        cursor = since
+        while True:
+            request = {"op": "events", "job": job_id, "since": cursor}
+            if follow:
+                request["wait"] = True
+                request["timeout"] = max(0.1, min(10.0, deadline - time.monotonic()))
+            response = capture.call(request)
+            if not response.get("ok"):
+                break
+            events = response.get("events", [])
+            for event in events:
+                line = (json.dumps(event, sort_keys=True) + "\n").encode("utf-8")
+                chunk = f"{len(line):x}\r\n".encode("ascii") + line + b"\r\n"
+                writer.write_bytes(chunk, kind="event")
+            cursor = response.get("next", cursor + len(events))
+            if not follow:
+                break
+            if events:
+                deadline = time.monotonic() + self.limits.idle_timeout
+            elif response.get("status") in _TERMINAL_STATUSES or time.monotonic() >= deadline:
+                break
         writer.write_bytes(b"0\r\n\r\n", kind="http")

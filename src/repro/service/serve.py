@@ -48,6 +48,14 @@ Requests
 ``{"op": "jobs"}`` / ``{"op": "shutdown"}``
     List every job of the session; end the session.
 
+``{"op": "stats"}``
+    A snapshot of the serving tier's counters: service statistics (jobs
+    submitted/completed/failed/cancelled/recovered), the pending-queue
+    depth, result-cache traffic, journal statistics, and — over the
+    network tier — the per-server connection/frame/shedding counters
+    (mirrored by ``GET /statsz`` on the HTTP adapter).  This is what the
+    sharded router scatter-gathers to aggregate fleet health.
+
 EOF on stdin ends the session too; like ``shutdown``, it cancels every job
 that has not finished (nobody is left to read the results) — *unless* the
 service runs on a durable journal (``repro-verify serve --journal-dir``), in
@@ -341,6 +349,7 @@ class ServeSession:
             request_id,
             op="status",
             job=handle.job_id,
+            kind=handle.kind,
             status=handle.status().value,
             events=len(handle.events_so_far()),
         )
@@ -421,6 +430,24 @@ class ServeSession:
         )
         return False
 
+    def _stats_payload(self) -> dict:
+        """The serving tier's counters; network sessions add server stats."""
+        service = self.service
+        payload = {
+            "service": dict(service.statistics),
+            "pending_jobs": service.pending_count(),
+            "cache": service.cache_statistics(),
+            "journal": dict(service.journal.statistics) if service.journal is not None else None,
+        }
+        engine = service.engine
+        if engine is not None:
+            payload["engine"] = dict(getattr(engine, "statistics", {}) or {})
+        return payload
+
+    def _handle_stats(self, request: dict, request_id) -> bool:
+        self._respond(request_id, op="stats", stats=self._stats_payload())
+        return False
+
     def _handle_shutdown(self, request: dict, request_id) -> bool:
         # Cancel whatever is still pending: a shutdown must not hang on a
         # long queue (running jobs stop at their next checkpoint).  With a
@@ -441,5 +468,6 @@ class ServeSession:
         "wait": _handle_wait,
         "result": _handle_result,
         "jobs": _handle_jobs,
+        "stats": _handle_stats,
         "shutdown": _handle_shutdown,
     }

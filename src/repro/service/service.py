@@ -107,6 +107,11 @@ class VerificationService:
     resume:
         With a journal: whether to re-enqueue unfinished journalled jobs at
         construction (finished results are always restored).
+    journal_compact_threshold:
+        With a journal: the on-disk size (bytes) past which the journal is
+        auto-compacted at startup.  ``None`` keeps the journal's default
+        (:data:`~repro.service.journal.COMPACT_THRESHOLD_BYTES`); ``0``
+        disables auto-compaction entirely.
     """
 
     def __init__(
@@ -118,6 +123,7 @@ class VerificationService:
         cache=None,
         journal_dir=None,
         resume: bool = True,
+        journal_compact_threshold: int | None = None,
         **overrides,
     ):
         if options is None:
@@ -160,9 +166,15 @@ class VerificationService:
         self._drain_on_close = True
         self.journal = None
         if journal_dir is not None:
-            from repro.service.journal import JobJournal
+            from repro.service.journal import COMPACT_THRESHOLD_BYTES, JobJournal
 
-            self.journal = JobJournal(journal_dir)
+            if journal_compact_threshold is None:
+                threshold = COMPACT_THRESHOLD_BYTES
+            elif journal_compact_threshold <= 0:
+                threshold = None  # auto-compaction disabled
+            else:
+                threshold = int(journal_compact_threshold)
+            self.journal = JobJournal(journal_dir, compact_threshold_bytes=threshold)
             self._recover_journal(resume)
 
     # ------------------------------------------------------------------
@@ -520,6 +532,13 @@ class VerificationService:
         """Jobs accepted but not yet picked up by a dispatcher."""
         with self._lock:
             return len(self._queue)
+
+    def cache_statistics(self) -> dict | None:
+        """A snapshot of the result cache's counters (``None`` if unopened)."""
+        with self._lock:
+            if self._cache is None:
+                return None
+            return dict(self._cache.statistics)
 
     def _submitted_record(self, job: Job) -> dict:
         """The journal line that makes a submission recoverable.

@@ -485,6 +485,51 @@ class TestHttpAdapter:
             server.drain(timeout=5)
 
 
+class TestStatsAndListing:
+    """The observability surface the router's fleet aggregation is built on."""
+
+    def test_stats_op_over_jsonl(self, no_leaks, server):
+        with make_client(server) as client:
+            job = client.submit("majority")
+            assert client.wait(job, timeout=60) == "done"
+            response = client.call({"op": "stats"})
+        assert response["ok"] is True
+        stats = response["stats"]
+        # Service-side counters...
+        assert stats["service"]["submitted"] >= 1
+        assert stats["pending_jobs"] == 0
+        assert "cache" in stats and "journal" in stats
+        # ...plus the per-server network counters a TCP session can see.
+        assert stats["server"]["connections"] >= 1
+        assert stats["server"]["frames"] >= 1
+
+    def test_http_statsz(self, no_leaks, server):
+        status, _, payload = http_request(server, "POST", "/jobs", {"spec": "majority"})
+        assert status == 202
+        http_request(server, "GET", f"/jobs/{payload['job']}?wait=60")
+        status, _, payload = http_request(server, "GET", "/statsz")
+        assert status == 200 and payload["ok"] is True
+        stats = payload["stats"]
+        assert stats["service"]["submitted"] >= 1
+        assert stats["server"]["http_requests"] >= 2
+
+    def test_http_jobs_listing(self, no_leaks, server):
+        jobs = set()
+        for spec in ("majority", "broadcast"):
+            _, _, payload = http_request(server, "POST", "/jobs", {"spec": spec})
+            jobs.add(payload["job"])
+        for job in jobs:
+            http_request(server, "GET", f"/jobs/{job}?wait=60")
+        status, _, payload = http_request(server, "GET", "/jobs")
+        assert status == 200 and payload["ok"] is True
+        listed = {entry["job"]: entry for entry in payload["jobs"]}
+        assert jobs <= set(listed)
+        for job in jobs:
+            assert listed[job]["status"] == "done"
+            assert listed[job]["kind"] == "check"
+            assert "priority" in listed[job]
+
+
 class TestTransportFaults:
     """Injected wire faults: the client's retry loop must absorb them."""
 
