@@ -256,6 +256,13 @@ def main(argv: list[str] | None = None) -> int:
             flush=True,
         )
 
+    # Incremental-IR counters accumulated across the whole suite: scope
+    # traffic, delta-simplification savings, base-level cut promotions and
+    # learned-core retention.  A snapshot with incrementality disabled
+    # (REPRO_INCREMENTAL=0) records all-zero scope counters, so the diff
+    # shows exactly what the scoped-delta machinery did.
+    from repro.constraints.incremental import incremental_statistics
+
     snapshot = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
@@ -268,6 +275,7 @@ def main(argv: list[str] | None = None) -> int:
         "options": options.to_dict(),
         "engine_cache": dict(cache.statistics) if cache is not None else None,
         "fault_tolerance": fault_tolerance,
+        "incremental": incremental_statistics(),
         "network_serving": network_serving,
         "total_seconds": round(sum(entry["wall_clock_seconds"] for entry in entries), 4),
         "benchmarks": entries,

@@ -35,6 +35,13 @@ def _default_backend() -> str:
     return resolve_backend_name(None)
 
 
+def _default_incremental() -> bool:
+    """The incremental-IR default, from ``REPRO_INCREMENTAL`` (on unless 0)."""
+    from repro.constraints.incremental import incremental_enabled
+
+    return incremental_enabled()
+
+
 def _default_retry():
     """The service-tier retry/timeout policy (see :mod:`repro.engine.retry`).
 
@@ -83,6 +90,13 @@ class VerificationOptions:
         Reachability-graph size bound of the explicit-state baseline.
     jobs:
         Worker processes for the parallel engine (1 = serial).
+    incremental:
+        Use the incremental constraint IR (scoped deltas, base-level cut
+        promotion, delta-aware simplification) in the CEGAR loops.  Defaults
+        to the ``REPRO_INCREMENTAL`` environment variable (on unless set to
+        ``0``).  Verdicts are identical either way (asserted by the backend
+        parity tests), so — like ``jobs`` — the flag is execution-only and
+        excluded from cache keys.
     retry:
         A :class:`~repro.engine.retry.RetryPolicy`: how lost subproblems
         (worker deaths, per-subproblem deadlines) are retried and what the
@@ -106,6 +120,7 @@ class VerificationOptions:
     explicit_max_size: int = 4
     explicit_max_configurations: int = 200_000
     jobs: int = 1
+    incremental: bool = field(default_factory=_default_incremental)
     retry: object = field(default_factory=_default_retry)
     cache_dir: str | None = None
 
@@ -147,6 +162,8 @@ class VerificationOptions:
             )
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if not isinstance(self.incremental, bool):
+            raise ValueError(f"incremental must be a bool, got {self.incremental!r}")
         if self.cache_dir is not None:
             object.__setattr__(self, "cache_dir", str(self.cache_dir))
 
@@ -176,6 +193,7 @@ class VerificationOptions:
         """
         snapshot = self.to_dict()
         snapshot.pop("jobs")
+        snapshot.pop("incremental")
         snapshot.pop("retry")
         snapshot.pop("cache_dir")
         return snapshot

@@ -125,6 +125,7 @@ class LayeredTerminationChecker(PropertyChecker):
             engine=engine,
             backend=options.backend,
             context=context,
+            incremental=options.incremental,
         )
         return layered_termination_result(result)
 
@@ -144,6 +145,7 @@ class StrongConsensusChecker(PropertyChecker):
             engine=engine,
             backend=options.backend,
             context=context,
+            incremental=options.incremental,
         )
         return strong_consensus_result(result)
 
@@ -167,6 +169,7 @@ class WS3Checker(PropertyChecker):
             engine=engine,
             backend=options.backend,
             context=context,
+            incremental=options.incremental,
         )
         return ws3_result(result)
 
@@ -193,6 +196,7 @@ class CorrectnessChecker(PropertyChecker):
             engine=engine,
             backend=options.backend,
             context=context,
+            incremental=options.incremental,
         )
         return correctness_result(result, predicate)
 

@@ -112,6 +112,15 @@ class DirectILPSolver:
             "fallbacks": 0,
             "pushes": 0,
             "pops": 0,
+            # Core retention across scopes: cores are content-keyed (the
+            # constraint set plus the bounds at learn time), so a core whose
+            # constraints all live in still-active scopes stays valid and is
+            # deliberately NOT cleared on pop — the direct loop's analogue of
+            # DPLL(T) lemmas surviving backtracking.  ``cores_learned``
+            # counts admissions; ``cores_retained_across_pops`` accumulates
+            # the live-core count observed at each pop.
+            "cores_learned": 0,
+            "cores_retained_across_pops": 0,
         }
 
     # ------------------------------------------------------------------
@@ -177,6 +186,13 @@ class DirectILPSolver:
             del self._log[mark:]
             self._log.extend(op for op in tail if op[0] == "var")
         self.statistics["pops"] += 1
+        if self._known_cores:
+            retained = len(self._known_cores)
+            self.statistics["cores_retained_across_pops"] += retained
+            from repro.constraints.incremental import bump
+
+            bump("cores_retained_across_pops", retained)
+            bump("pops_with_live_cores")
 
     @property
     def num_scopes(self) -> int:
@@ -340,6 +356,10 @@ class DirectILPSolver:
                 for name, _ in constraint.coefficients
             }
             self._known_cores.append((core, core_bounds))
+            self.statistics["cores_learned"] += 1
+            from repro.constraints.incremental import bump
+
+            bump("cores_learned")
         return value
 
     def _build_model(self, ints: dict[str, int] | None, formulas: Sequence[Formula]) -> Model:

@@ -38,19 +38,29 @@ from repro.constraints.simplify import SimplifyStats, simplify_system
 logger = logging.getLogger(__name__)
 
 #: Part of every cache key: bump when the simplifier's output can change.
-SIMPLIFY_CACHE_VERSION = "1"
+#: "2": scoped systems (PR 9) — keys carry the scope shape, and pickled
+#: systems gained a slot, so version-"1" entries must never be loaded.
+SIMPLIFY_CACHE_VERSION = "2"
 
 #: Bound of the in-process memo (FIFO eviction).
 _MAX_MEMORY_ENTRIES = 512
 
 
 def system_content_key(system: ConstraintSystem, tighten_bounds: bool) -> str:
-    """SHA-256 digest of a system's canonical content (hex, 64 chars)."""
+    """SHA-256 digest of a system's canonical content (hex, 64 chars).
+
+    The key is delta-aware: the scope marks of a system with open scopes
+    (:meth:`ConstraintSystem.scope_marks`) are part of the payload, so a
+    scoped system never collides with a from-scratch system that happens to
+    have the same flattened content — the scoped one is still mutable below
+    its marks, and the cached simplified form must not be shared.
+    """
     payload = "\x1f".join(
         (
             SIMPLIFY_CACHE_VERSION,
             repr(tighten_bounds),
             system.name,
+            repr(system.scope_marks()),
             repr(sorted(system.bounds.items())),
             repr(sorted(system.groups.items())),
             "\x1e".join(repr(constraint) for constraint in system.constraints),

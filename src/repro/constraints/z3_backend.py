@@ -56,7 +56,7 @@ class Z3Solver:
         self._bool_vars: dict[str, object] = {}
         self._bounds: dict[str, tuple[int | None, int | None]] = {}
         self._scopes = 0
-        self.statistics = {"checks": 0, "sat": 0, "unsat": 0, "unknown": 0}
+        self.statistics = {"checks": 0, "sat": 0, "unsat": 0, "unknown": 0, "pushes": 0, "pops": 0}
 
     # ------------------------------------------------------------------
     # Translation
@@ -132,14 +132,18 @@ class Z3Solver:
             self._solver.add(self._translate(formula))
 
     def push(self) -> None:
+        """Native z3 push — asserted formulas (and learned lemmas z3 chooses
+        to keep) are scoped by z3 itself."""
         self._solver.push()
         self._scopes += 1
+        self.statistics["pushes"] += 1
 
     def pop(self) -> None:
         if self._scopes == 0:
             raise RuntimeError("pop() without a matching push()")
         self._solver.pop()
         self._scopes -= 1
+        self.statistics["pops"] += 1
 
     @property
     def num_scopes(self) -> int:

@@ -49,7 +49,11 @@ from repro.service.events import SubproblemCompleted, SubproblemDispatched, Subp
 #: state-delta basis to workers.  (Retry/timeout handling is execution-only
 #: and deliberately does not bump the version: a retried run returns the
 #: same verdicts and artifacts as an undisturbed one.)
-ENGINE_VERSION = "5"
+#: "6": incremental constraint IR — scoped deltas with base-level cut
+#: promotion change the refinement sequences (and hence the reported
+#: refinement lists/statistics) even though verdicts are unchanged, so
+#: entries from older engines must not be served.
+ENGINE_VERSION = "6"
 
 
 class EngineError(RuntimeError):

@@ -475,11 +475,27 @@ class RouterSession(ServeSession):
             shard_id: (response or {}).get("stats")
             for shard_id, response in gathered.items()
         }
+        # Fleet-level view of the incremental-IR counters: the per-shard
+        # learned-core retention rates side by side (a shard whose rate
+        # collapses is rebuilding solver state it should be reusing), plus
+        # summed scope/core counters across reachable shards.
+        retention = {}
+        totals: dict = {}
+        for shard_id, stats in shards.items():
+            block = (stats or {}).get("incremental")
+            if not block:
+                continue
+            retention[shard_id] = block.get("core_retention_rate")
+            for counter, value in block.items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    totals[counter] = totals.get(counter, 0) + value
+        totals.pop("core_retention_rate", None)
         return {
             "router": self.router.statistics_snapshot(),
             "supervisor": dict(self.router.supervisor.statistics),
             "fleet": self.router.supervisor.fleet_status(),
             "shards": shards,
+            "incremental": {"core_retention_by_shard": retention, "totals": totals},
         }
 
     def _handle_stats(self, request: dict, request_id) -> bool:

@@ -432,12 +432,18 @@ class ServeSession:
 
     def _stats_payload(self) -> dict:
         """The serving tier's counters; network sessions add server stats."""
+        from repro.constraints.incremental import incremental_statistics
+
         service = self.service
         payload = {
             "service": dict(service.statistics),
             "pending_jobs": service.pending_count(),
             "cache": service.cache_statistics(),
             "journal": dict(service.journal.statistics) if service.journal is not None else None,
+            # Process-wide incremental-IR counters (scopes, delta savings,
+            # core retention) — the router's scatter-gather aggregates the
+            # per-shard retention rates from this block.
+            "incremental": incremental_statistics(),
         }
         engine = service.engine
         if engine is not None:

@@ -157,6 +157,11 @@ class Solver:
             "theory_cache_misses": 0,
             "pushes": 0,
             "pops": 0,
+            # Lemma/core retention across scopes (cf. DirectILPSolver): cores
+            # are content+bounds-keyed, so they stay valid across pops and
+            # are deliberately kept.
+            "cores_learned": 0,
+            "cores_retained_across_pops": 0,
         }
 
     # ------------------------------------------------------------------
@@ -228,6 +233,13 @@ class Solver:
         scope = self._scopes.pop()
         self._sat.add_clause([-scope.guard_var])
         self.statistics["pops"] += 1
+        if self._known_cores:
+            retained = len(self._known_cores)
+            self.statistics["cores_retained_across_pops"] += retained
+            from repro.constraints.incremental import bump
+
+            bump("cores_retained_across_pops", retained)
+            bump("pops_with_live_cores")
 
     @property
     def num_scopes(self) -> int:
@@ -444,6 +456,10 @@ class Solver:
                     for name, _ in constraint.coefficients
                 }
                 self._known_cores.append((core_constraints, core_bounds))
+                self.statistics["cores_learned"] += 1
+                from repro.constraints.incremental import bump
+
+                bump("cores_learned")
         return result
 
     @staticmethod

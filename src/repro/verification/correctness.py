@@ -32,6 +32,8 @@ from typing import Protocol as TypingProtocol
 from repro.constraints.backends import create_solver, resolve_backend_name
 from repro.constraints.builders import ConstraintBuilder
 from repro.constraints.context import AnalysisContext
+from repro.constraints.incremental import ScopedSimplifier, bump, resolve_incremental
+from repro.constraints.ir import DEFAULT_BOUND
 from repro.constraints.simplify import SimplifyStats
 from repro.constraints.simplify_cache import simplify_system_cached
 from repro.datatypes.multiset import Multiset
@@ -109,6 +111,7 @@ def check_correctness_impl(
     engine=None,
     backend: str | None = None,
     context: AnalysisContext | None = None,
+    incremental: bool | None = None,
 ) -> CorrectnessResult:
     """Check that a protocol computes ``predicate``.
 
@@ -135,7 +138,8 @@ def check_correctness_impl(
     if engine is not None and engine.parallel:
         try:
             return _check_correctness_engine(
-                protocol, predicate, theory, max_refinements, engine, backend, context
+                protocol, predicate, theory, max_refinements, engine, backend, context,
+                incremental=incremental,
             )
         finally:
             if owned_engine:
@@ -145,6 +149,8 @@ def check_correctness_impl(
     refinements: list[RefinementStep] = []
     simplifier = SimplifyStats()
     statistics = {"iterations": 0, "traps": 0, "siphons": 0, "solver_instances": 1}
+    use_incremental = resolve_incremental(incremental)
+    statistics["incremental"] = use_incremental
 
     # One persistent solver for both output directions and all terminal
     # support patterns (cf. the StrongConsensus check): the input encoding,
@@ -153,7 +159,25 @@ def check_correctness_impl(
     # lemmas learned while refuting one pattern carry over to the next.
     builder = context.builder
     solver = create_solver(backend, theory=theory)
-    variables = _assert_correctness_base(protocol, builder, solver, simplifier)
+    scoped: ScopedSimplifier | None = None
+    if use_incremental:
+        variables = builder.correctness_variables()
+        scoped = ScopedSimplifier(
+            builder.correctness_base_system(variables), tighten_bounds=False, stats=simplifier
+        )
+        scoped.system.assert_into(solver)
+    else:
+        variables = _assert_correctness_base(protocol, builder, solver, simplifier)
+    predicate_memo: dict[int, tuple] = {}
+
+    def promote_cuts(new_steps: list[RefinementStep]) -> None:
+        """Assert a pattern's new cuts once, at base level, in general form."""
+        _input_vars, c0, c1, x1 = variables
+        for step in new_steps:
+            cut = builder.refinement_constraint(step, c0, c1, x1)
+            for formula in scoped.add_delta(cut):
+                solver.add(formula)
+            bump("cuts_promoted_to_base")
 
     patterns = context.terminal_patterns
     for expected_output in (1, 0):
@@ -164,7 +188,10 @@ def check_correctness_impl(
             # Cooperative checkpoint of the serial sweep (service jobs).
             monitor.check_cancelled()
             statistics["pattern_pairs"] = statistics.get("pattern_pairs", 0) + 1
+            pattern_start = len(refinements)
             solver.push()
+            if scoped is not None:
+                scoped.push()
             try:
                 outcome = _solve_pattern(
                     protocol,
@@ -179,12 +206,20 @@ def check_correctness_impl(
                     statistics,
                     context=context,
                     simplifier=simplifier,
+                    scoped=scoped,
+                    predicate_memo=predicate_memo,
                 )
             finally:
                 solver.pop()
+                if scoped is not None:
+                    scoped.pop()
+            if scoped is not None:
+                promote_cuts(refinements[pattern_start:])
             if outcome is not None:
                 statistics["solver"] = dict(solver.statistics)
                 statistics["simplifier"] = simplifier.to_dict()
+                if scoped is not None:
+                    statistics["scoped_simplifier"] = scoped.savings_summary()
                 statistics["backend"] = resolve_backend_name(backend)
                 statistics["time"] = time.perf_counter() - start
                 return CorrectnessResult(
@@ -196,6 +231,8 @@ def check_correctness_impl(
 
     statistics["solver"] = dict(solver.statistics)
     statistics["simplifier"] = simplifier.to_dict()
+    if scoped is not None:
+        statistics["scoped_simplifier"] = scoped.savings_summary()
     statistics["backend"] = resolve_backend_name(backend)
     statistics["time"] = time.perf_counter() - start
     return CorrectnessResult(holds=True, refinements=refinements, statistics=statistics)
@@ -214,25 +251,60 @@ def _solve_pattern(
     statistics: dict,
     context: AnalysisContext | None = None,
     simplifier: SimplifyStats | None = None,
+    scoped: ScopedSimplifier | None = None,
+    predicate_memo: dict | None = None,
 ) -> CorrectnessCounterexample | None:
     """Run the refinement loop for one pattern inside an open solver scope.
 
-    The per-pattern block — the pattern membership, the wrong-output
-    constraint, the compiled predicate (or its negation) and the trap/siphon
-    constraints discovered for earlier patterns (they only reference the
-    shared flow and configurations, so they are valid here too) — is one IR
-    system, simplified without bound tightening (the scope is retractable).
+    Non-incremental (``scoped is None``): the per-pattern block — the
+    pattern membership, the wrong-output constraint, the compiled predicate
+    (or its negation) and the trap/siphon constraints discovered for earlier
+    patterns (they only reference the shared flow and configurations, so
+    they are valid here too) — is one IR system, simplified without bound
+    tightening (the scope is retractable).
+
+    Incremental (``scoped`` given): earlier patterns' cuts already live at
+    base level in general form, so the delta is only the pattern membership,
+    the wrong-output constraint and the (per-direction memoized) compiled
+    predicate; new cuts are asserted in general form and re-promoted to base
+    by the caller after pop.  Equivalence with the specialized
+    ``target_support`` form holds under pattern membership exactly as in the
+    StrongConsensus check.
     """
     from repro.presburger.ir import predicate_system
 
     input_vars, c0, c1, x1 = variables
     supports = context.transition_supports if context is not None else None
-    system = builder.correctness_pattern_system(variables, expected_output, pattern, refinements)
-    # The predicate block is compiled separately through the presburger->IR
-    # path so fresh existential variables (remainder quotients) land in the
-    # system's variable groups.
-    system.merge(predicate_system(predicate, input_vars, negate=(expected_output == 0)))
-    simplify_system_cached(system, tighten_bounds=False, simplifier=simplifier).assert_into(solver)
+    if scoped is not None:
+        memo = predicate_memo if predicate_memo is not None else {}
+        entry = memo.get(expected_output)
+        if entry is None:
+            compiled = predicate_system(predicate, input_vars, negate=(expected_output == 0))
+            entry = (dict(compiled.bounds), list(compiled.constraints))
+            memo[expected_output] = entry
+        pred_bounds, pred_constraints = entry
+        # The predicate's fresh existential variables (e.g. remainder
+        # quotients) are declared unscoped — solver scopes never retract
+        # declarations, so the mirror system must not either.  Re-declaring
+        # on a later scope with the same direction is idempotent.
+        for variable, (lower, upper) in pred_bounds.items():
+            scoped.declare(variable, lower, upper)
+            if (lower, upper) != DEFAULT_BOUND:
+                solver.int_var(variable, lower=lower, upper=upper)
+        delta = [
+            builder.pattern(c1, pattern),
+            builder.has_output(c1, 1 - expected_output),
+            *pred_constraints,
+        ]
+        for formula in scoped.add_delta(*delta):
+            solver.add(formula)
+    else:
+        system = builder.correctness_pattern_system(variables, expected_output, pattern, refinements)
+        # The predicate block is compiled separately through the presburger->IR
+        # path so fresh existential variables (remainder quotients) land in the
+        # system's variable groups.
+        system.merge(predicate_system(predicate, input_vars, negate=(expected_output == 0)))
+        simplify_system_cached(system, tighten_bounds=False, simplifier=simplifier).assert_into(solver)
 
     for iteration in range(max_refinements):
         statistics["iterations"] += 1
@@ -266,7 +338,13 @@ def _solve_pattern(
         refinements.append(step)
         statistics["traps" if step.kind == "trap" else "siphons"] += 1
         monitor.emit_refinement_found(step.kind, step.states, step.iteration)
-        solver.add(builder.refinement_constraint(step, c0, c1, x1, target_support=pattern.allowed))
+        if scoped is not None:
+            for formula in scoped.add_delta(builder.refinement_constraint(step, c0, c1, x1)):
+                solver.add(formula)
+        else:
+            solver.add(
+                builder.refinement_constraint(step, c0, c1, x1, target_support=pattern.allowed)
+            )
     raise RuntimeError(
         f"correctness refinement did not converge within {max_refinements} iterations"
     )
@@ -296,34 +374,57 @@ def solve_correctness_pattern_subproblem(
     max_refinements: int = 10_000,
     backend: str | None = None,
     context: AnalysisContext | None = None,
+    incremental: bool | None = None,
 ) -> CorrectnessPatternOutcome:
     """Solve one (direction, pattern) subproblem on a fresh solver.
 
     Like its StrongConsensus counterpart, the outcome depends only on the
     arguments — never on sibling subproblems solved by the same process —
-    which keeps parallel runs reproducible.
+    which keeps parallel runs reproducible.  In incremental mode the seeded
+    cuts are asserted once at base level in general form and the pattern's
+    block lives in a scoped delta, mirroring the serial path.
     """
     if context is None:
         context = AnalysisContext(protocol)
     builder = context.builder
     solver = create_solver(backend, theory=theory)
-    variables = _assert_correctness_base(protocol, builder, solver)
     refinements = list(seed_refinements)
     seeded = len(refinements)
     statistics = {"iterations": 0, "traps": 0, "siphons": 0}
-    outcome = _solve_pattern(
-        protocol,
-        builder,
-        solver,
-        variables,
-        predicate,
-        expected_output,
-        pattern,
-        max_refinements,
-        refinements,
-        statistics,
-        context=context,
-    )
+    use_incremental = resolve_incremental(incremental)
+    scoped: ScopedSimplifier | None = None
+    if use_incremental:
+        variables = builder.correctness_variables()
+        _input_vars, c0, c1, x1 = variables
+        scoped = ScopedSimplifier(builder.correctness_base_system(variables), tighten_bounds=False)
+        scoped.system.assert_into(solver)
+        for step in refinements:
+            for formula in scoped.add_delta(builder.refinement_constraint(step, c0, c1, x1)):
+                solver.add(formula)
+        solver.push()
+        scoped.push()
+    else:
+        variables = _assert_correctness_base(protocol, builder, solver)
+    try:
+        outcome = _solve_pattern(
+            protocol,
+            builder,
+            solver,
+            variables,
+            predicate,
+            expected_output,
+            pattern,
+            max_refinements,
+            refinements,
+            statistics,
+            context=context,
+            scoped=scoped,
+        )
+    finally:
+        if scoped is not None:
+            solver.pop()
+            scoped.pop()
+            statistics["scoped_simplifier"] = scoped.savings_summary()
     statistics["solver"] = dict(solver.statistics)
     return CorrectnessPatternOutcome(
         verdict="unsat" if outcome is None else "sat",
@@ -344,6 +445,7 @@ def correctness_pattern_subproblems(
     protocol_key: str,
     backend: str | None = None,
     context_data: dict | None = None,
+    incremental: bool | None = None,
 ) -> list:
     """Package a slice of the (direction, pattern) enumeration as subproblems."""
     from repro.engine.subproblem import Subproblem
@@ -363,6 +465,7 @@ def correctness_pattern_subproblems(
                 "max_refinements": max_refinements,
                 "backend": backend,
                 "context": context_data or {},
+                "incremental": incremental,
             },
         )
         for offset, (expected_output, pattern) in enumerate(tasks)
@@ -377,6 +480,7 @@ def _check_correctness_engine(
     engine,
     backend: str | None = None,
     context: AnalysisContext | None = None,
+    incremental: bool | None = None,
 ) -> CorrectnessResult:
     """Fan the (direction, pattern) subproblems over the worker pool.
 
@@ -419,6 +523,7 @@ def _check_correctness_engine(
             protocol_key,
             backend,
             context_data,
+            incremental,
         ),
         statistics,
     )
@@ -431,6 +536,7 @@ def _check_correctness_engine(
             max_refinements=max_refinements,
             backend=backend,
             context=context,
+            incremental=incremental,
         )
         serial.statistics["parallel"] = {
             "jobs": engine.jobs,
