@@ -263,6 +263,13 @@ def main(argv: list[str] | None = None) -> int:
     # shows exactly what the scoped-delta machinery did.
     from repro.constraints.incremental import incremental_statistics
 
+    # The process-global metrics registry, snapshotted once at the end:
+    # the same counters and latency histograms ``GET /metricsz`` exposes
+    # (cache, incremental IR, engine retries, network tier), accumulated
+    # over the whole bench run.  Diffing this block between snapshots
+    # tracks counter drift without re-deriving it from per-entry stats.
+    from repro.obs.metrics import REGISTRY
+
     snapshot = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
@@ -276,6 +283,7 @@ def main(argv: list[str] | None = None) -> int:
         "engine_cache": dict(cache.statistics) if cache is not None else None,
         "fault_tolerance": fault_tolerance,
         "incremental": incremental_statistics(),
+        "metrics_registry": REGISTRY.snapshot(),
         "network_serving": network_serving,
         "total_seconds": round(sum(entry["wall_clock_seconds"] for entry in entries), 4),
         "benchmarks": entries,

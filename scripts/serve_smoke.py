@@ -12,11 +12,14 @@ existing CI step keeps its meaning):
   against the same listener: the JSON-lines protocol through
   :class:`~repro.service.client.VerificationClient` (submit, resumable
   events, result) and the HTTP adapter (healthz/readyz, POST /jobs, polled
-  status, chunked NDJSON events).
+  status, chunked NDJSON events, and a ``/metricsz`` scrape validated
+  through the Prometheus-text parser).
 * ``--load N --jobs M`` — the load harness: N concurrent TCP clients each
   running M submit→wait→result jobs against one daemon; reports throughput
-  and p50/p95/p99 latency.  Importable as :func:`run_load` (bench.py emits
-  its ``network_serving`` block from it).
+  and p50/p95/p99 latency, then scrapes ``/metricsz`` and asserts the
+  request/job latency histograms actually populated under load.
+  Importable as :func:`run_load` (bench.py emits its ``network_serving``
+  block from it).
 * ``--overload`` — floods a deliberately tiny daemon (2 connections,
   2 pending jobs) far past its limits and asserts the robustness contract:
   every request either completes or is *explicitly shed* with a retryable
@@ -322,6 +325,27 @@ def _http(host: str, port: int, method: str, path: str, body: bytes = b"") -> tu
     return status, parsed, payload
 
 
+def scrape_metricsz(host: str, port: int) -> tuple[dict, list[str]]:
+    """GET /metricsz and validate it through the Prometheus-text parser.
+
+    Returns ``(samples, failures)`` where samples is the parsed
+    ``{metric_name: [(labels, value), ...]}`` mapping (empty on failure).
+    """
+    from repro.obs.metrics import parse_prometheus_text
+
+    status, headers, body = _http(host, port, "GET", "/metricsz")
+    if status != 200:
+        return {}, [f"GET /metricsz returned {status}: {body[:200]!r}"]
+    content_type = headers.get("content-type", "")
+    if not content_type.startswith("text/plain"):
+        return {}, [f"/metricsz content-type {content_type!r} is not text/plain"]
+    try:
+        samples = parse_prometheus_text(body.decode("utf-8"))
+    except ValueError as error:
+        return {}, [f"/metricsz is not valid Prometheus text: {error}"]
+    return samples, []
+
+
 def scenario_network() -> list[str]:
     from repro.api.report import VerificationReport
     from repro.service.client import VerificationClient
@@ -359,22 +383,53 @@ def scenario_network() -> list[str]:
             ndjson = [json.loads(line) for line in body.decode().splitlines() if line]
             if status != 200 or not any(event.get("event") == "job_finished" for event in ndjson):
                 failures.append(f"HTTP event stream for {http_job} carries no job_finished")
+
+        # /metricsz on the same listener: valid Prometheus text covering the
+        # daemon's counters and latency histograms.
+        samples, metric_failures = scrape_metricsz(host, port)
+        failures.extend(metric_failures)
+        if samples:
+            for family in ("repro_net_events_total", "repro_job_seconds_count"):
+                if family not in samples:
+                    failures.append(f"/metricsz carries no {family} samples")
+            jobs_observed = sum(value for _, value in samples.get("repro_job_seconds_count", []))
+            if jobs_observed < 2:
+                failures.append(
+                    f"repro_job_seconds observed {jobs_observed} jobs, expected the 2 just run"
+                )
     finally:
         code = terminate(proc)
         if code != 0:
             failures.append(f"daemon exited {code} on SIGTERM")
     if not failures:
-        print("network smoke OK: JSON-lines and HTTP protocols served on one listener")
+        print(
+            "network smoke OK: JSON-lines and HTTP protocols served on one listener, "
+            f"/metricsz parsed with {len(samples)} sample families"
+        )
     return failures
 
 
 def scenario_load(clients: int, jobs: int) -> list[str]:
+    failures = []
     proc, host, port = spawn_tcp_daemon("--max-connections", str(max(8, clients + 2)))
     try:
         summary = run_load(host, port, clients=clients, jobs=jobs)
+        # Under load the latency histograms must actually populate: every
+        # request and every completed job leaves an observation behind.
+        samples, metric_failures = scrape_metricsz(host, port)
+        failures.extend(metric_failures)
+        if samples:
+            for family, floor in (
+                ("repro_net_request_seconds_count", summary["completed"]),
+                ("repro_job_seconds_count", summary["completed"]),
+            ):
+                observed = sum(value for _, value in samples.get(family, []))
+                if observed < max(1, floor):
+                    failures.append(
+                        f"{family} observed {observed} under load, expected >= {max(1, floor)}"
+                    )
     finally:
         code = terminate(proc)
-    failures = []
     if summary["failed"]:
         failures.extend(summary["failures"])
     if summary["completed"] + summary["shed"] != summary["jobs_total"]:
@@ -515,6 +570,25 @@ def scenario_router(load_clients: int | None, jobs: int) -> list[str]:
             payload = json.loads(body) if status == 200 else {}
             if status != 200 or len(payload.get("stats", {}).get("shards", {})) != 2:
                 failures.append(f"router GET /statsz returned {status}: {body[:200]!r}")
+
+            # Fleet-wide /metricsz: shard-labelled series from every replica
+            # plus the router's own, merged into one valid exposition.
+            samples, metric_failures = scrape_metricsz(host, port)
+            failures.extend(metric_failures)
+            if samples:
+                shards = {
+                    labels.get("shard")
+                    for labels, _ in samples.get("repro_router_routed_jobs_total", [])
+                }
+                if len(shards) < 1:
+                    failures.append("router /metricsz carries no shard-labelled routing counters")
+                job_counts = [
+                    labels.get("shard")
+                    for labels, value in samples.get("repro_job_seconds_count", [])
+                    if value > 0
+                ]
+                if not job_counts:
+                    failures.append("router /metricsz shows no shard with completed jobs")
 
             if load_clients:
                 summary = run_load(host, port, clients=load_clients, jobs=jobs)

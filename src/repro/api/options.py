@@ -106,6 +106,18 @@ class VerificationOptions:
     cache_dir:
         Directory of the content-addressed result cache used by
         ``check_many`` (``None`` disables caching).
+    trace:
+        Collect hierarchical trace spans (job → property → CEGAR iteration
+        → subproblem → solver check) and embed them under
+        ``report.statistics["trace"]``; the CLI ``--trace out.json`` flag
+        turns them into a Chrome-trace file.  Execution-only — a traced run
+        returns the same verdicts and artifacts, so the flag is excluded
+        from cache keys like ``jobs``.
+    profile:
+        Capture per-job phase timing (wall/CPU per property) plus a
+        ``cProfile`` run of the coordinating thread under
+        ``report.statistics["profile"]``.  Execution-only, excluded from
+        cache keys.
     """
 
     strategy: str = "auto"
@@ -123,6 +135,8 @@ class VerificationOptions:
     incremental: bool = field(default_factory=_default_incremental)
     retry: object = field(default_factory=_default_retry)
     cache_dir: str | None = None
+    trace: bool = False
+    profile: bool = False
 
     def __post_init__(self) -> None:
         from repro.engine.retry import RetryPolicy
@@ -164,6 +178,10 @@ class VerificationOptions:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
         if not isinstance(self.incremental, bool):
             raise ValueError(f"incremental must be a bool, got {self.incremental!r}")
+        if not isinstance(self.trace, bool):
+            raise ValueError(f"trace must be a bool, got {self.trace!r}")
+        if not isinstance(self.profile, bool):
+            raise ValueError(f"profile must be a bool, got {self.profile!r}")
         if self.cache_dir is not None:
             object.__setattr__(self, "cache_dir", str(self.cache_dir))
 
@@ -196,4 +214,6 @@ class VerificationOptions:
         snapshot.pop("incremental")
         snapshot.pop("retry")
         snapshot.pop("cache_dir")
+        snapshot.pop("trace")
+        snapshot.pop("profile")
         return snapshot

@@ -109,6 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_verifier_options(batch_parser)
     _add_progress_options(batch_parser)
+    _add_observability_options(batch_parser)
     batch_parser.add_argument("--json", action="store_true", help="print the verdicts as JSON")
 
     serve_parser = subparsers.add_parser(
@@ -285,6 +286,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="graceful fleet-drain window on SIGTERM/SIGINT (default: 30)",
     )
 
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="pretty-print a Chrome-trace JSON written by --trace",
+    )
+    trace_parser.add_argument("path", help="path to the trace JSON file")
+    trace_parser.add_argument(
+        "--top",
+        type=_positive_int,
+        default=20,
+        metavar="N",
+        help="span rows to show, hottest self-time first (default: 20)",
+    )
+
     return parser
 
 
@@ -378,9 +392,31 @@ def _add_progress_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_observability_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "record a hierarchical span tree of the run (job → property → "
+            "subproblem → solver check) and write it as Chrome-trace JSON to "
+            "PATH; inspect with 'repro-verify trace PATH' or chrome://tracing"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "profile the run: per-property wall/CPU phase timings and the "
+            "cProfile top functions, printed to stderr after the report"
+        ),
+    )
+
+
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
     _add_verifier_options(parser)
     _add_progress_options(parser)
+    _add_observability_options(parser)
     parser.add_argument(
         "--check-correctness",
         action="store_true",
@@ -420,6 +456,10 @@ def _options_from_args(args) -> VerificationOptions:
         from repro.engine.retry import DEFAULT_RETRY
 
         overrides["retry"] = DEFAULT_RETRY.replace(**retry_overrides)
+    if getattr(args, "trace", None):
+        overrides["trace"] = True
+    if getattr(args, "profile", False):
+        overrides["profile"] = True
     return VerificationOptions(**overrides)
 
 
@@ -450,6 +490,41 @@ def _event_printer(args):
     return lambda event: print(describe_event(event), file=sys.stderr)
 
 
+def _write_trace(args, spans) -> None:
+    """Write the run's spans (``--trace PATH``) as Chrome-trace JSON."""
+    path = getattr(args, "trace", None)
+    if not path:
+        return
+    from repro.obs.trace import chrome_trace
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(spans), handle)
+    print(f"trace: {len(spans)} span(s) written to {path}", file=sys.stderr)
+
+
+def _print_profile(args, statistics) -> None:
+    """Render the ``--profile`` phase timings and hot functions on stderr."""
+    if not getattr(args, "profile", False):
+        return
+    profile = statistics.get("profile") or {}
+    phases = profile.get("phases") or {}
+    for name, row in sorted(phases.items(), key=lambda kv: -kv[1]["wall_seconds"]):
+        print(
+            f"profile: phase {name:<24s} wall {row['wall_seconds']:8.3f}s  "
+            f"cpu {row['cpu_seconds']:8.3f}s  x{row['calls']}",
+            file=sys.stderr,
+        )
+    top = profile.get("top_functions") or []
+    if top:
+        print("profile: hottest functions (cumulative):", file=sys.stderr)
+    for row in top[:15]:
+        print(
+            f"profile: {row['cumulative_seconds']:9.3f}s cum "
+            f"{row['total_seconds']:9.3f}s self {row['calls']:>9} calls  {row['function']}",
+            file=sys.stderr,
+        )
+
+
 def _run_single(args) -> int:
     protocol = _load_protocol(args)
     properties = _properties_from_args(args)
@@ -463,6 +538,8 @@ def _run_single(args) -> int:
         print(report.to_json())
     else:
         print(report.summary())
+    _write_trace(args, report.statistics.get("trace") or [])
+    _print_profile(args, report.statistics)
 
     if args.simulate:
         simulator = Simulator(protocol, seed=0)
@@ -515,6 +592,16 @@ def _run_batch(args) -> int:
             f"{cache_stats['hits']} cache hit(s), jobs={batch.statistics['jobs']}, "
             f"total {batch.statistics['time']:.3f}s"
         )
+    if getattr(args, "trace", None):
+        spans = []
+        for item in batch:
+            spans.extend(item.report.statistics.get("trace") or [])
+        _write_trace(args, spans)
+    if getattr(args, "profile", False):
+        for item in batch:
+            if item.report.statistics.get("profile"):
+                print(f"profile: --- {item.protocol_name} ---", file=sys.stderr)
+                _print_profile(args, item.report.statistics)
     return 0 if batch.all_ok else 1
 
 
@@ -616,6 +703,41 @@ def _run_route(args) -> int:
     return server.serve_forever(on_ready=lambda: print(announce(server), flush=True))
 
 
+def _run_trace(args) -> int:
+    """Pretty-print a ``--trace`` file: the hottest spans by self-time."""
+    from repro.obs.trace import self_times, spans_from_chrome_trace
+
+    try:
+        with open(args.path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"repro-verify: cannot read trace {args.path!r}: {error}", file=sys.stderr)
+        return 2
+    spans = spans_from_chrome_trace(payload)
+    if not spans:
+        print(f"repro-verify: {args.path!r} contains no repro spans", file=sys.stderr)
+        return 2
+    roots = sum(
+        1
+        for span_dict in spans
+        if span_dict.get("parent_id") not in {s["span_id"] for s in spans}
+    )
+    total = max(s.get("end", s["start"]) for s in spans) - min(s["start"] for s in spans)
+    print(f"{len(spans)} span(s), {roots} root(s), {total:.3f}s wall")
+    by_id = {span_dict["span_id"]: span_dict for span_dict in spans}
+    self_time = self_times(spans)
+    print(f"{'self':>9s} {'total':>9s}  span")
+    for span_id, seconds in sorted(self_time.items(), key=lambda kv: -kv[1])[: args.top]:
+        span_dict = by_id[span_id]
+        duration = max(0.0, span_dict.get("end", span_dict["start"]) - span_dict["start"])
+        attrs = " ".join(
+            f"{key}={value}" for key, value in sorted(span_dict.get("attrs", {}).items())
+        )
+        label = span_dict["name"] + (f" [{attrs}]" if attrs else "")
+        print(f"{seconds:8.3f}s {duration:8.3f}s  {label}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``repro-verify`` command."""
     parser = build_parser()
@@ -637,6 +759,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "route":
         return _run_route(args)
+
+    if args.command == "trace":
+        return _run_trace(args)
 
     # Loader failures are library exceptions (ProtocolLoadError); only here,
     # at the process boundary, do they become exit codes.

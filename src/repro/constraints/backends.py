@@ -50,10 +50,13 @@ demotion as a ``backend_degraded`` progress event, and reversible with
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Iterable, Sequence
 from typing import Protocol, runtime_checkable
 
 from repro.constraints.direct import CaseBudgetExceeded, DirectILPSolver
+from repro.obs import trace
+from repro.obs.metrics import REGISTRY
 from repro.smtlite.formula import Formula
 from repro.smtlite.solver import Solver, SolverResult, SolverStatus
 from repro.smtlite.terms import LinearExpr
@@ -259,6 +262,23 @@ _HEALTH_LOCK = threading.Lock()
 _DEMOTED: dict[str, str] = {}  # backend name -> reason of first crash
 _HEALTH_STATS = {"demotions": 0, "failed_checks": 0, "replays": 0}
 
+#: Registry mirrors of the health counters (``GET /metricsz``): the event
+#: family plus per-backend demotions, and the solver-check latency/span
+#: surface every backend shares (the ResilientSolver wrapper is the one
+#: choke point all verification-layer queries pass through).
+_HEALTH_EVENTS = REGISTRY.counter(
+    "repro_backend_health_events_total",
+    "Backend degradation events: demotions, failed checks, state replays",
+)
+_DEMOTIONS = REGISTRY.counter(
+    "repro_backend_demotions_total",
+    "Backends demoted for the rest of the process, by backend name",
+)
+_CHECK_SECONDS = REGISTRY.histogram(
+    "repro_solver_check_seconds",
+    "Solver check latency through the resilient wrapper, by backend",
+)
+
 
 def _next_healthy(name: str) -> str | None:
     """The first registered, non-demoted backend down ``name``'s chain."""
@@ -287,6 +307,9 @@ def demote_backend(name: str, reason: str) -> str | None:
             _DEMOTED[name] = reason
             _HEALTH_STATS["demotions"] += 1
         fallback = _next_healthy(name)
+    if fresh:
+        _HEALTH_EVENTS.inc(event="demotions")
+        _DEMOTIONS.inc(backend=name)
     if fresh:
         from repro.engine import monitor
 
@@ -392,7 +415,22 @@ class ResilientSolver:
                     faults.fire("backend.check", backend=self.backend_name),
                     site="backend.check",
                 )
-                return query(self._solver)
+                # The one choke point every solver query passes through:
+                # a "solver.check" trace span (free when tracing is off)
+                # and the per-backend latency histogram.
+                started = time.perf_counter()
+                with trace.span(
+                    "solver.check",
+                    backend=self.backend_name,
+                    scope_depth=self.num_scopes,
+                ) as span:
+                    result = query(self._solver)
+                    if span is not None:
+                        span.attrs["status"] = result.status.name
+                _CHECK_SECONDS.observe(
+                    time.perf_counter() - started, backend=self.backend_name
+                )
+                return result
             except (CaseBudgetExceeded, JobCancelledError):
                 # Control flow, not a crash: budget escapes are a documented
                 # part of the solver surface, cancellation belongs to the job.
@@ -400,6 +438,7 @@ class ResilientSolver:
             except Exception as error:
                 with _HEALTH_LOCK:
                     _HEALTH_STATS["failed_checks"] += 1
+                _HEALTH_EVENTS.inc(event="failed_checks")
                 fallback = demote_backend(
                     self.backend_name, f"{type(error).__name__}: {error}"
                 )
@@ -422,6 +461,7 @@ class ResilientSolver:
         self._solver = solver
         with _HEALTH_LOCK:
             _HEALTH_STATS["replays"] += 1
+        _HEALTH_EVENTS.inc(event="replays")
 
     # -- delegation --------------------------------------------------------
 

@@ -39,12 +39,12 @@ Soundness invariants (asserted by the property-based tests):
 from __future__ import annotations
 
 import os
-import threading
 from dataclasses import dataclass
 
 from repro.constraints.ir import ConstraintSystem
 from repro.constraints.simplify import SimplifyStats, _single_variable_bound, fold_constants
 from repro.constraints.simplify_cache import simplify_system_cached
+from repro.obs.metrics import REGISTRY
 from repro.smtlite.formula import And, Atom, BoolConst, Formula
 
 #: The escape hatch: ``REPRO_INCREMENTAL=0`` restores rebuild-per-scope.
@@ -62,31 +62,42 @@ def resolve_incremental(flag: bool | None) -> bool:
 
 
 # ----------------------------------------------------------------------
-# Process-wide incremental counters
+# Process-wide incremental counters (one registry metric, event-labelled)
 # ----------------------------------------------------------------------
 
-_LOCK = threading.Lock()
+#: Every event the scoped-delta machinery reports.  The snapshot always
+#: materialises all of them (zeros included) so diffs between runs — and
+#: between shards in the router's scatter-gather — stay shape-stable.
+COUNTER_NAMES = (
+    "scopes_pushed",
+    "scopes_popped",
+    "delta_constraints_simplified",
+    "delta_constraints_dropped",
+    "full_resimplifications_avoided",
+    "base_simplifications",
+    "cuts_promoted_to_base",
+    "cores_learned",
+    "cores_retained_across_pops",
+    "pops_with_live_cores",
+)
 
-_ZERO = {
-    "scopes_pushed": 0,
-    "scopes_popped": 0,
-    "delta_constraints_simplified": 0,
-    "delta_constraints_dropped": 0,
-    "full_resimplifications_avoided": 0,
-    "base_simplifications": 0,
-    "cuts_promoted_to_base": 0,
-    "cores_learned": 0,
-    "cores_retained_across_pops": 0,
-    "pops_with_live_cores": 0,
-}
-
-_COUNTERS = dict(_ZERO)
+_METRIC = REGISTRY.counter(
+    "repro_incremental_events_total",
+    "Incremental constraint-IR events (scoped deltas, cut promotion, learned cores)",
+)
 
 
 def bump(counter: str, amount: int = 1) -> None:
-    """Increment one process-wide incremental counter (thread-safe)."""
-    with _LOCK:
-        _COUNTERS[counter] = _COUNTERS.get(counter, 0) + amount
+    """Increment one process-wide incremental counter (thread-safe).
+
+    A thin shim over the observability registry: the counter lives in
+    :data:`repro.obs.metrics.REGISTRY` as
+    ``repro_incremental_events_total{event=...}`` and is scraped through
+    ``GET /metricsz``; this function (and :func:`incremental_statistics`
+    below) keep the historical call surface for the stats op, the router
+    scatter-gather and the bench snapshot.
+    """
+    _METRIC.inc(amount, event=counter)
 
 
 def incremental_statistics() -> dict:
@@ -97,8 +108,7 @@ def incremental_statistics() -> dict:
     aggregation surfaces (a shard whose rate collapses is rebuilding state
     it should be reusing).
     """
-    with _LOCK:
-        snapshot = dict(_COUNTERS)
+    snapshot = {name: int(_METRIC.value(event=name)) for name in COUNTER_NAMES}
     learned = snapshot["cores_learned"]
     snapshot["core_retention_rate"] = (
         round(snapshot["cores_retained_across_pops"] / learned, 4) if learned else None
@@ -108,9 +118,7 @@ def incremental_statistics() -> dict:
 
 
 def reset_incremental_statistics() -> None:
-    with _LOCK:
-        _COUNTERS.clear()
-        _COUNTERS.update(_ZERO)
+    _METRIC.reset()
 
 
 # ----------------------------------------------------------------------

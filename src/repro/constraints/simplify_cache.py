@@ -34,6 +34,7 @@ from pathlib import Path
 
 from repro.constraints.ir import ConstraintSystem
 from repro.constraints.simplify import SimplifyStats, simplify_system
+from repro.obs.metrics import REGISTRY
 
 logger = logging.getLogger(__name__)
 
@@ -44,6 +45,12 @@ SIMPLIFY_CACHE_VERSION = "2"
 
 #: Bound of the in-process memo (FIFO eviction).
 _MAX_MEMORY_ENTRIES = 512
+
+#: Process-wide mirror of every instance's counters (``GET /metricsz``).
+_EVENTS = REGISTRY.counter(
+    "repro_simplify_cache_events_total",
+    "Simplify-cache traffic: memory/disk hits, misses, stores, corruptions",
+)
 
 
 def system_content_key(system: ConstraintSystem, tighten_bounds: bool) -> str:
@@ -109,6 +116,7 @@ class SimplifyCache:
         # threads; counter updates are read-modify-write.
         with self._lock:
             self.statistics[counter] += 1
+        _EVENTS.inc(event=counter)
 
     def get(self, key: str) -> tuple[ConstraintSystem, SimplifyStats] | None:
         with self._lock:
@@ -146,6 +154,7 @@ class SimplifyCache:
         with self._lock:
             self.statistics["disk_hits"] += 1
             self._remember(key, entry)
+        _EVENTS.inc(event="disk_hits")
         return entry
 
     def put(self, key: str, system: ConstraintSystem, stats: SimplifyStats) -> None:
@@ -154,6 +163,7 @@ class SimplifyCache:
             self._remember(key, entry)
             self.statistics["stores"] += 1
             directory = self._directory
+        _EVENTS.inc(event="stores")
         if directory is None:
             return
         # Atomic publication, mirroring the result cache: concurrent batch

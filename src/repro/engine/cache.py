@@ -25,9 +25,17 @@ import tempfile
 from pathlib import Path
 
 from repro.io.serialization import _encode_state, protocol_to_dict
+from repro.obs.metrics import REGISTRY
 from repro.protocols.protocol import PopulationProtocol
 
 logger = logging.getLogger(__name__)
+
+#: Process-wide mirror of every instance's counters (``GET /metricsz``);
+#: the per-instance ``statistics`` dicts keep the historical payload shape.
+_EVENTS = REGISTRY.counter(
+    "repro_result_cache_events_total",
+    "Result-cache traffic: hits, misses, stores and quarantined corruptions",
+)
 
 
 def canonical_protocol_dict(protocol: PopulationProtocol) -> dict:
@@ -111,17 +119,21 @@ class ResultCache:
             payload = json.loads(path.read_text(encoding="utf-8"))
         except FileNotFoundError:
             self.statistics["misses"] += 1
+            _EVENTS.inc(event="miss")
             return None
         except (OSError, json.JSONDecodeError, UnicodeDecodeError) as error:
             self._quarantine(path, error)
             self.statistics["misses"] += 1
+            _EVENTS.inc(event="miss")
             return None
         self.statistics["hits"] += 1
+        _EVENTS.inc(event="hit")
         return payload
 
     def _quarantine(self, path: Path, error: Exception) -> None:
         """Move an undecodable entry aside so it is re-verified, not re-hit."""
         self.statistics["corrupt"] += 1
+        _EVENTS.inc(event="corrupt")
         logger.warning(
             "quarantining corrupt result-cache entry %s (%s: %s)",
             path.name,
@@ -150,6 +162,7 @@ class ResultCache:
                 pass
             raise
         self.statistics["stores"] += 1
+        _EVENTS.inc(event="store")
         self._fault_corrupt(path)
 
     def _fault_corrupt(self, path: Path) -> None:

@@ -39,7 +39,21 @@ from collections.abc import Callable, Sequence
 from repro.engine import monitor
 from repro.engine.retry import NO_RETRY, RetryPolicy
 from repro.engine.subproblem import Subproblem, SubproblemResult
+from repro.obs import trace
+from repro.obs.metrics import REGISTRY
 from repro.service.events import SubproblemCompleted, SubproblemDispatched, SubproblemRetried
+
+#: Process-wide mirrors of the per-engine statistics (``GET /metricsz``)
+#: plus the per-kind subproblem latency histogram harvested from result
+#: envelopes (worker-side wall clock, so pool queueing is excluded).
+_ENGINE_EVENTS = REGISTRY.counter(
+    "repro_engine_events_total",
+    "Engine scheduler events: waves, subproblems, retries, worker deaths, timeouts",
+)
+_SUBPROBLEM_SECONDS = REGISTRY.histogram(
+    "repro_subproblem_seconds",
+    "Worker-side subproblem solve time, by subproblem kind",
+)
 
 #: Bumped whenever a change to the engine or the verification layer can
 #: alter verdicts, certificates or counterexamples; part of every result
@@ -53,7 +67,10 @@ from repro.service.events import SubproblemCompleted, SubproblemDispatched, Subp
 #: promotion change the refinement sequences (and hence the reported
 #: refinement lists/statistics) even though verdicts are unchanged, so
 #: entries from older engines must not be served.
-ENGINE_VERSION = "6"
+#: "7": observability — traced runs embed the span tree in
+#: ``report.statistics["trace"]`` and subproblem envelopes carry worker
+#: spans, so report payloads from older engines differ in shape.
+ENGINE_VERSION = "7"
 
 
 class EngineError(RuntimeError):
@@ -135,6 +152,7 @@ class VerificationEngine:
         """Thread-safe statistics increment (dispatcher threads share engines)."""
         with self._statistics_lock:
             self.statistics[counter] += amount
+        _ENGINE_EVENTS.inc(amount, event=counter)
 
     def _ensure_executor(self) -> concurrent.futures.ProcessPoolExecutor:
         with self._executor_lock:
@@ -197,9 +215,25 @@ class VerificationEngine:
             self.statistics["waves"] += 1
             self.statistics["subproblems"] += len(subproblems)
             engine_wave = self.statistics["waves"]
+        _ENGINE_EVENTS.inc(event="waves")
+        _ENGINE_EVENTS.inc(len(subproblems), event="subproblems")
         # Event streams number waves per *job* (the engine-global counter
         # interleaves concurrent jobs); plain engine use keeps the global.
         wave = monitor.next_wave_index(fallback=engine_wave)
+        if trace.tracing_active() and self.parallel:
+            # Workers cannot see the coordinator's sink; the envelope flag
+            # asks them to collect locally and ship spans home for adoption.
+            for subproblem in subproblems:
+                subproblem.params.setdefault("trace", True)
+        with trace.span("engine.wave", index=wave, size=len(subproblems)):
+            return self._run_wave_body(subproblems, stop_on, wave)
+
+    def _run_wave_body(
+        self,
+        subproblems: Sequence[Subproblem],
+        stop_on: Callable[[SubproblemResult], bool] | None,
+        wave: int,
+    ) -> list[SubproblemResult | None]:
         if not self.parallel:
             return self._run_inline(subproblems, stop_on, wave)
 
@@ -443,6 +477,14 @@ class VerificationEngine:
 
     @staticmethod
     def _emit_completed(subproblem: Subproblem, result: SubproblemResult) -> None:
+        _SUBPROBLEM_SECONDS.observe(
+            float(result.statistics.get("time", 0.0)), kind=subproblem.kind
+        )
+        # Worker-side spans ride home in the result envelope; adopt them
+        # under the coordinator's current span (the CEGAR iteration or
+        # strategy span that dispatched the wave), keeping one rooted tree.
+        if result.spans:
+            trace.adopt_spans(result.spans)
         monitor.emit(
             lambda job_id: SubproblemCompleted(
                 job_id=subproblem.job_id or job_id,

@@ -84,6 +84,12 @@ class SubproblemResult:
     "holds"/"fails" for strategy and whole-protocol subproblems); ``data``
     carries portable payloads (new refinements, encoded partitions, result
     summaries) and ``statistics`` the worker-side counters.
+
+    ``spans`` carries the worker-side trace spans of a traced run (the
+    envelope's ``params["trace"]`` flag asks the worker to collect them);
+    the coordinator re-parents them under its own span tree at harvest.
+    ``None`` — not an empty list — when the run was untraced, so untraced
+    pickles stay byte-for-byte what they were.
     """
 
     kind: str
@@ -91,6 +97,7 @@ class SubproblemResult:
     verdict: str
     data: dict = field(default_factory=dict)
     statistics: dict = field(default_factory=dict)
+    spans: list | None = None
 
 
 # ----------------------------------------------------------------------

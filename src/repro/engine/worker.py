@@ -13,8 +13,11 @@ deserialisation cost once.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import time
+
+from repro.obs import trace
 
 from repro.engine.subproblem import (
     Subproblem,
@@ -79,7 +82,27 @@ def solve_subproblem(subproblem: Subproblem) -> SubproblemResult:
     if subproblem.kind == "poison":
         _poison(subproblem)
     handler = _HANDLERS[subproblem.kind]
-    result = handler(subproblem)
+    # Tracing: inline runs (no ``trace`` flag) nest directly under the
+    # coordinator's open span; the envelope's flag asks for a *fresh* local
+    # sink whose spans ride home in ``result.spans``.  The flag must win
+    # over ``tracing_active()``: a forked pool worker inherits a copy of
+    # the coordinator's sink contextvar, and spans recorded into that copy
+    # would be silently lost with the process.
+    sink = None
+    if subproblem.params.get("trace"):
+        sink = trace.TraceSink()
+        stack = trace.collect(sink)
+    else:
+        stack = contextlib.nullcontext()
+    with stack:
+        with trace.span(
+            "subproblem", kind=subproblem.kind, index=subproblem.index
+        ) as opened:
+            result = handler(subproblem)
+            if opened is not None:
+                opened.attrs["verdict"] = result.verdict
+    if sink is not None:
+        result.spans = sink.spans()
     result.statistics.setdefault("time", time.perf_counter() - start)
     result.statistics.setdefault("worker_pid", os.getpid())
     return result

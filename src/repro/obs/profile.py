@@ -1,0 +1,89 @@
+"""Opt-in per-job profiling: wall/CPU phase timers and cProfile capture.
+
+Both hooks are keyed off execution-only :class:`~repro.api.options
+.VerificationOptions` flags (``profile``; ``trace`` shares the plumbing) —
+excluded from cache keys like ``jobs``, because a profiled run returns the
+same verdicts and artifacts as an unprofiled one.  The service embeds the
+output under ``report.statistics["profile"]``; nothing here is imported on
+any hot path unless profiling was requested.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import time
+from contextlib import contextmanager
+
+
+class PhaseProfile:
+    """Accumulates wall and CPU seconds per named phase of a job."""
+
+    def __init__(self) -> None:
+        self.phases: dict[str, dict] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        wall_start = time.perf_counter()
+        cpu_start = time.process_time()
+        try:
+            yield
+        finally:
+            entry = self.phases.setdefault(name, {"wall": 0.0, "cpu": 0.0, "calls": 0})
+            entry["wall"] += time.perf_counter() - wall_start
+            entry["cpu"] += time.process_time() - cpu_start
+            entry["calls"] += 1
+
+    def to_dict(self) -> dict:
+        return {
+            name: {
+                "wall_seconds": round(entry["wall"], 6),
+                "cpu_seconds": round(entry["cpu"], 6),
+                "calls": entry["calls"],
+            }
+            for name, entry in self.phases.items()
+        }
+
+
+class ProfileCapture:
+    """Holds a finished ``cProfile`` run; renders the top functions."""
+
+    def __init__(self, profiler: cProfile.Profile):
+        self._profiler = profiler
+
+    def top_functions(self, limit: int = 25) -> list[dict]:
+        """The hottest functions by cumulative time, JSON-clean."""
+        stats = pstats.Stats(self._profiler)
+        rows = []
+        for (filename, lineno, function), (cc, nc, tottime, cumtime, _callers) in (
+            stats.stats.items()  # type: ignore[attr-defined]
+        ):
+            rows.append(
+                {
+                    "function": f"{filename}:{lineno}({function})",
+                    "calls": nc,
+                    "primitive_calls": cc,
+                    "total_seconds": round(tottime, 6),
+                    "cumulative_seconds": round(cumtime, 6),
+                }
+            )
+        rows.sort(key=lambda row: row["cumulative_seconds"], reverse=True)
+        return rows[:limit]
+
+
+@contextmanager
+def cprofile_capture():
+    """Profile the calling thread for the block; yields a :class:`ProfileCapture`.
+
+    ``cProfile`` instruments only the enabling thread, which is exactly the
+    dispatcher thread a service job runs on — worker processes are covered
+    by trace spans instead (profiling a process pool would need per-worker
+    aggregation this deliberately does not attempt).
+    """
+    profiler = cProfile.Profile()
+    capture = ProfileCapture(profiler)
+    profiler.enable()
+    try:
+        yield capture
+    finally:
+        profiler.disable()

@@ -1,0 +1,250 @@
+"""Hierarchical trace spans: contextvar tree, ring buffer, Chrome-trace JSON.
+
+A *span* is one timed node of a job's execution tree::
+
+    job → property → CEGAR iteration / layer → subproblem → solver check
+
+Spans only exist while a :class:`TraceSink` is installed on the current
+context (:func:`collect`); everywhere else :func:`span` costs one contextvar
+read and yields ``None``, so the instrumentation sprinkled through the
+engine and the solver layer is free for untraced runs — the invariant the
+bench overhead budget (≤ 3 % vs. BENCH_4) rests on.
+
+Crossing process boundaries: a worker process has no access to the
+coordinator's sink, so :func:`repro.engine.worker.solve_subproblem` installs
+a local sink when the envelope asks for tracing and ships the finished
+spans home inside the :class:`~repro.engine.subproblem.SubproblemResult`.
+The coordinator calls :func:`adopt_spans` at harvest, re-parenting each
+worker-side *root* span under its own current span — the whole-job tree
+stays singly rooted (asserted by the cross-process tests).
+
+Timestamps are ``time.time()`` (wall clock): within one worker they are
+monotone for all practical purposes, and across the coordinator and its
+workers they live on the same clock, so the Chrome trace viewer lays the
+process lanes out on one axis.  Span ids are ``<pid>-<seq>``, unique across
+the pool without coordination.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+#: Default ring-buffer capacity of one sink: large enough for the deepest
+#: bench job (tens of pattern pairs × CEGAR iterations × solver checks),
+#: bounded so a pathological job cannot grow a report without limit.
+TRACE_RING_LIMIT = 20_000
+
+_SEQ = itertools.count(1)
+_SEQ_LOCK = threading.Lock()
+
+_SINK: ContextVar["TraceSink | None"] = ContextVar("repro_trace_sink", default=None)
+_PARENT: ContextVar[str | None] = ContextVar("repro_trace_parent", default=None)
+
+
+def _new_span_id() -> str:
+    with _SEQ_LOCK:
+        sequence = next(_SEQ)
+    return f"{os.getpid():x}-{sequence:x}"
+
+
+class Span:
+    """One finished (or in-flight) node of the trace tree."""
+
+    __slots__ = ("name", "span_id", "parent_id", "start", "end", "attrs", "pid", "tid")
+
+    def __init__(self, name: str, parent_id: str | None, attrs: dict):
+        self.name = name
+        self.span_id = _new_span_id()
+        self.parent_id = parent_id
+        self.start = time.time()
+        self.end: float | None = None
+        self.attrs = attrs
+        self.pid = os.getpid()
+        self.tid = threading.get_ident()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end if self.end is not None else self.start,
+            "pid": self.pid,
+            "tid": self.tid,
+            "attrs": dict(self.attrs),
+        }
+
+
+class TraceSink:
+    """A bounded ring buffer of finished spans (oldest dropped first)."""
+
+    def __init__(self, limit: int = TRACE_RING_LIMIT):
+        self._spans: deque[dict] = deque(maxlen=limit)
+        self._lock = threading.Lock()
+        self.dropped = 0
+
+    def add(self, span_dict: dict) -> None:
+        with self._lock:
+            if len(self._spans) == self._spans.maxlen:
+                self.dropped += 1
+            self._spans.append(span_dict)
+
+    def spans(self) -> list[dict]:
+        """Finished spans, oldest first (children precede their parents —
+        a span is recorded when it *closes*)."""
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+def tracing_active() -> bool:
+    """Whether a sink is installed on the calling context."""
+    return _SINK.get() is not None
+
+
+def current_span_id() -> str | None:
+    """The id of the innermost open span on this context, or ``None``."""
+    return _PARENT.get()
+
+
+@contextmanager
+def collect(sink: TraceSink):
+    """Install ``sink`` (and a fresh root context) for the block."""
+    sink_token = _SINK.set(sink)
+    parent_token = _PARENT.set(None)
+    try:
+        yield sink
+    finally:
+        _PARENT.reset(parent_token)
+        _SINK.reset(sink_token)
+
+
+@contextmanager
+def span(name: str, **attrs):
+    """Open one span under the current parent; a no-op without a sink.
+
+    Yields the open :class:`Span` (or ``None`` when tracing is off) so the
+    body can attach late attributes (verdicts, iteration counts)::
+
+        with span("solver.check", backend=name) as s:
+            result = ...
+            if s is not None:
+                s.attrs["status"] = result.status.name
+    """
+    sink = _SINK.get()
+    if sink is None:
+        yield None
+        return
+    opened = Span(name, _PARENT.get(), attrs)
+    token = _PARENT.set(opened.span_id)
+    try:
+        yield opened
+    finally:
+        _PARENT.reset(token)
+        opened.end = time.time()
+        sink.add(opened.to_dict())
+
+
+def adopt_spans(spans, parent_id: str | None = None) -> None:
+    """Merge worker-shipped spans into the active sink, re-parented.
+
+    Every span whose parent is not *within* ``spans`` is a worker-side root;
+    its parent becomes ``parent_id`` (default: the caller's current span).
+    A no-op when tracing is inactive — harvesting untraced results costs
+    nothing.
+    """
+    sink = _SINK.get()
+    if sink is None or not spans:
+        return
+    if parent_id is None:
+        parent_id = _PARENT.get()
+    local_ids = {span_dict["span_id"] for span_dict in spans}
+    for span_dict in spans:
+        adopted = dict(span_dict)
+        if adopted.get("parent_id") not in local_ids:
+            adopted["parent_id"] = parent_id
+        sink.add(adopted)
+
+
+# ----------------------------------------------------------------------
+# Serialization: Chrome trace event format
+# ----------------------------------------------------------------------
+
+
+def chrome_trace(spans) -> dict:
+    """Spans as a Chrome trace (``chrome://tracing`` / Perfetto ``.json``).
+
+    Complete events (``"ph": "X"``) with microsecond timestamps; span ids
+    and parent ids ride in ``args`` so the tree survives the round trip
+    (the ``repro-verify trace`` pretty-printer reads them back).
+    """
+    events = []
+    for span_dict in spans:
+        start = span_dict["start"]
+        end = span_dict.get("end", start) or start
+        events.append(
+            {
+                "ph": "X",
+                "name": span_dict["name"],
+                "cat": "repro",
+                "ts": round(start * 1e6, 3),
+                "dur": round(max(0.0, end - start) * 1e6, 3),
+                "pid": span_dict.get("pid", 0),
+                "tid": span_dict.get("tid", 0),
+                "args": {
+                    "span_id": span_dict["span_id"],
+                    "parent_id": span_dict.get("parent_id"),
+                    **span_dict.get("attrs", {}),
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def spans_from_chrome_trace(payload: dict) -> list[dict]:
+    """Inverse of :func:`chrome_trace` (tolerates foreign extra events)."""
+    spans = []
+    for event in payload.get("traceEvents", ()):
+        if event.get("ph") != "X" or "span_id" not in event.get("args", {}):
+            continue
+        args = dict(event["args"])
+        span_id = args.pop("span_id")
+        parent_id = args.pop("parent_id", None)
+        start = event.get("ts", 0.0) / 1e6
+        spans.append(
+            {
+                "name": event.get("name", "?"),
+                "span_id": span_id,
+                "parent_id": parent_id,
+                "start": start,
+                "end": start + event.get("dur", 0.0) / 1e6,
+                "pid": event.get("pid", 0),
+                "tid": event.get("tid", 0),
+                "attrs": args,
+            }
+        )
+    return spans
+
+
+def self_times(spans) -> dict[str, float]:
+    """Per-span self time: duration minus the duration of direct children."""
+    durations = {
+        span_dict["span_id"]: max(0.0, span_dict.get("end", span_dict["start"]) - span_dict["start"])
+        for span_dict in spans
+    }
+    self_time = dict(durations)
+    known = set(durations)
+    for span_dict in spans:
+        parent = span_dict.get("parent_id")
+        if parent in known:
+            self_time[parent] -= durations[span_dict["span_id"]]
+    return {span_id: max(0.0, value) for span_id, value in self_time.items()}

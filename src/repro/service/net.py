@@ -58,10 +58,19 @@ import time
 import urllib.parse
 from dataclasses import dataclass, replace
 
+from repro.obs.metrics import REGISTRY, prometheus_text
 from repro.service.serve import OverloadedError, ServeSession
 from repro.testing import faults
 
 logger = logging.getLogger(__name__)
+
+#: Process-wide mirror of every server's ``statistics`` dict, labelled by
+#: event (``GET /metricsz``); the per-instance dicts keep the historical
+#: ``statsz`` payload shape.
+_NET_EVENTS = REGISTRY.counter(
+    "repro_net_events_total",
+    "Network-tier traffic: connections, frames, shed load, dropped events",
+)
 
 #: HTTP status reasons the adapter emits.
 _HTTP_REASONS = {
@@ -299,7 +308,32 @@ class _EventPump:
         return self._thread.is_alive()
 
 
-class _NetSession(ServeSession):
+class _ServerStatsMixin:
+    """Per-connection session behaviour every server session shares.
+
+    All four session flavours — TCP and HTTP-capture, here and in the
+    sharded router — attach the owning server's counters to the ``stats``
+    payload and funnel submits through its admission control.  One
+    definition replaces four near-identical copies; the ``metrics`` op
+    (and therefore ``GET /metricsz``) rides on the same ``_server`` hook
+    via the server's :meth:`NetworkServer.metrics_payload` override point.
+    """
+
+    _server: "NetworkServer"
+
+    def _admit_job(self, request: dict) -> None:
+        self._server.check_job_admission()
+
+    def _stats_payload(self) -> dict:
+        payload = super()._stats_payload()
+        payload["server"] = self._server.statsz_payload()
+        return payload
+
+    def _metrics_payload(self) -> dict:
+        return self._server.metrics_payload()
+
+
+class _NetSession(_ServerStatsMixin, ServeSession):
     """One TCP connection's serve session over the shared service."""
 
     def __init__(self, server: "NetworkServer", writer: _ConnectionWriter, pump: _EventPump):
@@ -313,14 +347,6 @@ class _NetSession(ServeSession):
 
     def _stream_event(self, event) -> None:
         self._pump.push({"type": "event", "job": event.job_id, "event": event.to_dict()})
-
-    def _admit_job(self, request: dict) -> None:
-        self._server.check_job_admission()
-
-    def _stats_payload(self) -> dict:
-        payload = super()._stats_payload()
-        payload["server"] = self._server.statsz_payload()
-        return payload
 
 
 class _CaptureMixin:
@@ -350,21 +376,13 @@ class _CaptureMixin:
         return self.responses[-1]
 
 
-class _CaptureSession(_CaptureMixin, ServeSession):
+class _CaptureSession(_ServerStatsMixin, _CaptureMixin, ServeSession):
     """A session whose responses are collected, not written (HTTP adapter)."""
 
     def __init__(self, server: "NetworkServer"):
         super().__init__(server.service, None, None, owns_service=False)
         self._server = server
         self.responses = []
-
-    def _admit_job(self, request: dict) -> None:
-        self._server.check_job_admission()
-
-    def _stats_payload(self) -> dict:
-        payload = super()._stats_payload()
-        payload["server"] = self._server.statsz_payload()
-        return payload
 
 
 class NetworkServer:
@@ -587,8 +605,7 @@ class NetworkServer:
             raise OverloadedError("server is draining; submit elsewhere or retry later", retry_after)
         limit = self.limits.max_pending_jobs
         if limit and self.service.pending_count() >= limit:
-            with self._lock:
-                self.statistics["shed_jobs"] += 1
+            self._count("shed_jobs")
             raise OverloadedError(
                 f"job queue is full ({limit} pending); retry later", retry_after
             )
@@ -602,6 +619,15 @@ class NetworkServer:
             "pending_jobs": self.service.pending_count(),
         }
 
+    def _count(self, event: str, locked: bool = False) -> None:
+        """Bump a server counter and its process-global registry mirror."""
+        if locked:
+            self.statistics[event] += 1
+        else:
+            with self._lock:
+                self.statistics[event] += 1
+        _NET_EVENTS.inc(event=event)
+
     def statsz_payload(self) -> dict:
         """The per-server counters (connections, frames, shedding, drops)."""
         with self._lock:
@@ -609,6 +635,14 @@ class NetworkServer:
             stats["open_connections"] = len(self._connections)
         stats["accepting"] = not self._draining.is_set()
         return stats
+
+    def metrics_payload(self) -> dict:
+        """The registry snapshot behind the ``metrics`` op and ``/metricsz``.
+
+        The sharded router overrides this with a fleet-wide aggregate
+        (every shard's snapshot labelled and merged with its own).
+        """
+        return REGISTRY.snapshot()
 
     # ------------------------------------------------------------------
     # Session factories (overridden by the sharded router)
@@ -648,8 +682,7 @@ class NetworkServer:
                         )
                         self._connections[connection] = thread
             if shed:
-                with self._lock:
-                    self.statistics["shed_connections"] += 1
+                self._count("shed_connections")
                 threading.Thread(
                     target=self._shed_connection,
                     args=(connection, shed),
@@ -709,8 +742,7 @@ class NetworkServer:
             _close_socket(connection)
 
     def _handle_connection(self, connection: socket.socket, peer: str) -> None:
-        with self._lock:
-            self.statistics["connections"] += 1
+        self._count("connections")
         try:
             connection.settimeout(self.limits.idle_timeout)
             try:
@@ -748,7 +780,7 @@ class NetworkServer:
                 if line is None:
                     break
                 with self._lock:
-                    self.statistics["frames"] += 1
+                    self._count("frames", locked=True)
                     self._busy.add(connection)
                 try:
                     fault = faults.fire("net.recv", peer=peer)
@@ -760,8 +792,7 @@ class NetworkServer:
                         elif fault.action in ("kill", "truncate"):
                             break
                     if overflow:
-                        with self._lock:
-                            self.statistics["frame_errors"] += 1
+                        self._count("frame_errors")
                         session._fail(
                             None,
                             f"frame exceeds the {self.limits.max_frame_bytes}-byte limit "
@@ -770,8 +801,7 @@ class NetworkServer:
                         )
                         continue
                     if bucket is not None and not bucket.take():
-                        with self._lock:
-                            self.statistics["frame_errors"] += 1
+                        self._count("frame_errors")
                         session._fail(
                             None,
                             f"rate limit exceeded ({self.limits.rate_limit:g} frames/s); "
@@ -832,8 +862,7 @@ class NetworkServer:
             buffer += chunk
 
     def _count_dropped_event(self) -> None:
-        with self._lock:
-            self.statistics["events_dropped"] += 1
+        self._count("events_dropped")
 
     # ------------------------------------------------------------------
     # The HTTP/1.1 adapter
@@ -843,7 +872,7 @@ class NetworkServer:
         # An HTTP connection is one exchange; it is "busy" for the drain
         # logic from first byte to last.
         with self._lock:
-            self.statistics["http_requests"] += 1
+            self._count("http_requests", locked=True)
             self._busy.add(connection)
         writer = _ConnectionWriter(connection, peer)
         try:
@@ -959,6 +988,9 @@ class NetworkServer:
             response = self._make_capture().call({"op": "stats"})
             self._http_respond(writer, 200 if response.get("ok") else 400, response)
             return
+        if path == "/metricsz" and method == "GET":
+            self._http_metrics(writer)
+            return
         if path == "/jobs" and method == "POST":
             self._http_submit(writer, request)
             return
@@ -975,6 +1007,26 @@ class NetworkServer:
             self._http_events(writer, match.group(1), query)
             return
         self._http_respond(writer, 404, {"ok": False, "error": f"no route for {method} {path}"})
+
+    def _http_metrics(self, writer: _ConnectionWriter) -> None:
+        """``GET /metricsz``: the metrics snapshot as Prometheus text.
+
+        The snapshot comes through the same captured ``metrics`` op the
+        line protocol serves, so the router's fleet-wide aggregation is
+        inherited for free; only the rendering differs from the JSON ops.
+        """
+        response = self._make_capture().call({"op": "metrics"})
+        if not response.get("ok"):
+            self._http_respond(writer, 400, response)
+            return
+        body = prometheus_text(response.get("metrics", {})).encode("utf-8")
+        lines = [
+            "HTTP/1.1 200 OK",
+            "content-type: text/plain; version=0.0.4; charset=utf-8",
+            f"content-length: {len(body)}",
+            "connection: close",
+        ]
+        writer.write_bytes(("\r\n".join(lines) + "\r\n\r\n").encode("utf-8") + body, kind="http")
 
     def _http_submit(self, writer: _ConnectionWriter, request: dict) -> None:
         try:

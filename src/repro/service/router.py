@@ -43,11 +43,30 @@ from repro.service.client import (
     TransportError,
     VerificationClient,
 )
-from repro.service.net import NetworkServer, _CaptureMixin, _ConnectionWriter, _EventPump
+from repro.obs.metrics import REGISTRY, label_snapshot, merge_snapshots
+from repro.service.net import (
+    NetworkServer,
+    _CaptureMixin,
+    _ConnectionWriter,
+    _EventPump,
+    _ServerStatsMixin,
+)
 from repro.service.replicas import ReplicaError, ReplicaSupervisor
 from repro.service.serve import OverloadedError, ServeError, ServeSession
 
 logger = logging.getLogger(__name__)
+
+#: Process-wide mirror of the router's counters (``GET /metricsz``).
+_ROUTER_EVENTS = REGISTRY.counter(
+    "repro_router_events_total",
+    "Routing-tier traffic: routed jobs, proxied ops, failover sheds",
+)
+#: Routed jobs by owning shard — the per-shard ``jobs_<shard>`` counters of
+#: the ``stats`` payload as one labelled metric.
+_ROUTED_JOBS = REGISTRY.counter(
+    "repro_router_routed_jobs_total",
+    "Jobs routed to each shard by rendezvous hashing",
+)
 
 #: How long a proxied op keeps retrying through a replica restart before the
 #: router sheds it as retryable (journal recovery usually needs only a few
@@ -224,10 +243,32 @@ class JobRouter:
         with self._lock:
             self.statistics["routed_jobs"] += 1
             self.statistics[f"jobs_{shard_id}"] += 1
+        _ROUTER_EVENTS.inc(event="routed_jobs")
+        _ROUTED_JOBS.inc(shard=shard_id)
 
     def statistics_snapshot(self) -> dict:
         with self._lock:
             return dict(self.statistics)
+
+    def metrics_payload(self) -> dict:
+        """The fleet-wide metrics snapshot behind ``/metricsz``.
+
+        Every reachable shard's registry snapshot (scatter-gathered over
+        the ``metrics`` op) is stamped with a ``shard`` label, the router's
+        own registry with ``shard="router"``, and the lot merged into one
+        snapshot — every time series in the result says which process it
+        came from, and the sum is rendered as a single valid Prometheus
+        exposition (one HELP/TYPE per metric).  Unreachable shards are
+        simply absent, mirroring the ``stats`` op's fleet view.
+        """
+        gathered = self.gather({"op": "metrics"})
+        snapshots = []
+        for shard_id in self.shard_ids:
+            response = gathered.get(shard_id)
+            if response and response.get("ok") and isinstance(response.get("metrics"), dict):
+                snapshots.append(label_snapshot(response["metrics"], shard=shard_id))
+        snapshots.append(label_snapshot(REGISTRY.snapshot(), shard="router"))
+        return merge_snapshots(*snapshots)
 
     # ------------------------------------------------------------------
     # Proxying
@@ -244,12 +285,14 @@ class JobRouter:
             raise ServeError(f"unknown shard {shard_id!r}")
         with self._lock:
             self.statistics["proxied_ops"] += 1
+        _ROUTER_EVENTS.inc(event="proxied_ops")
         deadline = time.monotonic() + self.failover_timeout
         try:
             return link.call(payload, deadline=deadline, read_timeout=read_timeout)
         except TransportError as error:
             with self._lock:
                 self.statistics["failover_sheds"] += 1
+            _ROUTER_EVENTS.inc(event="failover_sheds")
             raise OverloadedError(str(error), retry_after=1.0) from error
 
     def gather(self, payload: dict) -> dict:
@@ -502,6 +545,13 @@ class RouterSession(ServeSession):
         self._respond(request_id, op="stats", stats=self._stats_payload())
         return False
 
+    def _metrics_payload(self) -> dict:
+        return self.router.metrics_payload()
+
+    def _handle_metrics(self, request: dict, request_id) -> bool:
+        self._respond(request_id, op="metrics", metrics=self._metrics_payload())
+        return False
+
     def _handle_shutdown(self, request: dict, request_id) -> bool:
         # Ends this session only; fleet shutdown is the drain path's job
         # (SIGTERM on the router propagates to every replica).
@@ -517,6 +567,7 @@ class RouterSession(ServeSession):
         "result": _handle_result,
         "jobs": _handle_jobs,
         "stats": _handle_stats,
+        "metrics": _handle_metrics,
         "shutdown": _handle_shutdown,
     }
 
@@ -575,7 +626,7 @@ class RouterSession(ServeSession):
         ).start()
 
 
-class _RouterNetSession(RouterSession):
+class _RouterNetSession(_ServerStatsMixin, RouterSession):
     """One TCP connection's router session (mirrors ``_NetSession``)."""
 
     def __init__(self, server: "RouterServer", writer: _ConnectionWriter, pump: _EventPump):
@@ -590,30 +641,14 @@ class _RouterNetSession(RouterSession):
     def _stream_raw(self, payload: dict) -> None:
         self._pump.push(payload)
 
-    def _admit_job(self, request: dict) -> None:
-        self._server.check_job_admission()
 
-    def _stats_payload(self) -> dict:
-        payload = super()._stats_payload()
-        payload["server"] = self._server.statsz_payload()
-        return payload
-
-
-class _RouterCaptureSession(_CaptureMixin, RouterSession):
+class _RouterCaptureSession(_ServerStatsMixin, _CaptureMixin, RouterSession):
     """A response-capturing router session (one HTTP request's op)."""
 
     def __init__(self, server: "RouterServer"):
         super().__init__(server.router)
         self._server = server
         self.responses: list = []
-
-    def _admit_job(self, request: dict) -> None:
-        self._server.check_job_admission()
-
-    def _stats_payload(self) -> dict:
-        payload = super()._stats_payload()
-        payload["server"] = self._server.statsz_payload()
-        return payload
 
 
 class RouterServer(NetworkServer):
@@ -634,6 +669,9 @@ class RouterServer(NetworkServer):
     def _make_capture(self):
         return _RouterCaptureSession(self)
 
+    def metrics_payload(self) -> dict:
+        return self.router.metrics_payload()
+
     # -- admission and health ------------------------------------------
 
     def check_job_admission(self) -> None:
@@ -646,8 +684,7 @@ class RouterServer(NetworkServer):
         if limit:
             pending = self.router.supervisor.fleet_pending()
             if pending >= limit * len(self.router.shard_ids):
-                with self._lock:
-                    self.statistics["shed_jobs"] += 1
+                self._count("shed_jobs")
                 raise OverloadedError(
                     f"fleet job queues are full ({pending} pending); retry later",
                     retry_after,

@@ -56,6 +56,13 @@ Requests
     (mirrored by ``GET /statsz`` on the HTTP adapter).  This is what the
     sharded router scatter-gathers to aggregate fleet health.
 
+``{"op": "metrics"}``
+    The process-global observability-registry snapshot (counters, gauges,
+    latency histograms) in mergeable form — the machine-readable twin of
+    ``GET /metricsz``, which renders it as Prometheus text.  The router
+    scatter-gathers this op and sums the per-shard snapshots with
+    ``shard`` labels.
+
 EOF on stdin ends the session too; like ``shutdown``, it cancels every job
 that has not finished (nobody is left to read the results) — *unless* the
 service runs on a durable journal (``repro-verify serve --journal-dir``), in
@@ -75,14 +82,25 @@ from __future__ import annotations
 import json
 import logging
 import threading
+import time
 
 from repro.engine.monitor import JobCancelledError
 from repro.io.loading import ProtocolLoadError, resolve_protocol_spec
 from repro.io.serialization import protocol_from_dict
+from repro.obs.metrics import REGISTRY
 from repro.service.jobs import JobHandle, JobNotFinished
 from repro.service.service import VerificationService
 
 logger = logging.getLogger(__name__)
+
+#: Per-op request service time, across every transport that feeds
+#: :meth:`ServeSession.handle_line` (stdio pipe, TCP line protocol, the
+#: HTTP adapter).  Blocking ops (``wait``, long-polling ``events``) include
+#: their wait time — this measures what the *client* experienced.
+_REQUEST_SECONDS = REGISTRY.histogram(
+    "repro_net_request_seconds",
+    "Request service time per serve-protocol op",
+)
 
 
 class ServeError(ValueError):
@@ -215,7 +233,11 @@ class ServeSession:
             if handler is None:
                 known = ", ".join(sorted(self._HANDLERS))
                 raise ServeError(f"unknown op {op!r}; known ops: {known}")
-            return bool(handler(self, request, request_id))
+            started = time.perf_counter()
+            try:
+                return bool(handler(self, request, request_id))
+            finally:
+                _REQUEST_SECONDS.observe(time.perf_counter() - started, op=str(op))
         except OverloadedError as error:
             # Load shedding is explicit and retryable: the client learns it
             # was turned away (not that its request was malformed) and when
@@ -454,6 +476,21 @@ class ServeSession:
         self._respond(request_id, op="stats", stats=self._stats_payload())
         return False
 
+    def _metrics_payload(self) -> dict:
+        """The process metrics-registry snapshot (mergeable form).
+
+        The router session overrides this with the fleet aggregation:
+        per-shard snapshots scatter-gathered over this very op, stamped
+        with ``shard`` labels and summed (see
+        :class:`repro.service.router.RouterSession`).  ``GET /metricsz``
+        renders the payload as Prometheus text.
+        """
+        return REGISTRY.snapshot()
+
+    def _handle_metrics(self, request: dict, request_id) -> bool:
+        self._respond(request_id, op="metrics", metrics=self._metrics_payload())
+        return False
+
     def _handle_shutdown(self, request: dict, request_id) -> bool:
         # Cancel whatever is still pending: a shutdown must not hang on a
         # long queue (running jobs stop at their next checkpoint).  With a
@@ -475,5 +512,6 @@ class ServeSession:
         "result": _handle_result,
         "jobs": _handle_jobs,
         "stats": _handle_stats,
+        "metrics": _handle_metrics,
         "shutdown": _handle_shutdown,
     }

@@ -39,6 +39,8 @@ from repro.api.properties import property_checker
 from repro.api.report import PropertyResult, Verdict, VerificationReport
 from repro.engine import monitor
 from repro.engine.monitor import JobBinding, JobCancelledError, JobDeadlineExceeded
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span as obs_span
 from repro.service.events import (
     JobFinished,
     JobRecovered,
@@ -50,6 +52,13 @@ from repro.service.events import (
 from repro.service.jobs import Job, JobHandle, JobStatus, queued_event
 
 logger = logging.getLogger(__name__)
+
+#: Job-level latency and outcome counters for ``GET /metricsz``; the
+#: per-instance ``statistics`` dict keeps its historical payload shape.
+_JOB_SECONDS = REGISTRY.histogram(
+    "repro_job_seconds",
+    "End-to-end verification job latency, by terminal status",
+)
 
 #: The default property set of a bare ``service.submit(protocol)``.
 DEFAULT_PROPERTIES = ("ws3",)
@@ -510,6 +519,7 @@ class VerificationService:
             JobStatus.FAILED: "failed",
             JobStatus.CANCELLED: "cancelled",
         }[status]
+        _JOB_SECONDS.observe(elapsed, status=counter)
         with self._lock:
             self.statistics[counter] += 1
             self.statistics["subscriber_errors"] += job.subscriber_errors
@@ -753,9 +763,52 @@ class VerificationService:
         This is the synchronous core used both by dispatcher threads and by
         ``run_batch``'s serial fallback; it must run under a job binding to
         produce events (without one it degrades to the plain check).
+
+        With ``options.trace`` the whole check runs under a span sink and
+        the finished report embeds the span tree (``statistics["trace"]``)
+        next to the progress-event trail; ``options.profile`` adds per-phase
+        wall/CPU timing and a ``cProfile`` capture of this thread
+        (``statistics["profile"]``).  Both are execution-only: the verdicts
+        and artifacts are identical to an uninstrumented run.
         """
+        if not (self.options.trace or self.options.profile):
+            return self._check_properties(protocol, tuple(names), predicate, None)
+        import contextlib
+
+        from repro.obs import trace as obs_trace
+        from repro.obs.profile import PhaseProfile, cprofile_capture
+
+        sink = obs_trace.TraceSink() if self.options.trace else None
+        phases = PhaseProfile() if self.options.profile else None
+        capture = None
+        with contextlib.ExitStack() as stack:
+            if self.options.profile:
+                capture = stack.enter_context(cprofile_capture())
+            if sink is not None:
+                stack.enter_context(obs_trace.collect(sink))
+                stack.enter_context(
+                    obs_trace.span(
+                        "job",
+                        protocol=protocol.name,
+                        job_id=monitor.current_job_id() or "",
+                    )
+                )
+            report = self._check_properties(protocol, tuple(names), predicate, phases)
+        if sink is not None:
+            report.statistics["trace"] = sink.spans()
+            if sink.dropped:
+                report.statistics["trace_dropped_spans"] = sink.dropped
+        if self.options.profile:
+            report.statistics["profile"] = {
+                "phases": phases.to_dict(),
+                "top_functions": capture.top_functions(),
+            }
+        return report
+
+    def _check_properties(
+        self, protocol, names: tuple, predicate, phases
+    ) -> VerificationReport:
         start = time.perf_counter()
-        names = tuple(names)
         context = self.analysis_context(protocol)
         engine = self._engine_for_call()
         monitor.emit_backend_selected(self.options.backend, scope="options")
@@ -778,7 +831,18 @@ class VerificationService:
                             job_id=job_id, property=name, protocol_name=protocol.name
                         )
                     )
-                    result = self._run_checker(checker, protocol, engine, predicate, context)
+                    with obs_span("property", property=name, protocol=protocol.name) as pspan:
+                        if phases is not None:
+                            with phases.phase(name):
+                                result = self._run_checker(
+                                    checker, protocol, engine, predicate, context
+                                )
+                        else:
+                            result = self._run_checker(
+                                checker, protocol, engine, predicate, context
+                            )
+                        if pspan is not None:
+                            pspan.attrs["verdict"] = result.verdict.value
                 except JobDeadlineExceeded as error:
                     # A plain cancellation still propagates (JobCancelledError
                     # is the parent class); only the budget expiry degrades to

@@ -164,3 +164,56 @@ class TestBatchCLI:
         exit_code = main(["batch", "no-such-family-or-file", "--no-cache"])
         assert exit_code == 2
         assert "unknown protocol family or file" in capsys.readouterr().err
+
+
+class TestObservabilityCLI:
+    def test_trace_flag_writes_single_rooted_chrome_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "out.json"
+        exit_code = main(
+            ["family", "broadcast", "--jobs", "2", "--trace", str(trace_path), "--json"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        json.loads(captured.out)  # --json stdout stays machine-parseable
+        assert "span(s) written" in captured.err
+
+        payload = json.loads(trace_path.read_text(encoding="utf-8"))
+        events = payload["traceEvents"]
+        assert events and all(event["ph"] == "X" for event in events)
+        ids = {event["args"]["span_id"] for event in events}
+        roots = [event for event in events if event["args"]["parent_id"] not in ids]
+        assert len(roots) == 1 and roots[0]["name"] == "job"
+        names = {event["name"] for event in events}
+        assert {"job", "property", "engine.wave", "subproblem"} <= names
+
+    def test_trace_subcommand_pretty_prints(self, tmp_path, capsys):
+        trace_path = tmp_path / "out.json"
+        assert main(["family", "broadcast", "--trace", str(trace_path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace_path), "--top", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "1 root(s)" in output
+        assert "property" in output  # hottest spans by self-time
+
+    def test_trace_subcommand_rejects_garbage(self, tmp_path, capsys):
+        path = tmp_path / "not-a-trace.json"
+        path.write_text("{}", encoding="utf-8")
+        assert main(["trace", str(path)]) == 2
+        assert "no repro spans" in capsys.readouterr().err
+
+    def test_profile_flag_reports_to_stderr_only(self, capsys):
+        exit_code = main(["family", "broadcast", "--profile", "--json"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        assert "profile" in payload["statistics"]
+        assert "profile: phase" in captured.err
+
+    def test_progress_lines_go_to_stderr_not_stdout(self, capsys):
+        # Regression for the satellite fix: --progress chatter must never
+        # interleave with --json stdout.
+        exit_code = main(["family", "broadcast", "--progress", "--json"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        json.loads(captured.out)  # one clean JSON document
+        assert "job_queued" in captured.err or "queued" in captured.err

@@ -530,6 +530,57 @@ class TestStatsAndListing:
             assert "priority" in listed[job]
 
 
+class TestMetricsz:
+    """The ``metrics`` op and its ``GET /metricsz`` Prometheus rendering."""
+
+    def test_metrics_op_over_jsonl(self, no_leaks, server):
+        with make_client(server) as client:
+            job = client.submit("majority")
+            assert client.wait(job, timeout=60) == "done"
+            response = client.call({"op": "metrics"})
+        assert response["ok"] is True
+        snapshot = response["metrics"]
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        net = snapshot["counters"]["repro_net_events_total"]["series"]
+        assert net.get('{"event":"connections"}', 0) >= 1
+        jobs = snapshot["histograms"]["repro_job_seconds"]["series"]
+        assert sum(series["count"] for series in jobs.values()) >= 1
+
+    def test_http_metricsz_is_valid_prometheus_text(self, no_leaks, server):
+        from repro.obs.metrics import parse_prometheus_text
+
+        status, _, payload = http_request(server, "POST", "/jobs", {"spec": "majority"})
+        assert status == 202
+        http_request(server, "GET", f"/jobs/{payload['job']}?wait=60")
+
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            conn.request("GET", "/metricsz")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert response.headers.get("content-type", "").startswith("text/plain")
+            text = response.read().decode("utf-8")
+        finally:
+            conn.close()
+
+        samples = parse_prometheus_text(text)  # raises on malformed lines
+        # The scrape covers every instrumented subsystem: cache,
+        # incremental IR, engine/scheduler and the network tier itself.
+        for family in (
+            "repro_result_cache_events_total",
+            "repro_incremental_events_total",
+            "repro_engine_events_total",
+            "repro_net_events_total",
+            "repro_net_request_seconds",
+            "repro_job_seconds",
+        ):
+            assert f"# TYPE {family} " in text
+        net = {labels["event"]: value for labels, value in samples["repro_net_events_total"]}
+        assert net.get("http_requests", 0) >= 1
+        assert samples["repro_job_seconds_count"][0][1] >= 1
+
+
 class TestTransportFaults:
     """Injected wire faults: the client's retry loop must absorb them."""
 

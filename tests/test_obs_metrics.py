@@ -1,0 +1,251 @@
+"""Tests of the metrics registry (:mod:`repro.obs.metrics`).
+
+The snapshot algebra carries the routing tier's fleet aggregation, so the
+properties the router relies on — merge associativity/commutativity, label
+stamping, exact bucket sums — are asserted directly, the algebraic ones
+with hypothesis over integer-valued observations (integer float arithmetic
+is exact, so associativity is testable without tolerance games).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    label_snapshot,
+    merge_snapshots,
+    parse_prometheus_text,
+    prometheus_text,
+)
+
+
+class TestCounter:
+    def test_inc_value_and_labels(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_test_events_total", "test")
+        counter.inc()
+        counter.inc(2, event="hit")
+        counter.inc(event="hit")
+        assert counter.value() == 1
+        assert counter.value(event="hit") == 3
+        assert counter.value(event="miss") == 0
+        assert counter.total() == 4
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("repro_test_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total")
+        with pytest.raises(ValueError):
+            registry.gauge("repro_test_total")
+
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_test_total", "help text")
+        second = registry.counter("repro_test_total")
+        assert first is second
+
+    def test_non_scalar_label_rejected(self):
+        counter = MetricsRegistry().counter("repro_test_total")
+        with pytest.raises(TypeError):
+            counter.inc(event=["a", "list"])
+
+
+class TestGauge:
+    def test_set_add_value(self):
+        gauge = MetricsRegistry().gauge("repro_test_depth")
+        gauge.set(5)
+        gauge.add(-2)
+        assert gauge.value() == 3
+        gauge.set(7, shard="s0")
+        assert gauge.value(shard="s0") == 7
+
+
+class TestHistogram:
+    def test_observe_count_and_sum(self):
+        histogram = MetricsRegistry().histogram("repro_test_seconds")
+        for value in (0.001, 0.01, 0.1, 1.0):
+            histogram.observe(value)
+        assert histogram.count() == 4
+        series = histogram.series()[next(iter(histogram.series()))]
+        assert series["count"] == 4
+        assert series["sum"] == pytest.approx(1.111)
+        assert sum(series["buckets"]) == 4  # all within the grid
+
+    def test_overflow_lands_outside_buckets(self):
+        histogram = MetricsRegistry().histogram("repro_test_seconds", bounds=(1.0, 2.0))
+        histogram.observe(5.0)
+        series = next(iter(histogram.series().values()))
+        assert series["buckets"] == [0, 0]
+        assert series["count"] == 1
+
+    def test_nan_and_inf_dropped(self):
+        histogram = MetricsRegistry().histogram("repro_test_seconds")
+        histogram.observe(float("nan"))
+        histogram.observe(math.inf)
+        assert histogram.count() == 0
+
+    def test_default_grid_spans_100us_to_100s(self):
+        assert DEFAULT_BUCKETS[0] == pytest.approx(1e-4)
+        assert DEFAULT_BUCKETS[-1] == pytest.approx(100.0)
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+# ----------------------------------------------------------------------
+# Snapshot algebra
+# ----------------------------------------------------------------------
+
+
+def _snapshot_with(counts: dict, observations: list) -> dict:
+    """A registry snapshot with the given counter events and observations."""
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_test_events_total", "events")
+    for event, amount in counts.items():
+        if amount:
+            counter.inc(amount, event=event)
+    histogram = registry.histogram("repro_test_seconds", "latency")
+    for value in observations:
+        histogram.observe(value)
+    return registry.snapshot()
+
+
+class TestSnapshotAlgebra:
+    def test_merge_sums_counters_and_buckets(self):
+        a = _snapshot_with({"hit": 2}, [0.01])
+        b = _snapshot_with({"hit": 3, "miss": 1}, [0.01, 10.0])
+        merged = merge_snapshots(a, b)
+        series = merged["counters"]["repro_test_events_total"]["series"]
+        assert series['{"event":"hit"}'] == 5
+        assert series['{"event":"miss"}'] == 1
+        histogram = merged["histograms"]["repro_test_seconds"]["series"]["{}"]
+        assert histogram["count"] == 3
+        assert sum(histogram["buckets"]) == 3
+
+    def test_merge_rejects_mismatched_bucket_grids(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_test_seconds", bounds=(1.0, 2.0)).observe(0.5)
+        other = MetricsRegistry()
+        other.histogram("repro_test_seconds", bounds=(1.0, 4.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            merge_snapshots(registry.snapshot(), other.snapshot())
+
+    def test_label_snapshot_stamps_every_series(self):
+        snapshot = _snapshot_with({"hit": 1}, [0.01])
+        stamped = label_snapshot(snapshot, shard="s0")
+        for section in ("counters", "histograms"):
+            for block in stamped[section].values():
+                for key in block["series"]:
+                    assert '"shard":"s0"' in key
+        # The stamp must not mutate the source snapshot.
+        assert '{"event":"hit"}' in snapshot["counters"]["repro_test_events_total"]["series"]
+
+    def test_label_stamp_wins_on_collision(self):
+        snapshot = _snapshot_with({"hit": 1}, [])
+        lying = label_snapshot(snapshot, event="forged")
+        series = lying["counters"]["repro_test_events_total"]["series"]
+        assert list(series) == ['{"event":"forged"}']
+
+    def test_shard_labelled_series_stay_distinct_after_merge(self):
+        a = label_snapshot(_snapshot_with({"hit": 2}, []), shard="s0")
+        b = label_snapshot(_snapshot_with({"hit": 7}, []), shard="s1")
+        merged = merge_snapshots(a, b)
+        series = merged["counters"]["repro_test_events_total"]["series"]
+        assert series['{"event":"hit","shard":"s0"}'] == 2
+        assert series['{"event":"hit","shard":"s1"}'] == 7
+
+
+#: Integer-valued observations: float addition over (small) integers is
+#: exact, so merge associativity is an equality, not an approximation.
+_snapshots = st.builds(
+    _snapshot_with,
+    st.dictionaries(st.sampled_from(["hit", "miss", "store"]), st.integers(0, 50), max_size=3),
+    st.lists(st.integers(0, 200).map(float), max_size=20),
+)
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=50, deadline=None)
+    @given(a=_snapshots, b=_snapshots)
+    def test_merge_is_commutative(self, a, b):
+        assert merge_snapshots(a, b) == merge_snapshots(b, a)
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=_snapshots, b=_snapshots, c=_snapshots)
+    def test_merge_is_associative(self, a, b, c):
+        left = merge_snapshots(merge_snapshots(a, b), c)
+        right = merge_snapshots(a, merge_snapshots(b, c))
+        assert left == right
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=_snapshots)
+    def test_empty_snapshot_is_identity(self, a):
+        assert merge_snapshots(a, {}) == merge_snapshots(a)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+
+class TestPrometheusText:
+    def test_round_trip_through_validating_parser(self):
+        snapshot = _snapshot_with({"hit": 3, "miss": 1}, [0.001, 0.5, 50.0])
+        text = prometheus_text(snapshot)
+        samples = parse_prometheus_text(text)
+        values = dict(
+            (labels.get("event"), value)
+            for labels, value in samples["repro_test_events_total"]
+        )
+        assert values == {"hit": 3, "miss": 1}
+        count = samples["repro_test_seconds_count"][0][1]
+        assert count == 3
+        total = samples["repro_test_seconds_sum"][0][1]
+        assert total == pytest.approx(50.501)
+
+    def test_buckets_are_cumulative_and_end_at_count(self):
+        snapshot = _snapshot_with({}, [0.001, 0.5, 50.0, 1e9])
+        samples = parse_prometheus_text(prometheus_text(snapshot))
+        buckets = samples["repro_test_seconds_bucket"]
+        values = [value for _, value in buckets]
+        assert values == sorted(values)  # cumulative ⇒ monotone
+        inf = [value for labels, value in buckets if labels["le"] == "+Inf"]
+        assert inf == [4.0]  # +Inf bucket includes the 1e9 overflow
+
+    def test_help_and_type_emitted_once_per_metric(self):
+        text = prometheus_text(_snapshot_with({"hit": 1}, [0.1]))
+        assert text.count("# TYPE repro_test_events_total counter") == 1
+        assert text.count("# TYPE repro_test_seconds histogram") == 1
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total").inc(event='quo"te\\slash')
+        samples = parse_prometheus_text(prometheus_text(registry.snapshot()))
+        assert samples["repro_test_total"][0][0]["event"] == 'quo"te\\slash'
+
+    def test_parser_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("this is not prometheus\n")
+        with pytest.raises(ValueError):
+            parse_prometheus_text(
+                "# TYPE repro_x counter\n# TYPE repro_x counter\nrepro_x 1\n"
+            )
+
+    def test_merged_fleet_snapshot_renders_valid_text(self):
+        # The router path end to end: label, merge, render, parse.
+        fleet = merge_snapshots(
+            label_snapshot(_snapshot_with({"hit": 1}, [0.1]), shard="s0"),
+            label_snapshot(_snapshot_with({"hit": 2}, [0.2]), shard="s1"),
+            label_snapshot(_snapshot_with({"miss": 1}, []), shard="router"),
+        )
+        samples = parse_prometheus_text(prometheus_text(fleet))
+        shards = {labels["shard"] for labels, _ in samples["repro_test_events_total"]}
+        assert shards == {"s0", "s1", "router"}

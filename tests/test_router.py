@@ -265,6 +265,64 @@ def test_http_healthz_readyz_aggregate(fleet):
     assert payload["shards_ready"] >= 1
 
 
+def test_http_metricsz_aggregates_shards(fleet):
+    from repro.obs.metrics import parse_prometheus_text
+
+    # Make sure at least one job routed through a shard before scraping.
+    status, payload = http_request(fleet, "POST", "/jobs", body={"spec": "majority"})
+    assert status == 202
+    status, payload = http_request(fleet, "GET", f"/jobs/{payload['job']}?wait=120")
+    assert status == 200 and payload["status"] == "done"
+
+    host, port = fleet.address
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        conn.request("GET", "/metricsz")
+        response = conn.getresponse()
+        assert response.status == 200
+        assert response.headers.get("content-type", "").startswith("text/plain")
+        text = response.read().decode("utf-8")
+    finally:
+        conn.close()
+
+    samples = parse_prometheus_text(text)  # raises on malformed lines
+    # Every series is stamped with the process it came from; the router's
+    # own counters and at least one replica's must both be present.
+    shards = {
+        labels.get("shard")
+        for rows in samples.values()
+        for labels, _ in rows
+    }
+    assert "router" in shards
+    assert shards & set(fleet.router.shard_ids), f"no shard series in {shards}"
+    routed = {
+        labels["shard"]: value
+        for labels, value in samples.get("repro_router_routed_jobs_total", [])
+    }
+    assert sum(routed.values()) >= 1
+    # The shard that verified the job reports its job latency, labelled.
+    job_counts = {
+        labels.get("shard"): value
+        for labels, value in samples.get("repro_job_seconds_count", [])
+    }
+    assert any(
+        shard in fleet.router.shard_ids and value >= 1
+        for shard, value in job_counts.items()
+    )
+
+
+def test_metrics_op_merges_fleet_snapshot(fleet):
+    with make_client(fleet) as client:
+        job = client.submit("majority")
+        assert client.wait(job, timeout=120) == "done"
+        response = client.call({"op": "metrics"})
+    assert response["ok"] is True
+    snapshot = response["metrics"]
+    assert set(snapshot) == {"counters", "gauges", "histograms"}
+    router_series = snapshot["counters"]["repro_router_events_total"]["series"]
+    assert any('"shard":"router"' in key for key in router_series)
+
+
 def test_http_statsz_and_jobs_listing(fleet):
     status, payload = http_request(fleet, "POST", "/jobs", body={"spec": "majority"})
     assert status == 202
